@@ -1,0 +1,339 @@
+package repro
+
+// One benchmark per paper figure and table (reduced trial counts so the
+// full suite stays tractable — scale up with cmd/ecfig for the real
+// numbers), plus micro-benchmarks of the simulator's hot paths. Every
+// figure bench reports the median missed deadlines it measured as a custom
+// metric ("med_missed") so regressions in *result shape*, not just speed,
+// are visible in bench output.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/pmf"
+	"repro/internal/randx"
+	"repro/internal/robustness"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchSpec is the reduced-scale experiment used by the figure benches:
+// the paper's cluster and parameter structure with 3 trials of 300 tasks.
+func benchSpec() experiment.Spec {
+	s := experiment.PaperSpec()
+	s.Trials = 3
+	s.Workload.WindowSize = 300
+	s.Workload.BurstLen = 60
+	return s
+}
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiment.Env
+	benchEnvErr  error
+)
+
+func sharedEnv(b *testing.B) *experiment.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiment.Build(benchSpec())
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// benchFigure runs one paper figure end-to-end per iteration.
+func benchFigure(b *testing.B, n int) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	var med float64
+	for i := 0; i < b.N; i++ {
+		f, err := env.Figure(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		med = f.Rows[len(f.Rows)-1].Summary.Median
+	}
+	b.ReportMetric(med, "med_missed")
+}
+
+// BenchmarkFig2_SQ regenerates Figure 2 (SQ × four filter variants).
+func BenchmarkFig2_SQ(b *testing.B) { benchFigure(b, 2) }
+
+// BenchmarkFig3_MECT regenerates Figure 3 (MECT × four filter variants).
+func BenchmarkFig3_MECT(b *testing.B) { benchFigure(b, 3) }
+
+// BenchmarkFig4_LL regenerates Figure 4 (LL × four filter variants).
+func BenchmarkFig4_LL(b *testing.B) { benchFigure(b, 4) }
+
+// BenchmarkFig5_Random regenerates Figure 5 (Random × four variants).
+func BenchmarkFig5_Random(b *testing.B) { benchFigure(b, 5) }
+
+// BenchmarkFig6_Best regenerates Figure 6 (best variation per heuristic).
+func BenchmarkFig6_Best(b *testing.B) { benchFigure(b, 6) }
+
+// BenchmarkTableSummary regenerates the §VII improvement table.
+func BenchmarkTableSummary(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.SummaryTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationZetaMul sweeps fixed ζ_mul values against the adaptive
+// schedule (design-choice ablation from §V-F).
+func BenchmarkAblationZetaMul(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.AblateZetaMul(sched.ShortestQueue{}, []float64{0.8, 1.0, 1.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRhoThresh sweeps the robustness threshold ρ_thresh.
+func BenchmarkAblationRhoThresh(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.AblateRhoThresh(sched.LightestLoad{}, []float64{0.25, 0.5, 0.75}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBudget sweeps the energy budget scale.
+func BenchmarkAblationBudget(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.AblateBudget(sched.LightestLoad{}, []float64{0.75, 1.0, 1.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationArrivals runs the §VIII arrival-pattern study.
+func BenchmarkAblationArrivals(b *testing.B) {
+	spec := benchSpec()
+	spec.Trials = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblateArrivals(spec, sched.ShortestQueue{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPriority runs the §VIII priority extension study.
+func BenchmarkAblationPriority(b *testing.B) {
+	env := sharedEnv(b)
+	classes := []workload.PriorityClass{{Weight: 4, Fraction: 0.25}, {Weight: 1, Fraction: 0.75}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.PriorityStudy(classes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLLTieBreak quantifies the design decision documented in
+// sched.LightestLoad: the paper-faithful first-candidate tie-break versus
+// the min-EEC repair (GreenLL), which finishes far more of the window.
+func BenchmarkAblationLLTieBreak(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	var paper, green float64
+	for i := 0; i < b.N; i++ {
+		p, err := env.RunVariant(sched.LightestLoad{}, sched.NoFilter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := env.RunVariant(sched.GreenLightestLoad{}, sched.NoFilter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paper, green = p.Summary.Median, g.Summary.Median
+	}
+	b.ReportMetric(paper, "LL_med_missed")
+	b.ReportMetric(green, "GreenLL_med_missed")
+}
+
+// BenchmarkAblationParking runs the §VIII power-gating study.
+func BenchmarkAblationParking(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.ParkingStudy(sched.ShortestQueue{}, []float64{0.25, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPowerNoise runs the §VIII stochastic-power study.
+func BenchmarkAblationPowerNoise(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.PowerNoiseStudy(sched.ShortestQueue{}, []float64{0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCancellation runs the §VIII cancel/reschedule study.
+func BenchmarkAblationCancellation(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.CancellationStudy(sched.ShortestQueue{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func microModel(b *testing.B) *workload.Model {
+	b.Helper()
+	s := randx.NewStream(42)
+	c, err := cluster.Generate(s.Child("cluster"), cluster.PaperGenParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := workload.PaperParams()
+	p.TaskTypes = 20
+	p.WindowSize = 200
+	p.BurstLen = 40
+	p.PMFSamples = 1000
+	m, err := workload.BuildModel(s.Child("wl"), c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkConvolve measures the pmf convolution at scheduler-typical
+// operand sizes (a 64-impulse free-time distribution × a 24-impulse
+// execution pmf).
+func BenchmarkConvolve(b *testing.B) {
+	mk := func(n int, scale float64) pmf.PMF {
+		vals := make([]float64, n)
+		probs := make([]float64, n)
+		for i := range vals {
+			vals[i] = scale * float64(i+1)
+			probs[i] = float64(1 + i%7)
+		}
+		return pmf.MustNew(vals, probs)
+	}
+	free := mk(64, 13.7)
+	exec := mk(24, 31.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pmf.Convolve(free, exec)
+	}
+}
+
+// BenchmarkRho measures one ρ(i,j,k,π,t_l,z) evaluation: free-time of a
+// 3-deep queue plus the candidate convolution and CDF.
+func BenchmarkRho(b *testing.B) {
+	m := microModel(b)
+	calc := robustness.NewCalculator(m)
+	q := robustness.CoreQueue{Node: 0, Tasks: []robustness.QueuedTask{
+		{Type: 0, PState: cluster.P1, Deadline: 5000, Started: true, StartAt: 0},
+		{Type: 1, PState: cluster.P2, Deadline: 6000},
+		{Type: 2, PState: cluster.P0, Deadline: 7000},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		free := calc.FreeTime(q, 500)
+		_ = calc.ProbOnTime(free, 3, 0, cluster.P1, 6500)
+	}
+}
+
+// BenchmarkDecision measures one full immediate-mode mapping decision for
+// the most expensive configuration (LL+en+rob: candidate enumeration, both
+// filters, ρ for every surviving candidate).
+func BenchmarkDecision(b *testing.B) {
+	m := microModel(b)
+	calc := robustness.NewCalculator(m)
+	view := benchView{c: m.Cluster}
+	mapper := &sched.Mapper{Heuristic: sched.LightestLoad{}, Filters: sched.EnergyAndRobustness.Filters()}
+	task := workload.Task{ID: 0, Type: 3, Arrival: 100, Deadline: 100 + 2.5*m.TAvg(), U: 0.5, Priority: 1}
+	rng := randx.NewStream(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := &sched.Context{
+			Now: 100, Task: task, Model: m, Calc: calc,
+			EnergyLeft: m.DefaultEnergyBudget(), TasksLeft: 500, AvgQueueDepth: 0.9, Rand: rng,
+		}
+		cands := sched.BuildCandidates(ctx, view)
+		_ = mapper.Map(ctx, cands)
+	}
+}
+
+// benchView is an idle-cluster SystemView.
+type benchView struct{ c *cluster.Cluster }
+
+func (v benchView) NumCores() int               { return v.c.TotalCores() }
+func (v benchView) CoreID(i int) cluster.CoreID { return v.c.Cores()[i] }
+func (v benchView) Queue(i int) robustness.CoreQueue {
+	return robustness.CoreQueue{Node: v.c.Cores()[i].Node}
+}
+
+// BenchmarkTrial measures one full simulated trial (200 tasks) for a cheap
+// heuristic and for the convolution-heavy one.
+func BenchmarkTrial(b *testing.B) {
+	m := microModel(b)
+	tr, err := workload.GenerateTrial(randx.NewStream(3), m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mapper *sched.Mapper
+	}{
+		{"MECT_none", &sched.Mapper{Heuristic: sched.MinExpectedCompletionTime{}}},
+		{"LL_en_rob", &sched.Mapper{Heuristic: sched.LightestLoad{}, Filters: sched.EnergyAndRobustness.Filters()}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := sim.Config{Model: m, Mapper: c.mapper, EnergyBudget: math.Inf(1)}
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(cfg, tr, randx.NewStream(9)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelBuild measures workload model construction (CVB + pmf
+// table generation), the per-experiment fixed cost.
+func BenchmarkModelBuild(b *testing.B) {
+	s := randx.NewStream(42)
+	c, err := cluster.Generate(s.Child("cluster"), cluster.PaperGenParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := workload.PaperParams()
+	p.TaskTypes = 20
+	p.PMFSamples = 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.BuildModel(s.Child("wl"), c, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command ecfig regenerates the paper's evaluation artifacts: Figures 2–6
+// as ASCII box-and-whiskers plots (with optional CSV of every trial
+// sample), the §VII summary-improvement table, and the ablation tables
+// DESIGN.md defines.
+//
+// Usage:
+//
+//	ecfig -fig 6                      # one figure
+//	ecfig -all                        # figures 2–6 + summary table
+//	ecfig -table summary              # §VII improvement table
+//	ecfig -table zmul|rthresh|budget|arrivals|priority   # ablations
+//	ecfig -table parking|powercv|cancel                  # §VIII extension studies
+//	ecfig -fig 2 -csv fig2.csv        # also write per-trial samples
+//	ecfig -trials 10                  # reduced trial count for quick looks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ecfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig    = flag.Int("fig", 0, "figure number to regenerate (2-6)")
+		table  = flag.String("table", "", "table to regenerate: summary, significance, zmul, rthresh, budget, arrivals, priority, parking, powercv, cancel, central, classes")
+		all    = flag.Bool("all", false, "regenerate figures 2-6 and the summary table")
+		trials = flag.Int("trials", 50, "number of simulation trials")
+		seed   = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
+		width  = flag.Int("width", 72, "box plot width in characters")
+		csv    = flag.String("csv", "", "write per-trial CSV for the selected figure to this file")
+	)
+	flag.Parse()
+
+	spec := core.DefaultSpec()
+	spec.Trials = *trials
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+
+	if !*all && *fig == 0 && *table == "" {
+		flag.Usage()
+		return fmt.Errorf("pick -fig N, -table NAME, or -all")
+	}
+
+	sys, err := core.NewSystem(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sys.Describe())
+	fmt.Println()
+
+	if *all {
+		for n := 2; n <= 6; n++ {
+			if err := printFigure(sys, n, *width, ""); err != nil {
+				return err
+			}
+		}
+		return printTable(sys, spec, "summary")
+	}
+	if *fig != 0 {
+		return printFigure(sys, *fig, *width, *csv)
+	}
+	return printTable(sys, spec, *table)
+}
+
+func printFigure(sys *core.System, n, width int, csvPath string) error {
+	f, err := sys.Figure(n)
+	if err != nil {
+		return err
+	}
+	out, err := f.Render(width)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(f.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	return nil
+}
+
+func printTable(sys *core.System, spec core.Spec, name string) error {
+	env := sys.Env()
+	var tab *experiment.Table
+	var err error
+	switch name {
+	case "summary":
+		tab, err = sys.SummaryTable()
+	case "zmul":
+		tab, err = env.AblateZetaMul(sched.LightestLoad{}, []float64{0.6, 0.8, 1.0, 1.2, 1.4})
+	case "rthresh":
+		tab, err = env.AblateRhoThresh(sched.LightestLoad{}, []float64{0.25, 0.5, 0.75, 0.9})
+	case "budget":
+		tab, err = env.AblateBudget(sched.LightestLoad{}, []float64{0.6, 0.8, 1.0, 1.2, 1.5, -1})
+	case "arrivals":
+		tab, err = experiment.AblateArrivals(spec, sched.LightestLoad{})
+	case "priority":
+		tab, err = env.PriorityStudy([]workload.PriorityClass{
+			{Weight: 4, Fraction: 0.25},
+			{Weight: 1, Fraction: 0.75},
+		})
+	case "parking":
+		tab, err = env.ParkingStudy(sched.LightestLoad{}, []float64{0.05, 0.25, 1.0, 4.0})
+	case "powercv":
+		tab, err = env.PowerNoiseStudy(sched.LightestLoad{}, []float64{0.1, 0.25, 0.5})
+	case "cancel":
+		tab, err = env.CancellationStudy(sched.LightestLoad{})
+	case "significance":
+		tab, err = env.SignificanceTable()
+	case "central":
+		tab, err = env.CentralQueueStudy()
+	case "classes":
+		tab, err = experiment.ClassStudy(spec, workload.PaperClassMix())
+	default:
+		return fmt.Errorf("unknown table %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(tab.Render())
+	return nil
+}

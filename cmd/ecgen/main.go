@@ -1,0 +1,102 @@
+// Command ecgen generates and inspects the simulation's machine and
+// workload models: the heterogeneous cluster (topology, P-state frequency
+// and power profiles, supply efficiencies) and the derived workload
+// quantities (t_avg, λ_eq, deadline structure, energy budget).
+//
+// Usage:
+//
+//	ecgen                      # summarize the paper-seed instance
+//	ecgen -seed 7 -json c.json # write the cluster spec as JSON
+//	ecgen -pmf 3:0             # dump the exec-time pmfs of type 3 on node 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ecgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed      = flag.Uint64("seed", 0, "generation seed (0 = paper default)")
+		jsonPath  = flag.String("json", "", "write the cluster spec as JSON to this file")
+		pmfSpec   = flag.String("pmf", "", "dump execution-time pmfs for \"type:node\"")
+		modelPath = flag.String("model", "", "write the full workload model (cluster + pmf tables) as JSON to this file")
+	)
+	flag.Parse()
+
+	spec := core.DefaultSpec()
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	root := randx.NewStream(spec.Seed)
+	c, err := cluster.Generate(root.Child("cluster"), spec.ClusterGen)
+	if err != nil {
+		return err
+	}
+	fmt.Print(c.Summary())
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	model, err := workload.BuildModel(root.Child("model"), c, spec.Workload)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nworkload: %d task types, window %d\n", spec.Workload.TaskTypes, spec.Workload.WindowSize)
+	fmt.Printf("  t_avg = %.1f (avg exec over types, nodes, P-states)\n", model.TAvg())
+	fmt.Printf("  λ_eq  = %.5f; λ_fast = %.5f; λ_slow = %.5f\n",
+		model.EquilibriumRate(), model.FastRate(), model.SlowRate())
+	fmt.Printf("  ζ_max = %.4g (t_avg × p_avg × window)\n", model.DefaultEnergyBudget())
+
+	if *modelPath != "" {
+		f, err := os.Create(*modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := model.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *modelPath)
+	}
+
+	if *pmfSpec != "" {
+		var ti, ni int
+		if _, err := fmt.Sscanf(strings.Replace(*pmfSpec, ":", " ", 1), "%d %d", &ti, &ni); err != nil {
+			return fmt.Errorf("bad -pmf %q, want \"type:node\"", *pmfSpec)
+		}
+		if ti < 0 || ti >= spec.Workload.TaskTypes || ni < 0 || ni >= c.N() {
+			return fmt.Errorf("-pmf %q out of range", *pmfSpec)
+		}
+		fmt.Printf("\nexecution-time pmfs for type %d on node %d:\n", ti, ni)
+		for _, ps := range cluster.AllPStates() {
+			p := model.ExecPMF(ti, ni, ps)
+			fmt.Printf("  %v: mean=%.1f sd=%.1f support=[%.1f, %.1f] impulses=%d\n",
+				ps, p.Mean(), p.StdDev(), p.Min(), p.Max(), p.Len())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Command ecsim runs one heuristic × filter configuration of the paper's
+// experiment and reports per-trial and aggregate results.
+//
+// Usage:
+//
+//	ecsim -heuristic LL -filters en+rob -trials 50 -seed 20110913
+//	ecsim -heuristic MECT -filters none -trials 10 -trace
+//
+// Heuristics: SQ, MECT, LL, Random (paper §V) plus the extensions PLL,
+// GreenLL, MaxRho, MinEEC. Filters: none, en, rob, en+rob (§V-F).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ecsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		heuristic = flag.String("heuristic", "LL", "heuristic: SQ, MECT, LL, Random, PLL, GreenLL, MaxRho, MinEEC")
+		filters   = flag.String("filters", "en+rob", "filter variant: none, en, rob, en+rob")
+		trials    = flag.Int("trials", 50, "number of simulation trials")
+		seed      = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
+		window    = flag.Int("window", 1000, "tasks per trial")
+		budget    = flag.Float64("budget", 1, "energy budget scale (<=0 = unconstrained)")
+		trace     = flag.Bool("trace", false, "print the per-task outcome log of trial 0")
+	)
+	flag.Parse()
+
+	spec := core.DefaultSpec()
+	spec.Trials = *trials
+	spec.Workload.WindowSize = *window
+	if *window != 1000 {
+		spec.Workload.BurstLen = *window / 5
+	}
+	spec.BudgetScale = *budget
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+
+	variant, err := parseVariant(*filters)
+	if err != nil {
+		return err
+	}
+
+	sys, err := core.NewSystem(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sys.Describe())
+
+	vr, err := sys.RunHeuristic(*heuristic, variant)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s over %d trials:\n  missed deadlines: %s\n", vr.Label, spec.Trials, vr.Summary)
+	fmt.Printf("  mean outcomes/trial: on-time %.1f, late %.1f, discarded %.1f, unfinished %.1f\n",
+		vr.MeanOnTime, vr.MeanLate, vr.MeanDiscarded, vr.MeanUnfinished)
+	fmt.Printf("  mean energy %.4g (budget %.4g), exhausted in %d/%d trials\n",
+		vr.MeanEnergy, sys.Budget(), vr.ExhaustedTrials, spec.Trials)
+
+	if *trace {
+		res, err := sys.SimulateOnce(*heuristic, variant, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ntrial 0 task log (%s):\n", res)
+		for _, tr := range res.Traces {
+			if tr.Mapped {
+				fmt.Printf("  %-28s -> %-12s %-10s start=%8.1f finish=%8.1f deadline=%8.1f\n",
+					tr.Task, tr.Assignment, tr.Outcome, tr.Start, tr.Finish, tr.Task.Deadline)
+			} else {
+				fmt.Printf("  %-28s -> %s\n", tr.Task, tr.Outcome)
+			}
+		}
+	}
+	return nil
+}
+
+func parseVariant(s string) (core.FilterVariant, error) {
+	for _, v := range sched.AllFilterVariants() {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown filter variant %q (none, en, rob, en+rob)", s)
+}

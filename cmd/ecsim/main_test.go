@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestParseVariant(t *testing.T) {
+	cases := map[string]sched.FilterVariant{
+		"none":   sched.NoFilter,
+		"en":     sched.EnergyOnly,
+		"rob":    sched.RobustnessOnly,
+		"en+rob": sched.EnergyAndRobustness,
+	}
+	for in, want := range cases {
+		got, err := parseVariant(in)
+		if err != nil || got != want {
+			t.Errorf("parseVariant(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseVariant("bogus"); err == nil {
+		t.Error("expected error for unknown variant")
+	}
+}

@@ -1,0 +1,138 @@
+// Command ectrace runs one simulation trial with full event recording and
+// renders what happened: per-core ASCII timelines (which P-state each core
+// ran in and when, deadline misses, the energy-exhaustion instant), the
+// DVFS occupancy profile, the in-system backlog peaks, and optional
+// JSONL/CSV event-log export for external tooling.
+//
+// Usage:
+//
+//	ectrace -heuristic LL -filters en+rob
+//	ectrace -heuristic MECT -filters none -window 300 -jsonl events.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ectrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		heuristic = flag.String("heuristic", "LL", "heuristic: SQ, MECT, LL, Random, PLL, GreenLL, MaxRho, MinEEC")
+		filters   = flag.String("filters", "en+rob", "filter variant: none, en, rob, en+rob")
+		window    = flag.Int("window", 300, "tasks in the trial")
+		seed      = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
+		budget    = flag.Float64("budget", 1, "energy budget scale (<=0 = unconstrained)")
+		width     = flag.Int("width", 100, "timeline width in characters")
+		jsonl     = flag.String("jsonl", "", "write the event log as JSONL to this file")
+		csvPath   = flag.String("csv", "", "write the event log as CSV to this file")
+	)
+	flag.Parse()
+
+	spec := core.DefaultSpec()
+	spec.Trials = 1
+	spec.Workload.WindowSize = *window
+	spec.Workload.BurstLen = *window / 5
+	spec.BudgetScale = *budget
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	var variant core.FilterVariant
+	found := false
+	for _, v := range sched.AllFilterVariants() {
+		if v.String() == *filters {
+			variant, found = v, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown filter variant %q", *filters)
+	}
+	h, err := core.HeuristicByName(*heuristic)
+	if err != nil {
+		return err
+	}
+
+	sys, err := core.NewSystem(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sys.Describe())
+
+	rec := trace.NewRecorder()
+	cfg := sim.Config{
+		Model:        sys.Model(),
+		Mapper:       &sched.Mapper{Heuristic: h, Filters: variant.Filters()},
+		EnergyBudget: sys.Budget(),
+		Observer:     rec,
+	}
+	res, err := sim.Run(cfg, sys.Env().Trial(0), randx.NewStream(spec.Seed).ChildN("decisions", 0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s\n", res)
+	fmt.Println(rec.Summary())
+
+	fmt.Println("core timelines:")
+	fmt.Println(rec.Timeline(*width))
+
+	occ := rec.PStateOccupancy()
+	total := 0.0
+	for _, v := range occ {
+		total += v
+	}
+	fmt.Println("DVFS occupancy (execution core-time share per P-state):")
+	for _, ps := range cluster.AllPStates() {
+		share := 0.0
+		if total > 0 {
+			share = 100 * occ[ps] / total
+		}
+		fmt.Printf("  %v: %6.2f%%  (%.0f core-tu)\n", ps, share, occ[ps])
+	}
+
+	times, counts := rec.InSystemSeries()
+	peak, peakT := 0, 0.0
+	for i, c := range counts {
+		if c > peak {
+			peak, peakT = c, times[i]
+		}
+	}
+	fmt.Printf("\npeak backlog: %d tasks in system at t=%.0f\n", peak, peakT)
+
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", *jsonl, rec.Len())
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	return nil
+}

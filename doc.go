@@ -1,0 +1,27 @@
+// Package repro is a from-scratch Go reproduction of "Energy-Constrained
+// Dynamic Resource Allocation in a Heterogeneous Computing Environment"
+// (Young et al., ICPP 2011).
+//
+// The paper studies immediate-mode allocation of dynamically arriving,
+// stochastically-sized tasks with individual hard deadlines onto a
+// heterogeneous DVFS-capable cluster operating under a single system-wide
+// energy constraint. This module rebuilds the complete system the paper
+// evaluates: the probability-mass-function engine behind its robustness
+// model (§IV), the CVB heterogeneity generator, the cluster and ACPI
+// P-state power model (§III, §VI), the energy accounting of Eqs. 1–2, the
+// four heuristics and two filter mechanisms of §V, a discrete-event
+// simulator, and an experiment harness that regenerates Figures 2–6 and
+// the §VII summary statistics.
+//
+// Entry points:
+//
+//   - internal/core — the high-level facade (build a system, run
+//     experiments, regenerate figures);
+//   - cmd/ecsim, cmd/ecfig, cmd/ecgen — command-line tools;
+//   - examples/ — runnable walkthroughs of the public API;
+//   - bench_test.go — one benchmark per paper figure/table plus
+//     micro-benchmarks of the hot paths.
+//
+// See DESIGN.md for the system inventory and modeling decisions, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,73 @@
+// Budgetsweep: quantify how the energy constraint ζ_max shapes the
+// missed-deadline outcome. The paper fixes ζ_max = t_avg·p_avg·window and
+// notes it is deliberately "insufficient to finish all tasks by their
+// deadlines"; this example sweeps the budget from starvation to
+// unconstrained and locates where the constraint stops binding, for both
+// the paper's best configuration (LL+en+rob) and the unfiltered MECT
+// baseline.
+//
+// Run with:
+//
+//	go run ./examples/budgetsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func main() {
+	spec := core.DefaultSpec()
+	spec.Trials = 4
+	spec.Workload.WindowSize = 300
+	spec.Workload.BurstLen = 60
+
+	sys, err := core.NewSystem(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys.Describe())
+	fmt.Println()
+
+	scales := []float64{0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 0 /* unconstrained */}
+	configs := []struct {
+		label  string
+		mapper *core.Mapper
+	}{
+		{"LL+en+rob", &core.Mapper{Heuristic: sched.LightestLoad{}, Filters: core.EnergyAndRobustness.Filters()}},
+		{"MECT (none)", &core.Mapper{Heuristic: sched.MinExpectedCompletionTime{}}},
+	}
+
+	fmt.Printf("%-14s", "ζ_max scale")
+	for _, c := range configs {
+		fmt.Printf(" %14s", c.label)
+	}
+	fmt.Println("   (median missed deadlines)")
+
+	for _, sc := range scales {
+		label := fmt.Sprintf("%.2f×", sc)
+		if sc <= 0 {
+			label = "unconstrained"
+		}
+		fmt.Printf("%-14s", label)
+		for _, c := range configs {
+			scale := sc
+			if sc <= 0 {
+				scale = 1e6 // effectively unconstrained without special-casing
+			}
+			vr, err := sys.RunMapper(c.mapper, scale, label)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %10.1f/%-3d", vr.Summary.Median, vr.ExhaustedTrials)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncolumns are median-missed / trials-that-exhausted-the-budget.")
+	fmt.Println("expected: at low budgets everything starves (energy, not deadlines, binds);")
+	fmt.Println("the filtered heuristic needs a smaller budget to reach its deadline-limited")
+	fmt.Println("floor; unconstrained, unfiltered MECT catches up because energy is free.")
+}

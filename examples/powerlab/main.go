@@ -1,0 +1,75 @@
+// Powerlab: exercise the library's §VIII future-work extensions — the
+// energy-management levers the paper names but does not evaluate:
+//
+//  1. core parking (power gating): idle cores drop to a retention state
+//     after a timeout, trading wake latency for idle energy;
+//  2. stochastic power draw: actual per-execution power varies around
+//     μ(i,π) while the scheduler still plans with the mean;
+//  3. central-queue dispatch: tasks commit to a core and P-state when a
+//     core is ready, not when they arrive.
+//
+// Run with:
+//
+//	go run ./examples/powerlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func main() {
+	spec := core.DefaultSpec()
+	spec.Trials = 4
+	spec.Workload.WindowSize = 300
+	spec.Workload.BurstLen = 60
+
+	sys, err := core.NewSystem(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := sys.Env()
+	fmt.Println(sys.Describe())
+
+	// 1. Parking: sweep the idle timeout. Under the paper's budget the
+	// idle power of 58 always-on cores is the dominant energy sink, so
+	// parking converts almost directly into completed tasks.
+	fmt.Println("\n--- core parking (power gating) ---")
+	tab, err := env.ParkingStudy(sched.LightestLoad{}, []float64{0.1, 0.5, 2.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab.Render())
+
+	// 2. Stochastic power: how much of the budget does mean-planning lose
+	// when real draws are noisy?
+	fmt.Println("--- stochastic per-execution power ---")
+	tab, err = env.PowerNoiseStudy(sched.LightestLoad{}, []float64{0.2, 0.4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab.Render())
+
+	// 3. Central queue vs immediate mode.
+	fmt.Println("--- immediate-mode vs central-queue dispatch ---")
+	tab, err = env.CentralQueueStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab.Render())
+
+	// Bonus: one traced run with parking enabled, to see a parked core
+	// wake for the second burst.
+	mapper := &core.Mapper{Heuristic: sched.LightestLoad{}, Filters: core.EnergyAndRobustness.Filters()}
+	park := sim.ParkPolicy{Enabled: true, Timeout: 0.5 * sys.Model().TAvg(), WakeLatency: 10, PowerFrac: 0.05}
+	cfgRes, err := env.RunConfigured(mapper, "park demo", func(c *sim.Config) { c.Park = park })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parked demo: median missed %.1f, %.0f wakeups/trial, %.3g core-tu parked/trial\n",
+		cfgRes.Summary.Median, cfgRes.MeanWakeups, cfgRes.MeanParkedTime)
+}

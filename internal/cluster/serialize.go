@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON encodes the cluster as indented JSON.
+func (c *Cluster) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("cluster: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON decodes and validates a cluster from JSON.
+func ReadJSON(r io.Reader) (*Cluster, error) {
+	var c Cluster
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("cluster: decode: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: decode: %w", err)
+	}
+	return &c, nil
+}
+
+// Summary returns a short human-readable description of the cluster.
+func (c *Cluster) Summary() string {
+	s := fmt.Sprintf("cluster: %d nodes, %d cores, p_avg=%.1f W, avg time mult=%.2f\n",
+		c.N(), c.TotalCores(), c.AvgPower(), c.AvgTimeMult())
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		s += fmt.Sprintf("  node %d: %d×%d cores, ε=%.3f, P0 %.1f W @ %.2f V, P4 %.1f W @ %.2f V (f ratio %.2f)\n",
+			i, n.Processors, n.CoresPerProc, n.Efficiency,
+			n.Power[P0], n.Voltage[P0], n.Power[P4], n.Voltage[P4],
+			n.Freq[P4]/n.Freq[P0])
+	}
+	return s
+}

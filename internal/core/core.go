@@ -1,0 +1,176 @@
+// Package core is the public facade of the reproduction: a single import
+// that wires the substrates together — cluster generation, workload and
+// execution-time pmf construction, the robustness calculator, the
+// heuristics and filters of §V, the discrete-event simulator, and the
+// experiment harness that regenerates every figure and table of the
+// paper's evaluation.
+//
+// Typical use:
+//
+//	spec := core.DefaultSpec()
+//	spec.Trials = 10
+//	sys, err := core.NewSystem(spec)
+//	...
+//	fig, err := sys.Figure(6)        // paper Figure 6
+//	text, err := fig.Render(72)      // ASCII box plots
+//
+// or, for a single observable run:
+//
+//	res, err := sys.SimulateOnce("LL", core.EnergyAndRobustness, 0)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/experiment"
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Re-exported types: the facade's vocabulary is defined in the subsystem
+// packages; aliases make them reachable through one import.
+type (
+	// Spec pins down a full experimental setup (seed, trials, cluster and
+	// workload parameters, energy budget scale).
+	Spec = experiment.Spec
+	// Figure is a reproduced paper figure of box-plot rows.
+	Figure = experiment.Figure
+	// Table is a rendered results table.
+	Table = experiment.Table
+	// VariantResult aggregates one heuristic × filter configuration.
+	VariantResult = experiment.VariantResult
+	// Result is a single simulation run's outcome.
+	Result = sim.Result
+	// TaskTrace is a per-task record in a traced run.
+	TaskTrace = sim.TaskTrace
+	// Heuristic is the immediate-mode assignment policy interface; custom
+	// policies implement it and run through the same harness.
+	Heuristic = sched.Heuristic
+	// Filter restricts the feasible assignment set (§V-F).
+	Filter = sched.Filter
+	// Mapper combines a heuristic with filters.
+	Mapper = sched.Mapper
+	// FilterVariant names one of the paper's four filter configurations.
+	FilterVariant = sched.FilterVariant
+	// PriorityClass configures the priority extension's task mix.
+	PriorityClass = workload.PriorityClass
+)
+
+// The paper's filter variants.
+const (
+	NoFilter            = sched.NoFilter
+	EnergyOnly          = sched.EnergyOnly
+	RobustnessOnly      = sched.RobustnessOnly
+	EnergyAndRobustness = sched.EnergyAndRobustness
+)
+
+// DefaultSpec returns the paper's experimental setup (§VI): 8-node
+// heterogeneous cluster, 100 task types, 50 trials of 1,000 bursty tasks,
+// ζ_max = t_avg·p_avg·1000.
+func DefaultSpec() Spec { return experiment.PaperSpec() }
+
+// System is a built reproduction environment ready to run experiments.
+type System struct {
+	env *experiment.Env
+}
+
+// NewSystem builds the environment: cluster, pmf tables, trials.
+func NewSystem(spec Spec) (*System, error) {
+	env, err := experiment.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &System{env: env}, nil
+}
+
+// Env exposes the underlying experiment environment for advanced use
+// (custom mappers, ablations, priority studies).
+func (s *System) Env() *experiment.Env { return s.env }
+
+// Model returns the fixed workload model (cluster, pmf tables, t_avg).
+func (s *System) Model() *workload.Model { return s.env.Model }
+
+// Budget returns the resolved energy constraint ζ_max.
+func (s *System) Budget() float64 { return s.env.Budget }
+
+// Describe returns a human-readable sketch of the built instance.
+func (s *System) Describe() string {
+	m := s.env.Model
+	return fmt.Sprintf(
+		"cluster: %d nodes / %d cores; t_avg=%.0f; p_avg=%.1f W; λ_eq=%.5f (fast %.5f, slow %.5f); ζ_max=%.4g; %d trials × %d tasks",
+		m.Cluster.N(), m.Cluster.TotalCores(), m.TAvg(), m.Cluster.AvgPower(),
+		m.EquilibriumRate(), m.FastRate(), m.SlowRate(),
+		s.env.Budget, s.env.Spec.Trials, s.env.Spec.Workload.WindowSize)
+}
+
+// HeuristicByName resolves "SQ", "MECT", "LL", "Random", plus the extension
+// policies "PLL", "GreenLL", "MaxRho", and "MinEEC".
+func HeuristicByName(name string) (Heuristic, error) {
+	if h := sched.ByName(name); h != nil {
+		return h, nil
+	}
+	switch name {
+	case "PLL":
+		return sched.PriorityLightestLoad{}, nil
+	case "GreenLL":
+		return sched.GreenLightestLoad{}, nil
+	case "MaxRho":
+		return sched.MaxRobustness{}, nil
+	case "MinEEC":
+		return sched.MinEnergy{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown heuristic %q", name)
+}
+
+// RunHeuristic runs one named heuristic with a paper filter variant over
+// all trials.
+func (s *System) RunHeuristic(name string, v FilterVariant) (*VariantResult, error) {
+	h, err := HeuristicByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.env.RunVariant(h, v)
+}
+
+// RunMapper runs a custom mapper over all trials; budgetScale <= 0 keeps
+// the environment budget.
+func (s *System) RunMapper(m *Mapper, budgetScale float64, tag string) (*VariantResult, error) {
+	return s.env.RunMapper(m, budgetScale, tag)
+}
+
+// Figure regenerates a paper figure (2–6).
+func (s *System) Figure(n int) (*Figure, error) { return s.env.Figure(n) }
+
+// SummaryTable regenerates the §VII filtering-improvement comparison.
+func (s *System) SummaryTable() (*Table, error) { return s.env.SummaryTable() }
+
+// SimulateOnce runs a single traced trial of the named heuristic and filter
+// variant and returns the full per-task result — the observable,
+// inspectable unit the examples build on. trialIdx selects one of the
+// environment's trials.
+func (s *System) SimulateOnce(name string, v FilterVariant, trialIdx int) (*Result, error) {
+	h, err := HeuristicByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if trialIdx < 0 || trialIdx >= s.env.Spec.Trials {
+		return nil, fmt.Errorf("core: trial %d outside [0,%d)", trialIdx, s.env.Spec.Trials)
+	}
+	cfg := sim.Config{
+		Model:        s.env.Model,
+		Mapper:       &sched.Mapper{Heuristic: h, Filters: v.Filters()},
+		EnergyBudget: s.env.Budget,
+		Trace:        true,
+		VerifyEnergy: true,
+	}
+	return sim.Run(cfg, s.env.Trial(trialIdx), randx.NewStream(s.env.Spec.Seed).ChildN("decisions", trialIdx))
+}
+
+// GenerateCluster builds just a random heterogeneous cluster from a seed —
+// a convenience for tooling that inspects the machine model.
+func GenerateCluster(seed uint64) (*cluster.Cluster, error) {
+	return cluster.Generate(randx.NewStream(seed).Child("cluster"), cluster.PaperGenParams())
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func smallSpec() Spec {
+	s := DefaultSpec()
+	s.Trials = 2
+	s.Workload.TaskTypes = 8
+	s.Workload.WindowSize = 80
+	s.Workload.BurstLen = 16
+	s.Workload.PMFSamples = 300
+	return s
+}
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestDefaultSpecIsPaper(t *testing.T) {
+	s := DefaultSpec()
+	if s.Trials != 50 || s.Workload.WindowSize != 1000 {
+		t.Fatalf("default spec drifted: %+v", s)
+	}
+}
+
+func TestNewSystemAndDescribe(t *testing.T) {
+	sys := newSystem(t)
+	d := sys.Describe()
+	for _, want := range []string{"cluster:", "t_avg", "ζ_max", "trials"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Describe missing %q: %s", want, d)
+		}
+	}
+	if sys.Model() == nil || sys.Env() == nil || sys.Budget() <= 0 {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestNewSystemRejectsBadSpec(t *testing.T) {
+	s := smallSpec()
+	s.Trials = 0
+	if _, err := NewSystem(s); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestHeuristicByName(t *testing.T) {
+	for _, n := range []string{"SQ", "MECT", "LL", "Random", "PLL", "GreenLL", "MaxRho", "MinEEC"} {
+		h, err := HeuristicByName(n)
+		if err != nil || h.Name() != n {
+			t.Errorf("HeuristicByName(%q) = %v, %v", n, h, err)
+		}
+	}
+	if _, err := HeuristicByName("nope"); err == nil {
+		t.Fatal("expected error for unknown heuristic")
+	}
+}
+
+func TestRunHeuristic(t *testing.T) {
+	sys := newSystem(t)
+	vr, err := sys.RunHeuristic("SQ", EnergyAndRobustness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Label != "SQ+en+rob" || len(vr.Missed) != 2 {
+		t.Fatalf("unexpected result: %+v", vr)
+	}
+	if _, err := sys.RunHeuristic("nope", NoFilter); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunMapperCustom(t *testing.T) {
+	sys := newSystem(t)
+	m := &Mapper{Heuristic: sched.MinEnergy{}, Filters: []Filter{sched.RobustnessFilter{Thresh: 0.25}}}
+	vr, err := sys.RunMapper(m, 0, "custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.FilterLabel != "custom" {
+		t.Fatalf("tag %q", vr.FilterLabel)
+	}
+}
+
+func TestFigureAndSummary(t *testing.T) {
+	sys := newSystem(t)
+	f, err := sys.Figure(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "fig5" || len(f.Rows) != 4 {
+		t.Fatalf("figure wrong: %+v", f)
+	}
+	tab, err := sys.SummaryTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("summary rows %d", len(tab.Rows))
+	}
+}
+
+func TestSimulateOnce(t *testing.T) {
+	sys := newSystem(t)
+	res, err := sys.SimulateOnce("MECT", NoFilter, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 80 {
+		t.Fatalf("traces %d", len(res.Traces))
+	}
+	if res.EnergyVerifyError > 1e-4 {
+		t.Fatalf("energy drift %v", res.EnergyVerifyError)
+	}
+	// Matches the harness's aggregate for the same trial (consistent
+	// decision streams).
+	vr, err := sys.RunHeuristic("MECT", NoFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Missed) != vr.Missed[0] {
+		t.Fatalf("SimulateOnce missed %d, harness trial 0 %v", res.Missed, vr.Missed[0])
+	}
+	if _, err := sys.SimulateOnce("MECT", NoFilter, 99); err == nil {
+		t.Fatal("expected error for out-of-range trial")
+	}
+	if _, err := sys.SimulateOnce("nope", NoFilter, 0); err == nil {
+		t.Fatal("expected error for unknown heuristic")
+	}
+}
+
+func TestGenerateCluster(t *testing.T) {
+	c, err := GenerateCluster(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 8 {
+		t.Fatalf("nodes %d", c.N())
+	}
+	c2, _ := GenerateCluster(7)
+	if c2.TotalCores() != c.TotalCores() {
+		t.Fatal("not deterministic")
+	}
+}

@@ -1,0 +1,112 @@
+// Package cvb implements the Coefficient-of-Variation-Based (CVB) method of
+// Ali, Siegel, Maheswaran, and Hensgen (2000) for generating estimated
+// time-to-compute (ETC) matrices with controlled task and machine
+// heterogeneity. The paper (§VI) generates its execution-time distributions
+// with CVB using μ_task = 750, V_task = 0.25, V_mach = 0.25.
+//
+// The method: draw one gamma sample q(t) per task type with mean μ_task and
+// coefficient of variation V_task (task heterogeneity), then for every
+// machine draw ETC(t, m) from a gamma distribution with mean q(t) and
+// coefficient of variation V_mach (machine heterogeneity). Because each
+// entry is drawn independently, the resulting matrix is *inconsistent*
+// (§III-A): machine A being faster than B on one task type implies nothing
+// about other task types.
+package cvb
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+)
+
+// Params configures CVB ETC generation.
+type Params struct {
+	// TaskMean is μ_task, the mean of the task-type gamma distribution.
+	TaskMean float64
+	// TaskCV is V_task, the coefficient of variation across task types.
+	TaskCV float64
+	// MachCV is V_mach, the coefficient of variation across machines.
+	MachCV float64
+}
+
+// PaperParams are the parameters the paper uses in §VI.
+func PaperParams() Params {
+	return Params{TaskMean: 750, TaskCV: 0.25, MachCV: 0.25}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.TaskMean <= 0 {
+		return fmt.Errorf("cvb: TaskMean %v must be > 0", p.TaskMean)
+	}
+	if p.TaskCV <= 0 {
+		return fmt.Errorf("cvb: TaskCV %v must be > 0", p.TaskCV)
+	}
+	if p.MachCV <= 0 {
+		return fmt.Errorf("cvb: MachCV %v must be > 0", p.MachCV)
+	}
+	return nil
+}
+
+// Matrix is an ETC matrix: Mean[t][m] is the mean execution time of task
+// type t on machine (node) m at the base P-state.
+type Matrix struct {
+	Mean [][]float64
+}
+
+// TaskTypes returns the number of task types (rows).
+func (m *Matrix) TaskTypes() int { return len(m.Mean) }
+
+// Machines returns the number of machines (columns).
+func (m *Matrix) Machines() int {
+	if len(m.Mean) == 0 {
+		return 0
+	}
+	return len(m.Mean[0])
+}
+
+// At returns the mean execution time of task type t on machine m.
+func (m *Matrix) At(t, mach int) float64 { return m.Mean[t][mach] }
+
+// TaskMean returns the mean of row t across machines: the per-type average
+// execution time used for deadline assignment (§VI) before P-state scaling.
+func (m *Matrix) TaskMean(t int) float64 {
+	row := m.Mean[t]
+	s := 0.0
+	for _, v := range row {
+		s += v
+	}
+	return s / float64(len(row))
+}
+
+// GrandMean returns the mean over all entries.
+func (m *Matrix) GrandMean() float64 {
+	s, n := 0.0, 0
+	for _, row := range m.Mean {
+		for _, v := range row {
+			s += v
+			n++
+		}
+	}
+	return s / float64(n)
+}
+
+// Generate builds a taskTypes × machines ETC matrix from the given stream.
+func Generate(s *randx.Stream, taskTypes, machines int, p Params) (*Matrix, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if taskTypes < 1 || machines < 1 {
+		return nil, fmt.Errorf("cvb: need at least one task type and one machine, got %d×%d", taskTypes, machines)
+	}
+	m := &Matrix{Mean: make([][]float64, taskTypes)}
+	for t := 0; t < taskTypes; t++ {
+		q := s.GammaMeanCV(p.TaskMean, p.TaskCV)
+		row := make([]float64, machines)
+		for mach := 0; mach < machines; mach++ {
+			row[mach] = s.GammaMeanCV(q, p.MachCV)
+		}
+		m.Mean[t] = row
+	}
+	return m, nil
+}

@@ -1,0 +1,129 @@
+package cvb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestGenerateShape(t *testing.T) {
+	s := randx.NewStream(1)
+	m, err := Generate(s, 100, 8, PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TaskTypes() != 100 || m.Machines() != 8 {
+		t.Fatalf("shape %d×%d, want 100×8", m.TaskTypes(), m.Machines())
+	}
+	for ti := 0; ti < m.TaskTypes(); ti++ {
+		for mi := 0; mi < m.Machines(); mi++ {
+			if v := m.At(ti, mi); v <= 0 || math.IsNaN(v) {
+				t.Fatalf("entry (%d,%d) = %v", ti, mi, v)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(randx.NewStream(9), 10, 4, PaperParams())
+	b, _ := Generate(randx.NewStream(9), 10, 4, PaperParams())
+	for ti := 0; ti < 10; ti++ {
+		for mi := 0; mi < 4; mi++ {
+			if a.At(ti, mi) != b.At(ti, mi) {
+				t.Fatal("generation not deterministic for equal seeds")
+			}
+		}
+	}
+}
+
+func TestGenerateStatistics(t *testing.T) {
+	// With many task types, the grand mean should approach μ_task, the
+	// across-type CV should approach sqrt(V_task²+V_mach²+V_task²·V_mach²)
+	// for individual entries, and row means should have CV ≈ V_task.
+	s := randx.NewStream(123)
+	p := PaperParams()
+	m, err := Generate(s, 4000, 8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := m.GrandMean()
+	if math.Abs(gm-p.TaskMean)/p.TaskMean > 0.03 {
+		t.Fatalf("grand mean %v, want ~%v", gm, p.TaskMean)
+	}
+	// Row-mean CV across types.
+	var sum, sq float64
+	n := float64(m.TaskTypes())
+	for ti := 0; ti < m.TaskTypes(); ti++ {
+		v := m.TaskMean(ti)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sq/n - mean*mean)
+	cv := sd / mean
+	// Row means average away some machine variance: expect slightly above
+	// V_task but well below the full entry CV.
+	if cv < p.TaskCV*0.85 || cv > p.TaskCV*1.35 {
+		t.Fatalf("row-mean CV %v, want near %v", cv, p.TaskCV)
+	}
+}
+
+func TestGenerateInconsistent(t *testing.T) {
+	// Inconsistent heterogeneity: machine orderings must differ across task
+	// types (§III-A). Check that the argmin machine is not constant.
+	m, err := Generate(randx.NewStream(5), 50, 8, PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := -1
+	varies := false
+	for ti := 0; ti < m.TaskTypes(); ti++ {
+		best, bv := 0, math.Inf(1)
+		for mi := 0; mi < m.Machines(); mi++ {
+			if m.At(ti, mi) < bv {
+				bv = m.At(ti, mi)
+				best = mi
+			}
+		}
+		if first == -1 {
+			first = best
+		} else if best != first {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("fastest machine constant across all task types; matrix looks consistent")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	s := randx.NewStream(1)
+	if _, err := Generate(s, 0, 8, PaperParams()); err == nil {
+		t.Fatal("expected error for zero task types")
+	}
+	if _, err := Generate(s, 10, 0, PaperParams()); err == nil {
+		t.Fatal("expected error for zero machines")
+	}
+	bad := []Params{
+		{TaskMean: 0, TaskCV: 0.25, MachCV: 0.25},
+		{TaskMean: 750, TaskCV: 0, MachCV: 0.25},
+		{TaskMean: 750, TaskCV: 0.25, MachCV: -1},
+	}
+	for _, p := range bad {
+		if _, err := Generate(s, 10, 4, p); err == nil {
+			t.Fatalf("expected error for params %+v", p)
+		}
+	}
+}
+
+func TestPaperParams(t *testing.T) {
+	p := PaperParams()
+	if p.TaskMean != 750 || p.TaskCV != 0.25 || p.MachCV != 0.25 {
+		t.Fatalf("paper params drifted: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package energy implements the paper's energy model (§III-C): per-core
+// P-state transition lists ν(i,j,k), per-core energy η(i,j,k) (Eq. 1), and
+// cluster energy ζ with power-supply-efficiency division (Eq. 2). It also
+// provides a live Meter that integrates the cluster's piecewise-constant
+// power draw as the simulation advances and pinpoints the exact instant the
+// energy constraint ζ_max is exhausted.
+package energy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// Transition is one entry of a core's P-state transition list ν(i,j,k): at
+// Time the core entered P-state To.
+type Transition struct {
+	Time float64
+	To   cluster.PState
+}
+
+// CoreEnergy evaluates Eq. 1 for one core: the sum over transitions of the
+// power of the entered P-state times the time until the next transition
+// (or end for the last one). The transition list must be time-ordered and
+// non-empty, and end must be at or after the last transition.
+func CoreEnergy(node *cluster.Node, transitions []Transition, end float64) (float64, error) {
+	if len(transitions) == 0 {
+		return 0, errors.New("energy: empty transition list")
+	}
+	total := 0.0
+	for n := 0; n < len(transitions); n++ {
+		next := end
+		if n+1 < len(transitions) {
+			next = transitions[n+1].Time
+		}
+		dt := next - transitions[n].Time
+		if dt < 0 {
+			return 0, fmt.Errorf("energy: transitions out of order at %d (dt=%v)", n, dt)
+		}
+		if !transitions[n].To.Valid() {
+			return 0, fmt.Errorf("energy: invalid P-state %d at transition %d", transitions[n].To, n)
+		}
+		total += node.Power[transitions[n].To] * dt
+	}
+	return total, nil
+}
+
+// ClusterEnergy evaluates Eq. 2: the sum over all cores of η(i,j,k)/ε(i).
+// lists must hold one transition list per core, in the order of
+// Cluster.Cores().
+func ClusterEnergy(c *cluster.Cluster, lists [][]Transition, end float64) (float64, error) {
+	cores := c.Cores()
+	if len(lists) != len(cores) {
+		return 0, fmt.Errorf("energy: %d transition lists for %d cores", len(lists), len(cores))
+	}
+	total := 0.0
+	for idx, id := range cores {
+		node := c.Node(id)
+		e, err := CoreEnergy(node, lists[idx], end)
+		if err != nil {
+			return 0, fmt.Errorf("core %v: %w", id, err)
+		}
+		total += e / node.Efficiency
+	}
+	return total, nil
+}
+
+// ExpectedEnergy returns EEC (§V-A): the expected energy an assignment
+// consumes at the wall, i.e. expected execution time × μ(i,π) / ε(i).
+func ExpectedEnergy(node *cluster.Node, p cluster.PState, expectedExecTime float64) float64 {
+	return expectedExecTime * node.Power[p] / node.Efficiency
+}
+
+// Meter integrates the cluster's power draw in simulation time. Every core
+// is always in exactly one P-state (cores cannot be turned off, §III-A);
+// the total draw is therefore piecewise constant between P-state changes,
+// and the meter advances exactly.
+type Meter struct {
+	c      *cluster.Cluster
+	eff    []float64
+	state  []cluster.PState
+	rate   float64 // current total draw at the wall, watts
+	now    float64
+	used   float64
+	budget float64
+
+	// override[i] >= 0 replaces the P-state table power for core i —
+	// the hook for the §VIII extensions (stochastic per-execution power,
+	// parked cores). Negative means "use the table".
+	override []float64
+
+	record bool
+	lists  [][]Transition
+}
+
+// NewMeter creates a meter with every core initialized to the given idle
+// P-state at time 0 (this is each core's first mandated transition,
+// §III-C). budget is ζ_max; use math.Inf(1) for an unconstrained run.
+// If record is true the meter keeps full transition lists so the exact
+// Eq. 1/Eq. 2 computation can be replayed for verification.
+func NewMeter(c *cluster.Cluster, initial cluster.PState, budget float64, record bool) (*Meter, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if !initial.Valid() {
+		return nil, fmt.Errorf("energy: invalid initial P-state %d", initial)
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("energy: budget %v must be > 0", budget)
+	}
+	cores := c.Cores()
+	m := &Meter{
+		c:        c,
+		eff:      make([]float64, len(cores)),
+		state:    make([]cluster.PState, len(cores)),
+		budget:   budget,
+		record:   record,
+		override: make([]float64, len(cores)),
+	}
+	for i := range m.override {
+		m.override[i] = -1
+	}
+	if record {
+		m.lists = make([][]Transition, len(cores))
+	}
+	for idx, id := range cores {
+		node := c.Node(id)
+		m.eff[idx] = node.Efficiency
+		m.state[idx] = initial
+		m.rate += node.Power[initial] / node.Efficiency
+		if record {
+			m.lists[idx] = []Transition{{Time: 0, To: initial}}
+		}
+	}
+	return m, nil
+}
+
+// Now returns the meter's current time.
+func (m *Meter) Now() float64 { return m.now }
+
+// Consumed returns the energy consumed at the wall so far.
+func (m *Meter) Consumed() float64 { return m.used }
+
+// Remaining returns the unconsumed budget (never negative).
+func (m *Meter) Remaining() float64 { return math.Max(0, m.budget-m.used) }
+
+// Budget returns ζ_max.
+func (m *Meter) Budget() float64 { return m.budget }
+
+// Rate returns the current total cluster draw at the wall in watts.
+func (m *Meter) Rate() float64 { return m.rate }
+
+// PStateOf returns the current P-state of the core at the given flat index.
+func (m *Meter) PStateOf(coreIdx int) cluster.PState { return m.state[coreIdx] }
+
+// Advance moves the meter to time t, accumulating energy. If the budget is
+// exhausted strictly before t, the meter stops at the exact exhaustion
+// instant and returns (exhaustionTime, true); otherwise it advances fully
+// and returns (t, false). Advancing backwards is an error expressed by
+// panic, since it indicates a broken event loop rather than bad user input.
+func (m *Meter) Advance(t float64) (float64, bool) {
+	if t < m.now {
+		panic(fmt.Sprintf("energy: Advance to %v before current time %v", t, m.now))
+	}
+	dt := t - m.now
+	dE := m.rate * dt
+	if m.used+dE >= m.budget && m.rate > 0 {
+		tEx := m.now + (m.budget-m.used)/m.rate
+		if tEx <= t {
+			m.now = tEx
+			m.used = m.budget
+			return tEx, true
+		}
+	}
+	m.now = t
+	m.used += dE
+	return t, false
+}
+
+// coreDraw returns the core's current contribution to the wall rate.
+func (m *Meter) coreDraw(coreIdx int) float64 {
+	p := m.override[coreIdx]
+	if p < 0 {
+		p = m.c.Node(m.c.Cores()[coreIdx]).Power[m.state[coreIdx]]
+	}
+	return p / m.eff[coreIdx]
+}
+
+// SetPState changes the P-state of the core at the given flat index,
+// effective at the meter's current time, and clears any power override.
+// Callers must Advance first; the simulator only transitions idle cores,
+// per §III-A, but the meter itself does not enforce idleness — it is pure
+// accounting.
+func (m *Meter) SetPState(coreIdx int, p cluster.PState) {
+	if !p.Valid() {
+		panic(fmt.Sprintf("energy: invalid P-state %d", p))
+	}
+	if m.state[coreIdx] == p && m.override[coreIdx] < 0 {
+		return
+	}
+	m.rate -= m.coreDraw(coreIdx)
+	m.state[coreIdx] = p
+	m.override[coreIdx] = -1
+	m.rate += m.coreDraw(coreIdx)
+	if m.record {
+		m.lists[coreIdx] = append(m.lists[coreIdx], Transition{Time: m.now, To: p})
+	}
+}
+
+// SetPower overrides the core's power draw with an explicit wattage,
+// effective at the meter's current time, until the next SetPState or
+// ClearPower. This is the accounting hook for the §VIII extensions:
+// per-execution stochastic power and parked (power-gated) cores. Runs
+// using overrides cannot be Verify'd against the Eq. 1 transition replay,
+// which knows only P-state table powers.
+func (m *Meter) SetPower(coreIdx int, watts float64) {
+	if watts < 0 || math.IsNaN(watts) || math.IsInf(watts, 0) {
+		panic(fmt.Sprintf("energy: invalid power override %v", watts))
+	}
+	m.rate -= m.coreDraw(coreIdx)
+	m.override[coreIdx] = watts
+	m.rate += m.coreDraw(coreIdx)
+	m.record = false // transition replay can no longer reproduce the run
+}
+
+// ClearPower removes a power override, returning the core to its P-state
+// table power.
+func (m *Meter) ClearPower(coreIdx int) {
+	if m.override[coreIdx] < 0 {
+		return
+	}
+	m.rate -= m.coreDraw(coreIdx)
+	m.override[coreIdx] = -1
+	m.rate += m.coreDraw(coreIdx)
+}
+
+// Transitions returns the recorded per-core transition lists (nil unless
+// the meter was created with record=true). The final mandated transition at
+// workload end (§III-C) is the caller's responsibility; Verify adds it
+// implicitly by evaluating Eq. 1 up to the end time.
+func (m *Meter) Transitions() [][]Transition { return m.lists }
+
+// Verify recomputes the consumed energy from the recorded transition lists
+// via Eqs. 1–2 and returns the absolute difference from the meter's
+// integral. It errors if the meter was not recording.
+func (m *Meter) Verify() (float64, error) {
+	if !m.record {
+		return 0, errors.New("energy: meter was not recording transitions")
+	}
+	exact, err := ClusterEnergy(m.c, m.lists, m.now)
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(exact - m.used), nil
+}

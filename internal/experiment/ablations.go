@@ -1,0 +1,352 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// This file implements the ablation studies DESIGN.md calls out: the
+// sensitivity of the filters' two tuning constants (ζ_mul and ρ_thresh),
+// the energy-budget sweep, the arrival-pattern variants of §VIII, and the
+// priority extension.
+
+// AblateZetaMul sweeps fixed ζ_mul values against the paper's adaptive
+// schedule for a heuristic running with en+rob filtering.
+func (e *Env) AblateZetaMul(h sched.Heuristic, muls []float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("ζ_mul sensitivity for %s+en+rob (median missed deadlines)", h.Name()),
+		Header: []string{"ζ_mul", "median missed", "mean energy", "exhausted trials"},
+	}
+	row := func(name string, vr *VariantResult) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.1f", vr.Summary.Median),
+			fmt.Sprintf("%.4g", vr.MeanEnergy),
+			fmt.Sprintf("%d/%d", vr.ExhaustedTrials, vr.Summary.N),
+		})
+	}
+	for _, mul := range muls {
+		m := &sched.Mapper{Heuristic: h, Filters: []sched.Filter{
+			sched.EnergyFilter{Mul: sched.FixedZetaMul(mul)},
+			sched.RobustnessFilter{},
+		}}
+		vr, err := e.RunMapper(m, 0, fmt.Sprintf("zmul=%.2f", mul))
+		if err != nil {
+			return nil, err
+		}
+		row(fmt.Sprintf("%.2f", mul), vr)
+	}
+	adaptive, err := e.RunVariant(h, sched.EnergyAndRobustness)
+	if err != nil {
+		return nil, err
+	}
+	row("adaptive (paper)", adaptive)
+	return t, nil
+}
+
+// AblateRhoThresh sweeps the robustness filter threshold ρ_thresh for a
+// heuristic running with en+rob filtering (paper value: 0.5).
+func (e *Env) AblateRhoThresh(h sched.Heuristic, threshes []float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("ρ_thresh sensitivity for %s+en+rob (median missed deadlines)", h.Name()),
+		Header: []string{"ρ_thresh", "median missed", "mean discarded", "mean energy"},
+	}
+	for _, th := range threshes {
+		m := &sched.Mapper{Heuristic: h, Filters: []sched.Filter{
+			sched.EnergyFilter{},
+			sched.RobustnessFilter{Thresh: th},
+		}}
+		vr, err := e.RunMapper(m, 0, fmt.Sprintf("rthresh=%.2f", th))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", th),
+			fmt.Sprintf("%.1f", vr.Summary.Median),
+			fmt.Sprintf("%.1f", vr.MeanDiscarded),
+			fmt.Sprintf("%.4g", vr.MeanEnergy),
+		})
+	}
+	return t, nil
+}
+
+// AblateBudget sweeps the energy budget scale for a heuristic with en+rob
+// filtering; scale <= 0 rows run unconstrained.
+func (e *Env) AblateBudget(h sched.Heuristic, scales []float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("energy-budget sweep for %s+en+rob (median missed deadlines)", h.Name()),
+		Header: []string{"ζ_max scale", "median missed", "exhausted trials"},
+	}
+	for _, sc := range scales {
+		m := &sched.Mapper{Heuristic: h, Filters: sched.EnergyAndRobustness.Filters()}
+		label := fmt.Sprintf("%.2f", sc)
+		if sc <= 0 {
+			label = "unconstrained"
+		}
+		vr, err := e.runBudget(m, sc, label)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%.1f", vr.Summary.Median),
+			fmt.Sprintf("%d/%d", vr.ExhaustedTrials, vr.Summary.N),
+		})
+	}
+	return t, nil
+}
+
+// runBudget is RunMapper with scale <= 0 meaning unconstrained (RunMapper
+// treats <= 0 as "environment default").
+func (e *Env) runBudget(m *sched.Mapper, scale float64, tag string) (*VariantResult, error) {
+	if scale > 0 {
+		return e.RunMapper(m, scale, tag)
+	}
+	save := e.Budget
+	e.Budget = math.Inf(1)
+	defer func() { e.Budget = save }()
+	return e.RunMapper(m, 0, tag)
+}
+
+// ArrivalPattern names one §VIII arrival-rate variant.
+type ArrivalPattern struct {
+	Name string
+	// Mutate rewrites the workload arrival parameters.
+	Mutate func(*workload.Params)
+}
+
+// ArrivalPatterns returns the arrival-rate variants studied beyond the
+// paper's fast–slow–fast default (§VIII future work).
+func ArrivalPatterns() []ArrivalPattern {
+	return []ArrivalPattern{
+		{Name: "paper (fast-slow-fast)", Mutate: func(*workload.Params) {}},
+		{Name: "uniform equilibrium", Mutate: func(p *workload.Params) {
+			p.FastFactor = 1
+			p.SlowFactor = 1
+			p.FastRate = workload.EquilibriumRate
+			p.SlowRate = workload.EquilibriumRate
+		}},
+		{Name: "single leading burst", Mutate: func(p *workload.Params) {
+			p.BurstLen = p.WindowSize * 2 / 5 // one 2×-size burst, then lull
+		}},
+		{Name: "heavy oversubscription", Mutate: func(p *workload.Params) {
+			p.FastFactor *= 2
+			p.FastRate *= 2
+		}},
+		{Name: "mild oversubscription", Mutate: func(p *workload.Params) {
+			p.FastFactor = 1.75
+			p.FastRate = 1.0 / 16
+		}},
+	}
+}
+
+// AblateArrivals rebuilds the environment under each arrival pattern and
+// reports the median missed deadlines of the heuristic with and without
+// filtering. Only arrival parameters change; the cluster and pmf tables are
+// regenerated from the same seed and thus identical.
+func AblateArrivals(spec Spec, h sched.Heuristic) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("arrival-pattern study for %s (median missed deadlines)", h.Name()),
+		Header: []string{"pattern", "none", "en+rob", "improvement %"},
+	}
+	for _, pat := range ArrivalPatterns() {
+		s := spec
+		pat.Mutate(&s.Workload)
+		env, err := Build(s)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat.Name, err)
+		}
+		base, err := env.RunVariant(h, sched.NoFilter)
+		if err != nil {
+			return nil, err
+		}
+		best, err := env.RunVariant(h, sched.EnergyAndRobustness)
+		if err != nil {
+			return nil, err
+		}
+		imp := 0.0
+		if base.Summary.Median > 0 {
+			imp = 100 * (base.Summary.Median - best.Summary.Median) / base.Summary.Median
+		}
+		t.Rows = append(t.Rows, []string{
+			pat.Name,
+			fmt.Sprintf("%.1f", base.Summary.Median),
+			fmt.Sprintf("%.1f", best.Summary.Median),
+			fmt.Sprintf("%.2f", imp),
+		})
+	}
+	return t, nil
+}
+
+// ParkingStudy evaluates the §VIII power-gating extension: the heuristic
+// (with en+rob filtering) runs with no parking and with parking at several
+// idle timeouts, all under the environment's energy budget. Shorter
+// timeouts save more idle energy but wake more often.
+func (e *Env) ParkingStudy(h sched.Heuristic, timeoutFracs []float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("core-parking study for %s+en+rob (timeouts as fractions of t_avg)", h.Name()),
+		Header: []string{"park timeout", "median missed", "mean energy", "wakeups/trial", "parked core-time"},
+	}
+	m := &sched.Mapper{Heuristic: h, Filters: sched.EnergyAndRobustness.Filters()}
+	base, err := e.RunConfigured(m, "no parking", func(*sim.Config) {})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"disabled",
+		fmt.Sprintf("%.1f", base.Summary.Median),
+		fmt.Sprintf("%.4g", base.MeanEnergy), "0", "0"})
+	for _, frac := range timeoutFracs {
+		park := sim.ParkPolicy{
+			Enabled:     true,
+			Timeout:     frac * e.Model.TAvg(),
+			WakeLatency: 0.01 * e.Model.TAvg(),
+			PowerFrac:   0.05,
+		}
+		vr, err := e.RunConfigured(m, fmt.Sprintf("park %.2f", frac), func(c *sim.Config) { c.Park = park })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f·t_avg", frac),
+			fmt.Sprintf("%.1f", vr.Summary.Median),
+			fmt.Sprintf("%.4g", vr.MeanEnergy),
+			fmt.Sprintf("%.1f", vr.MeanWakeups),
+			fmt.Sprintf("%.4g", vr.MeanParkedTime),
+		})
+	}
+	return t, nil
+}
+
+// PowerNoiseStudy evaluates the §VIII stochastic-power extension: actual
+// per-execution power draws vary around μ(i,π) with the given coefficients
+// of variation while the heuristics keep planning with the mean.
+func (e *Env) PowerNoiseStudy(h sched.Heuristic, cvs []float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("stochastic-power study for %s+en+rob", h.Name()),
+		Header: []string{"power CV", "median missed", "mean energy", "exhausted trials"},
+	}
+	m := &sched.Mapper{Heuristic: h, Filters: sched.EnergyAndRobustness.Filters()}
+	for _, cv := range append([]float64{0}, cvs...) {
+		cv := cv
+		vr, err := e.RunConfigured(m, fmt.Sprintf("powercv %.2f", cv), func(c *sim.Config) { c.PowerCV = cv })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", cv),
+			fmt.Sprintf("%.1f", vr.Summary.Median),
+			fmt.Sprintf("%.4g", vr.MeanEnergy),
+			fmt.Sprintf("%d/%d", vr.ExhaustedTrials, vr.Summary.N),
+		})
+	}
+	return t, nil
+}
+
+// CancellationStudy evaluates the §VIII cancel/reschedule direction:
+// dropping waiting tasks whose deadlines already passed instead of
+// executing them to completion, which trades guaranteed-late work for
+// energy.
+func (e *Env) CancellationStudy(h sched.Heuristic) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("overdue-cancellation study for %s+en+rob", h.Name()),
+		Header: []string{"policy", "median missed", "mean energy", "cancelled/trial"},
+	}
+	m := &sched.Mapper{Heuristic: h, Filters: sched.EnergyAndRobustness.Filters()}
+	for _, mode := range []struct {
+		name   string
+		cancel bool
+	}{{"execute to completion (paper)", false}, {"cancel overdue waiting", true}} {
+		mode := mode
+		vr, err := e.RunConfigured(m, mode.name, func(c *sim.Config) { c.CancelOverdueWaiting = mode.cancel })
+		if err != nil {
+			return nil, err
+		}
+		cancelled := float64(e.Spec.Workload.WindowSize) - vr.MeanOnTime - vr.MeanLate - vr.MeanDiscarded - vr.MeanUnfinished
+		t.Rows = append(t.Rows, []string{
+			mode.name,
+			fmt.Sprintf("%.1f", vr.Summary.Median),
+			fmt.Sprintf("%.4g", vr.MeanEnergy),
+			fmt.Sprintf("%.1f", cancelled),
+		})
+	}
+	return t, nil
+}
+
+// CentralQueueStudy compares the paper's immediate-mode mapping against
+// the central-queue extension (§VIII "reschedule" direction), where tasks
+// commit to a core and P-state only when the core is ready to run them.
+func (e *Env) CentralQueueStudy() (*Table, error) {
+	t := &Table{
+		Title:  "immediate-mode vs central-queue dispatch (median missed deadlines)",
+		Header: []string{"policy", "median missed", "mean on-time", "mean energy", "exhausted trials"},
+	}
+	row := func(name string, vr *VariantResult) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.1f", vr.Summary.Median),
+			fmt.Sprintf("%.1f", vr.MeanOnTime),
+			fmt.Sprintf("%.4g", vr.MeanEnergy),
+			fmt.Sprintf("%d/%d", vr.ExhaustedTrials, vr.Summary.N),
+		})
+	}
+	for _, h := range []sched.Heuristic{sched.MinExpectedCompletionTime{}, sched.LightestLoad{}} {
+		m := &sched.Mapper{Heuristic: h, Filters: sched.EnergyAndRobustness.Filters()}
+		vr, err := e.RunMapper(m, 0, "en+rob")
+		if err != nil {
+			return nil, err
+		}
+		row("immediate "+m.Name(), vr)
+	}
+	central := &sched.Mapper{Heuristic: sched.ShortestQueue{}} // placeholder label source
+	vr, err := e.run(central, runOpts{
+		budget:    e.Budget,
+		trials:    e.trials,
+		filterTag: "central",
+		simMut: func(c *sim.Config) {
+			c.Mapper = nil
+			c.CentralQueue = sim.EDFCheapest{}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	row("central EDFCheapest", vr)
+	return t, nil
+}
+
+// PriorityStudy compares LL against the priority-aware PLL extension
+// (§VIII) on trials whose tasks carry weighted priorities. The metric is
+// the mean priority-weighted on-time value per trial.
+func (e *Env) PriorityStudy(classes []workload.PriorityClass) (*Table, error) {
+	trials := make([]*workload.Trial, e.Spec.Trials)
+	for i := range trials {
+		tr, err := workload.GenerateTrialWithPriorities(
+			e.rootRng.ChildN("ptrial", i), e.Model, classes)
+		if err != nil {
+			return nil, err
+		}
+		trials[i] = tr
+	}
+	t := &Table{
+		Title:  "priority extension: mean weighted on-time value per trial (en+rob filtering)",
+		Header: []string{"heuristic", "weighted on-time", "on-time count", "median missed"},
+	}
+	for _, h := range []sched.Heuristic{sched.LightestLoad{}, sched.PriorityLightestLoad{}} {
+		m := &sched.Mapper{Heuristic: h, Filters: sched.EnergyAndRobustness.Filters()}
+		vr, err := e.RunWithTrials(m, trials, h.Name())
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			h.Name(),
+			fmt.Sprintf("%.1f", vr.MeanWeightedOnTime),
+			fmt.Sprintf("%.1f", vr.MeanOnTime),
+			fmt.Sprintf("%.1f", vr.Summary.Median),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,277 @@
+// Package experiment is the reproduction harness for the paper's
+// evaluation (§VI–§VII): it builds the fixed simulation environment
+// (cluster, pmf tables, energy budget), generates the 50 trials, runs any
+// heuristic × filter configuration over all trials on a worker pool, and
+// assembles the box-plot figures (Figures 2–6), the summary-improvement
+// table, and the ablation studies.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Spec pins down one complete experimental setup.
+type Spec struct {
+	// Seed makes the whole experiment reproducible: cluster, pmf tables,
+	// and all trials derive from it.
+	Seed uint64
+	// Trials is the number of simulation trials (paper: 50).
+	Trials int
+	// ClusterGen parameterizes the random cluster.
+	ClusterGen cluster.GenParams
+	// Workload parameterizes the workload model and trial generation.
+	Workload workload.Params
+	// BudgetScale multiplies the paper's default energy budget
+	// ζ_max = t_avg·p_avg·window; values <= 0 mean unconstrained.
+	BudgetScale float64
+	// Parallelism bounds concurrent trials; <= 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// PaperSpec is the configuration of §VI: 50 trials of 1,000 tasks on the
+// 8-node cluster with the paper's constants.
+func PaperSpec() Spec {
+	return Spec{
+		Seed:        2011_0913, // ICPP 2011 conference date; any fixed seed works
+		Trials:      50,
+		ClusterGen:  cluster.PaperGenParams(),
+		Workload:    workload.PaperParams(),
+		BudgetScale: 1,
+	}
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Trials < 1 {
+		return fmt.Errorf("experiment: Trials %d must be >= 1", s.Trials)
+	}
+	if err := s.ClusterGen.Validate(); err != nil {
+		return err
+	}
+	return s.Workload.Validate()
+}
+
+// Env is a built environment: everything held constant across trials.
+type Env struct {
+	Spec    Spec
+	Model   *workload.Model
+	Budget  float64 // resolved ζ_max (possibly +Inf)
+	trials  []*workload.Trial
+	rootRng *randx.Stream
+
+	memoMu sync.Mutex
+	memo   map[string]*VariantResult
+}
+
+// Build constructs the environment: cluster, pmf tables, energy budget, and
+// all trial task streams.
+func Build(spec Spec) (*Env, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	root := randx.NewStream(spec.Seed)
+	c, err := cluster.Generate(root.Child("cluster"), spec.ClusterGen)
+	if err != nil {
+		return nil, err
+	}
+	model, err := workload.BuildModel(root.Child("model"), c, spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	budget := math.Inf(1)
+	if spec.BudgetScale > 0 {
+		budget = spec.BudgetScale * model.DefaultEnergyBudget()
+	}
+	env := &Env{Spec: spec, Model: model, Budget: budget, rootRng: root}
+	env.trials = make([]*workload.Trial, spec.Trials)
+	for i := range env.trials {
+		tr, err := workload.GenerateTrial(root.ChildN("trial", i), model)
+		if err != nil {
+			return nil, err
+		}
+		env.trials[i] = tr
+	}
+	return env, nil
+}
+
+// Trial returns the i-th trial's task stream.
+func (e *Env) Trial(i int) *workload.Trial { return e.trials[i] }
+
+// VariantResult aggregates one heuristic × filter configuration over all
+// trials.
+type VariantResult struct {
+	// Label identifies the configuration (e.g. "LL+en+rob").
+	Label string
+	// FilterLabel is the paper's variant name ("none", "en", "rob",
+	// "en+rob") when applicable, otherwise a free-form tag.
+	FilterLabel string
+	// Missed holds the per-trial missed-deadline counts — the box-plot
+	// sample of Figures 2–6.
+	Missed []float64
+	// Summary is the box-plot summary of Missed.
+	Summary stats.Summary
+	// MeanOnTime, MeanDiscarded, MeanLate, MeanUnfinished are per-trial
+	// averages of the outcome partition.
+	MeanOnTime, MeanDiscarded, MeanLate, MeanUnfinished float64
+	// MeanEnergy is the average actual energy consumed per trial.
+	MeanEnergy float64
+	// ExhaustedTrials counts trials that hit ζ_max before finishing.
+	ExhaustedTrials int
+	// MeanWeightedOnTime is the priority-weighted value (equals MeanOnTime
+	// for unit priorities).
+	MeanWeightedOnTime float64
+	// MeanWakeups and MeanParkedTime report the parking extension's
+	// activity (zero when parking is disabled).
+	MeanWakeups, MeanParkedTime float64
+}
+
+// runOpts are per-call overrides for RunConfigured.
+type runOpts struct {
+	budget    float64
+	trials    []*workload.Trial
+	simMut    func(*sim.Config)
+	filterTag string
+}
+
+// RunVariant runs one heuristic with one paper filter variant over all
+// trials and aggregates the results.
+func (e *Env) RunVariant(h sched.Heuristic, v sched.FilterVariant) (*VariantResult, error) {
+	m := &sched.Mapper{Heuristic: h, Filters: v.Filters()}
+	return e.run(m, runOpts{budget: e.Budget, trials: e.trials, filterTag: v.String()})
+}
+
+// RunMapper runs an arbitrary mapper (custom filters, thresholds, or
+// heuristics) with an explicit budget scale; scale <= 0 means the
+// environment's resolved budget.
+func (e *Env) RunMapper(m *sched.Mapper, budgetScale float64, filterTag string) (*VariantResult, error) {
+	budget := e.Budget
+	if budgetScale > 0 {
+		budget = budgetScale * e.Model.DefaultEnergyBudget()
+	}
+	return e.run(m, runOpts{budget: budget, trials: e.trials, filterTag: filterTag})
+}
+
+// RunWithTrials runs a mapper over a caller-supplied trial set (used by the
+// priority study, which needs trials carrying priority weights).
+func (e *Env) RunWithTrials(m *sched.Mapper, trials []*workload.Trial, filterTag string) (*VariantResult, error) {
+	return e.run(m, runOpts{budget: e.Budget, trials: trials, filterTag: filterTag})
+}
+
+// RunConfigured runs a mapper over all trials with a simulation-config
+// mutation applied per trial (extension studies: parking, power noise,
+// cancellation). Mutated runs bypass the memo cache.
+func (e *Env) RunConfigured(m *sched.Mapper, filterTag string, mut func(*sim.Config)) (*VariantResult, error) {
+	return e.run(m, runOpts{budget: e.Budget, trials: e.trials, filterTag: filterTag, simMut: mut})
+}
+
+func (e *Env) run(m *sched.Mapper, opts runOpts) (*VariantResult, error) {
+	trials := opts.trials
+	n := len(trials)
+	if n == 0 {
+		return nil, fmt.Errorf("experiment: no trials")
+	}
+	// Runs are deterministic, so identical configurations over the
+	// environment's own trial set are memoized (figures share variants with
+	// the summary table). Caller-supplied trial sets and mutated sim
+	// configs bypass the cache.
+	var memoKey string
+	if opts.simMut == nil && len(trials) == len(e.trials) && (len(trials) == 0 || &trials[0] == &e.trials[0]) {
+		memoKey = fmt.Sprintf("%s|%s|%g", m.Name(), opts.filterTag, opts.budget)
+		e.memoMu.Lock()
+		if e.memo == nil {
+			e.memo = make(map[string]*VariantResult)
+		}
+		if vr, ok := e.memo[memoKey]; ok {
+			e.memoMu.Unlock()
+			return vr, nil
+		}
+		e.memoMu.Unlock()
+	}
+	workers := e.Spec.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]*sim.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				cfg := sim.Config{
+					Model:        e.Model,
+					Mapper:       m,
+					EnergyBudget: opts.budget,
+				}
+				if opts.simMut != nil {
+					opts.simMut(&cfg)
+				}
+				results[i], errs[i] = sim.Run(cfg, trials[i], e.rootRng.ChildN("decisions", i))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: trial %d: %w", i, err)
+		}
+	}
+	vr := &VariantResult{
+		Label:       m.Name(),
+		FilterLabel: opts.filterTag,
+		Missed:      make([]float64, n),
+	}
+	for i, r := range results {
+		vr.Missed[i] = float64(r.Missed)
+		vr.MeanOnTime += float64(r.OnTime)
+		vr.MeanDiscarded += float64(r.Discarded)
+		vr.MeanLate += float64(r.Late)
+		vr.MeanUnfinished += float64(r.Unfinished)
+		vr.MeanEnergy += r.EnergyConsumed
+		vr.MeanWeightedOnTime += r.WeightedOnTime
+		vr.MeanWakeups += float64(r.Wakeups)
+		vr.MeanParkedTime += r.ParkedTime
+		if r.EnergyExhausted {
+			vr.ExhaustedTrials++
+		}
+	}
+	fn := float64(n)
+	vr.MeanOnTime /= fn
+	vr.MeanDiscarded /= fn
+	vr.MeanLate /= fn
+	vr.MeanUnfinished /= fn
+	vr.MeanEnergy /= fn
+	vr.MeanWeightedOnTime /= fn
+	vr.MeanWakeups /= fn
+	vr.MeanParkedTime /= fn
+	var err error
+	vr.Summary, err = stats.Summarize(vr.Missed)
+	if err != nil {
+		return nil, err
+	}
+	if memoKey != "" {
+		e.memoMu.Lock()
+		e.memo[memoKey] = vr
+		e.memoMu.Unlock()
+	}
+	return vr, nil
+}

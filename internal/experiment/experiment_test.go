@@ -1,0 +1,486 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// testSpec shrinks the paper spec so the harness tests run quickly while
+// exercising the full pipeline.
+func testSpec() Spec {
+	s := PaperSpec()
+	s.Trials = 3
+	s.Workload.TaskTypes = 10
+	s.Workload.WindowSize = 120
+	s.Workload.BurstLen = 24
+	s.Workload.PMFSamples = 300
+	return s
+}
+
+func buildEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := Build(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestPaperSpec(t *testing.T) {
+	s := PaperSpec()
+	if s.Trials != 50 {
+		t.Fatalf("paper trials %d, want 50", s.Trials)
+	}
+	if s.Workload.WindowSize != 1000 || s.ClusterGen.Nodes != 8 {
+		t.Fatalf("paper spec drifted: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	s := testSpec()
+	s.Trials = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected error for zero trials")
+	}
+	s = testSpec()
+	s.ClusterGen.Nodes = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected error for bad cluster params")
+	}
+	s = testSpec()
+	s.Workload.TaskTypes = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected error for bad workload params")
+	}
+}
+
+func TestBuildEnvironment(t *testing.T) {
+	env := buildEnv(t)
+	if env.Model == nil || env.Budget <= 0 {
+		t.Fatal("environment incomplete")
+	}
+	want := env.Model.DefaultEnergyBudget()
+	if math.Abs(env.Budget-want) > 1e-9*want {
+		t.Fatalf("budget %v, want default %v at scale 1", env.Budget, want)
+	}
+	for i := 0; i < env.Spec.Trials; i++ {
+		tr := env.Trial(i)
+		if len(tr.Tasks) != env.Spec.Workload.WindowSize {
+			t.Fatalf("trial %d has %d tasks", i, len(tr.Tasks))
+		}
+	}
+	// Trials differ from one another.
+	if env.Trial(0).Tasks[0].Arrival == env.Trial(1).Tasks[0].Arrival {
+		t.Fatal("trials identical; per-trial streams broken")
+	}
+}
+
+func TestBuildUnconstrainedBudget(t *testing.T) {
+	s := testSpec()
+	s.BudgetScale = 0
+	env, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(env.Budget, 1) {
+		t.Fatalf("budget %v, want +Inf", env.Budget)
+	}
+}
+
+func TestRunVariantAggregates(t *testing.T) {
+	env := buildEnv(t)
+	vr, err := env.RunVariant(sched.ShortestQueue{}, sched.EnergyAndRobustness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Label != "SQ+en+rob" || vr.FilterLabel != "en+rob" {
+		t.Fatalf("labels wrong: %q %q", vr.Label, vr.FilterLabel)
+	}
+	if len(vr.Missed) != env.Spec.Trials {
+		t.Fatalf("%d samples, want %d", len(vr.Missed), env.Spec.Trials)
+	}
+	if vr.Summary.N != env.Spec.Trials {
+		t.Fatalf("summary over %d", vr.Summary.N)
+	}
+	window := float64(env.Spec.Workload.WindowSize)
+	for _, m := range vr.Missed {
+		if m < 0 || m > window {
+			t.Fatalf("missed %v outside [0,window]", m)
+		}
+	}
+	// Outcome partition must hold in the aggregate means.
+	total := vr.MeanOnTime + vr.MeanLate + vr.MeanDiscarded + vr.MeanUnfinished
+	if math.Abs(total-window) > 1e-6 {
+		t.Fatalf("mean outcomes sum to %v, want %v", total, window)
+	}
+	if vr.MeanEnergy <= 0 {
+		t.Fatal("no energy consumed")
+	}
+}
+
+func TestRunVariantDeterministic(t *testing.T) {
+	env := buildEnv(t)
+	a, err := env.RunVariant(sched.Random{}, sched.NoFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.RunVariant(sched.Random{}, sched.NoFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Missed {
+		if a.Missed[i] != b.Missed[i] {
+			t.Fatalf("trial %d diverged across identical runs", i)
+		}
+	}
+	// And a rebuilt environment reproduces the same numbers.
+	env2, err := Build(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := env2.RunVariant(sched.Random{}, sched.NoFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Missed {
+		if a.Missed[i] != c.Missed[i] {
+			t.Fatalf("trial %d not reproducible from spec", i)
+		}
+	}
+}
+
+func TestRunVariantMemoized(t *testing.T) {
+	env := buildEnv(t)
+	a, err := env.RunVariant(sched.ShortestQueue{}, sched.NoFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.RunVariant(sched.ShortestQueue{}, sched.NoFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical variant runs should return the memoized result")
+	}
+	// A different budget scale must not hit the same cache entry.
+	m := &sched.Mapper{Heuristic: sched.ShortestQueue{}}
+	c, err := env.RunMapper(m, 0.5, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different budgets must not share cache entries")
+	}
+}
+
+func TestRunMapperBudgetScale(t *testing.T) {
+	env := buildEnv(t)
+	m := &sched.Mapper{Heuristic: sched.MinExpectedCompletionTime{}}
+	tight, err := env.RunMapper(m, 0.05, "tight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := env.RunMapper(m, 100, "loose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Summary.Median < loose.Summary.Median {
+		t.Fatalf("tight budget (%v missed) beat loose (%v)", tight.Summary.Median, loose.Summary.Median)
+	}
+	if tight.ExhaustedTrials == 0 {
+		t.Fatal("5% budget should exhaust")
+	}
+	if loose.ExhaustedTrials != 0 {
+		t.Fatal("100× budget should never exhaust")
+	}
+}
+
+func TestFigures2Through5(t *testing.T) {
+	env := buildEnv(t)
+	wantHeur := map[int]string{2: "SQ", 3: "MECT", 4: "LL", 5: "Random"}
+	for n, heur := range wantHeur {
+		f, err := env.Figure(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Rows) != 4 {
+			t.Fatalf("fig %d has %d rows", n, len(f.Rows))
+		}
+		labels := []string{"none", "en", "rob", "en+rob"}
+		for i, r := range f.Rows {
+			if r.FilterLabel != labels[i] {
+				t.Fatalf("fig %d row %d label %q, want %q", n, i, r.FilterLabel, labels[i])
+			}
+			if !strings.HasPrefix(r.Label, heur) {
+				t.Fatalf("fig %d row label %q does not match heuristic %q", n, r.Label, heur)
+			}
+		}
+		out, err := f.Render(60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "en+rob") {
+			t.Fatalf("render missing labels:\n%s", out)
+		}
+		csv := f.CSV()
+		if !strings.HasPrefix(csv, "figure,variant,trial,missed\n") {
+			t.Fatalf("csv header wrong: %q", csv[:40])
+		}
+		if lines := strings.Count(csv, "\n"); lines != 1+4*env.Spec.Trials {
+			t.Fatalf("csv has %d lines, want %d", lines, 1+4*env.Spec.Trials)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	env := buildEnv(t)
+	f, err := env.Figure(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 4 {
+		t.Fatalf("fig6 rows %d", len(f.Rows))
+	}
+	wantOrder := []string{"LL+en+rob", "SQ+en+rob", "MECT+en+rob", "Random+en+rob"}
+	for i, r := range f.Rows {
+		if r.Label != wantOrder[i] {
+			t.Fatalf("fig6 row %d label %q, want %q", i, r.Label, wantOrder[i])
+		}
+	}
+}
+
+func TestFigureUnknown(t *testing.T) {
+	env := buildEnv(t)
+	for _, n := range []int{0, 1, 7} {
+		if _, err := env.Figure(n); err == nil {
+			t.Errorf("expected error for figure %d", n)
+		}
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	env := buildEnv(t)
+	tab, err := env.SummaryTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	out := tab.Render()
+	for _, h := range []string{"SQ", "MECT", "LL", "Random"} {
+		if !strings.Contains(out, h) {
+			t.Fatalf("summary table missing %s:\n%s", h, out)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "heuristic,none,en+rob,improvement %\n") {
+		t.Fatalf("csv header: %q", csv)
+	}
+}
+
+func TestAblateZetaMul(t *testing.T) {
+	env := buildEnv(t)
+	tab, err := env.AblateZetaMul(sched.ShortestQueue{}, []float64{0.8, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // two fixed + adaptive
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Render(), "adaptive") {
+		t.Fatal("missing adaptive row")
+	}
+}
+
+func TestAblateRhoThresh(t *testing.T) {
+	env := buildEnv(t)
+	tab, err := env.AblateRhoThresh(sched.MinExpectedCompletionTime{}, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestAblateBudget(t *testing.T) {
+	env := buildEnv(t)
+	tab, err := env.AblateBudget(sched.ShortestQueue{}, []float64{0.5, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Render(), "unconstrained") {
+		t.Fatal("missing unconstrained row")
+	}
+	// Env budget restored after the unconstrained run.
+	if math.IsInf(env.Budget, 1) {
+		t.Fatal("AblateBudget leaked the unconstrained budget into the env")
+	}
+}
+
+func TestAblateArrivals(t *testing.T) {
+	spec := testSpec()
+	spec.Trials = 2
+	tab, err := AblateArrivals(spec, sched.ShortestQueue{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(ArrivalPatterns()) {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), len(ArrivalPatterns()))
+	}
+}
+
+func TestPriorityStudy(t *testing.T) {
+	env := buildEnv(t)
+	tab, err := env.PriorityStudy([]workload.PriorityClass{
+		{Weight: 4, Fraction: 0.25}, {Weight: 1, Fraction: 0.75},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "LL") || !strings.Contains(out, "PLL") {
+		t.Fatalf("priority table missing heuristics:\n%s", out)
+	}
+}
+
+func TestSignificanceTable(t *testing.T) {
+	env := buildEnv(t)
+	tab, err := env.SignificanceTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Exactly one row (the best) has the placeholder comparison.
+	placeholders := 0
+	for _, row := range tab.Rows {
+		if row[3] == "-" {
+			placeholders++
+			if row[4] != "-" {
+				t.Fatalf("best row should have no p-value: %v", row)
+			}
+		}
+	}
+	if placeholders != 1 {
+		t.Fatalf("%d placeholder rows, want 1", placeholders)
+	}
+	if !strings.Contains(tab.Render(), "95% CI") {
+		t.Fatal("missing CI column")
+	}
+}
+
+func TestParkingStudy(t *testing.T) {
+	env := buildEnv(t)
+	tab, err := env.ParkingStudy(sched.ShortestQueue{}, []float64{0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // disabled + two timeouts
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "disabled" {
+		t.Fatalf("first row %v", tab.Rows[0])
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "t_avg") {
+		t.Fatalf("table missing timeout labels:\n%s", out)
+	}
+}
+
+func TestPowerNoiseStudy(t *testing.T) {
+	env := buildEnv(t)
+	tab, err := env.PowerNoiseStudy(sched.ShortestQueue{}, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // CV 0 baseline + one noisy row
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "0.00" {
+		t.Fatalf("baseline row %v", tab.Rows[0])
+	}
+}
+
+func TestCancellationStudy(t *testing.T) {
+	env := buildEnv(t)
+	tab, err := env.CancellationStudy(sched.ShortestQueue{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Render(), "paper") {
+		t.Fatal("missing baseline row")
+	}
+}
+
+func TestClassStudy(t *testing.T) {
+	spec := testSpec()
+	spec.Trials = 2
+	tab, err := ClassStudy(spec, workload.PaperClassMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	totalTasks := 0
+	for _, row := range tab.Rows {
+		var n int
+		if _, err := fmt.Sscanf(row[1], "%d", &n); err != nil {
+			t.Fatal(err)
+		}
+		totalTasks += n
+	}
+	want := spec.Trials * spec.Workload.WindowSize
+	if totalTasks != want {
+		t.Fatalf("class rows cover %d tasks, want %d", totalTasks, want)
+	}
+}
+
+func TestCentralQueueStudy(t *testing.T) {
+	env := buildEnv(t)
+	tab, err := env.CentralQueueStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Render(), "central EDFCheapest") {
+		t.Fatal("missing central row")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"x", "1"}, {"yyyy", "2"}},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long-header") {
+		t.Fatalf("render wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "----") {
+		t.Fatal("missing separator")
+	}
+}

@@ -1,0 +1,113 @@
+package pmf
+
+import (
+	"math"
+	"testing"
+)
+
+// Tests for the bucketed convolution fast path (convolveBucketed), which
+// the scheduler's hot loop takes whenever the exact product support would
+// be compacted anyway. Its results must stay close to the exact
+// convolution in every statistic the heuristics consume.
+
+func bigPMF(n int, seedStep float64) PMF {
+	vals := make([]float64, n)
+	probs := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)*seedStep + math.Mod(float64(i)*0.7183, 1)
+		probs[i] = 1 + math.Mod(float64(i)*2.39996, 3)
+	}
+	return MustNew(vals, probs)
+}
+
+func TestBucketedPathTriggers(t *testing.T) {
+	a := bigPMF(40, 3.1)
+	b := bigPMF(40, 5.7)
+	out := ConvolveN(a, b, DefaultMaxImpulses)
+	if out.Len() > DefaultMaxImpulses {
+		t.Fatalf("bucketed result has %d impulses", out.Len())
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketedMatchesExactMoments(t *testing.T) {
+	a := bigPMF(48, 2.3)
+	b := bigPMF(36, 4.1)
+	exact := ConvolveN(a, b, 0)
+	fast := ConvolveN(a, b, DefaultMaxImpulses)
+	if math.Abs(fast.Mean()-exact.Mean()) > 1e-9*exact.Mean() {
+		t.Fatalf("bucketed mean %v, exact %v (must match exactly)", fast.Mean(), exact.Mean())
+	}
+	// Variance distorts at most by the bucket width²/12 per bucket.
+	span := exact.Max() - exact.Min()
+	bw := span / DefaultMaxImpulses
+	if math.Abs(fast.Variance()-exact.Variance()) > bw*bw {
+		t.Fatalf("bucketed variance %v, exact %v (tolerance %v)", fast.Variance(), exact.Variance(), bw*bw)
+	}
+	// Support bounds cannot escape.
+	if fast.Min() < exact.Min()-1e-9 || fast.Max() > exact.Max()+1e-9 {
+		t.Fatal("bucketed support escaped exact bounds")
+	}
+}
+
+func TestBucketedCDFClose(t *testing.T) {
+	a := bigPMF(48, 2.3)
+	b := bigPMF(36, 4.1)
+	exact := ConvolveN(a, b, 0)
+	fast := ConvolveN(a, b, DefaultMaxImpulses)
+	// The deadline probabilities the robustness filter consumes must agree
+	// within one bucket's mass-shift at a grid of probe points.
+	span := exact.Max() - exact.Min()
+	worst := 0.0
+	for i := 0; i <= 40; i++ {
+		x := exact.Min() + span*float64(i)/40
+		d := math.Abs(fast.CDF(x) - exact.CDF(x))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.06 {
+		t.Fatalf("bucketed CDF deviates %v from exact (want < 0.06)", worst)
+	}
+}
+
+func TestBucketedDegenerateSpan(t *testing.T) {
+	// Both operands concentrated: span zero after the degenerate-operand
+	// shortcuts are bypassed by multi-impulse but equal-sum supports.
+	a := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	b := MustNew([]float64{5, 6}, []float64{0.5, 0.5})
+	// Small product: exact path; force bucketed via ConvolveN with tiny cap.
+	out := ConvolveN(a, b, 1)
+	if out.Len() != 1 {
+		t.Fatalf("cap 1 should give one impulse, got %d", out.Len())
+	}
+	if math.Abs(out.Mean()-(a.Mean()+b.Mean())) > 1e-12 {
+		t.Fatalf("mean %v, want %v", out.Mean(), a.Mean()+b.Mean())
+	}
+}
+
+func TestConvolveChainStability(t *testing.T) {
+	// Long convolution chains (deep queues) must keep total mass at 1 and
+	// the mean exact even after many compaction rounds.
+	acc := Point(0)
+	exec := bigPMF(24, 30)
+	wantMean := 0.0
+	for i := 0; i < 50; i++ {
+		acc = Convolve(acc, exec)
+		wantMean += exec.Mean()
+	}
+	if err := acc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc.TotalMass()-1) > 1e-9 {
+		t.Fatalf("mass drifted to %v after 50 convolutions", acc.TotalMass())
+	}
+	if math.Abs(acc.Mean()-wantMean) > 1e-6*wantMean {
+		t.Fatalf("chain mean %v, want %v", acc.Mean(), wantMean)
+	}
+	if acc.Len() > DefaultMaxImpulses {
+		t.Fatalf("chain grew to %d impulses", acc.Len())
+	}
+}

@@ -1,0 +1,260 @@
+package pmf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Shift returns the PMF translated by dt: if X ~ p then X+dt ~ p.Shift(dt).
+// This is the "shift the execution-time distribution by its start time"
+// step of §IV-B.
+func (p PMF) Shift(dt float64) PMF {
+	if p.IsZero() {
+		return p
+	}
+	vals := make([]float64, len(p.vals))
+	for i, v := range p.vals {
+		vals[i] = v + dt
+	}
+	probs := make([]float64, len(p.probs))
+	copy(probs, p.probs)
+	return PMF{vals: vals, probs: probs}
+}
+
+// ScaleTime returns the PMF of f·X for f > 0: the execution-time scaling a
+// P-state multiplier applies (§VI). Panics if f <= 0.
+func (p PMF) ScaleTime(f float64) PMF {
+	if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		panic(fmt.Sprintf("pmf: ScaleTime factor %v must be positive and finite", f))
+	}
+	if p.IsZero() {
+		return p
+	}
+	vals := make([]float64, len(p.vals))
+	for i, v := range p.vals {
+		vals[i] = v * f
+	}
+	probs := make([]float64, len(p.probs))
+	copy(probs, p.probs)
+	return PMF{vals: vals, probs: probs}
+}
+
+// Convolve returns the distribution of X+Y for independent X ~ p, Y ~ q,
+// compacted to at most DefaultMaxImpulses impulses. This is the sum of
+// stochastic execution times down a core's queue (§IV-B).
+func Convolve(p, q PMF) PMF {
+	return ConvolveN(p, q, DefaultMaxImpulses)
+}
+
+// ConvolveN is Convolve with an explicit bound on the result's support size.
+// maxImpulses <= 0 keeps the exact (uncompacted) result.
+func ConvolveN(p, q PMF, maxImpulses int) PMF {
+	if p.IsZero() {
+		return q.clone()
+	}
+	if q.IsZero() {
+		return p.clone()
+	}
+	// Degenerate operands are pure shifts.
+	if p.Len() == 1 {
+		return q.Shift(p.vals[0])
+	}
+	if q.Len() == 1 {
+		return p.Shift(q.vals[0])
+	}
+	n := p.Len() * q.Len()
+	// When the exact product support would be compacted anyway, accumulate
+	// straight into the compaction buckets: same result layout as
+	// Compact (equal-width buckets, mass-weighted centroids, mean preserved
+	// exactly) without materializing and sorting n·m impulses. This is the
+	// scheduler's hot path.
+	if maxImpulses > 0 && n > 4*maxImpulses {
+		return convolveBucketed(p, q, maxImpulses)
+	}
+	vals := make([]float64, 0, n)
+	probs := make([]float64, 0, n)
+	for i := range p.vals {
+		for j := range q.vals {
+			vals = append(vals, p.vals[i]+q.vals[j])
+			probs = append(probs, p.probs[i]*q.probs[j])
+		}
+	}
+	out := sortMerge(vals, probs)
+	if maxImpulses > 0 && out.Len() > maxImpulses {
+		out = out.Compact(maxImpulses)
+	}
+	return out
+}
+
+// convolveBucketed computes the convolution directly into maxN equal-width
+// buckets over the exact support range, emitting one impulse per non-empty
+// bucket at its mass-weighted centroid.
+func convolveBucketed(p, q PMF, maxN int) PMF {
+	lo := p.vals[0] + q.vals[0]
+	hi := p.vals[len(p.vals)-1] + q.vals[len(q.vals)-1]
+	span := hi - lo
+	if span <= 0 {
+		return Point(lo)
+	}
+	mass := make([]float64, maxN)
+	moment := make([]float64, maxN)
+	scale := float64(maxN) / span
+	for i := range p.vals {
+		pv, pp := p.vals[i], p.probs[i]
+		for j := range q.vals {
+			v := pv + q.vals[j]
+			b := int((v - lo) * scale)
+			if b >= maxN {
+				b = maxN - 1
+			}
+			w := pp * q.probs[j]
+			mass[b] += w
+			moment[b] += w * v
+		}
+	}
+	vals := make([]float64, 0, maxN)
+	probs := make([]float64, 0, maxN)
+	for b := range mass {
+		if mass[b] <= 0 {
+			continue
+		}
+		vals = append(vals, moment[b]/mass[b])
+		probs = append(probs, mass[b])
+	}
+	return PMF{vals: vals, probs: probs}
+}
+
+// sortMerge sorts impulse pairs by value and merges duplicates. It takes
+// ownership of its arguments.
+func sortMerge(vals, probs []float64) PMF {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	outV := make([]float64, 0, len(vals))
+	outP := make([]float64, 0, len(vals))
+	for _, i := range idx {
+		if n := len(outV); n > 0 && outV[n-1] == vals[i] {
+			outP[n-1] += probs[i]
+			continue
+		}
+		outV = append(outV, vals[i])
+		outP = append(outP, probs[i])
+	}
+	return PMF{vals: outV, probs: outP}
+}
+
+// Compact returns a PMF with at most maxImpulses impulses that preserves
+// total mass exactly and the mean exactly (each merged run is replaced by
+// one impulse at its mass-weighted centroid). Runs of adjacent impulses are
+// merged greedily with an equal-width value partition, which bounds the
+// support distortion by the bucket width. Panics if maxImpulses < 1.
+func (p PMF) Compact(maxImpulses int) PMF {
+	if maxImpulses < 1 {
+		panic("pmf: Compact requires maxImpulses >= 1")
+	}
+	if p.Len() <= maxImpulses {
+		return p.clone()
+	}
+	lo, hi := p.Min(), p.Max()
+	span := hi - lo
+	if span <= 0 {
+		return Point(p.vals[0])
+	}
+	outV := make([]float64, 0, maxImpulses)
+	outP := make([]float64, 0, maxImpulses)
+	bucket := -1
+	var mass, moment float64
+	flush := func() {
+		if mass <= 0 {
+			return
+		}
+		outV = append(outV, moment/mass)
+		outP = append(outP, mass)
+	}
+	for i := range p.vals {
+		b := int(float64(maxImpulses) * (p.vals[i] - lo) / span)
+		if b >= maxImpulses {
+			b = maxImpulses - 1
+		}
+		if b != bucket {
+			flush()
+			bucket = b
+			mass, moment = 0, 0
+		}
+		mass += p.probs[i]
+		moment += p.probs[i] * p.vals[i]
+	}
+	flush()
+	// Centroids of consecutive buckets are strictly increasing because the
+	// buckets partition disjoint value ranges, so outV is already sorted
+	// and duplicate-free.
+	return PMF{vals: outV, probs: outP}
+}
+
+// TruncateBelow removes all impulses with value < t and renormalizes the
+// remainder — the "remove the past impulses and re-normalize" step of
+// §IV-B for a task already executing at the current time-step. It returns
+// the renormalized PMF and the probability mass that was at or after t
+// before renormalization. If no mass remains (the task "should" already
+// have finished), it returns the degenerate PMF at t with kept == 0,
+// modeling a task expected to complete imminently.
+func (p PMF) TruncateBelow(t float64) (trunc PMF, kept float64) {
+	if p.IsZero() {
+		return p, 0
+	}
+	i := sort.SearchFloat64s(p.vals, t)
+	if i == 0 {
+		return p.clone(), 1
+	}
+	if i == len(p.vals) {
+		return Point(t), 0
+	}
+	mass := 0.0
+	for _, q := range p.probs[i:] {
+		mass += q
+	}
+	if mass <= 0 {
+		return Point(t), 0
+	}
+	vals := make([]float64, len(p.vals)-i)
+	probs := make([]float64, len(p.probs)-i)
+	copy(vals, p.vals[i:])
+	inv := 1 / mass
+	for j, q := range p.probs[i:] {
+		probs[j] = q * inv
+	}
+	return PMF{vals: vals, probs: probs}, mass
+}
+
+// Mix returns the mixture w·p + (1-w)·q for w in [0,1]. Used by extension
+// models (e.g. power consumption expressed as a distribution, §VIII).
+func Mix(p, q PMF, w float64) (PMF, error) {
+	if w < 0 || w > 1 || math.IsNaN(w) {
+		return PMF{}, fmt.Errorf("%w: mixture weight %v", ErrBadProbability, w)
+	}
+	if p.IsZero() || q.IsZero() {
+		return PMF{}, ErrEmpty
+	}
+	vals := make([]float64, 0, p.Len()+q.Len())
+	probs := make([]float64, 0, p.Len()+q.Len())
+	for i := range p.vals {
+		vals = append(vals, p.vals[i])
+		probs = append(probs, w*p.probs[i])
+	}
+	for i := range q.vals {
+		vals = append(vals, q.vals[i])
+		probs = append(probs, (1-w)*q.probs[i])
+	}
+	return New(vals, probs)
+}
+
+func (p PMF) clone() PMF {
+	vals := make([]float64, len(p.vals))
+	probs := make([]float64, len(p.probs))
+	copy(vals, p.vals)
+	copy(probs, p.probs)
+	return PMF{vals: vals, probs: probs}
+}

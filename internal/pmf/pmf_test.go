@@ -1,0 +1,431 @@
+package pmf
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustValid(t *testing.T, p PMF) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid PMF %v: %v", p, err)
+	}
+}
+
+func TestNewBasic(t *testing.T) {
+	p, err := New([]float64{3, 1, 2}, []float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, p)
+	if p.Len() != 3 {
+		t.Fatalf("len %d, want 3", p.Len())
+	}
+	// Sorted by value.
+	if p.Value(0) != 1 || p.Value(1) != 2 || p.Value(2) != 3 {
+		t.Fatalf("values not sorted: %v", p.Values())
+	}
+	if p.Prob(0) != 0.3 || p.Prob(1) != 0.5 || p.Prob(2) != 0.2 {
+		t.Fatalf("probs misaligned: %v", p.Probs())
+	}
+}
+
+func TestNewNormalizes(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{2, 6})
+	if math.Abs(p.Prob(0)-0.25) > 1e-15 || math.Abs(p.Prob(1)-0.75) > 1e-15 {
+		t.Fatalf("normalization wrong: %v", p.Probs())
+	}
+	mustValid(t, p)
+}
+
+func TestNewMergesDuplicates(t *testing.T) {
+	p := MustNew([]float64{5, 5, 7}, []float64{0.25, 0.25, 0.5})
+	if p.Len() != 2 {
+		t.Fatalf("duplicates not merged: %v", p)
+	}
+	if math.Abs(p.Prob(0)-0.5) > 1e-15 {
+		t.Fatalf("merged mass wrong: %v", p.Probs())
+	}
+}
+
+func TestNewDropsZeroMass(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3}, []float64{0.5, 0, 0.5})
+	if p.Len() != 2 {
+		t.Fatalf("zero-mass impulse kept: %v", p)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		vals  []float64
+		probs []float64
+	}{
+		{"mismatch", []float64{1}, []float64{0.5, 0.5}},
+		{"empty", nil, nil},
+		{"negative prob", []float64{1, 2}, []float64{-0.5, 1.5}},
+		{"nan prob", []float64{1}, []float64{math.NaN()}},
+		{"nan value", []float64{math.NaN()}, []float64{1}},
+		{"inf value", []float64{math.Inf(1)}, []float64{1}},
+		{"all zero mass", []float64{1, 2}, []float64{0, 0}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.vals, c.probs); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestPoint(t *testing.T) {
+	p := Point(42)
+	mustValid(t, p)
+	if p.Mean() != 42 || p.Variance() != 0 || p.Min() != 42 || p.Max() != 42 {
+		t.Fatalf("bad point pmf: %v", p)
+	}
+}
+
+func TestShift(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3}, []float64{0.2, 0.3, 0.5})
+	q := p.Shift(10)
+	mustValid(t, q)
+	if q.Min() != 11 || q.Max() != 13 {
+		t.Fatalf("shift wrong: %v", q)
+	}
+	if math.Abs(q.Mean()-(p.Mean()+10)) > 1e-12 {
+		t.Fatalf("shift changed mean shape: %v vs %v", q.Mean(), p.Mean()+10)
+	}
+	if math.Abs(q.Variance()-p.Variance()) > 1e-12 {
+		t.Fatal("shift changed variance")
+	}
+	// Original untouched.
+	if p.Min() != 1 {
+		t.Fatal("Shift mutated receiver")
+	}
+}
+
+func TestScaleTime(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	q := p.ScaleTime(3)
+	mustValid(t, q)
+	if q.Value(0) != 3 || q.Value(1) != 6 {
+		t.Fatalf("scale wrong: %v", q)
+	}
+	if math.Abs(q.Mean()-3*p.Mean()) > 1e-12 {
+		t.Fatal("scale mean wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive factor")
+		}
+	}()
+	p.ScaleTime(0)
+}
+
+func TestConvolveExact(t *testing.T) {
+	// Two fair coins over {0,1}: sum is Binomial(2, 1/2).
+	c := MustNew([]float64{0, 1}, []float64{0.5, 0.5})
+	s := Convolve(c, c)
+	mustValid(t, s)
+	want := MustNew([]float64{0, 1, 2}, []float64{0.25, 0.5, 0.25})
+	if !s.ApproxEqual(want, 1e-12) {
+		t.Fatalf("convolution wrong: %v", s)
+	}
+}
+
+func TestConvolveMeanVarianceAdd(t *testing.T) {
+	p := MustNew([]float64{1, 4, 9}, []float64{0.2, 0.5, 0.3})
+	q := MustNew([]float64{2, 3}, []float64{0.6, 0.4})
+	s := ConvolveN(p, q, 0)
+	mustValid(t, s)
+	if math.Abs(s.Mean()-(p.Mean()+q.Mean())) > 1e-12 {
+		t.Fatalf("conv mean %v != %v", s.Mean(), p.Mean()+q.Mean())
+	}
+	if math.Abs(s.Variance()-(p.Variance()+q.Variance())) > 1e-9 {
+		t.Fatalf("conv var %v != %v", s.Variance(), p.Variance()+q.Variance())
+	}
+}
+
+func TestConvolveWithPointIsShift(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	s := Convolve(p, Point(5))
+	if !s.ApproxEqual(p.Shift(5), 1e-12) {
+		t.Fatalf("conv with point != shift: %v", s)
+	}
+	s = Convolve(Point(5), p)
+	if !s.ApproxEqual(p.Shift(5), 1e-12) {
+		t.Fatalf("point-first conv != shift: %v", s)
+	}
+}
+
+func TestConvolveZeroOperand(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	if s := Convolve(p, PMF{}); !s.ApproxEqual(p, 0) {
+		t.Fatal("conv with zero PMF should return other operand")
+	}
+	if s := Convolve(PMF{}, p); !s.ApproxEqual(p, 0) {
+		t.Fatal("conv with zero PMF should return other operand")
+	}
+}
+
+func TestConvolveCompactsLargeResults(t *testing.T) {
+	vals := make([]float64, 50)
+	probs := make([]float64, 50)
+	for i := range vals {
+		vals[i] = float64(i) * 1.3
+		probs[i] = 1
+	}
+	p := MustNew(vals, probs)
+	s := Convolve(p, p)
+	mustValid(t, s)
+	if s.Len() > DefaultMaxImpulses {
+		t.Fatalf("convolution result not compacted: %d impulses", s.Len())
+	}
+	// Mean must still be exact (compaction is mean-preserving).
+	if math.Abs(s.Mean()-2*p.Mean()) > 1e-9 {
+		t.Fatalf("compacted conv mean %v, want %v", s.Mean(), 2*p.Mean())
+	}
+}
+
+func TestCompact(t *testing.T) {
+	vals := make([]float64, 100)
+	probs := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+		probs[i] = float64(i + 1)
+	}
+	p := MustNew(vals, probs)
+	c := p.Compact(10)
+	mustValid(t, c)
+	if c.Len() > 10 {
+		t.Fatalf("compact returned %d impulses", c.Len())
+	}
+	if math.Abs(c.Mean()-p.Mean()) > 1e-9 {
+		t.Fatalf("compact mean %v, want %v", c.Mean(), p.Mean())
+	}
+	if c.Min() < p.Min() || c.Max() > p.Max() {
+		t.Fatal("compact support escaped original range")
+	}
+	// No-op when already small.
+	if q := p.Compact(200); q.Len() != p.Len() {
+		t.Fatal("compact shrank a PMF that was already within bounds")
+	}
+}
+
+func TestCompactDegenerate(t *testing.T) {
+	p := Point(3)
+	if c := p.Compact(1); c.Len() != 1 || c.Value(0) != 3 {
+		t.Fatalf("compact of point wrong: %v", c)
+	}
+}
+
+func TestTruncateBelow(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3, 4}, []float64{0.1, 0.2, 0.3, 0.4})
+	q, kept := p.TruncateBelow(2.5)
+	mustValid(t, q)
+	if math.Abs(kept-0.7) > 1e-12 {
+		t.Fatalf("kept %v, want 0.7", kept)
+	}
+	if q.Len() != 2 || q.Value(0) != 3 || q.Value(1) != 4 {
+		t.Fatalf("wrong support: %v", q)
+	}
+	if math.Abs(q.Prob(0)-3.0/7) > 1e-12 || math.Abs(q.Prob(1)-4.0/7) > 1e-12 {
+		t.Fatalf("renormalization wrong: %v", q.Probs())
+	}
+}
+
+func TestTruncateBelowBoundaryInclusive(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	// Impulse exactly at t is kept (it is "not in the past").
+	q, kept := p.TruncateBelow(2)
+	if kept != 0.5 || q.Len() != 1 || q.Value(0) != 2 {
+		t.Fatalf("boundary handling wrong: %v kept %v", q, kept)
+	}
+}
+
+func TestTruncateBelowNothingRemoved(t *testing.T) {
+	p := MustNew([]float64{5, 6}, []float64{0.5, 0.5})
+	q, kept := p.TruncateBelow(1)
+	if kept != 1 || !q.ApproxEqual(p, 0) {
+		t.Fatalf("expected identity, got %v kept %v", q, kept)
+	}
+}
+
+func TestTruncateBelowAllRemoved(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	q, kept := p.TruncateBelow(10)
+	if kept != 0 {
+		t.Fatalf("kept %v, want 0", kept)
+	}
+	// Overdue task: modeled as completing imminently at t.
+	if q.Len() != 1 || q.Value(0) != 10 {
+		t.Fatalf("overdue distribution wrong: %v", q)
+	}
+}
+
+func TestCDFAndProbByDeadline(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3}, []float64{0.2, 0.3, 0.5})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.2}, {1.5, 0.2}, {2, 0.5}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := p.CDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+		if got := p.ProbByDeadline(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ProbByDeadline(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	p := MustNew([]float64{10, 20, 30}, []float64{0.2, 0.3, 0.5})
+	cases := []struct{ u, want float64 }{
+		{0, 10}, {0.1, 10}, {0.2, 10}, {0.21, 20}, {0.5, 20}, {0.51, 30}, {1, 30},
+	}
+	for _, c := range cases {
+		if got := p.Quantile(c.u); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.u, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for u out of range")
+		}
+	}()
+	p.Quantile(1.5)
+}
+
+func TestMeanVariance(t *testing.T) {
+	p := MustNew([]float64{2, 4}, []float64{0.5, 0.5})
+	if p.Mean() != 3 {
+		t.Fatalf("mean %v, want 3", p.Mean())
+	}
+	if p.Variance() != 1 {
+		t.Fatalf("variance %v, want 1", p.Variance())
+	}
+	if p.StdDev() != 1 {
+		t.Fatalf("stddev %v, want 1", p.StdDev())
+	}
+	var zero PMF
+	if !math.IsNaN(zero.Mean()) || !math.IsNaN(zero.Variance()) {
+		t.Fatal("zero PMF moments should be NaN")
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	samples := make([]float64, 0, 10000)
+	// Deterministic triangular-ish set.
+	for i := 0; i < 10000; i++ {
+		samples = append(samples, float64(i%100)+float64(i%7)*0.1)
+	}
+	p, err := FromSamples(samples, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, p)
+	if p.Len() > 24 {
+		t.Fatalf("too many impulses: %d", p.Len())
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	if math.Abs(p.Mean()-mean) > 1e-9 {
+		t.Fatalf("FromSamples mean %v, want %v (must be exact)", p.Mean(), mean)
+	}
+}
+
+func TestFromSamplesDegenerate(t *testing.T) {
+	p, err := FromSamples([]float64{7, 7, 7}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || p.Value(0) != 7 {
+		t.Fatalf("degenerate samples wrong: %v", p)
+	}
+	if _, err := FromSamples(nil, 10); err == nil {
+		t.Fatal("expected error for empty samples")
+	}
+	if _, err := FromSamples([]float64{1}, 0); err == nil {
+		t.Fatal("expected error for zero bins")
+	}
+	if _, err := FromSamples([]float64{math.NaN()}, 4); err == nil {
+		t.Fatal("expected error for NaN sample")
+	}
+}
+
+func TestMix(t *testing.T) {
+	p := Point(1)
+	q := Point(3)
+	m, err := Mix(p, q, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValid(t, m)
+	if math.Abs(m.Mean()-2.5) > 1e-12 {
+		t.Fatalf("mix mean %v, want 2.5", m.Mean())
+	}
+	if _, err := Mix(p, q, 1.5); err == nil {
+		t.Fatal("expected error for weight outside [0,1]")
+	}
+	if _, err := Mix(PMF{}, q, 0.5); err == nil {
+		t.Fatal("expected error for zero operand")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := MustNew([]float64{1.5, 2.5, 10}, []float64{0.25, 0.25, 0.5})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q PMF
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !q.ApproxEqual(p, 1e-12) {
+		t.Fatalf("round trip mismatch: %v vs %v", q, p)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var p PMF
+	if err := json.Unmarshal([]byte(`{"values":[1],"probs":[0]}`), &p); err == nil {
+		t.Fatal("expected error for zero-mass pmf")
+	}
+	if err := json.Unmarshal([]byte(`{"values":[1`), &p); err == nil {
+		t.Fatal("expected error for malformed JSON")
+	}
+}
+
+func TestString(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	s := p.String()
+	if !strings.Contains(s, "1") || !strings.Contains(s, "0.5") {
+		t.Fatalf("unexpected String(): %q", s)
+	}
+	var zero PMF
+	if zero.String() != "pmf{}" {
+		t.Fatalf("zero String(): %q", zero.String())
+	}
+}
+
+func TestAccessorsCopy(t *testing.T) {
+	p := MustNew([]float64{1, 2}, []float64{0.5, 0.5})
+	v := p.Values()
+	v[0] = 99
+	if p.Value(0) == 99 {
+		t.Fatal("Values returned internal slice")
+	}
+	pr := p.Probs()
+	pr[0] = 99
+	if p.Prob(0) == 99 {
+		t.Fatal("Probs returned internal slice")
+	}
+}

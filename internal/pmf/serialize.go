@@ -1,0 +1,32 @@
+package pmf
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonPMF is the wire form: parallel value/probability arrays.
+type jsonPMF struct {
+	Values []float64 `json:"values"`
+	Probs  []float64 `json:"probs"`
+}
+
+// MarshalJSON encodes the PMF as {"values":[...],"probs":[...]}.
+func (p PMF) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonPMF{Values: p.Values(), Probs: p.Probs()})
+}
+
+// UnmarshalJSON decodes and validates a PMF; probabilities are renormalized
+// exactly as in New.
+func (p *PMF) UnmarshalJSON(data []byte) error {
+	var j jsonPMF
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("pmf: decode: %w", err)
+	}
+	np, err := New(j.Values, j.Probs)
+	if err != nil {
+		return fmt.Errorf("pmf: decode: %w", err)
+	}
+	*p = np
+	return nil
+}

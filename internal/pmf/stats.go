@@ -1,0 +1,133 @@
+package pmf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the expectation of the distribution. This is the ECT/EET
+// expectation operator of §V-A. Returns NaN for the zero PMF.
+func (p PMF) Mean() float64 {
+	if p.IsZero() {
+		return math.NaN()
+	}
+	m := 0.0
+	for i := range p.vals {
+		m += p.vals[i] * p.probs[i]
+	}
+	return m
+}
+
+// Variance returns the variance of the distribution. Returns NaN for the
+// zero PMF.
+func (p PMF) Variance() float64 {
+	if p.IsZero() {
+		return math.NaN()
+	}
+	m := p.Mean()
+	v := 0.0
+	for i := range p.vals {
+		d := p.vals[i] - m
+		v += d * d * p.probs[i]
+	}
+	return v
+}
+
+// StdDev returns the standard deviation.
+func (p PMF) StdDev() float64 { return math.Sqrt(p.Variance()) }
+
+// CDF returns P(X <= x).
+func (p PMF) CDF(x float64) float64 {
+	if p.IsZero() {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.Search(len(p.vals), func(i int) bool { return p.vals[i] > x })
+	s := 0.0
+	for _, q := range p.probs[:i] {
+		s += q
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// ProbByDeadline returns P(X <= deadline), the per-assignment robustness
+// contribution ρ(i,j,k,π,t_l,z) of §IV-C: the probability of the task
+// finishing by its deadline ("sum the impulses in the distribution that are
+// less than the deadline" — we include equality, since completing exactly
+// at the deadline meets it).
+func (p PMF) ProbByDeadline(deadline float64) float64 { return p.CDF(deadline) }
+
+// Quantile returns the smallest support value v with P(X <= v) >= u, for
+// u in [0,1]. This inverse CDF drives common-random-number sampling of
+// actual execution times. Panics for u outside [0,1] or the zero PMF.
+func (p PMF) Quantile(u float64) float64 {
+	if p.IsZero() {
+		panic("pmf: Quantile of zero PMF")
+	}
+	if u < 0 || u > 1 || math.IsNaN(u) {
+		panic(fmt.Sprintf("pmf: Quantile argument %v outside [0,1]", u))
+	}
+	acc := 0.0
+	for i := range p.vals {
+		acc += p.probs[i]
+		if acc >= u || i == len(p.vals)-1 {
+			return p.vals[i]
+		}
+	}
+	return p.vals[len(p.vals)-1]
+}
+
+// FromSamples builds a PMF by histogramming samples into at most bins
+// equal-width buckets, placing each bucket's impulse at its mass-weighted
+// centroid (so the sample mean is preserved exactly). It is how execution
+// time pmfs are manufactured from a parametric model (§III-B: "obtained by
+// historical, experimental, or analytical techniques").
+func FromSamples(samples []float64, bins int) (PMF, error) {
+	if len(samples) == 0 {
+		return PMF{}, ErrEmpty
+	}
+	if bins < 1 {
+		return PMF{}, fmt.Errorf("pmf: FromSamples needs bins >= 1, got %d", bins)
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return PMF{}, fmt.Errorf("%w: sample %v", ErrBadValue, s)
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if lo == hi {
+		return Point(lo), nil
+	}
+	span := hi - lo
+	mass := make([]float64, bins)
+	moment := make([]float64, bins)
+	w := 1 / float64(len(samples))
+	for _, s := range samples {
+		b := int(float64(bins) * (s - lo) / span)
+		if b >= bins {
+			b = bins - 1
+		}
+		mass[b] += w
+		moment[b] += w * s
+	}
+	vals := make([]float64, 0, bins)
+	probs := make([]float64, 0, bins)
+	for b := range mass {
+		if mass[b] <= 0 {
+			continue
+		}
+		vals = append(vals, moment[b]/mass[b])
+		probs = append(probs, mass[b])
+	}
+	return New(vals, probs)
+}

@@ -1,0 +1,58 @@
+package randx
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RatePhase is one segment of a piecewise-rate Poisson arrival process: the
+// next Count arrivals are generated with exponential inter-arrival times of
+// the given Rate (arrivals per time unit).
+type RatePhase struct {
+	// Rate is the Poisson arrival rate (tasks per time unit) for this phase.
+	Rate float64
+	// Count is the number of arrivals drawn in this phase.
+	Count int
+}
+
+// Validate reports whether the phase is usable.
+func (p RatePhase) Validate() error {
+	if p.Rate <= 0 {
+		return fmt.Errorf("randx: phase rate %v must be > 0", p.Rate)
+	}
+	if p.Count < 0 {
+		return fmt.Errorf("randx: phase count %d must be >= 0", p.Count)
+	}
+	return nil
+}
+
+// ErrNoPhases is returned when an arrival schedule has no phases.
+var ErrNoPhases = errors.New("randx: arrival schedule needs at least one phase")
+
+// PoissonArrivals generates the absolute arrival times of a task stream that
+// follows a piecewise-rate Poisson process: the first phases[0].Count
+// arrivals use rate phases[0].Rate, the next phases[1].Count arrivals use
+// phases[1].Rate, and so on. This is exactly the bursty arrival model of the
+// paper (§VI): the arrival *rate* is fixed per phase while arrival *times*
+// vary between trials. Times start at the first inter-arrival gap after 0.
+func PoissonArrivals(s *Stream, phases []RatePhase) ([]float64, error) {
+	if len(phases) == 0 {
+		return nil, ErrNoPhases
+	}
+	total := 0
+	for i, p := range phases {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("phase %d: %w", i, err)
+		}
+		total += p.Count
+	}
+	times := make([]float64, 0, total)
+	t := 0.0
+	for _, p := range phases {
+		for i := 0; i < p.Count; i++ {
+			t += s.Exponential(p.Rate)
+			times = append(times, t)
+		}
+	}
+	return times, nil
+}

@@ -1,0 +1,155 @@
+// Package randx provides the deterministic random-number substrate used by
+// every stochastic component of the simulator: seeded splittable streams,
+// samplers for the distributions the paper's models need (uniform,
+// exponential, gamma), and piecewise-rate Poisson arrival processes.
+//
+// All randomness in the repository flows through this package so that a
+// simulation trial is a pure function of its seed. Streams are "splittable":
+// a parent stream derives statistically independent child streams from
+// string labels, which lets independent subsystems (cluster generation,
+// workload generation, per-trial sampling) consume randomness without
+// perturbing one another when the code evolves.
+package randx
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// Stream is a deterministic pseudo-random stream. It wraps a PCG generator
+// seeded from a root seed and a label path, and exposes the samplers used
+// by the simulation models.
+type Stream struct {
+	rng *rand.Rand
+	// seed material retained so children can be derived reproducibly.
+	hi, lo uint64
+}
+
+// NewStream returns a root stream for the given seed. Two streams with the
+// same seed produce identical sequences.
+func NewStream(seed uint64) *Stream {
+	hi := splitmix64(seed)
+	lo := splitmix64(hi ^ 0x9e3779b97f4a7c15)
+	return &Stream{rng: rand.New(rand.NewPCG(hi, lo)), hi: hi, lo: lo}
+}
+
+// Child derives an independent stream identified by label. Deriving the same
+// label from the same parent always yields the same stream, and distinct
+// labels yield streams that are independent for all practical purposes.
+func (s *Stream) Child(label string) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	d := h.Sum64()
+	hi := splitmix64(s.hi ^ d)
+	lo := splitmix64(s.lo ^ bitReverse64(d))
+	return &Stream{rng: rand.New(rand.NewPCG(hi, lo)), hi: hi, lo: lo}
+}
+
+// ChildN derives an independent stream identified by an integer index, for
+// per-trial or per-entity streams.
+func (s *Stream) ChildN(label string, n int) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	var buf [8]byte
+	v := uint64(n)
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	d := h.Sum64()
+	hi := splitmix64(s.hi ^ d)
+	lo := splitmix64(s.lo ^ bitReverse64(d))
+	return &Stream{rng: rand.New(rand.NewPCG(hi, lo)), hi: hi, lo: lo}
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func bitReverse64(x uint64) uint64 {
+	x = x>>32 | x<<32
+	x = (x&0xffff0000ffff0000)>>16 | (x&0x0000ffff0000ffff)<<16
+	x = (x&0xff00ff00ff00ff00)>>8 | (x&0x00ff00ff00ff00ff)<<8
+	x = (x&0xf0f0f0f0f0f0f0f0)>>4 | (x&0x0f0f0f0f0f0f0f0f)<<4
+	x = (x&0xcccccccccccccccc)>>2 | (x&0x3333333333333333)<<2
+	x = (x&0xaaaaaaaaaaaaaaaa)>>1 | (x&0x5555555555555555)<<1
+	return x
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (s *Stream) Float64() float64 { return s.rng.Float64() }
+
+// Uniform returns a uniform sample in [lo,hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.rng.Float64()
+}
+
+// IntN returns a uniform sample in [0,n). It panics if n <= 0.
+func (s *Stream) IntN(n int) int { return s.rng.IntN(n) }
+
+// Perm returns a random permutation of [0,n).
+func (s *Stream) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Exponential returns an exponentially distributed sample with the given
+// rate (mean 1/rate). It panics if rate <= 0.
+func (s *Stream) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("randx: Exponential requires rate > 0")
+	}
+	// Inverse CDF; 1-U avoids log(0).
+	return -math.Log(1-s.rng.Float64()) / rate
+}
+
+// Normal returns a normally distributed sample with the given mean and
+// standard deviation, using the polar Box–Muller method via rand/v2.
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.rng.NormFloat64()
+}
+
+// Gamma returns a gamma-distributed sample with the given shape and scale
+// (mean = shape*scale, variance = shape*scale^2), using the Marsaglia–Tsang
+// method with the Ahrens boost for shape < 1. It panics if shape or scale is
+// not positive.
+func (s *Stream) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("randx: Gamma requires shape > 0 and scale > 0")
+	}
+	if shape < 1 {
+		// Boost: if X ~ Gamma(shape+1), then X*U^(1/shape) ~ Gamma(shape).
+		u := s.rng.Float64()
+		return s.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := s.rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// GammaMeanCV returns a gamma-distributed sample parameterized by its mean
+// and coefficient of variation (stddev/mean), the parameterization used by
+// the CVB heterogeneity method. It panics unless mean > 0 and cv > 0.
+func (s *Stream) GammaMeanCV(mean, cv float64) float64 {
+	if mean <= 0 || cv <= 0 {
+		panic("randx: GammaMeanCV requires mean > 0 and cv > 0")
+	}
+	shape := 1 / (cv * cv)
+	scale := mean * cv * cv
+	return s.Gamma(shape, scale)
+}

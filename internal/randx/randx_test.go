@@ -1,0 +1,261 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewStreamDeterministic(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("sample %d diverged: %v != %v", i, av, bv)
+		}
+	}
+}
+
+func TestNewStreamSeedsDiffer(t *testing.T) {
+	a := NewStream(1)
+	b := NewStream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d identical samples", same)
+	}
+}
+
+func TestChildDeterministicAndIndependent(t *testing.T) {
+	root := NewStream(7)
+	c1 := root.Child("cluster")
+	c2 := NewStream(7).Child("cluster")
+	for i := 0; i < 50; i++ {
+		if a, b := c1.Float64(), c2.Float64(); a != b {
+			t.Fatalf("same-label children diverged at %d", i)
+		}
+	}
+	w := NewStream(7).Child("workload")
+	k := NewStream(7).Child("cluster")
+	diff := false
+	for i := 0; i < 50; i++ {
+		if w.Float64() != k.Float64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different-label children produced identical sequences")
+	}
+}
+
+func TestChildDoesNotPerturbParent(t *testing.T) {
+	a := NewStream(3)
+	b := NewStream(3)
+	_ = a.Child("x") // deriving a child must not consume parent state
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Child consumed parent stream state")
+		}
+	}
+}
+
+func TestChildNDistinctIndices(t *testing.T) {
+	root := NewStream(11)
+	s0 := root.ChildN("trial", 0)
+	s1 := root.ChildN("trial", 1)
+	if s0.Float64() == s1.Float64() && s0.Float64() == s1.Float64() {
+		t.Fatal("ChildN with different indices produced identical streams")
+	}
+	r0 := NewStream(11).ChildN("trial", 0)
+	v := NewStream(11).ChildN("trial", 0)
+	for i := 0; i < 20; i++ {
+		if r0.Float64() != v.Float64() {
+			t.Fatal("ChildN not deterministic")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewStream(5)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 3)
+		if v < 2 || v >= 3 {
+			t.Fatalf("Uniform(2,3) produced %v", v)
+		}
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	s := NewStream(9)
+	const n = 200000
+	rate := 0.125
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exponential(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	want := 1 / rate
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("exponential mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate <= 0")
+		}
+	}()
+	NewStream(1).Exponential(0)
+}
+
+func TestGammaMoments(t *testing.T) {
+	cases := []struct{ shape, scale float64 }{
+		{0.5, 2.0},
+		{1.0, 1.0},
+		{4.0, 0.5},
+		{16.0, 750.0 / 16.0},
+	}
+	for _, c := range cases {
+		s := NewStream(uint64(c.shape*1000) + 17)
+		const n = 200000
+		sum, sq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := s.Gamma(c.shape, c.scale)
+			if v <= 0 {
+				t.Fatalf("gamma(%v,%v) produced non-positive %v", c.shape, c.scale, v)
+			}
+			sum += v
+			sq += v * v
+		}
+		mean := sum / n
+		variance := sq/n - mean*mean
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(mean-wantMean)/wantMean > 0.03 {
+			t.Errorf("gamma(%v,%v) mean %v, want ~%v", c.shape, c.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar)/wantVar > 0.08 {
+			t.Errorf("gamma(%v,%v) var %v, want ~%v", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaMeanCV(t *testing.T) {
+	s := NewStream(21)
+	const n = 200000
+	mean, cv := 750.0, 0.25
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.GammaMeanCV(mean, cv)
+		sum += v
+		sq += v * v
+	}
+	m := sum / n
+	sd := math.Sqrt(sq/n - m*m)
+	if math.Abs(m-mean)/mean > 0.02 {
+		t.Fatalf("mean %v, want ~%v", m, mean)
+	}
+	if math.Abs(sd/m-cv)/cv > 0.05 {
+		t.Fatalf("cv %v, want ~%v", sd/m, cv)
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	for _, c := range []struct{ shape, scale float64 }{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for Gamma(%v,%v)", c.shape, c.scale)
+				}
+			}()
+			NewStream(1).Gamma(c.shape, c.scale)
+		}()
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewStream(33)
+	const n = 100000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("normal mean %v, want ~10", mean)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Fatalf("normal sd %v, want ~2", sd)
+	}
+}
+
+func TestPoissonArrivalsStructure(t *testing.T) {
+	s := NewStream(77)
+	phases := []RatePhase{{Rate: 0.125, Count: 200}, {Rate: 1.0 / 48, Count: 600}, {Rate: 0.125, Count: 200}}
+	times, err := PoissonArrivals(s, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 1000 {
+		t.Fatalf("got %d arrivals, want 1000", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatalf("arrival times not strictly increasing at %d: %v then %v", i, times[i-1], times[i])
+		}
+	}
+	// Mean gap within each phase should be close to 1/rate.
+	gap := func(lo, hi int) float64 {
+		prev := 0.0
+		if lo > 0 {
+			prev = times[lo-1]
+		}
+		return (times[hi-1] - prev) / float64(hi-lo)
+	}
+	if g := gap(0, 200); math.Abs(g-8) > 1.7 {
+		t.Errorf("fast phase mean gap %v, want ~8", g)
+	}
+	if g := gap(200, 800); math.Abs(g-48) > 6 {
+		t.Errorf("slow phase mean gap %v, want ~48", g)
+	}
+	if g := gap(800, 1000); math.Abs(g-8) > 1.7 {
+		t.Errorf("tail fast phase mean gap %v, want ~8", g)
+	}
+}
+
+func TestPoissonArrivalsErrors(t *testing.T) {
+	s := NewStream(1)
+	if _, err := PoissonArrivals(s, nil); err == nil {
+		t.Fatal("expected error for empty phases")
+	}
+	if _, err := PoissonArrivals(s, []RatePhase{{Rate: 0, Count: 1}}); err == nil {
+		t.Fatal("expected error for zero rate")
+	}
+	if _, err := PoissonArrivals(s, []RatePhase{{Rate: 1, Count: -1}}); err == nil {
+		t.Fatal("expected error for negative count")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewStream(8)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,118 @@
+package sched
+
+import "math"
+
+// This file contains extension policies beyond the paper's §V set,
+// implementing the §VIII future-work directions so they can be studied with
+// the same harness.
+
+// PriorityLightestLoad extends LL (§V-D) to tasks with varying priorities
+// (§VIII): the load quantity becomes L = EEC × (1−ρ)^w for task priority
+// w, so a high-priority task weighs its miss probability more heavily and
+// is steered toward assignments that complete on time even when they cost
+// more energy. A uniform scaling of L (e.g. dividing by w) would not work:
+// it preserves the argmin and degenerates to plain LL. With w = 1 the
+// policy is exactly LL (including LL's first-wins tie-break).
+type PriorityLightestLoad struct{}
+
+// Name returns "PLL".
+func (PriorityLightestLoad) Name() string { return "PLL" }
+
+// NeedsRho reports true.
+func (PriorityLightestLoad) NeedsRho() bool { return true }
+
+// Choose minimizes EEC × (1 − ρ)^priority.
+func (PriorityLightestLoad) Choose(ctx *Context, feasible []*Candidate) *Candidate {
+	w := ctx.Task.Priority
+	if w <= 0 {
+		w = 1
+	}
+	load := func(c *Candidate) float64 {
+		return c.EEC * math.Pow(1-c.Rho(), w)
+	}
+	best := feasible[0]
+	bestL := load(best)
+	for _, c := range feasible[1:] {
+		if l := load(c); l < bestL {
+			best, bestL = c, l
+		}
+	}
+	return best
+}
+
+// GreenLightestLoad is LL with one change: exact load ties (L = 0, i.e.
+// several assignments certain to meet the deadline) break toward the
+// minimum expected energy consumption instead of enumeration order. This
+// small repair of Eq. 5's degenerate case makes the heuristic dramatically
+// stronger than anything in the paper — it runs tasks at the slowest
+// P-state that is still certainly on time, conserving energy for the
+// bursts. It is included as an extension/ablation to quantify how much the
+// paper's LL leaves on the table.
+type GreenLightestLoad struct{}
+
+// Name returns "GreenLL".
+func (GreenLightestLoad) Name() string { return "GreenLL" }
+
+// NeedsRho reports true.
+func (GreenLightestLoad) NeedsRho() bool { return true }
+
+// Choose minimizes (EEC·(1−ρ), EEC) lexicographically.
+func (GreenLightestLoad) Choose(_ *Context, feasible []*Candidate) *Candidate {
+	best := feasible[0]
+	bestL := best.EEC * (1 - best.Rho())
+	for _, c := range feasible[1:] {
+		l := c.EEC * (1 - c.Rho())
+		if l < bestL || (l == bestL && c.EEC < best.EEC) {
+			best, bestL = c, l
+		}
+	}
+	return best
+}
+
+// MaxRobustness is a greedy upper-reference policy: it assigns each task
+// where its probability of completing by its deadline is highest, ignoring
+// energy entirely. §IV-C notes this maximizes ρ(t_l) for immediate-mode
+// mapping; it is useful as a deadline-performance ceiling when studying how
+// much the energy constraint costs.
+type MaxRobustness struct{}
+
+// Name returns "MaxRho".
+func (MaxRobustness) Name() string { return "MaxRho" }
+
+// NeedsRho reports true.
+func (MaxRobustness) NeedsRho() bool { return true }
+
+// Choose maximizes ρ; ties (e.g. several certain assignments) break toward
+// lower EEC so the policy does not waste energy gratuitously.
+func (MaxRobustness) Choose(_ *Context, feasible []*Candidate) *Candidate {
+	best := feasible[0]
+	for _, c := range feasible[1:] {
+		if r, br := c.Rho(), best.Rho(); r > br || (r == br && c.EEC < best.EEC) {
+			best = c
+		}
+	}
+	return best
+}
+
+// MinEnergy is a greedy lower-reference policy: it always takes the
+// feasible assignment with the smallest expected energy consumption,
+// ignoring deadlines. It bounds how little energy immediate-mode mapping
+// can spend.
+type MinEnergy struct{}
+
+// Name returns "MinEEC".
+func (MinEnergy) Name() string { return "MinEEC" }
+
+// NeedsRho reports false.
+func (MinEnergy) NeedsRho() bool { return false }
+
+// Choose minimizes EEC.
+func (MinEnergy) Choose(_ *Context, feasible []*Candidate) *Candidate {
+	best := feasible[0]
+	for _, c := range feasible[1:] {
+		if c.EEC < best.EEC {
+			best = c
+		}
+	}
+	return best
+}

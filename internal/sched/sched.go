@@ -1,0 +1,228 @@
+// Package sched implements §V of the paper: the immediate-mode resource
+// allocation heuristics (Shortest Queue, Minimum Expected Completion Time,
+// Lightest Load, Random) and the two generic filtering mechanisms (energy
+// filter and robustness filter) that restrict the set of feasible
+// assignments any heuristic may consider.
+//
+// An assignment maps a single task to a (node, multicore processor, core,
+// P-state). A filter may eliminate every assignment, in which case the task
+// is discarded (§V-A) and counts as a missed deadline.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/pmf"
+	"repro/internal/randx"
+	"repro/internal/robustness"
+	"repro/internal/workload"
+)
+
+// Assignment addresses one feasible mapping target: a core (by hierarchical
+// ID and flat index) and a P-state.
+type Assignment struct {
+	Core    cluster.CoreID
+	CoreIdx int
+	PState  cluster.PState
+}
+
+// String renders the assignment compactly.
+func (a Assignment) String() string { return fmt.Sprintf("%v@%v", a.Core, a.PState) }
+
+// Candidate is one feasible assignment for the task being mapped, together
+// with the quantities heuristics and filters consume. QueueLen, EET, and
+// EEC are computed eagerly (they are cheap); the robustness value ρ is
+// computed lazily on first use because it requires a pmf convolution.
+type Candidate struct {
+	Assignment
+	// QueueLen is |MQ(i,j,k,t_l)|: tasks currently assigned to the core.
+	QueueLen int
+	// EET is the expected execution time of the task under this assignment.
+	EET float64
+	// EEC is the expected energy consumption (§V-A): EET·μ(i,π)/ε(i).
+	EEC float64
+
+	freeMean float64
+	free     func() pmf.PMF
+	deadline float64
+	taskType int
+	calc     *robustness.Calculator
+
+	rho    float64
+	rhoSet bool
+}
+
+// ECT returns the expected completion time (§V-A). By linearity of
+// expectation it is the core's expected free time plus EET, with no
+// convolution needed.
+func (c *Candidate) ECT() float64 { return c.freeMean + c.EET }
+
+// Rho returns ρ(i,j,k,π,t_l,z): the probability of the task completing by
+// its deadline under this assignment. The underlying completion-time
+// convolution is performed once and cached.
+func (c *Candidate) Rho() float64 {
+	if !c.rhoSet {
+		c.rho = c.calc.ProbOnTime(c.free(), c.taskType, c.Core.Node, c.PState, c.deadline)
+		c.rhoSet = true
+	}
+	return c.rho
+}
+
+// Context is the information available to heuristics and filters when
+// mapping one task at time-step t_l.
+type Context struct {
+	// Now is t_l, the decision instant (the task's arrival time).
+	Now float64
+	// Task is the task being mapped.
+	Task workload.Task
+	// Model is the fixed workload model.
+	Model *workload.Model
+	// Calc evaluates completion-time distributions.
+	Calc *robustness.Calculator
+	// EnergyLeft is ζ(t_l): the heuristic's running estimate of remaining
+	// energy (budget minus the EEC of every assignment made so far, §V-F).
+	EnergyLeft float64
+	// TasksLeft is T_left(t_l): window tasks that have not yet arrived.
+	TasksLeft int
+	// AvgQueueDepth is the running time-average of per-core queue depth
+	// (queued plus executing tasks divided by total cores), which selects
+	// the energy filter's ζ_mul band.
+	AvgQueueDepth float64
+	// Rand drives the Random heuristic's choice.
+	Rand *randx.Stream
+}
+
+// SystemView is the scheduler's read-only window into the simulator state.
+type SystemView interface {
+	// NumCores returns the number of cores in the cluster.
+	NumCores() int
+	// CoreID returns the hierarchical ID of the core at a flat index.
+	CoreID(idx int) cluster.CoreID
+	// Queue returns the core's current occupancy snapshot in FIFO order.
+	Queue(idx int) robustness.CoreQueue
+}
+
+// BuildCandidates enumerates every (core, P-state) assignment for the
+// context's task, precomputing queue lengths, EET, EEC, and the expected
+// free time of each core. Per-core free-time distributions are shared and
+// materialized lazily for candidates that need ρ.
+func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
+	n := view.NumCores()
+	cands := make([]*Candidate, 0, n*cluster.NumPStates)
+	for idx := 0; idx < n; idx++ {
+		id := view.CoreID(idx)
+		q := view.Queue(idx)
+		node := ctx.Model.Cluster.Node(id)
+
+		freeMean := freeMeanByLinearity(ctx, q)
+		var cached pmf.PMF
+		freeFn := func() pmf.PMF {
+			if cached.IsZero() {
+				cached = ctx.Calc.FreeTime(q, ctx.Now)
+			}
+			return cached
+		}
+		for _, ps := range cluster.AllPStates() {
+			exec := ctx.Model.ExecPMF(ctx.Task.Type, id.Node, ps)
+			eet := exec.Mean()
+			cands = append(cands, &Candidate{
+				Assignment: Assignment{Core: id, CoreIdx: idx, PState: ps},
+				QueueLen:   len(q.Tasks),
+				EET:        eet,
+				EEC:        energy.ExpectedEnergy(node, ps, eet),
+				freeMean:   freeMean,
+				free:       freeFn,
+				deadline:   ctx.Task.Deadline,
+				taskType:   ctx.Task.Type,
+				calc:       ctx.Calc,
+			})
+		}
+	}
+	return cands
+}
+
+// freeMeanByLinearity computes E[free time] without convolutions: the
+// truncated completion mean of the running task (if any) plus the execution
+// means of the waiting tasks.
+func freeMeanByLinearity(ctx *Context, q robustness.CoreQueue) float64 {
+	if len(q.Tasks) == 0 {
+		return ctx.Now
+	}
+	mean := 0.0
+	for i, t := range q.Tasks {
+		exec := ctx.Model.ExecPMF(t.Type, q.Node, t.PState)
+		if i == 0 {
+			if t.Started {
+				comp := exec.Shift(t.StartAt)
+				comp, _ = comp.TruncateBelow(ctx.Now)
+				mean = comp.Mean()
+			} else {
+				mean = ctx.Now + exec.Mean()
+			}
+			continue
+		}
+		mean += exec.Mean()
+	}
+	return mean
+}
+
+// Heuristic selects one assignment from the feasible (post-filter) set.
+type Heuristic interface {
+	// Name identifies the heuristic in results and traces.
+	Name() string
+	// NeedsRho reports whether the heuristic reads Candidate.Rho, so the
+	// mapper can skip convolution work entirely when it does not.
+	NeedsRho() bool
+	// Choose picks an assignment from a non-empty feasible set. The slice
+	// is ordered deterministically (core-major, P-state-minor).
+	Choose(ctx *Context, feasible []*Candidate) *Candidate
+}
+
+// Filter restricts the feasible assignment set (§V-F). Filters are generic:
+// they can be applied to any heuristic.
+type Filter interface {
+	// Name identifies the filter in results and traces.
+	Name() string
+	// NeedsRho reports whether the filter reads Candidate.Rho.
+	NeedsRho() bool
+	// Keep reports whether the candidate remains feasible.
+	Keep(ctx *Context, c *Candidate) bool
+}
+
+// Mapper combines a heuristic with zero or more filters into the complete
+// immediate-mode mapping policy.
+type Mapper struct {
+	Heuristic Heuristic
+	Filters   []Filter
+}
+
+// Name renders "heuristic" or "heuristic+f1+f2".
+func (m *Mapper) Name() string {
+	s := m.Heuristic.Name()
+	for _, f := range m.Filters {
+		s += "+" + f.Name()
+	}
+	return s
+}
+
+// Map applies the filters to the candidate set and lets the heuristic pick
+// from the survivors. It returns nil when every assignment was filtered
+// out, in which case the task is discarded (§V-A).
+func (m *Mapper) Map(ctx *Context, cands []*Candidate) *Candidate {
+	feasible := cands
+	for _, f := range m.Filters {
+		kept := feasible[:0:0]
+		for _, c := range feasible {
+			if f.Keep(ctx, c) {
+				kept = append(kept, c)
+			}
+		}
+		feasible = kept
+		if len(feasible) == 0 {
+			return nil
+		}
+	}
+	return m.Heuristic.Choose(ctx, feasible)
+}

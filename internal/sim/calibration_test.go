@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// This file validates the §IV robustness model against the simulator — the
+// paper's contribution (a): ρ(i,j,k,π,t_l,z), the predicted probability of
+// an on-time completion at mapping time, must be *calibrated*: among tasks
+// mapped with predicted probability p, about a fraction p should actually
+// finish on time. The test records the chosen assignment's ρ for every
+// mapped task, runs the trial unconstrained (so energy exhaustion does not
+// censor outcomes), and compares prediction to realization in aggregate
+// and per probability band.
+
+// rhoRecorder wraps a heuristic and records the ρ of each chosen
+// assignment, keyed by task ID.
+type rhoRecorder struct {
+	inner sched.Heuristic
+	rho   map[int]float64
+}
+
+func (r *rhoRecorder) Name() string   { return r.inner.Name() + "+rhorec" }
+func (r *rhoRecorder) NeedsRho() bool { return true }
+func (r *rhoRecorder) Choose(ctx *sched.Context, feasible []*sched.Candidate) *sched.Candidate {
+	c := r.inner.Choose(ctx, feasible)
+	r.rho[ctx.Task.ID] = c.Rho()
+	return c
+}
+
+func TestRobustnessPredictionsAreCalibrated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration study is slow")
+	}
+	m := buildModel(t, 100, 400)
+
+	type sample struct {
+		rho    float64
+		onTime bool
+	}
+	var samples []sample
+
+	// Random assignment spreads choices over all P-states and queue depths,
+	// sampling ρ across its whole range; several trials diversify further.
+	for trial := uint64(0); trial < 6; trial++ {
+		rec := &rhoRecorder{inner: sched.Random{}, rho: make(map[int]float64)}
+		tr, err := workload.GenerateTrial(randx.NewStream(200+trial), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Model:        m,
+			Mapper:       &sched.Mapper{Heuristic: rec},
+			EnergyBudget: math.Inf(1),
+			Trace:        true,
+		}
+		res, err := Run(cfg, tr, randx.NewStream(300+trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, trc := range res.Traces {
+			if !trc.Mapped {
+				continue
+			}
+			rho, ok := rec.rho[trc.Task.ID]
+			if !ok {
+				t.Fatalf("no recorded rho for task %d", trc.Task.ID)
+			}
+			samples = append(samples, sample{rho: rho, onTime: trc.Outcome == OutcomeOnTime})
+		}
+	}
+	if len(samples) < 1000 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+
+	// Aggregate calibration: mean predicted probability vs realized rate.
+	var predSum float64
+	onTime := 0
+	for _, s := range samples {
+		predSum += s.rho
+		if s.onTime {
+			onTime++
+		}
+	}
+	meanPred := predSum / float64(len(samples))
+	realized := float64(onTime) / float64(len(samples))
+	if math.Abs(meanPred-realized) > 0.05 {
+		t.Fatalf("aggregate calibration off: predicted %.3f, realized %.3f over %d tasks",
+			meanPred, realized, len(samples))
+	}
+
+	// Band calibration: within each predicted-probability band with enough
+	// mass, the realized rate must sit near the band's mean prediction.
+	const bands = 5
+	cnt := make([]int, bands)
+	pred := make([]float64, bands)
+	real := make([]float64, bands)
+	for _, s := range samples {
+		b := int(s.rho * bands)
+		if b >= bands {
+			b = bands - 1
+		}
+		cnt[b]++
+		pred[b] += s.rho
+		if s.onTime {
+			real[b]++
+		}
+	}
+	for b := 0; b < bands; b++ {
+		if cnt[b] < 100 {
+			continue // too few samples for a stable frequency
+		}
+		p := pred[b] / float64(cnt[b])
+		r := real[b] / float64(cnt[b])
+		// Tolerance covers binomial noise (samples within a burst share the
+		// backlog realization, so the effective n is well below cnt) plus
+		// pmf-compaction error: 0.15 absolute.
+		if math.Abs(p-r) > 0.15 {
+			t.Errorf("band %d: predicted %.3f, realized %.3f (n=%d)", b, p, r, cnt[b])
+		}
+	}
+
+	// Discrimination: tasks predicted above 0.8 must realize a much higher
+	// on-time rate than tasks predicted below 0.2.
+	var hiN, hiOK, loN, loOK int
+	for _, s := range samples {
+		switch {
+		case s.rho >= 0.8:
+			hiN++
+			if s.onTime {
+				hiOK++
+			}
+		case s.rho <= 0.2:
+			loN++
+			if s.onTime {
+				loOK++
+			}
+		}
+	}
+	if hiN > 50 && loN > 50 {
+		hiRate := float64(hiOK) / float64(hiN)
+		loRate := float64(loOK) / float64(loN)
+		if hiRate-loRate < 0.5 {
+			t.Fatalf("poor discrimination: high-rho rate %.3f vs low-rho rate %.3f", hiRate, loRate)
+		}
+	}
+}

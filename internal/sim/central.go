@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/robustness"
+	"repro/internal/workload"
+)
+
+// Central-queue scheduling mode — the §VIII "ability to cancel and/or
+// reschedule tasks" direction. Instead of committing each task to a core
+// and P-state the instant it arrives (immediate mode, §III-B), arriving
+// tasks wait in one cluster-wide pool and commit only when a core is ready
+// to execute them. Deferring the decision lets the scheduler exploit
+// everything it learns between arrival and start: which cores actually
+// freed up, and how much energy remains.
+//
+// The mode reuses the engine's event loop: arrivals enter the pool, and a
+// dispatch step greedily matches idle cores with pool tasks whenever
+// either appears.
+
+// PullPolicy decides, for an idle core, which pooled task to execute next
+// and at which P-state. Implementations see the same robustness calculator
+// the immediate-mode heuristics use.
+type PullPolicy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Select picks a task index from the pool (and a P-state) for the idle
+	// core, or -1 to leave the core idle. pool is never empty. The engine
+	// passes the node of the idle core, the current time, and the
+	// heuristic-side remaining-energy estimate ζ(t_l).
+	Select(calc *robustness.Calculator, pool []workload.Task, node int, now, energyLeft float64, tasksLeft int) (int, cluster.PState)
+}
+
+// EDFCheapest is the default pull policy: earliest deadline first, run at
+// the cheapest P-state whose on-time probability still clears the
+// threshold (default 0.5), or the fastest P-state when none does. It
+// combines the robustness filter's idea with deadline ordering.
+type EDFCheapest struct {
+	// RhoThresh is the acceptable on-time probability (0 means 0.5).
+	RhoThresh float64
+}
+
+// Name returns "EDFCheapest".
+func (EDFCheapest) Name() string { return "EDFCheapest" }
+
+// Select implements PullPolicy.
+func (p EDFCheapest) Select(calc *robustness.Calculator, pool []workload.Task, node int, now, _ float64, _ int) (int, cluster.PState) {
+	thresh := p.RhoThresh
+	if thresh == 0 {
+		thresh = 0.5
+	}
+	best := 0
+	for i := 1; i < len(pool); i++ {
+		if pool[i].Deadline < pool[best].Deadline {
+			best = i
+		}
+	}
+	task := pool[best]
+	// The core is idle: completion distribution is the execution pmf
+	// shifted to now. Walk from the cheapest state up.
+	m := calc.Model()
+	for ps := cluster.NumPStates - 1; ps >= 0; ps-- {
+		state := cluster.PState(ps)
+		rho := m.ExecPMF(task.Type, node, state).Shift(now).ProbByDeadline(task.Deadline)
+		if rho >= thresh {
+			return best, state
+		}
+	}
+	return best, cluster.P0
+}
+
+// runCentral executes the central-queue variant of the simulation. It is
+// selected by Config.CentralQueue.
+type centralEngine struct {
+	*engine
+	policy PullPolicy
+	pool   []workload.Task
+	idle   map[int]bool
+}
+
+// validateCentral checks the central-queue configuration.
+func validateCentral(cfg Config) error {
+	if cfg.CentralQueue == nil {
+		return nil
+	}
+	if cfg.Mapper != nil {
+		return fmt.Errorf("sim: CentralQueue replaces the Mapper; configure exactly one")
+	}
+	if cfg.CancelOverdueWaiting {
+		return fmt.Errorf("sim: CancelOverdueWaiting applies to per-core queues, not the central pool")
+	}
+	return nil
+}
+
+func (e *centralEngine) loopCentral() {
+	for e.events.Len() > 0 {
+		ev := popEvent(&e.events)
+		e.depthIntegral += float64(e.inSystem+len(e.pool)) * (ev.time - e.lastT)
+		e.lastT = ev.time
+		at, exhausted := e.meter.Advance(ev.time)
+		if exhausted {
+			e.res.EnergyExhausted = true
+			e.res.ExhaustedAt = at
+			e.res.Makespan = at
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.EnergyExhausted(at)
+			}
+			return
+		}
+		switch ev.kind {
+		case evArrival:
+			task := e.trial.Tasks[ev.idx]
+			e.pool = append(e.pool, task)
+			e.dispatch(ev.time)
+		case evCompletion:
+			e.completeCentral(ev.time, ev.idx)
+		case evPark:
+			e.park(ev.idx, ev.gen)
+		}
+		e.res.Makespan = ev.time
+	}
+}
+
+// dispatch matches idle cores to pool tasks until one side runs dry.
+func (e *centralEngine) dispatch(now float64) {
+	for len(e.pool) > 0 && len(e.idle) > 0 {
+		// Deterministic idle-core order: lowest flat index first.
+		coreIdx := -1
+		for idx := range e.idle {
+			if coreIdx == -1 || idx < coreIdx {
+				coreIdx = idx
+			}
+		}
+		node := e.cores[coreIdx].Node
+		pick, ps := e.policy.Select(e.calc, e.pool, node, now, e.energyLeft, 0)
+		if pick < 0 || pick >= len(e.pool) {
+			return // policy declines; core stays idle
+		}
+		task := e.pool[pick]
+		e.pool = append(e.pool[:pick], e.pool[pick+1:]...)
+		delete(e.idle, coreIdx)
+
+		exec := e.cfg.Model.ExecPMF(task.Type, node, ps)
+		e.energyLeft -= exec.Mean() * e.cfg.Model.Cluster.Node(e.cores[coreIdx]).Power[ps] /
+			e.cfg.Model.Cluster.Node(e.cores[coreIdx]).Efficiency
+		e.res.Mapped++
+		actual := e.cfg.Model.ActualExecTime(task, node, ps)
+		e.queues[coreIdx] = append(e.queues[coreIdx], queued{task: task, pstate: ps, actual: actual})
+		e.inSystem++
+		if e.cfg.Trace {
+			tr := &e.res.Traces[task.ID]
+			tr.Mapped = true
+			tr.Assignment = e.assignment(coreIdx, ps)
+		}
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.TaskMapped(now, task, e.assignment(coreIdx, ps))
+		}
+		e.start(now, coreIdx)
+	}
+}
+
+func (e *centralEngine) completeCentral(now float64, coreIdx int) {
+	e.complete(now, coreIdx)
+	// complete() started the next per-core task if one existed; in central
+	// mode per-core queues hold at most the running task, so the core is
+	// idle now.
+	if len(e.queues[coreIdx]) == 0 {
+		e.idle[coreIdx] = true
+		e.dispatch(now)
+	}
+}
+
+func popEvent(h *eventHeap) event {
+	return heap.Pop(h).(event)
+}

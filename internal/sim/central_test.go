@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/randx"
+	"repro/internal/robustness"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func runCentral(t *testing.T, m *workload.Model, policy PullPolicy, budget float64, trialSeed uint64) *Result {
+	t.Helper()
+	tr, err := workload.GenerateTrial(randx.NewStream(trialSeed), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: m, CentralQueue: policy, EnergyBudget: budget, Trace: true}
+	res, err := Run(cfg, tr, randx.NewStream(trialSeed).Child("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCentralQueueBasicRun(t *testing.T) {
+	m := buildModel(t, 40, 60)
+	res := runCentral(t, m, EDFCheapest{}, math.Inf(1), 3)
+	if res.Mapped != 60 || res.Discarded != 0 {
+		t.Fatalf("central mode accounting: %v", res)
+	}
+	if res.OnTime+res.Late != 60 {
+		t.Fatalf("unconstrained central run should finish everything: %v", res)
+	}
+	if res.OnTime+res.Late+res.Discarded+res.Unfinished+res.Cancelled != res.Window {
+		t.Fatalf("outcome partition broken: %v", res)
+	}
+	// Every trace must be consistent: start no earlier than arrival, finish
+	// equals start + quantile execution time.
+	for _, tr := range res.Traces {
+		if !tr.Mapped {
+			t.Fatalf("task %d unmapped", tr.Task.ID)
+		}
+		if tr.Start < tr.Task.Arrival {
+			t.Fatalf("task %d started %v before arrival %v", tr.Task.ID, tr.Start, tr.Task.Arrival)
+		}
+		want := m.ActualExecTime(tr.Task, tr.Assignment.Core.Node, tr.Assignment.PState)
+		if math.Abs((tr.Finish-tr.Start)-want) > 1e-9 {
+			t.Fatalf("task %d exec mismatch", tr.Task.ID)
+		}
+	}
+}
+
+func TestCentralQueueDeterministic(t *testing.T) {
+	m := buildModel(t, 41, 50)
+	a := runCentral(t, m, EDFCheapest{}, m.DefaultEnergyBudget(), 5)
+	b := runCentral(t, m, EDFCheapest{}, m.DefaultEnergyBudget(), 5)
+	if a.OnTime != b.OnTime || a.EnergyConsumed != b.EnergyConsumed {
+		t.Fatal("central runs diverged")
+	}
+}
+
+func TestCentralQueueDispatchOrderIsEDF(t *testing.T) {
+	m := buildModel(t, 42, 80)
+	res := runCentral(t, m, EDFCheapest{}, math.Inf(1), 7)
+	// Among tasks that waited in the pool together, the one with the
+	// earlier deadline must not start after one with a later deadline that
+	// arrived no later. Verify a weaker, robust property: start order never
+	// inverts deadline order by more than the number of cores (greedy
+	// matching can reorder within one dispatch round).
+	type se struct{ deadline, start float64 }
+	var xs []se
+	for _, tr := range res.Traces {
+		xs = append(xs, se{tr.Task.Deadline, tr.Start})
+	}
+	inversions := 0
+	for i := range xs {
+		for j := range xs {
+			if xs[i].deadline < xs[j].deadline && xs[i].start > xs[j].start &&
+				xs[j].start > xs[i].deadline {
+				inversions++
+			}
+		}
+	}
+	if inversions > 0 {
+		t.Fatalf("%d gross EDF inversions", inversions)
+	}
+}
+
+func TestCentralQueueVsImmediateUnderBudget(t *testing.T) {
+	// The central queue defers commitment; under the paper's budget it
+	// should be at least competitive with unfiltered immediate-mode MECT
+	// on the same trials.
+	m := buildModel(t, 43, 80)
+	budget := m.DefaultEnergyBudget()
+	central := runCentral(t, m, EDFCheapest{}, budget, 11)
+	immediate := runOnce(t, m, mapperFor(sched.MinExpectedCompletionTime{}, sched.NoFilter), budget, 11, nil)
+	if central.OnTime < immediate.OnTime/2 {
+		t.Fatalf("central mode collapsed: %d on-time vs immediate %d", central.OnTime, immediate.OnTime)
+	}
+}
+
+func TestCentralQueueConfigValidation(t *testing.T) {
+	m := buildModel(t, 44, 30)
+	tr, _ := workload.GenerateTrial(randx.NewStream(1), m)
+	d := randx.NewStream(1)
+	// Mapper and CentralQueue together are rejected.
+	cfg := Config{Model: m, Mapper: mapperFor(sched.ShortestQueue{}, sched.NoFilter),
+		CentralQueue: EDFCheapest{}, EnergyBudget: 1}
+	if _, err := Run(cfg, tr, d); err == nil {
+		t.Fatal("expected error for Mapper+CentralQueue")
+	}
+	// CancelOverdueWaiting is a per-core-queue feature.
+	cfg = Config{Model: m, CentralQueue: EDFCheapest{}, CancelOverdueWaiting: true, EnergyBudget: 1}
+	if _, err := Run(cfg, tr, d); err == nil {
+		t.Fatal("expected error for CentralQueue+CancelOverdueWaiting")
+	}
+}
+
+// decliningPolicy always declines, stranding the pool.
+type decliningPolicy struct{}
+
+func (decliningPolicy) Name() string { return "decline" }
+func (decliningPolicy) Select(*robustness.Calculator, []workload.Task, int, float64, float64, int) (int, cluster.PState) {
+	return -1, cluster.P0
+}
+
+func TestCentralQueuePolicyMayDecline(t *testing.T) {
+	m := buildModel(t, 45, 30)
+	res := runCentral(t, m, decliningPolicy{}, math.Inf(1), 13)
+	if res.Mapped != 0 || res.OnTime != 0 {
+		t.Fatalf("declining policy still mapped tasks: %v", res)
+	}
+	if res.Unfinished != res.Window {
+		t.Fatalf("pool tasks should be unfinished: %v", res)
+	}
+}
+
+func TestEDFCheapestPStateChoice(t *testing.T) {
+	m := buildModel(t, 46, 30)
+	calc := robustness.NewCalculator(m)
+	// Generous deadline: cheapest state qualifies.
+	task := workload.Task{ID: 0, Type: 0, Arrival: 0, Deadline: 100 * m.TAvg(), U: 0.5, Priority: 1}
+	_, ps := EDFCheapest{}.Select(calc, []workload.Task{task}, 0, 0, 0, 0)
+	if ps != cluster.P4 {
+		t.Fatalf("generous deadline should pick P4, got %v", ps)
+	}
+	// Hopeless deadline: falls back to fastest.
+	task.Deadline = -1
+	_, ps = EDFCheapest{}.Select(calc, []workload.Task{task}, 0, 0, 0, 0)
+	if ps != cluster.P0 {
+		t.Fatalf("hopeless deadline should pick P0, got %v", ps)
+	}
+	// Earliest deadline wins the pool.
+	early := workload.Task{ID: 1, Type: 0, Deadline: 10, U: 0.5}
+	late := workload.Task{ID: 2, Type: 0, Deadline: 20, U: 0.5}
+	pick, _ := EDFCheapest{}.Select(calc, []workload.Task{late, early}, 0, 0, 0, 0)
+	if pick != 1 {
+		t.Fatalf("EDF picked pool index %d, want 1", pick)
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Tests for the §VIII extensions: stochastic power draw (PowerCV) and idle
+// core parking (power gating).
+
+func TestPowerCVChangesEnergyNotSchedule(t *testing.T) {
+	m := buildModel(t, 20, 50)
+	base := runOnce(t, m, mapperFor(sched.MinExpectedCompletionTime{}, sched.NoFilter), math.Inf(1), 3,
+		func(c *Config) { c.VerifyEnergy = false })
+	noisy := runOnce(t, m, mapperFor(sched.MinExpectedCompletionTime{}, sched.NoFilter), math.Inf(1), 3,
+		func(c *Config) { c.VerifyEnergy = false; c.PowerCV = 0.3 })
+	// Power noise must not perturb the schedule itself (same mapping, same
+	// execution times), only the consumed energy.
+	if noisy.OnTime != base.OnTime || noisy.Makespan != base.Makespan {
+		t.Fatalf("PowerCV changed the schedule: %v vs %v", noisy, base)
+	}
+	if noisy.EnergyConsumed == base.EnergyConsumed {
+		t.Fatal("PowerCV had no effect on energy")
+	}
+	// Mean-1 noise keeps total energy in the same ballpark.
+	ratio := noisy.EnergyConsumed / base.EnergyConsumed
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("energy ratio %v implausible for mean-1 noise", ratio)
+	}
+}
+
+func TestPowerCVDeterministic(t *testing.T) {
+	m := buildModel(t, 21, 40)
+	a := runOnce(t, m, mapperFor(sched.ShortestQueue{}, sched.NoFilter), math.Inf(1), 5,
+		func(c *Config) { c.VerifyEnergy = false; c.PowerCV = 0.25 })
+	b := runOnce(t, m, mapperFor(sched.ShortestQueue{}, sched.NoFilter), math.Inf(1), 5,
+		func(c *Config) { c.VerifyEnergy = false; c.PowerCV = 0.25 })
+	if a.EnergyConsumed != b.EnergyConsumed {
+		t.Fatal("PowerCV runs not deterministic")
+	}
+}
+
+func TestPowerCVIncompatibleWithVerify(t *testing.T) {
+	m := buildModel(t, 22, 30)
+	tr, _ := workload.GenerateTrial(randx.NewStream(1), m)
+	cfg := Config{Model: m, Mapper: mapperFor(sched.ShortestQueue{}, sched.NoFilter),
+		EnergyBudget: 1, VerifyEnergy: true, PowerCV: 0.2}
+	if _, err := Run(cfg, tr, randx.NewStream(1)); err == nil {
+		t.Fatal("expected error combining VerifyEnergy with PowerCV")
+	}
+	cfg = Config{Model: m, Mapper: mapperFor(sched.ShortestQueue{}, sched.NoFilter),
+		EnergyBudget: 1, PowerCV: -0.1}
+	if _, err := Run(cfg, tr, randx.NewStream(1)); err == nil {
+		t.Fatal("expected error for negative PowerCV")
+	}
+}
+
+func defaultPark(m *workload.Model) ParkPolicy {
+	return ParkPolicy{Enabled: true, Timeout: m.TAvg() / 4, WakeLatency: 5, PowerFrac: 0.05}
+}
+
+func TestParkingSavesEnergy(t *testing.T) {
+	m := buildModel(t, 23, 60)
+	mapper := mapperFor(sched.MinExpectedCompletionTime{}, sched.NoFilter)
+	base := runOnce(t, m, mapper, math.Inf(1), 7, func(c *Config) { c.VerifyEnergy = false })
+	parked := runOnce(t, m, mapper, math.Inf(1), 7, func(c *Config) {
+		c.VerifyEnergy = false
+		c.Park = defaultPark(m)
+	})
+	if parked.Wakeups == 0 || parked.ParkedTime <= 0 {
+		t.Fatalf("parking never engaged: %+v", parked)
+	}
+	if parked.EnergyConsumed >= base.EnergyConsumed {
+		t.Fatalf("parking did not save energy: %v >= %v", parked.EnergyConsumed, base.EnergyConsumed)
+	}
+	// Wake latency delays completions, so the makespan cannot shrink.
+	if parked.Makespan < base.Makespan-1e-9 {
+		t.Fatalf("parking shrank makespan: %v < %v", parked.Makespan, base.Makespan)
+	}
+}
+
+func TestParkingWithBudgetImprovesOutcome(t *testing.T) {
+	// Under a binding budget, the idle energy saved by parking should
+	// translate into at least as many on-time completions.
+	m := buildModel(t, 24, 60)
+	mapper := mapperFor(sched.MinExpectedCompletionTime{}, sched.NoFilter)
+	budget := m.DefaultEnergyBudget() * 0.5
+	base := runOnce(t, m, mapper, budget, 9, func(c *Config) { c.VerifyEnergy = false })
+	parked := runOnce(t, m, mapper, budget, 9, func(c *Config) {
+		c.VerifyEnergy = false
+		c.Park = defaultPark(m)
+	})
+	if parked.OnTime < base.OnTime {
+		t.Fatalf("parking under a binding budget lost completions: %d < %d", parked.OnTime, base.OnTime)
+	}
+}
+
+func TestParkingAccountsAllTime(t *testing.T) {
+	m := buildModel(t, 25, 40)
+	res := runOnce(t, m, mapperFor(sched.ShortestQueue{}, sched.NoFilter), math.Inf(1), 11,
+		func(c *Config) {
+			c.VerifyEnergy = false
+			c.Park = defaultPark(m)
+		})
+	cores := float64(m.Cluster.TotalCores())
+	if res.ParkedTime > res.Makespan*cores {
+		t.Fatalf("parked time %v exceeds total core-time %v", res.ParkedTime, res.Makespan*cores)
+	}
+}
+
+func TestParkPolicyValidate(t *testing.T) {
+	m := buildModel(t, 26, 30)
+	tr, _ := workload.GenerateTrial(randx.NewStream(1), m)
+	bad := []ParkPolicy{
+		{Enabled: true, Timeout: -1, PowerFrac: 0.1},
+		{Enabled: true, WakeLatency: -1, PowerFrac: 0.1},
+		{Enabled: true, PowerFrac: 1.5},
+		{Enabled: true, PowerFrac: -0.1},
+	}
+	for i, pk := range bad {
+		cfg := Config{Model: m, Mapper: mapperFor(sched.ShortestQueue{}, sched.NoFilter), EnergyBudget: 1, Park: pk}
+		if _, err := Run(cfg, tr, randx.NewStream(1)); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	// Disabled policy ignores garbage fields.
+	cfg := Config{Model: m, Mapper: mapperFor(sched.ShortestQueue{}, sched.NoFilter),
+		EnergyBudget: math.Inf(1), Park: ParkPolicy{Timeout: -99}}
+	if _, err := Run(cfg, tr, randx.NewStream(1)); err != nil {
+		t.Fatalf("disabled park policy should not validate fields: %v", err)
+	}
+}
+
+func TestParkingDeterministic(t *testing.T) {
+	m := buildModel(t, 27, 40)
+	mut := func(c *Config) { c.VerifyEnergy = false; c.Park = defaultPark(m) }
+	a := runOnce(t, m, mapperFor(sched.ShortestQueue{}, sched.NoFilter), math.Inf(1), 2, mut)
+	b := runOnce(t, m, mapperFor(sched.ShortestQueue{}, sched.NoFilter), math.Inf(1), 2, mut)
+	if a.EnergyConsumed != b.EnergyConsumed || a.Wakeups != b.Wakeups || a.ParkedTime != b.ParkedTime {
+		t.Fatal("parking runs not deterministic")
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Property-style sweeps: the simulator's global invariants must hold for
+// every (heuristic, filter, budget, seed) combination, not just the
+// curated cases. These tests sweep a grid of configurations on a small
+// model.
+
+func TestInvariantsAcrossConfigurations(t *testing.T) {
+	m := buildModel(t, 70, 50)
+	budgets := []float64{math.Inf(1), m.DefaultEnergyBudget(), m.DefaultEnergyBudget() * 0.3}
+	seeds := []uint64{1, 2, 3}
+	for _, h := range sched.AllHeuristics() {
+		for _, v := range sched.AllFilterVariants() {
+			for _, budget := range budgets {
+				for _, seed := range seeds {
+					res := runOnce(t, m, mapperFor(h, v), budget, seed, func(c *Config) { c.VerifyEnergy = false })
+					label := h.Name() + "/" + v.String()
+
+					// Outcome partition is exact.
+					if res.OnTime+res.Late+res.Discarded+res.Unfinished+res.Cancelled != res.Window {
+						t.Fatalf("%s: outcome partition broken: %v", label, res)
+					}
+					// Missed is the complement of OnTime.
+					if res.Missed != res.Window-res.OnTime {
+						t.Fatalf("%s: missed inconsistent: %v", label, res)
+					}
+					// Energy never exceeds the budget.
+					if !math.IsInf(budget, 1) && res.EnergyConsumed > budget*(1+1e-9) {
+						t.Fatalf("%s: consumed %v over budget %v", label, res.EnergyConsumed, budget)
+					}
+					// Exhaustion implies full budget use and vice versa (for
+					// finite budgets where the workload needs more).
+					if res.EnergyExhausted && math.Abs(res.EnergyConsumed-budget) > 1e-6*budget {
+						t.Fatalf("%s: exhausted but consumed %v != budget %v", label, res.EnergyConsumed, budget)
+					}
+					// Mapped counts bound the completions.
+					if res.OnTime+res.Late > res.Mapped {
+						t.Fatalf("%s: more completions than mapped tasks: %v", label, res)
+					}
+					// Makespan positive and weighted value consistent for
+					// unit priorities.
+					if res.Makespan <= 0 {
+						t.Fatalf("%s: makespan %v", label, res.Makespan)
+					}
+					if math.Abs(res.WeightedOnTime-float64(res.OnTime)) > 1e-9 {
+						t.Fatalf("%s: weighted %v != onTime %d with unit priorities", label, res.WeightedOnTime, res.OnTime)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCommonRandomNumbersAcrossHeuristics(t *testing.T) {
+	// The same trial must present identical tasks to every heuristic
+	// (§VI: execution-time realizations are properties of the trial), so a
+	// task's actual execution time under the same assignment is equal
+	// across heuristics.
+	m := buildModel(t, 71, 40)
+	tr, err := workload.GenerateTrial(randx.NewStream(42), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := map[string]*Result{}
+	for _, h := range []sched.Heuristic{sched.ShortestQueue{}, sched.MinExpectedCompletionTime{}} {
+		cfg := Config{Model: m, Mapper: mapperFor(h, sched.NoFilter), EnergyBudget: math.Inf(1), Trace: true}
+		res, err := Run(cfg, tr, randx.NewStream(42).Child("d"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[h.Name()] = res
+	}
+	a, b := runs["SQ"], runs["MECT"]
+	for i := range a.Traces {
+		ta, tb := a.Traces[i], b.Traces[i]
+		if ta.Task != tb.Task {
+			t.Fatalf("task %d differs across heuristics", i)
+		}
+		if ta.Assignment == tb.Assignment && ta.Mapped && tb.Mapped {
+			da := ta.Finish - ta.Start
+			db := tb.Finish - tb.Start
+			if math.Abs(da-db) > 1e-9 {
+				t.Fatalf("task %d: same assignment, different durations %v vs %v", i, da, db)
+			}
+		}
+	}
+}
+
+func TestBudgetMonotonicityInAggregate(t *testing.T) {
+	// More energy can only help in expectation. Individual trials could in
+	// principle invert (different exhaustion points change which tasks
+	// strand), so assert on the sum over several trials.
+	m := buildModel(t, 72, 50)
+	scales := []float64{0.25, 0.5, 1.0, 2.0}
+	prev := -1
+	for _, sc := range scales {
+		total := 0
+		for seed := uint64(1); seed <= 4; seed++ {
+			res := runOnce(t, m, mapperFor(sched.MinExpectedCompletionTime{}, sched.NoFilter),
+				m.DefaultEnergyBudget()*sc, seed, func(c *Config) { c.VerifyEnergy = false })
+			total += res.OnTime
+		}
+		if total < prev {
+			t.Fatalf("aggregate on-time fell from %d to %d when budget rose to %v×", prev, total, sc)
+		}
+		prev = total
+	}
+}
+
+func TestIdlePStateConfigurable(t *testing.T) {
+	// Parking idle cores at a hungrier P-state must consume at least as
+	// much energy under an identical schedule.
+	m := buildModel(t, 73, 40)
+	lo := runOnce(t, m, mapperFor(sched.ShortestQueue{}, sched.NoFilter), math.Inf(1), 3, nil)
+	hi := runOnce(t, m, mapperFor(sched.ShortestQueue{}, sched.NoFilter), math.Inf(1), 3,
+		func(c *Config) { c.IdlePState = 2 /* P2 */ })
+	if hi.EnergyConsumed <= lo.EnergyConsumed {
+		t.Fatalf("idling at P2 (%v) should cost more than P4 (%v)", hi.EnergyConsumed, lo.EnergyConsumed)
+	}
+	// The schedule itself is identical (idle state does not affect FIFO
+	// execution in unfiltered SQ: queue lengths and EET are state-free).
+	if hi.OnTime != lo.OnTime {
+		t.Fatalf("idle P-state changed the unfiltered schedule: %d vs %d", hi.OnTime, lo.OnTime)
+	}
+}

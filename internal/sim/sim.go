@@ -1,0 +1,620 @@
+// Package sim is the discrete-event simulator that executes one trial of
+// the paper's experiment: tasks arrive dynamically, the configured mapper
+// assigns each to a (core, P-state) immediately on arrival (or discards
+// it), cores execute their FIFO queues, idle cores drop to the deepest
+// P-state, and a live energy meter halts the cluster the instant the energy
+// constraint ζ_max is exhausted (everything not completed by then counts as
+// missed).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/randx"
+	"repro/internal/robustness"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Config configures one simulation run.
+type Config struct {
+	// Model is the fixed workload model (cluster + pmf tables).
+	Model *workload.Model
+	// Mapper is the heuristic+filter policy under test.
+	Mapper *sched.Mapper
+	// EnergyBudget is ζ_max; math.Inf(1) disables the constraint.
+	EnergyBudget float64
+	// IdlePState is the state idle cores are parked in. The paper's cores
+	// cannot be turned off (§III-A); parking them in the deepest P-state is
+	// the resource manager's only lever on idle power. Defaults to P4.
+	IdlePState cluster.PState
+	// VerifyEnergy records full P-state transition lists and cross-checks
+	// the meter against the exact Eq. 1/Eq. 2 computation at the end of the
+	// run (test and debugging aid; costs memory).
+	VerifyEnergy bool
+	// Trace records a per-task outcome log in the result.
+	Trace bool
+	// CancelOverdueWaiting is an extension beyond the paper (§VIII future
+	// work): when true, waiting tasks whose deadline has already passed are
+	// dropped from the queue instead of being executed to completion. The
+	// paper's model always executes mapped tasks as a best effort; leave
+	// this false to reproduce the paper.
+	CancelOverdueWaiting bool
+	// Observer, when non-nil, receives every simulation event as it
+	// happens (see the Observer interface). Used by the trace package to
+	// build event logs and core timelines.
+	Observer Observer
+	// PowerCV is a §VIII extension ("use full probability distributions to
+	// represent power consumption"): when positive, each task execution
+	// draws its actual power from a gamma distribution with mean μ(i,π) and
+	// this coefficient of variation instead of the constant μ(i,π). The
+	// heuristics still plan with the mean (EEC is unchanged), so this
+	// studies how power uncertainty erodes the energy budget. Incompatible
+	// with VerifyEnergy (the Eq. 1 replay knows only table powers). Zero
+	// reproduces the paper.
+	PowerCV float64
+	// Park is a §VIII extension ("more energy-conserving techniques ...
+	// power gating"): idle cores are power-gated after a timeout and pay a
+	// wake latency when work next arrives. The zero value (disabled)
+	// reproduces the paper, whose oversubscription rules parking out.
+	Park ParkPolicy
+	// CentralQueue, when non-nil, replaces immediate-mode mapping entirely
+	// (§VIII "reschedule" direction): arriving tasks wait in one
+	// cluster-wide pool and the policy assigns them to cores only when the
+	// core is ready to execute. Mutually exclusive with Mapper.
+	CentralQueue PullPolicy
+}
+
+// ParkPolicy configures the power-gating extension.
+type ParkPolicy struct {
+	// Enabled turns parking on.
+	Enabled bool
+	// Timeout is how long a core must sit idle before it parks.
+	Timeout float64
+	// WakeLatency delays the start of the first task mapped to a parked
+	// core; the latency interval is charged at the task's P-state power (a
+	// deliberate simplification — real gate-up current is implementation
+	// specific).
+	WakeLatency float64
+	// PowerFrac is the parked power as a fraction of the node's P4 power
+	// (e.g. 0.05 ≈ deep gating with retention).
+	PowerFrac float64
+}
+
+// Validate reports whether the policy is usable.
+func (p ParkPolicy) Validate() error {
+	if !p.Enabled {
+		return nil
+	}
+	if p.Timeout < 0 || p.WakeLatency < 0 {
+		return fmt.Errorf("sim: park timeout %v and wake latency %v must be >= 0", p.Timeout, p.WakeLatency)
+	}
+	if p.PowerFrac < 0 || p.PowerFrac > 1 {
+		return fmt.Errorf("sim: parked power fraction %v outside [0,1]", p.PowerFrac)
+	}
+	return nil
+}
+
+// Observer receives simulation events in time order. Implementations must
+// not retain the engine's internal state; all arguments are values.
+// Callbacks run synchronously on the simulation goroutine.
+type Observer interface {
+	// TaskMapped fires when an arriving task receives an assignment.
+	TaskMapped(t float64, task workload.Task, a sched.Assignment)
+	// TaskDiscarded fires when filters eliminate every assignment.
+	TaskDiscarded(t float64, task workload.Task)
+	// TaskStarted fires when a core begins executing a task.
+	TaskStarted(t float64, task workload.Task, a sched.Assignment)
+	// TaskFinished fires at completion; onTime reports deadline success.
+	TaskFinished(t float64, task workload.Task, a sched.Assignment, onTime bool)
+	// PStateChanged fires on every core P-state transition.
+	PStateChanged(t float64, core cluster.CoreID, ps cluster.PState)
+	// EnergyExhausted fires once if ζ_max runs out; the run halts.
+	EnergyExhausted(t float64)
+}
+
+// Outcome classifies what happened to one task.
+type Outcome int
+
+// Task outcomes.
+const (
+	// OutcomeOnTime: completed at or before its deadline.
+	OutcomeOnTime Outcome = iota
+	// OutcomeLate: completed, but after its deadline.
+	OutcomeLate
+	// OutcomeDiscarded: every assignment was filtered out at arrival.
+	OutcomeDiscarded
+	// OutcomeUnfinished: mapped but not completed when the run halted
+	// (energy exhaustion), or never arrived before the halt.
+	OutcomeUnfinished
+	// OutcomeCancelled: dropped by the CancelOverdueWaiting extension.
+	OutcomeCancelled
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOnTime:
+		return "on-time"
+	case OutcomeLate:
+		return "late"
+	case OutcomeDiscarded:
+		return "discarded"
+	case OutcomeUnfinished:
+		return "unfinished"
+	case OutcomeCancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
+
+// TaskTrace records one task's fate (populated when Config.Trace is set).
+type TaskTrace struct {
+	Task       workload.Task
+	Outcome    Outcome
+	Assignment sched.Assignment // zero value when discarded/not arrived
+	Mapped     bool
+	Start      float64
+	Finish     float64
+}
+
+// Result summarizes one simulation run. The headline metric of the paper's
+// figures is Missed: tasks of the window that did not complete by their
+// individual deadline within the energy constraint.
+type Result struct {
+	// Window is the number of tasks in the trial.
+	Window int
+	// OnTime counts tasks completed by their deadlines.
+	OnTime int
+	// Missed = Window − OnTime (the paper's box-plot metric).
+	Missed int
+	// Late counts tasks completed after their deadlines.
+	Late int
+	// Discarded counts tasks whose feasible set was emptied by filters.
+	Discarded int
+	// Cancelled counts tasks dropped by the CancelOverdueWaiting extension.
+	Cancelled int
+	// Unfinished counts tasks mapped but not completed (plus tasks that
+	// never arrived) when the run halted.
+	Unfinished int
+	// Mapped counts tasks that received an assignment.
+	Mapped int
+
+	// EnergyConsumed is the actual wall energy drawn (Eqs. 1–2).
+	EnergyConsumed float64
+	// EnergyExhausted reports whether ζ_max ran out before the workload
+	// finished; ExhaustedAt is the halt instant when it did.
+	EnergyExhausted bool
+	ExhaustedAt     float64
+	// EnergyEstimateLeft is the heuristic-side estimate ζ(t_end) at the end
+	// of the run (§V-F); it drifts from the meter because it ignores idle
+	// power and uses expected rather than actual execution times.
+	EnergyEstimateLeft float64
+	// Makespan is the time of the last processed event.
+	Makespan float64
+	// AvgQueueDepthTime is the time-averaged per-core queue depth over the
+	// run (diagnostic; the filters use the instantaneous depth).
+	AvgQueueDepthTime float64
+	// WeightedOnTime is the priority-weighted on-time value (extension;
+	// equals OnTime when all priorities are 1).
+	WeightedOnTime float64
+	// Wakeups counts parked-core wakeups (parking extension only).
+	Wakeups int
+	// ParkedTime is the total core-time spent parked (parking extension).
+	ParkedTime float64
+	// EnergyVerifyError is |meter − exact Eq.1/2| when VerifyEnergy is set.
+	EnergyVerifyError float64
+
+	// Traces is the per-task log (only when Config.Trace is set), indexed
+	// by task ID.
+	Traces []TaskTrace
+}
+
+// queued is one task occupying a core.
+type queued struct {
+	task    workload.Task
+	pstate  cluster.PState
+	actual  float64 // realized execution time, fixed at map time
+	started bool
+	startAt float64
+}
+
+// event kinds, in tie-break priority order at equal times: completions
+// free cores before a simultaneous arrival is mapped, and a core is handed
+// work before a simultaneous park fires.
+const (
+	evCompletion = iota
+	evArrival
+	evPark
+)
+
+type event struct {
+	time float64
+	kind int
+	idx  int // task index for arrivals, core index for completions/parks
+	gen  int // park-event generation; stale parks are ignored
+	seq  int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// engine is the run state; it implements sched.SystemView.
+type engine struct {
+	cfg    Config
+	trial  *workload.Trial
+	calc   *robustness.Calculator
+	meter  *energy.Meter
+	rand   *randx.Stream
+	cores  []cluster.CoreID
+	queues [][]queued
+	events eventHeap
+	seq    int
+
+	energyLeft    float64 // heuristic estimate ζ(t_l)
+	inSystem      int     // mapped, not yet completed
+	depthIntegral float64 // ∫ inSystem dt
+	lastT         float64
+
+	powerRand *randx.Stream // per-execution power draws (PowerCV extension)
+	parked    []bool
+	idleGen   []int // invalidates stale park events
+	parkedAt  []float64
+
+	res *Result
+}
+
+var _ sched.SystemView = (*engine)(nil)
+
+// NumCores implements sched.SystemView.
+func (e *engine) NumCores() int { return len(e.cores) }
+
+// CoreID implements sched.SystemView.
+func (e *engine) CoreID(idx int) cluster.CoreID { return e.cores[idx] }
+
+// Queue implements sched.SystemView: a snapshot of the core's occupancy.
+func (e *engine) Queue(idx int) robustness.CoreQueue {
+	q := e.queues[idx]
+	cq := robustness.CoreQueue{Node: e.cores[idx].Node}
+	if len(q) == 0 {
+		return cq
+	}
+	cq.Tasks = make([]robustness.QueuedTask, len(q))
+	for i, t := range q {
+		cq.Tasks[i] = robustness.QueuedTask{
+			Type:     t.task.Type,
+			PState:   t.pstate,
+			Deadline: t.task.Deadline,
+			Started:  t.started,
+			StartAt:  t.startAt,
+		}
+	}
+	return cq
+}
+
+// Run executes one trial under the configuration. decisions seeds the
+// Random heuristic's draws (and any other stochastic policy choice); runs
+// with equal (cfg, trial, decisions) are bit-identical.
+func Run(cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("sim: Config.Model is nil")
+	}
+	if err := validateCentral(cfg); err != nil {
+		return nil, err
+	}
+	if cfg.CentralQueue == nil && (cfg.Mapper == nil || cfg.Mapper.Heuristic == nil) {
+		return nil, errors.New("sim: Config.Mapper is nil or has no heuristic")
+	}
+	if trial == nil || len(trial.Tasks) == 0 {
+		return nil, errors.New("sim: empty trial")
+	}
+	if decisions == nil {
+		return nil, errors.New("sim: nil decision stream")
+	}
+	if cfg.IdlePState == 0 {
+		cfg.IdlePState = cluster.P4
+	}
+	if !cfg.IdlePState.Valid() {
+		return nil, fmt.Errorf("sim: invalid idle P-state %d", cfg.IdlePState)
+	}
+	if cfg.PowerCV < 0 {
+		return nil, fmt.Errorf("sim: PowerCV %v must be >= 0", cfg.PowerCV)
+	}
+	if err := cfg.Park.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.VerifyEnergy && (cfg.PowerCV > 0 || cfg.Park.Enabled) {
+		return nil, errors.New("sim: VerifyEnergy is incompatible with the PowerCV/Park extensions (Eq. 1 replay knows only P-state table powers)")
+	}
+	budget := cfg.EnergyBudget
+	if budget == 0 {
+		budget = math.Inf(1)
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("sim: energy budget %v must be positive (use +Inf to disable)", budget)
+	}
+	meter, err := energy.NewMeter(cfg.Model.Cluster, cfg.IdlePState, budget, cfg.VerifyEnergy)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		cfg:        cfg,
+		trial:      trial,
+		calc:       robustness.NewCalculator(cfg.Model),
+		meter:      meter,
+		rand:       decisions,
+		cores:      cfg.Model.Cluster.Cores(),
+		queues:     make([][]queued, cfg.Model.Cluster.TotalCores()),
+		energyLeft: budget,
+		res: &Result{
+			Window: len(trial.Tasks),
+		},
+	}
+	if cfg.Trace {
+		e.res.Traces = make([]TaskTrace, len(trial.Tasks))
+		for i, t := range trial.Tasks {
+			e.res.Traces[i] = TaskTrace{Task: t, Outcome: OutcomeUnfinished}
+		}
+	}
+	if cfg.PowerCV > 0 {
+		e.powerRand = decisions.Child("power")
+	}
+	if cfg.Park.Enabled {
+		e.parked = make([]bool, len(e.queues))
+		e.idleGen = make([]int, len(e.queues))
+		e.parkedAt = make([]float64, len(e.queues))
+		// Every core is idle at t=0; schedule the initial park checks.
+		for i := range e.queues {
+			e.push(event{time: cfg.Park.Timeout, kind: evPark, idx: i, gen: 0})
+		}
+	}
+	for i, t := range trial.Tasks {
+		e.push(event{time: t.Arrival, kind: evArrival, idx: i})
+	}
+	if cfg.CentralQueue != nil {
+		ce := &centralEngine{engine: e, policy: cfg.CentralQueue, idle: make(map[int]bool, len(e.queues))}
+		for i := range e.queues {
+			ce.idle[i] = true
+		}
+		ce.loopCentral()
+		ce.finalize()
+		return ce.res, nil
+	}
+	e.loop()
+	e.finalize()
+	return e.res, nil
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+func (e *engine) loop() {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.depthIntegral += float64(e.inSystem) * (ev.time - e.lastT)
+		e.lastT = ev.time
+		at, exhausted := e.meter.Advance(ev.time)
+		if exhausted {
+			e.res.EnergyExhausted = true
+			e.res.ExhaustedAt = at
+			e.res.Makespan = at
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.EnergyExhausted(at)
+			}
+			return
+		}
+		switch ev.kind {
+		case evArrival:
+			e.arrive(ev.time, ev.idx)
+		case evCompletion:
+			e.complete(ev.time, ev.idx)
+		case evPark:
+			e.park(ev.idx, ev.gen)
+		}
+		e.res.Makespan = ev.time
+	}
+}
+
+// arrive maps one task in immediate mode.
+func (e *engine) arrive(now float64, taskIdx int) {
+	task := e.trial.Tasks[taskIdx]
+	ctx := &sched.Context{
+		Now:           now,
+		Task:          task,
+		Model:         e.cfg.Model,
+		Calc:          e.calc,
+		EnergyLeft:    e.energyLeft,
+		TasksLeft:     len(e.trial.Tasks) - taskIdx - 1,
+		AvgQueueDepth: float64(e.inSystem) / float64(len(e.cores)),
+		Rand:          e.rand,
+	}
+	cands := sched.BuildCandidates(ctx, e)
+	chosen := e.cfg.Mapper.Map(ctx, cands)
+	if chosen == nil {
+		e.res.Discarded++
+		if e.cfg.Trace {
+			e.res.Traces[taskIdx].Outcome = OutcomeDiscarded
+		}
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.TaskDiscarded(now, task)
+		}
+		return
+	}
+	e.res.Mapped++
+	e.energyLeft -= chosen.EEC
+	actual := e.cfg.Model.ActualExecTime(task, chosen.Core.Node, chosen.PState)
+	q := queued{task: task, pstate: chosen.PState, actual: actual}
+	idx := chosen.CoreIdx
+	e.queues[idx] = append(e.queues[idx], q)
+	e.inSystem++
+	if e.cfg.Trace {
+		tr := &e.res.Traces[taskIdx]
+		tr.Mapped = true
+		tr.Assignment = chosen.Assignment
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.TaskMapped(now, task, chosen.Assignment)
+	}
+	if len(e.queues[idx]) == 1 {
+		e.start(now, idx)
+	}
+}
+
+// start begins executing the head of the core's queue: the core (idle at
+// this instant) transitions to the task's P-state and a completion event is
+// scheduled at the realized finish time.
+func (e *engine) start(now float64, coreIdx int) {
+	head := &e.queues[coreIdx][0]
+	wake := 0.0
+	if e.cfg.Park.Enabled {
+		e.idleGen[coreIdx]++ // invalidate any pending park check
+		if e.parked[coreIdx] {
+			e.parked[coreIdx] = false
+			e.res.ParkedTime += now - e.parkedAt[coreIdx]
+			e.res.Wakeups++
+			wake = e.cfg.Park.WakeLatency
+		}
+	}
+	e.setPState(now, coreIdx, head.pstate)
+	if e.cfg.PowerCV > 0 {
+		node := e.cfg.Model.Cluster.Node(e.cores[coreIdx])
+		factor := e.powerRand.GammaMeanCV(1, e.cfg.PowerCV)
+		e.meter.SetPower(coreIdx, node.Power[head.pstate]*factor)
+	}
+	head.started = true
+	head.startAt = now
+	if e.cfg.Trace {
+		e.res.Traces[head.task.ID].Start = now
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.TaskStarted(now, head.task, e.assignment(coreIdx, head.pstate))
+	}
+	e.push(event{time: now + wake + head.actual, kind: evCompletion, idx: coreIdx})
+}
+
+// park power-gates a core if it is still idle and the check is current.
+func (e *engine) park(coreIdx, gen int) {
+	if !e.cfg.Park.Enabled || e.parked[coreIdx] || gen != e.idleGen[coreIdx] || len(e.queues[coreIdx]) > 0 {
+		return
+	}
+	e.parked[coreIdx] = true
+	e.parkedAt[coreIdx] = e.meter.Now()
+	node := e.cfg.Model.Cluster.Node(e.cores[coreIdx])
+	e.meter.SetPower(coreIdx, e.cfg.Park.PowerFrac*node.Power[cluster.P4])
+}
+
+// setPState changes a core's P-state through the meter and notifies the
+// observer of real transitions only.
+func (e *engine) setPState(now float64, coreIdx int, ps cluster.PState) {
+	if e.meter.PStateOf(coreIdx) == ps {
+		return
+	}
+	e.meter.SetPState(coreIdx, ps)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.PStateChanged(now, e.cores[coreIdx], ps)
+	}
+}
+
+// assignment reconstructs the sched.Assignment of a core's current task.
+func (e *engine) assignment(coreIdx int, ps cluster.PState) sched.Assignment {
+	return sched.Assignment{Core: e.cores[coreIdx], CoreIdx: coreIdx, PState: ps}
+}
+
+// complete retires the head of the core's queue and starts the next task
+// (or parks the core in the idle P-state).
+func (e *engine) complete(now float64, coreIdx int) {
+	q := e.queues[coreIdx]
+	head := q[0]
+	e.queues[coreIdx] = q[1:]
+	e.inSystem--
+	onTime := now <= head.task.Deadline
+	if onTime {
+		e.res.OnTime++
+		e.res.WeightedOnTime += head.task.Priority
+		if e.cfg.Trace {
+			e.res.Traces[head.task.ID].Outcome = OutcomeOnTime
+		}
+	} else {
+		e.res.Late++
+		if e.cfg.Trace {
+			e.res.Traces[head.task.ID].Outcome = OutcomeLate
+		}
+	}
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.TaskFinished(now, head.task, e.assignment(coreIdx, head.pstate), onTime)
+	}
+	if e.cfg.Trace {
+		e.res.Traces[head.task.ID].Finish = now
+	}
+	if e.cfg.CancelOverdueWaiting {
+		for len(e.queues[coreIdx]) > 0 && e.queues[coreIdx][0].task.Deadline < now {
+			dropped := e.queues[coreIdx][0]
+			e.queues[coreIdx] = e.queues[coreIdx][1:]
+			e.inSystem--
+			e.res.Cancelled++
+			if e.cfg.Trace {
+				e.res.Traces[dropped.task.ID].Outcome = OutcomeCancelled
+			}
+		}
+	}
+	if len(e.queues[coreIdx]) > 0 {
+		e.start(now, coreIdx)
+	} else {
+		e.setPState(now, coreIdx, e.cfg.IdlePState)
+		if e.cfg.Park.Enabled {
+			e.idleGen[coreIdx]++
+			e.push(event{time: now + e.cfg.Park.Timeout, kind: evPark, idx: coreIdx, gen: e.idleGen[coreIdx]})
+		}
+	}
+}
+
+func (e *engine) finalize() {
+	r := e.res
+	r.Missed = r.Window - r.OnTime
+	r.Unfinished = r.Window - r.OnTime - r.Late - r.Discarded - r.Cancelled
+	if e.cfg.Park.Enabled {
+		for i, p := range e.parked {
+			if p {
+				r.ParkedTime += e.meter.Now() - e.parkedAt[i]
+			}
+		}
+	}
+	r.EnergyConsumed = e.meter.Consumed()
+	r.EnergyEstimateLeft = e.energyLeft
+	if r.Makespan > 0 {
+		r.AvgQueueDepthTime = e.depthIntegral / (r.Makespan * float64(len(e.cores)))
+	}
+	if e.cfg.VerifyEnergy {
+		if diff, err := e.meter.Verify(); err == nil {
+			r.EnergyVerifyError = diff
+		}
+	}
+}
+
+// String summarizes the result in one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("result{window=%d onTime=%d missed=%d late=%d discarded=%d unfinished=%d energy=%.3g exhausted=%v}",
+		r.Window, r.OnTime, r.Missed, r.Late, r.Discarded, r.Unfinished, r.EnergyConsumed, r.EnergyExhausted)
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/randx"
+)
+
+// This file provides the inferential statistics used when comparing
+// heuristics across trials: the Mann–Whitney (Wilcoxon rank-sum) test with
+// normal approximation and tie correction, the common-language effect
+// size, and bootstrap confidence intervals for medians. Box-plot medians
+// alone cannot say whether "LL beats SQ" is signal or trial noise.
+
+// Comparison summarizes a two-sample comparison of lower-is-better
+// samples (missed-deadline counts).
+type Comparison struct {
+	// MedianA and MedianB are the sample medians.
+	MedianA, MedianB float64
+	// U is the Mann–Whitney statistic of sample A (number of (a,b) pairs
+	// with a < b, counting ties as half).
+	U float64
+	// Z is the tie-corrected normal approximation of U's deviation from
+	// its null mean.
+	Z float64
+	// P is the two-sided p-value under the normal approximation.
+	P float64
+	// CLES is the common-language effect size P(a < b) + P(a == b)/2: the
+	// probability a random trial of A misses fewer deadlines than one of B.
+	CLES float64
+}
+
+// String renders the comparison compactly.
+func (c Comparison) String() string {
+	return fmt.Sprintf("medians %.1f vs %.1f, P(A<B)=%.3f, z=%.2f, p=%.4f",
+		c.MedianA, c.MedianB, c.CLES, c.Z, c.P)
+}
+
+// RankSum runs the Mann–Whitney U test on two samples. It returns an error
+// if either sample has fewer than 2 observations. The normal approximation
+// is accurate for the 50-trial samples this repository produces.
+func RankSum(a, b []float64) (Comparison, error) {
+	n1, n2 := len(a), len(b)
+	if n1 < 2 || n2 < 2 {
+		return Comparison{}, fmt.Errorf("stats: RankSum needs >= 2 samples per group, got %d and %d", n1, n2)
+	}
+	medA, err := Median(a)
+	if err != nil {
+		return Comparison{}, err
+	}
+	medB, err := Median(b)
+	if err != nil {
+		return Comparison{}, err
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		if math.IsNaN(v) {
+			return Comparison{}, fmt.Errorf("stats: NaN in sample A")
+		}
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		if math.IsNaN(v) {
+			return Comparison{}, fmt.Errorf("stats: NaN in sample B")
+		}
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie groups; accumulate tie correction Σ(t³−t).
+	ranks := make([]float64, len(all))
+	tieCorr := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieCorr += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.fromA {
+			r1 += ranks[i]
+		}
+	}
+	f1, f2 := float64(n1), float64(n2)
+	// U counts pairs where A exceeds B; convert so that U measures A-wins
+	// for the lower-is-better reading later via CLES.
+	uA := r1 - f1*(f1+1)/2 // pairs (a,b) with a > b (ties half)
+	uLess := f1*f2 - uA    // pairs with a < b (ties half)
+	mean := f1 * f2 / 2
+	n := f1 + f2
+	variance := f1 * f2 / 12 * ((n + 1) - tieCorr/(n*(n-1)))
+	z := 0.0
+	if variance > 0 {
+		z = (uLess - mean) / math.Sqrt(variance)
+	}
+	p := 2 * (1 - stdNormCDF(math.Abs(z)))
+	return Comparison{
+		MedianA: medA,
+		MedianB: medB,
+		U:       uLess,
+		Z:       z,
+		P:       p,
+		CLES:    uLess / (f1 * f2),
+	}, nil
+}
+
+// stdNormCDF is Φ(x) via the complementary error function.
+func stdNormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// BootstrapMedianCI returns a percentile bootstrap confidence interval for
+// the median at the given level (e.g. 0.95), using iters resamples drawn
+// from the stream. Deterministic for a fixed stream.
+func BootstrapMedianCI(xs []float64, level float64, iters int, s *randx.Stream) (lo, hi float64, err error) {
+	if len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: bootstrap needs >= 2 samples, got %d", len(xs))
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence level %v outside (0,1)", level)
+	}
+	if iters < 10 {
+		return 0, 0, fmt.Errorf("stats: bootstrap needs >= 10 iterations, got %d", iters)
+	}
+	if s == nil {
+		return 0, 0, fmt.Errorf("stats: nil stream")
+	}
+	meds := make([]float64, iters)
+	resample := make([]float64, len(xs))
+	for it := 0; it < iters; it++ {
+		for i := range resample {
+			resample[i] = xs[s.IntN(len(xs))]
+		}
+		sort.Float64s(resample)
+		meds[it] = Percentile(resample, 0.5)
+	}
+	sort.Float64s(meds)
+	alpha := (1 - level) / 2
+	return Percentile(meds, alpha), Percentile(meds, 1-alpha), nil
+}

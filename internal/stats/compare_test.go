@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestRankSumClearSeparation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := []float64{20, 21, 22, 23, 24, 25, 26, 27, 28, 29}
+	c, err := RankSum(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CLES != 1 {
+		t.Fatalf("CLES %v, want 1 (every a < every b)", c.CLES)
+	}
+	if c.P > 0.001 {
+		t.Fatalf("p %v, want tiny for complete separation", c.P)
+	}
+	if c.MedianA != 5.5 || c.MedianB != 24.5 {
+		t.Fatalf("medians %v/%v", c.MedianA, c.MedianB)
+	}
+	if c.Z <= 0 {
+		t.Fatalf("z %v should be positive when A is smaller", c.Z)
+	}
+}
+
+func TestRankSumIdenticalSamples(t *testing.T) {
+	a := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	c, err := RankSum(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.CLES-0.5) > 1e-12 {
+		t.Fatalf("CLES %v, want 0.5 for identical samples", c.CLES)
+	}
+	if c.P < 0.99 {
+		t.Fatalf("p %v, want ~1 for identical samples", c.P)
+	}
+}
+
+func TestRankSumSymmetry(t *testing.T) {
+	s := randx.NewStream(1)
+	a := make([]float64, 30)
+	b := make([]float64, 25)
+	for i := range a {
+		a[i] = s.Normal(10, 3)
+	}
+	for i := range b {
+		b[i] = s.Normal(12, 3)
+	}
+	ab, err := RankSum(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := RankSum(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ab.CLES+ba.CLES-1) > 1e-9 {
+		t.Fatalf("CLES not complementary: %v + %v", ab.CLES, ba.CLES)
+	}
+	if math.Abs(ab.P-ba.P) > 1e-9 {
+		t.Fatalf("p not symmetric: %v vs %v", ab.P, ba.P)
+	}
+}
+
+func TestRankSumFalsePositiveRate(t *testing.T) {
+	// Under the null (same distribution), p < 0.05 should occur about 5%
+	// of the time. With a fixed seed this is deterministic.
+	s := randx.NewStream(7)
+	reject := 0
+	const reps = 400
+	for r := 0; r < reps; r++ {
+		a := make([]float64, 20)
+		b := make([]float64, 20)
+		for i := range a {
+			a[i] = s.Normal(0, 1)
+		}
+		for i := range b {
+			b[i] = s.Normal(0, 1)
+		}
+		c, err := RankSum(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.P < 0.05 {
+			reject++
+		}
+	}
+	rate := float64(reject) / reps
+	if rate > 0.10 {
+		t.Fatalf("null rejection rate %v, want ~0.05", rate)
+	}
+}
+
+func TestRankSumPower(t *testing.T) {
+	// A half-sigma shift at n=50 per group should usually be detected.
+	s := randx.NewStream(9)
+	reject := 0
+	const reps = 100
+	for r := 0; r < reps; r++ {
+		a := make([]float64, 50)
+		b := make([]float64, 50)
+		for i := range a {
+			a[i] = s.Normal(0, 1)
+		}
+		for i := range b {
+			b[i] = s.Normal(0.8, 1)
+		}
+		c, _ := RankSum(a, b)
+		if c.P < 0.05 {
+			reject++
+		}
+	}
+	if reject < 85 {
+		t.Fatalf("detected %d/%d large shifts, want most", reject, reps)
+	}
+}
+
+func TestRankSumErrors(t *testing.T) {
+	if _, err := RankSum([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for tiny sample")
+	}
+	if _, err := RankSum([]float64{1, math.NaN()}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for NaN")
+	}
+	if _, err := RankSum([]float64{1, 2}, []float64{math.NaN(), 2}); err == nil {
+		t.Fatal("expected error for NaN in B")
+	}
+}
+
+func TestRankSumTies(t *testing.T) {
+	// Heavy ties must not produce NaN or invalid CLES.
+	a := []float64{1, 1, 1, 2, 2}
+	b := []float64{1, 2, 2, 2, 3}
+	c, err := RankSum(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(c.Z) || math.IsNaN(c.P) {
+		t.Fatalf("NaN stats with ties: %+v", c)
+	}
+	if c.CLES <= 0.5 {
+		t.Fatalf("CLES %v: A is stochastically smaller, want > 0.5", c.CLES)
+	}
+}
+
+func TestBootstrapMedianCI(t *testing.T) {
+	s := randx.NewStream(11)
+	xs := make([]float64, 60)
+	for i := range xs {
+		xs[i] = s.Normal(100, 10)
+	}
+	lo, hi, err := BootstrapMedianCI(xs, 0.95, 2000, randx.NewStream(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, _ := Median(xs)
+	if lo > med || hi < med {
+		t.Fatalf("CI [%v,%v] excludes sample median %v", lo, hi, med)
+	}
+	if hi-lo <= 0 || hi-lo > 12 {
+		t.Fatalf("CI width %v implausible for n=60 sd=10", hi-lo)
+	}
+	// Deterministic for equal streams.
+	lo2, hi2, _ := BootstrapMedianCI(xs, 0.95, 2000, randx.NewStream(13))
+	if lo != lo2 || hi != hi2 {
+		t.Fatal("bootstrap not deterministic")
+	}
+}
+
+func TestBootstrapMedianCIErrors(t *testing.T) {
+	s := randx.NewStream(1)
+	if _, _, err := BootstrapMedianCI([]float64{1}, 0.95, 100, s); err == nil {
+		t.Fatal("expected error for tiny sample")
+	}
+	if _, _, err := BootstrapMedianCI([]float64{1, 2}, 1.5, 100, s); err == nil {
+		t.Fatal("expected error for bad level")
+	}
+	if _, _, err := BootstrapMedianCI([]float64{1, 2}, 0.95, 5, s); err == nil {
+		t.Fatal("expected error for too few iterations")
+	}
+	if _, _, err := BootstrapMedianCI([]float64{1, 2}, 0.95, 100, nil); err == nil {
+		t.Fatal("expected error for nil stream")
+	}
+}
+
+func TestComparisonString(t *testing.T) {
+	c, _ := RankSum([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if c.String() == "" {
+		t.Fatal("empty string")
+	}
+}

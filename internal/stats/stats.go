@@ -1,0 +1,191 @@
+// Package stats provides the descriptive statistics behind the paper's
+// evaluation figures: five-number box-and-whiskers summaries over the 50
+// simulation trials, quantiles with linear interpolation, and ASCII
+// rendering of grouped box plots so every figure can be regenerated on a
+// terminal.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrNoData is returned when a summary of an empty sample is requested.
+var ErrNoData = errors.New("stats: no data")
+
+// Summary is a Tukey box-and-whiskers description of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+	// WhiskerLo/WhiskerHi are the most extreme data points within 1.5·IQR
+	// of the quartiles; points beyond are Outliers.
+	WhiskerLo, WhiskerHi float64
+	Outliers             []float64
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of a sorted sample using
+// linear interpolation between order statistics (type-7, the convention of
+// most statistics packages: the median of an even-sized sample is the mean
+// of the two central values). Panics if the sample is empty or p outside
+// [0,1].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,1]", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the sample median (the paper's headline statistic).
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Percentile(s, 0.5), nil
+}
+
+// Summarize computes the full box-plot summary of a sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoData
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum, sq := 0.0, 0.0
+	for _, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Summary{}, fmt.Errorf("stats: invalid sample value %v", v)
+		}
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := math.Max(0, sq/n-mean*mean)
+	out := Summary{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     Percentile(s, 0.25),
+		Median: Percentile(s, 0.5),
+		Q3:     Percentile(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+	}
+	iqr := out.Q3 - out.Q1
+	loFence := out.Q1 - 1.5*iqr
+	hiFence := out.Q3 + 1.5*iqr
+	out.WhiskerLo, out.WhiskerHi = out.Q1, out.Q3
+	first := true
+	for _, v := range s {
+		if v < loFence || v > hiFence {
+			out.Outliers = append(out.Outliers, v)
+			continue
+		}
+		if first {
+			out.WhiskerLo = v
+			first = false
+		}
+		out.WhiskerHi = v
+	}
+	return out, nil
+}
+
+// String renders the five-number summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g mean=%.4g sd=%.4g",
+		s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean, s.StdDev)
+}
+
+// ImprovementPct returns the percentage improvement of value over base for
+// a lower-is-better metric: 100·(base−value)/base. Positive means value is
+// better (smaller).
+func ImprovementPct(base, value float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - value) / base
+}
+
+// RenderBoxes draws horizontal ASCII box-and-whiskers plots, one row per
+// labeled summary, on a shared axis of the given width. This is the
+// terminal rendering of the paper's Figures 2–6.
+func RenderBoxes(labels []string, summaries []Summary, width int) (string, error) {
+	if len(labels) != len(summaries) {
+		return "", fmt.Errorf("stats: %d labels for %d summaries", len(labels), len(summaries))
+	}
+	if len(summaries) == 0 {
+		return "", ErrNoData
+	}
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for i, s := range summaries {
+		lo = math.Min(lo, s.Min)
+		hi = math.Max(hi, s.Max)
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	pos := func(v float64) int {
+		p := int(math.Round(float64(width-1) * (v - lo) / span))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	var b strings.Builder
+	for i, s := range summaries {
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		for j := pos(s.WhiskerLo); j <= pos(s.WhiskerHi); j++ {
+			row[j] = '-'
+		}
+		for j := pos(s.Q1); j <= pos(s.Q3); j++ {
+			row[j] = '='
+		}
+		row[pos(s.WhiskerLo)] = '|'
+		row[pos(s.WhiskerHi)] = '|'
+		row[pos(s.Median)] = 'M'
+		for _, o := range s.Outliers {
+			row[pos(o)] = 'o'
+		}
+		fmt.Fprintf(&b, "%-*s %s med=%.1f\n", labelW, labels[i], string(row), s.Median)
+	}
+	fmt.Fprintf(&b, "%-*s %-*.4g%*.4g\n", labelW, "", width/2, lo, width-width/2, hi)
+	return b.String(), nil
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Percentile(s, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile([]float64{7}, 0.3) != 7 {
+		t.Error("single-element percentile wrong")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 0.5) },
+		func() { Percentile([]float64{1}, -0.1) },
+		func() { Percentile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m, _ := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median %v, want 2", m)
+	}
+	// Even count: mean of middle two — the convention matching the paper's
+	// half-integer medians (375.5 of 50 trials).
+	if m, _ := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median %v, want 2.5", m)
+	}
+	if _, err := Median(nil); err == nil {
+		t.Fatal("expected error for empty sample")
+	}
+	// Median must not mutate its argument.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("bounds wrong: %+v", s)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median %v, want 4.5", s.Median)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("mean %v, want 5", s.Mean)
+	}
+	if math.Abs(s.StdDev-2) > 1e-12 {
+		t.Fatalf("sd %v, want 2", s.StdDev)
+	}
+	if s.Q1 > s.Median || s.Median > s.Q3 {
+		t.Fatalf("quartiles out of order: %+v", s)
+	}
+}
+
+func TestSummarizeOutliers(t *testing.T) {
+	xs := []float64{10, 11, 12, 13, 14, 15, 16, 100}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Outliers) != 1 || s.Outliers[0] != 100 {
+		t.Fatalf("outliers %v, want [100]", s.Outliers)
+	}
+	if s.WhiskerHi != 16 {
+		t.Fatalf("upper whisker %v, want 16 (outlier excluded)", s.WhiskerHi)
+	}
+	if s.WhiskerLo != 10 {
+		t.Fatalf("lower whisker %v, want 10", s.WhiskerLo)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("expected error for empty sample")
+	}
+	if _, err := Summarize([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("expected error for NaN")
+	}
+	if _, err := Summarize([]float64{math.Inf(1)}); err == nil {
+		t.Fatal("expected error for Inf")
+	}
+}
+
+func TestSummarizeConstantSample(t *testing.T) {
+	s, err := Summarize([]float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 5 || s.Max != 5 || s.Median != 5 || s.StdDev != 0 {
+		t.Fatalf("constant sample summary wrong: %+v", s)
+	}
+	if len(s.Outliers) != 0 {
+		t.Fatal("constant sample has outliers")
+	}
+}
+
+func TestImprovementPct(t *testing.T) {
+	if got := ImprovementPct(400, 300); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("improvement %v, want 25", got)
+	}
+	if got := ImprovementPct(100, 120); math.Abs(got+20) > 1e-12 {
+		t.Fatalf("improvement %v, want -20", got)
+	}
+	if ImprovementPct(0, 5) != 0 {
+		t.Fatal("zero base should yield 0")
+	}
+}
+
+func TestRenderBoxes(t *testing.T) {
+	a, _ := Summarize([]float64{1, 2, 3, 4, 5})
+	b, _ := Summarize([]float64{10, 20, 30, 40, 100})
+	out, err := RenderBoxes([]string{"none", "en+rob"}, []Summary{a, b}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "none") || !strings.Contains(out, "en+rob") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "M") || !strings.Contains(out, "=") || !strings.Contains(out, "|") {
+		t.Fatalf("box glyphs missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two boxes + axis line
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderBoxesErrors(t *testing.T) {
+	s, _ := Summarize([]float64{1})
+	if _, err := RenderBoxes([]string{"a", "b"}, []Summary{s}, 40); err == nil {
+		t.Fatal("expected error for label/summary mismatch")
+	}
+	if _, err := RenderBoxes(nil, nil, 40); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestRenderBoxesDegenerate(t *testing.T) {
+	s, _ := Summarize([]float64{5, 5})
+	out, err := RenderBoxes([]string{"const"}, []Summary{s}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, _ := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "med=2") {
+		t.Fatalf("summary string %q", s.String())
+	}
+}

@@ -1,0 +1,293 @@
+// Package trace records the event stream of a simulation run and renders
+// it for humans and tools: a structured event log (JSON/CSV exportable),
+// per-core execution timelines as ASCII Gantt charts, and time series of
+// the cluster's state (tasks in system, cumulative energy proxy). It is
+// the observability layer a downstream operator uses to understand *why* a
+// policy missed the deadlines it missed.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds.
+const (
+	KindMapped    Kind = "mapped"
+	KindDiscarded Kind = "discarded"
+	KindStarted   Kind = "started"
+	KindFinished  Kind = "finished"
+	KindPState    Kind = "pstate"
+	KindExhausted Kind = "exhausted"
+)
+
+// Event is one recorded simulation event.
+type Event struct {
+	Time   float64 `json:"t"`
+	Kind   Kind    `json:"kind"`
+	TaskID int     `json:"task,omitempty"`
+	Type   int     `json:"type,omitempty"`
+	Core   string  `json:"core,omitempty"`
+	PState string  `json:"pstate,omitempty"`
+	OnTime *bool   `json:"onTime,omitempty"`
+}
+
+// Recorder implements sim.Observer, accumulating the event log and the
+// per-core execution spans needed for timeline rendering.
+type Recorder struct {
+	Events []Event
+
+	spans    map[string][]span // core label -> executed spans
+	exhaust  float64
+	halted   bool
+	lastTime float64
+}
+
+type span struct {
+	start, end float64
+	taskID     int
+	pstate     cluster.PState
+	onTime     bool
+	open       bool
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{spans: make(map[string][]span)}
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+func (r *Recorder) add(e Event) {
+	r.Events = append(r.Events, e)
+	if e.Time > r.lastTime {
+		r.lastTime = e.Time
+	}
+}
+
+// TaskMapped implements sim.Observer.
+func (r *Recorder) TaskMapped(t float64, task workload.Task, a sched.Assignment) {
+	r.add(Event{Time: t, Kind: KindMapped, TaskID: task.ID, Type: task.Type,
+		Core: a.Core.String(), PState: a.PState.String()})
+}
+
+// TaskDiscarded implements sim.Observer.
+func (r *Recorder) TaskDiscarded(t float64, task workload.Task) {
+	r.add(Event{Time: t, Kind: KindDiscarded, TaskID: task.ID, Type: task.Type})
+}
+
+// TaskStarted implements sim.Observer.
+func (r *Recorder) TaskStarted(t float64, task workload.Task, a sched.Assignment) {
+	r.add(Event{Time: t, Kind: KindStarted, TaskID: task.ID, Type: task.Type,
+		Core: a.Core.String(), PState: a.PState.String()})
+	key := a.Core.String()
+	r.spans[key] = append(r.spans[key], span{start: t, taskID: task.ID, pstate: a.PState, open: true})
+}
+
+// TaskFinished implements sim.Observer.
+func (r *Recorder) TaskFinished(t float64, task workload.Task, a sched.Assignment, onTime bool) {
+	ot := onTime
+	r.add(Event{Time: t, Kind: KindFinished, TaskID: task.ID, Type: task.Type,
+		Core: a.Core.String(), PState: a.PState.String(), OnTime: &ot})
+	key := a.Core.String()
+	ss := r.spans[key]
+	for i := len(ss) - 1; i >= 0; i-- {
+		if ss[i].open && ss[i].taskID == task.ID {
+			ss[i].end = t
+			ss[i].onTime = onTime
+			ss[i].open = false
+			break
+		}
+	}
+}
+
+// PStateChanged implements sim.Observer.
+func (r *Recorder) PStateChanged(t float64, core cluster.CoreID, ps cluster.PState) {
+	r.add(Event{Time: t, Kind: KindPState, Core: core.String(), PState: ps.String()})
+}
+
+// EnergyExhausted implements sim.Observer.
+func (r *Recorder) EnergyExhausted(t float64) {
+	r.add(Event{Time: t, Kind: KindExhausted})
+	r.exhaust = t
+	r.halted = true
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.Events) }
+
+// End returns the time of the last recorded event.
+func (r *Recorder) End() float64 { return r.lastTime }
+
+// Halted reports whether the run ended by energy exhaustion, and when.
+func (r *Recorder) Halted() (float64, bool) { return r.exhaust, r.halted }
+
+// WriteJSON streams the event log as one JSON object per line (JSONL).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.Events {
+		if err := enc.Encode(&r.Events[i]); err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the event log as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "t,kind,task,type,core,pstate,onTime\n"); err != nil {
+		return err
+	}
+	for i := range r.Events {
+		e := &r.Events[i]
+		ot := ""
+		if e.OnTime != nil {
+			ot = fmt.Sprintf("%v", *e.OnTime)
+		}
+		if _, err := fmt.Fprintf(w, "%g,%s,%d,%d,%s,%s,%s\n",
+			e.Time, e.Kind, e.TaskID, e.Type, e.Core, e.PState, ot); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Timeline renders per-core ASCII Gantt rows over [0, End()]: digits 0–4
+// mark execution at that P-state, '.' idle, '!' marks a span whose task
+// missed its deadline, and a trailing '#' column marks the exhaustion
+// instant. Cores with no activity are included (all idle) when their label
+// is passed explicitly; by default only active cores render, sorted by
+// label.
+func (r *Recorder) Timeline(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	end := r.lastTime
+	if end <= 0 {
+		return "(empty trace)\n"
+	}
+	labels := make([]string, 0, len(r.spans))
+	for k := range r.spans {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	pos := func(t float64) int {
+		p := int(float64(width-1) * t / end)
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range r.spans[l] {
+			endT := s.end
+			if s.open {
+				endT = end
+			}
+			mark := byte('0' + int(s.pstate))
+			if !s.open && !s.onTime {
+				mark = '!'
+			}
+			for i := pos(s.start); i <= pos(endT); i++ {
+				row[i] = mark
+			}
+		}
+		if r.halted {
+			row[pos(r.exhaust)] = '#'
+		}
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, l, string(row))
+	}
+	fmt.Fprintf(&b, "%-*s %-*.4g%*.4g\n", labelW, "", width/2, 0.0, width-width/2, end)
+	b.WriteString("digits = executing at P-state; '!' = span missed deadline; '.' = idle")
+	if r.halted {
+		b.WriteString("; '#' = energy exhausted")
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// InSystemSeries returns (times, counts): the number of tasks in the
+// system (mapped, not finished) after each change point. Useful for
+// plotting the burst backlog.
+func (r *Recorder) InSystemSeries() (times []float64, counts []int) {
+	n := 0
+	for i := range r.Events {
+		e := &r.Events[i]
+		switch e.Kind {
+		case KindMapped:
+			n++
+		case KindFinished:
+			n--
+		default:
+			continue
+		}
+		times = append(times, e.Time)
+		counts = append(counts, n)
+	}
+	return times, counts
+}
+
+// PStateOccupancy returns, per P-state, the total core-time spent
+// executing tasks in that state — the run's DVFS usage profile.
+func (r *Recorder) PStateOccupancy() [cluster.NumPStates]float64 {
+	var occ [cluster.NumPStates]float64
+	for _, ss := range r.spans {
+		for _, s := range ss {
+			endT := s.end
+			if s.open {
+				endT = r.lastTime
+			}
+			occ[s.pstate] += endT - s.start
+		}
+	}
+	return occ
+}
+
+// Summary renders headline counts of the recorded run.
+func (r *Recorder) Summary() string {
+	var mapped, discarded, finished, missed int
+	for i := range r.Events {
+		switch r.Events[i].Kind {
+		case KindMapped:
+			mapped++
+		case KindDiscarded:
+			discarded++
+		case KindFinished:
+			finished++
+			if r.Events[i].OnTime != nil && !*r.Events[i].OnTime {
+				missed++
+			}
+		}
+	}
+	s := fmt.Sprintf("trace: %d events; mapped %d, discarded %d, finished %d (%d late)",
+		len(r.Events), mapped, discarded, finished, missed)
+	if r.halted {
+		s += fmt.Sprintf("; energy exhausted at t=%.1f", r.exhaust)
+	}
+	return s + "\n"
+}

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func recordRun(t *testing.T, budgetScale float64) (*Recorder, *sim.Result) {
+	t.Helper()
+	s := randx.NewStream(4)
+	c, err := cluster.Generate(s.Child("cluster"), cluster.PaperGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.PaperParams()
+	p.TaskTypes = 8
+	p.WindowSize = 60
+	p.BurstLen = 12
+	p.PMFSamples = 300
+	m, err := workload.BuildModel(s.Child("wl"), c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateTrial(randx.NewStream(5), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	budget := math.Inf(1)
+	if budgetScale > 0 {
+		budget = budgetScale * m.DefaultEnergyBudget()
+	}
+	cfg := sim.Config{
+		Model:        m,
+		Mapper:       &sched.Mapper{Heuristic: sched.MinExpectedCompletionTime{}},
+		EnergyBudget: budget,
+		Observer:     rec,
+	}
+	res, err := sim.Run(cfg, tr, randx.NewStream(5).Child("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+func TestRecorderEventCounts(t *testing.T) {
+	rec, res := recordRun(t, 0)
+	var mapped, started, finished, discarded int
+	for _, e := range rec.Events {
+		switch e.Kind {
+		case KindMapped:
+			mapped++
+		case KindStarted:
+			started++
+		case KindFinished:
+			finished++
+		case KindDiscarded:
+			discarded++
+		}
+	}
+	if mapped != res.Mapped {
+		t.Fatalf("mapped events %d, result %d", mapped, res.Mapped)
+	}
+	if discarded != res.Discarded {
+		t.Fatalf("discarded events %d, result %d", discarded, res.Discarded)
+	}
+	if finished != res.OnTime+res.Late {
+		t.Fatalf("finished events %d, result %d", finished, res.OnTime+res.Late)
+	}
+	if started != finished {
+		t.Fatalf("unconstrained run: started %d != finished %d", started, finished)
+	}
+}
+
+func TestRecorderEventsOrderedInTime(t *testing.T) {
+	rec, _ := recordRun(t, 0)
+	for i := 1; i < len(rec.Events); i++ {
+		if rec.Events[i].Time < rec.Events[i-1].Time {
+			t.Fatalf("event %d out of order: %v after %v", i, rec.Events[i].Time, rec.Events[i-1].Time)
+		}
+	}
+	if rec.End() != rec.Events[len(rec.Events)-1].Time {
+		t.Fatal("End() disagrees with last event")
+	}
+}
+
+func TestRecorderOnTimeFlagsMatchResult(t *testing.T) {
+	rec, res := recordRun(t, 0)
+	late := 0
+	for _, e := range rec.Events {
+		if e.Kind == KindFinished && e.OnTime != nil && !*e.OnTime {
+			late++
+		}
+	}
+	if late != res.Late {
+		t.Fatalf("late events %d, result %d", late, res.Late)
+	}
+}
+
+func TestRecorderExhaustion(t *testing.T) {
+	rec, res := recordRun(t, 0.05)
+	if !res.EnergyExhausted {
+		t.Skip("5% budget unexpectedly sufficient")
+	}
+	at, halted := rec.Halted()
+	if !halted {
+		t.Fatal("recorder missed exhaustion")
+	}
+	if math.Abs(at-res.ExhaustedAt) > 1e-9 {
+		t.Fatalf("exhaustion at %v, result %v", at, res.ExhaustedAt)
+	}
+	last := rec.Events[len(rec.Events)-1]
+	if last.Kind != KindExhausted {
+		t.Fatalf("last event %v, want exhausted", last.Kind)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	rec, _ := recordRun(t, 0)
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != rec.Len() {
+		t.Fatalf("%d JSONL lines for %d events", len(lines), rec.Len())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != rec.Events[0].Kind {
+		t.Fatalf("decoded kind %q, want %q", e.Kind, rec.Events[0].Kind)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rec, _ := recordRun(t, 0)
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != rec.Len()+1 {
+		t.Fatalf("%d CSV lines for %d events + header", len(lines), rec.Len())
+	}
+	if !strings.HasPrefix(lines[0], "t,kind,") {
+		t.Fatalf("header %q", lines[0])
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	rec, _ := recordRun(t, 0)
+	out := rec.Timeline(60)
+	if !strings.Contains(out, "n0.") && !strings.Contains(out, "n1.") {
+		t.Fatalf("timeline missing core labels:\n%s", out)
+	}
+	// Executing marks are P-state digits.
+	if !strings.ContainsAny(out, "01234") {
+		t.Fatalf("timeline has no execution spans:\n%s", out)
+	}
+	if !strings.Contains(out, "digits = executing") {
+		t.Fatal("timeline missing legend")
+	}
+	empty := NewRecorder()
+	if empty.Timeline(40) != "(empty trace)\n" {
+		t.Fatal("empty timeline wrong")
+	}
+}
+
+func TestTimelineMarksExhaustion(t *testing.T) {
+	rec, res := recordRun(t, 0.05)
+	if !res.EnergyExhausted {
+		t.Skip("budget sufficient")
+	}
+	if !strings.Contains(rec.Timeline(60), "#") {
+		t.Fatal("timeline missing exhaustion marker")
+	}
+}
+
+func TestInSystemSeries(t *testing.T) {
+	rec, _ := recordRun(t, 0)
+	times, counts := rec.InSystemSeries()
+	if len(times) != len(counts) || len(times) == 0 {
+		t.Fatalf("series sizes %d/%d", len(times), len(counts))
+	}
+	for i, c := range counts {
+		if c < 0 {
+			t.Fatalf("negative in-system count at %d", i)
+		}
+		if i > 0 && times[i] < times[i-1] {
+			t.Fatal("series times not monotone")
+		}
+	}
+	if counts[len(counts)-1] != 0 {
+		t.Fatalf("unconstrained run should drain to 0, ended at %d", counts[len(counts)-1])
+	}
+}
+
+func TestPStateOccupancy(t *testing.T) {
+	rec, res := recordRun(t, 0)
+	occ := rec.PStateOccupancy()
+	total := 0.0
+	for _, v := range occ {
+		if v < 0 {
+			t.Fatalf("negative occupancy: %v", occ)
+		}
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("no execution time recorded")
+	}
+	// Unfiltered MECT runs everything at P0.
+	if occ[cluster.P0] < total*0.99 {
+		t.Fatalf("MECT should occupy P0 almost exclusively: %v", occ)
+	}
+	_ = res
+}
+
+func TestSummary(t *testing.T) {
+	rec, _ := recordRun(t, 0)
+	s := rec.Summary()
+	if !strings.Contains(s, "mapped") || !strings.Contains(s, "events") {
+		t.Fatalf("summary %q", s)
+	}
+}

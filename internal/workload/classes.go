@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task-type classes. §III-B: "The different task types may stress
+// different parts of the system, i.e., some task types may be
+// compute-intensive, others may be memory-intensive, etc." The paper's
+// evaluation treats all 100 types identically; this file lets a workload
+// declare families of types with their own scale and stochastic spread —
+// e.g. long compute-bound types with narrow distributions next to shorter
+// memory-bound types whose cache sensitivity widens them.
+
+// TypeClass describes one family of task types.
+type TypeClass struct {
+	// Name labels the class ("compute", "memory", ...).
+	Name string
+	// Fraction is the share of the task-type population in this class;
+	// fractions must sum to 1.
+	Fraction float64
+	// MeanScale multiplies the CVB mean execution time of the class's
+	// types (1 = unchanged).
+	MeanScale float64
+	// ExecCV overrides Params.ExecCV for the class's types; 0 keeps the
+	// workload default.
+	ExecCV float64
+}
+
+// Validate reports whether the class is usable.
+func (c TypeClass) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("workload: type class needs a name")
+	}
+	if c.Fraction < 0 || c.Fraction > 1 {
+		return fmt.Errorf("workload: class %q fraction %v outside [0,1]", c.Name, c.Fraction)
+	}
+	if c.MeanScale <= 0 {
+		return fmt.Errorf("workload: class %q mean scale %v must be > 0", c.Name, c.MeanScale)
+	}
+	if c.ExecCV < 0 {
+		return fmt.Errorf("workload: class %q ExecCV %v must be >= 0", c.Name, c.ExecCV)
+	}
+	return nil
+}
+
+// validateClasses checks a class mix.
+func validateClasses(classes []TypeClass) error {
+	if len(classes) == 0 {
+		return nil
+	}
+	total := 0.0
+	seen := map[string]bool{}
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("workload: duplicate class name %q", c.Name)
+		}
+		seen[c.Name] = true
+		total += c.Fraction
+	}
+	if total < 0.999 || total > 1.001 {
+		return fmt.Errorf("workload: class fractions sum to %v, want 1", total)
+	}
+	return nil
+}
+
+// assignClasses maps each task-type index to a class index,
+// deterministically and proportionally: class k receives
+// round(Fraction_k · types) consecutive indices (the last class absorbs
+// rounding slack). Returns nil when no classes are configured.
+func assignClasses(classes []TypeClass, types int) []int {
+	if len(classes) == 0 {
+		return nil
+	}
+	out := make([]int, types)
+	// Largest-remainder apportionment keeps proportions exact.
+	counts := make([]int, len(classes))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(classes))
+	used := 0
+	for i, c := range classes {
+		exact := c.Fraction * float64(types)
+		counts[i] = int(exact)
+		rems[i] = rem{i, exact - float64(counts[i])}
+		used += counts[i]
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for k := 0; used < types; k++ {
+		counts[rems[k%len(rems)].idx]++
+		used++
+	}
+	ti := 0
+	for ci, n := range counts {
+		for j := 0; j < n && ti < types; j++ {
+			out[ti] = ci
+			ti++
+		}
+	}
+	return out
+}
+
+// ClassOf returns the class name of a task type, or "" when the workload
+// has no class structure.
+func (m *Model) ClassOf(taskType int) string {
+	if len(m.classOf) == 0 {
+		return ""
+	}
+	return m.Params.Classes[m.classOf[taskType]].Name
+}
+
+// PaperClassMix is a representative §III-B-style mix: half compute-bound
+// types (long, narrow distributions), a third memory-bound types (shorter,
+// wide distributions from cache sensitivity), and the rest I/O-adjacent
+// types (short, widest).
+func PaperClassMix() []TypeClass {
+	return []TypeClass{
+		{Name: "compute", Fraction: 0.5, MeanScale: 1.3, ExecCV: 0.15},
+		{Name: "memory", Fraction: 1.0 / 3, MeanScale: 0.8, ExecCV: 0.35},
+		{Name: "io", Fraction: 1.0 - 0.5 - 1.0/3, MeanScale: 0.5, ExecCV: 0.5},
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/randx"
+)
+
+func TestAssignClassesProportions(t *testing.T) {
+	classes := []TypeClass{
+		{Name: "a", Fraction: 0.5, MeanScale: 1},
+		{Name: "b", Fraction: 0.3, MeanScale: 1},
+		{Name: "c", Fraction: 0.2, MeanScale: 1},
+	}
+	got := assignClasses(classes, 100)
+	counts := map[int]int{}
+	for _, ci := range got {
+		counts[ci]++
+	}
+	if counts[0] != 50 || counts[1] != 30 || counts[2] != 20 {
+		t.Fatalf("counts %v, want 50/30/20", counts)
+	}
+	// Rounding slack is apportioned (largest remainder), totals exact.
+	got = assignClasses(classes, 7)
+	total := 0
+	counts = map[int]int{}
+	for _, ci := range got {
+		counts[ci]++
+		total++
+	}
+	if total != 7 {
+		t.Fatalf("assigned %d types, want 7", total)
+	}
+	if assignClasses(nil, 10) != nil {
+		t.Fatal("nil classes should produce nil assignment")
+	}
+}
+
+func TestValidateClasses(t *testing.T) {
+	bad := [][]TypeClass{
+		{{Name: "", Fraction: 1, MeanScale: 1}},
+		{{Name: "a", Fraction: 0.5, MeanScale: 1}},                                           // sums to 0.5
+		{{Name: "a", Fraction: 0.5, MeanScale: 1}, {Name: "a", Fraction: 0.5, MeanScale: 1}}, // duplicate
+		{{Name: "a", Fraction: 1, MeanScale: 0}},
+		{{Name: "a", Fraction: 1, MeanScale: 1, ExecCV: -1}},
+		{{Name: "a", Fraction: 1.5, MeanScale: 1}},
+	}
+	for i, cs := range bad {
+		if err := validateClasses(cs); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if err := validateClasses(nil); err != nil {
+		t.Fatal("nil classes must validate")
+	}
+	if err := validateClasses(PaperClassMix()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildClassModel(t *testing.T, seed uint64) *Model {
+	t.Helper()
+	s := randx.NewStream(seed)
+	c, err := cluster.Generate(s.Child("cluster"), cluster.PaperGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	p.TaskTypes = 30
+	p.Classes = PaperClassMix()
+	m, err := BuildModel(s.Child("wl"), c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClassModelBuild(t *testing.T) {
+	m := buildClassModel(t, 60)
+	counts := map[string]int{}
+	for ti := 0; ti < m.Params.TaskTypes; ti++ {
+		name := m.ClassOf(ti)
+		if name == "" {
+			t.Fatalf("type %d has no class", ti)
+		}
+		counts[name]++
+	}
+	if counts["compute"] != 15 || counts["memory"] != 10 || counts["io"] != 5 {
+		t.Fatalf("class counts %v, want 15/10/5", counts)
+	}
+}
+
+func TestClassMeanScaleAndSpread(t *testing.T) {
+	m := buildClassModel(t, 61)
+	// Average normalized spread (CV of the pmf) per class must order as
+	// configured: io (0.5) > memory (0.35) > compute (0.15); and compute
+	// types must be longer on average than io types (mean scale 1.3 vs 0.5).
+	stats := map[string]struct {
+		cv, mean float64
+		n        int
+	}{}
+	for ti := 0; ti < m.Params.TaskTypes; ti++ {
+		name := m.ClassOf(ti)
+		p := m.ExecPMF(ti, 0, cluster.P0)
+		st := stats[name]
+		st.cv += p.StdDev() / p.Mean()
+		st.mean += p.Mean()
+		st.n++
+		stats[name] = st
+	}
+	avg := func(name string) (cv, mean float64) {
+		st := stats[name]
+		return st.cv / float64(st.n), st.mean / float64(st.n)
+	}
+	ccv, cmean := avg("compute")
+	mcv, _ := avg("memory")
+	icv, imean := avg("io")
+	if !(icv > mcv && mcv > ccv) {
+		t.Fatalf("spread ordering wrong: io %v, memory %v, compute %v", icv, mcv, ccv)
+	}
+	if cmean <= imean {
+		t.Fatalf("compute mean %v not above io mean %v", cmean, imean)
+	}
+	if cmean/imean < 1.5 {
+		t.Fatalf("mean scale ratio %v too small for 1.3/0.5 configuration", cmean/imean)
+	}
+}
+
+func TestClassOfWithoutClasses(t *testing.T) {
+	m := buildTestModel(t, 62)
+	if m.ClassOf(0) != "" {
+		t.Fatal("classless model should report empty class")
+	}
+}
+
+func TestClassModelRoundTripsJSON(t *testing.T) {
+	m := buildClassModel(t, 63)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModelJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class metadata travels via Params and the type→class mapping is
+	// rebuilt deterministically on load.
+	if len(got.Params.Classes) != 3 {
+		t.Fatalf("classes lost in round trip: %+v", got.Params.Classes)
+	}
+	for ti := 0; ti < m.Params.TaskTypes; ti++ {
+		if got.ClassOf(ti) != m.ClassOf(ti) {
+			t.Fatalf("class of type %d changed in round trip", ti)
+		}
+	}
+}

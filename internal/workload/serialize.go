@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/pmf"
+)
+
+// Model serialization. §III-B assumes execution-time pmfs "may in practice
+// be obtained by historical, experimental, or analytical techniques"; this
+// file is that workflow's interface: a built Model — cluster, parameters,
+// and the complete per-(type, node, P-state) pmf table — round-trips
+// through JSON, so profiles measured elsewhere can be loaded and simulated,
+// and generated models can be pinned as artifacts.
+
+// jsonModel is the wire form of a Model.
+type jsonModel struct {
+	Params   Params             `json:"params"`
+	Cluster  *cluster.Cluster   `json:"cluster"`
+	Table    [][][]pmf.PMF      `json:"table"`
+	TypeMean []float64          `json:"typeMean"`
+	TAvg     float64            `json:"tAvg"`
+	Rates    map[string]float64 `json:"rates"`
+}
+
+// WriteJSON serializes the model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	jm := jsonModel{
+		Params:   m.Params,
+		Cluster:  m.Cluster,
+		Table:    m.table,
+		TypeMean: m.typeMean,
+		TAvg:     m.tAvg,
+		Rates:    map[string]float64{"fast": m.fastRate, "slow": m.slowRate},
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&jm); err != nil {
+		return fmt.Errorf("workload: encode model: %w", err)
+	}
+	return nil
+}
+
+// ReadModelJSON deserializes and validates a model. The pmf table must be
+// complete and consistent with the cluster and parameters.
+func ReadModelJSON(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("workload: decode model: %w", err)
+	}
+	if jm.Cluster == nil {
+		return nil, fmt.Errorf("workload: decode model: missing cluster")
+	}
+	if err := jm.Cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: decode model: %w", err)
+	}
+	if err := jm.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: decode model: %w", err)
+	}
+	p := jm.Params
+	if len(jm.Table) != p.TaskTypes {
+		return nil, fmt.Errorf("workload: decode model: table has %d task types, params say %d", len(jm.Table), p.TaskTypes)
+	}
+	if len(jm.TypeMean) != p.TaskTypes {
+		return nil, fmt.Errorf("workload: decode model: %d type means for %d types", len(jm.TypeMean), p.TaskTypes)
+	}
+	for ti, byNode := range jm.Table {
+		if len(byNode) != jm.Cluster.N() {
+			return nil, fmt.Errorf("workload: decode model: type %d has %d nodes, cluster has %d", ti, len(byNode), jm.Cluster.N())
+		}
+		for ni, byState := range byNode {
+			if len(byState) != cluster.NumPStates {
+				return nil, fmt.Errorf("workload: decode model: type %d node %d has %d P-states", ti, ni, len(byState))
+			}
+			for si, dist := range byState {
+				if err := dist.Validate(); err != nil {
+					return nil, fmt.Errorf("workload: decode model: pmf (%d,%d,P%d): %w", ti, ni, si, err)
+				}
+			}
+		}
+	}
+	if jm.TAvg <= 0 {
+		return nil, fmt.Errorf("workload: decode model: tAvg %v must be > 0", jm.TAvg)
+	}
+	fast, slow := jm.Rates["fast"], jm.Rates["slow"]
+	if fast <= 0 || slow <= 0 {
+		return nil, fmt.Errorf("workload: decode model: rates %v must be positive", jm.Rates)
+	}
+	return &Model{
+		Params:   p,
+		Cluster:  jm.Cluster,
+		table:    jm.Table,
+		typeMean: jm.TypeMean,
+		tAvg:     jm.TAvg,
+		fastRate: fast,
+		slowRate: slow,
+		classOf:  assignClasses(p.Classes, p.TaskTypes),
+	}, nil
+}

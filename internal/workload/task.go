@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/randx"
+)
+
+// Task is one independent task of the dynamically arriving workload.
+type Task struct {
+	// ID is the task's index in arrival order within its trial.
+	ID int
+	// Type indexes the task's well-known task type.
+	Type int
+	// Arrival is the task's arrival time; the immediate-mode mapper sees
+	// the task exactly at this instant.
+	Arrival float64
+	// Deadline is δ(z), the hard individual deadline (§III-B).
+	Deadline float64
+	// U is the task's execution quantile in (0,1): the actual execution
+	// time on whatever (node, P-state) the task is eventually mapped to is
+	// the U-quantile of that assignment's execution-time pmf. Drawing one
+	// quantile per task implements common random numbers across heuristics
+	// and keeps a task's "luck" consistent across candidate machines.
+	U float64
+	// Priority is the task's weight for the priority extension (§VIII
+	// future work). The paper's experiments use 1 for every task.
+	Priority float64
+}
+
+// String renders a compact description for logs and traces.
+func (t Task) String() string {
+	return fmt.Sprintf("task{%d type=%d arr=%.1f dl=%.1f}", t.ID, t.Type, t.Arrival, t.Deadline)
+}
+
+// Trial is one simulation trial's task stream, in arrival order.
+type Trial struct {
+	Tasks []Task
+}
+
+// GenerateTrial draws one trial: arrival times from the bursty Poisson
+// process, task types uniformly at random over the type set, deadlines per
+// §VI (arrival + type mean execution time + load factor), and one execution
+// quantile per task. Trials with the same (model, stream) are identical.
+func GenerateTrial(s *randx.Stream, m *Model) (*Trial, error) {
+	return generateTrial(s, m)
+}
+
+// PriorityClass describes an optional priority mix for the §VIII extension.
+type PriorityClass struct {
+	// Weight is the task's value when completed on time.
+	Weight float64
+	// Fraction is the proportion of tasks drawn with this weight.
+	Fraction float64
+}
+
+// GenerateTrialWithPriorities is GenerateTrial with tasks additionally
+// assigned priority weights according to the given class mix. The class
+// fractions must sum to 1.
+func GenerateTrialWithPriorities(s *randx.Stream, m *Model, classes []PriorityClass) (*Trial, error) {
+	tr, err := generateTrial(s, m)
+	if err != nil {
+		return nil, err
+	}
+	if len(classes) == 0 {
+		return tr, nil
+	}
+	total := 0.0
+	for _, c := range classes {
+		if c.Fraction < 0 || c.Weight <= 0 {
+			return nil, fmt.Errorf("workload: bad priority class %+v", c)
+		}
+		total += c.Fraction
+	}
+	if total < 0.999 || total > 1.001 {
+		return nil, fmt.Errorf("workload: priority fractions sum to %v, want 1", total)
+	}
+	ps := s.Child("priorities")
+	for i := range tr.Tasks {
+		u := ps.Float64()
+		acc := 0.0
+		for _, c := range classes {
+			acc += c.Fraction
+			if u <= acc {
+				tr.Tasks[i].Priority = c.Weight
+				break
+			}
+		}
+	}
+	return tr, nil
+}
+
+func generateTrial(s *randx.Stream, m *Model) (*Trial, error) {
+	p := m.Params
+	arr, err := randx.PoissonArrivals(s.Child("arrivals"), m.ArrivalPhases())
+	if err != nil {
+		return nil, err
+	}
+	ts := s.Child("types")
+	qs := s.Child("quantiles")
+	loadFactor := p.LoadFactorMult * m.tAvg
+	tasks := make([]Task, len(arr))
+	for i := range tasks {
+		ty := ts.IntN(p.TaskTypes)
+		// Quantiles strictly inside (0,1): 0 and 1 are valid inputs to
+		// pmf.Quantile but carry no extra information for a discrete pmf.
+		u := qs.Float64()
+		if u <= 0 {
+			u = 1e-12
+		}
+		tasks[i] = Task{
+			ID:       i,
+			Type:     ty,
+			Arrival:  arr[i],
+			Deadline: arr[i] + m.TypeMeanExec(ty) + loadFactor,
+			U:        u,
+			Priority: 1,
+		}
+	}
+	return &Trial{Tasks: tasks}, nil
+}
+
+// ActualExecTime returns the realized execution time of the task when run
+// on the given node and P-state: the task's quantile evaluated against that
+// assignment's execution-time pmf.
+func (m *Model) ActualExecTime(t Task, node int, p cluster.PState) float64 {
+	return m.ExecPMF(t.Type, node, p).Quantile(t.U)
+}
