@@ -1,0 +1,37 @@
+#!/bin/sh
+# Run the figure/table and hot-path benchmarks with allocation reporting
+# and write the parsed results as BENCH_<date>.json (plus the raw text next
+# to it). Narrow the set with a pattern argument:
+#   ./bench.sh              # everything
+#   ./bench.sh 'Fig[0-9]+'  # figure benches only
+set -eu
+cd "$(dirname "$0")"
+
+pattern="${1:-.}"
+date="$(date +%Y-%m-%d)"
+raw="BENCH_${date}.txt"
+out="BENCH_${date}.json"
+
+go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
+
+# Parse "BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op  [W unit]..."
+# into a JSON array; custom metrics (e.g. med_missed) ride along.
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    line = sprintf("  {\"name\": \"%s\", \"iterations\": %s", name, $2)
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    line = line "}"
+    if (!first) print ","
+    printf "%s", line
+    first = 0
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -41,6 +41,8 @@ func run() error {
 		seed   = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
 		width  = flag.Int("width", 72, "box plot width in characters")
 		csv    = flag.String("csv", "", "write per-trial CSV for the selected figure to this file")
+		report = flag.String("report", "", "write the merged RunReport JSON to this file ('-' = stdout)")
+		quiet  = flag.Bool("quiet", false, "suppress the per-trial progress line on stderr")
 	)
 	flag.Parse()
 
@@ -62,18 +64,48 @@ func run() error {
 	fmt.Println(sys.Describe())
 	fmt.Println()
 
-	if *all {
-		for n := 2; n <= 6; n++ {
-			if err := printFigure(sys, n, *width, ""); err != nil {
+	if !*quiet {
+		sys.SetProgress(func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "\r%s: trial %d/%d", label, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
+	}
+
+	err = func() error {
+		if *all {
+			for n := 2; n <= 6; n++ {
+				if err := printFigure(sys, n, *width, ""); err != nil {
+					return err
+				}
+			}
+			return printTable(sys, spec, "summary")
+		}
+		if *fig != 0 {
+			return printFigure(sys, *fig, *width, *csv)
+		}
+		return printTable(sys, spec, *table)
+	}()
+	if err != nil {
+		return err
+	}
+
+	if *report != "" {
+		data, jerr := sys.Report().JSON()
+		if jerr != nil {
+			return jerr
+		}
+		if *report == "-" {
+			fmt.Println(string(data))
+		} else {
+			if err := os.WriteFile(*report, data, 0o644); err != nil {
 				return err
 			}
+			fmt.Printf("wrote %s\n", *report)
 		}
-		return printTable(sys, spec, "summary")
 	}
-	if *fig != 0 {
-		return printFigure(sys, *fig, *width, *csv)
-	}
-	return printTable(sys, spec, *table)
+	return nil
 }
 
 func printFigure(sys *core.System, n, width int, csvPath string) error {

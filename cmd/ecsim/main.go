@@ -5,6 +5,8 @@
 //
 //	ecsim -heuristic LL -filters en+rob -trials 50 -seed 20110913
 //	ecsim -heuristic MECT -filters none -trials 10 -trace
+//	ecsim -heuristic LL -listen :8080 -hold      # Prometheus + pprof endpoints
+//	ecsim -heuristic LL -report report.json      # merged RunReport JSON
 //
 // Heuristics: SQ, MECT, LL, Random (paper §V) plus the extensions PLL,
 // GreenLL, MaxRho, MinEEC. Filters: none, en, rob, en+rob (§V-F).
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 )
 
@@ -35,6 +38,9 @@ func run() error {
 		window    = flag.Int("window", 1000, "tasks per trial")
 		budget    = flag.Float64("budget", 1, "energy budget scale (<=0 = unconstrained)")
 		trace     = flag.Bool("trace", false, "print the per-task outcome log of trial 0")
+		listen    = flag.String("listen", "", "serve /metrics, /metrics.json, /debug/vars, /debug/pprof on this address (e.g. :8080 or :0)")
+		report    = flag.String("report", "", "write the merged RunReport JSON to this file ('-' = stdout)")
+		hold      = flag.Bool("hold", false, "with -listen: block after the run so the endpoints stay up")
 	)
 	flag.Parse()
 
@@ -60,6 +66,21 @@ func run() error {
 	}
 	fmt.Println(sys.Describe())
 
+	if *listen != "" {
+		srv, err := metrics.Serve(*listen, sys.Metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics (pprof under /debug/pprof)\n", srv.Addr)
+	}
+	sys.SetProgress(func(done, total int, label string) {
+		fmt.Fprintf(os.Stderr, "\r%s: trial %d/%d", label, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	})
+
 	vr, err := sys.RunHeuristic(*heuristic, variant)
 	if err != nil {
 		return err
@@ -84,6 +105,28 @@ func run() error {
 				fmt.Printf("  %-28s -> %s\n", tr.Task, tr.Outcome)
 			}
 		}
+	}
+
+	rr := sys.Report()
+	fmt.Printf("\n%s", rr.Render())
+	if *report != "" {
+		data, err := rr.JSON()
+		if err != nil {
+			return err
+		}
+		if *report == "-" {
+			fmt.Println(string(data))
+		} else {
+			if err := os.WriteFile(*report, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *report)
+		}
+	}
+
+	if *hold && *listen != "" {
+		fmt.Println("holding; interrupt to exit")
+		select {}
 	}
 	return nil
 }

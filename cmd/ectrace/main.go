@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/randx"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -40,6 +41,8 @@ func run() error {
 		width     = flag.Int("width", 100, "timeline width in characters")
 		jsonl     = flag.String("jsonl", "", "write the event log as JSONL to this file")
 		csvPath   = flag.String("csv", "", "write the event log as CSV to this file")
+		listen    = flag.String("listen", "", "serve /metrics, /metrics.json, /debug/vars, /debug/pprof on this address")
+		hold      = flag.Bool("hold", false, "with -listen: block after the run so the endpoints stay up")
 	)
 	flag.Parse()
 
@@ -73,11 +76,21 @@ func run() error {
 	fmt.Println(sys.Describe())
 
 	rec := trace.NewRecorder()
+	reg := metrics.NewRegistry()
+	if *listen != "" {
+		srv, err := metrics.Serve(*listen, reg.Snapshot)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics (pprof under /debug/pprof)\n", srv.Addr)
+	}
 	cfg := sim.Config{
 		Model:        sys.Model(),
 		Mapper:       &sched.Mapper{Heuristic: h, Filters: variant.Filters()},
 		EnergyBudget: sys.Budget(),
-		Observer:     rec,
+		Observer:     sim.Multi(rec),
+		Metrics:      reg,
 	}
 	res, err := sim.Run(cfg, sys.Env().Trial(0), randx.NewStream(spec.Seed).ChildN("decisions", 0))
 	if err != nil {
@@ -112,6 +125,22 @@ func run() error {
 	}
 	fmt.Printf("\npeak backlog: %d tasks in system at t=%.0f\n", peak, peakT)
 
+	if eT, eE := rec.EnergySeries(); len(eT) > 0 {
+		fmt.Printf("energy trajectory: %d samples, t=[%.0f, %.0f], consumed %.4g -> %.4g\n",
+			len(eT), eT[0], eT[len(eT)-1], eE[0], eE[len(eE)-1])
+	}
+	snap := reg.Snapshot()
+	if conv, ok := snap.Value("sched_candidates_total"); ok {
+		hits := snap.SumByName("robustness_freetime_cache_hits_total")
+		misses := snap.SumByName("robustness_freetime_cache_misses_total")
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = 100 * hits / (hits + misses)
+		}
+		fmt.Printf("metrics: %.0f candidates enumerated, free-time cache %.1f%% hit ratio, %.0f events processed\n",
+			conv, ratio, snap.SumByName("sim_events_total"))
+	}
+
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)
 		if err != nil {
@@ -133,6 +162,10 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	if *hold && *listen != "" {
+		fmt.Println("holding; interrupt to exit")
+		select {}
 	}
 	return nil
 }

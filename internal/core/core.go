@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 	"repro/internal/randx"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -57,6 +58,10 @@ type (
 	FilterVariant = sched.FilterVariant
 	// PriorityClass configures the priority extension's task mix.
 	PriorityClass = workload.PriorityClass
+	// RunReport is the merged observability report of an environment run.
+	RunReport = experiment.RunReport
+	// MetricsSnapshot is a point-in-time view of the merged metric registry.
+	MetricsSnapshot = metrics.Snapshot
 )
 
 // The paper's filter variants.
@@ -139,6 +144,20 @@ func (s *System) RunHeuristic(name string, v FilterVariant) (*VariantResult, err
 // the environment budget.
 func (s *System) RunMapper(m *Mapper, budgetScale float64, tag string) (*VariantResult, error) {
 	return s.env.RunMapper(m, budgetScale, tag)
+}
+
+// Report assembles the observability report of everything run so far:
+// per-phase timings, merged per-trial metrics, pmf operation counts, and
+// derived headline figures (convolutions, cache hit ratio, rejections).
+func (s *System) Report() *RunReport { return s.env.Report() }
+
+// Metrics returns a merged copy of all per-trial metric snapshots.
+func (s *System) Metrics() *MetricsSnapshot { return s.env.MetricsSnapshot() }
+
+// SetProgress installs a per-trial progress callback invoked as
+// (completedTrials, totalTrials, variantLabel) while variants run.
+func (s *System) SetProgress(fn func(done, total int, label string)) {
+	s.env.SetProgress(fn)
 }
 
 // Figure regenerates a paper figure (2–6).

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 )
 
 // Transition is one entry of a core's P-state transition list ν(i,j,k): at
@@ -93,6 +94,12 @@ type Meter struct {
 
 	record bool
 	lists  [][]Transition
+
+	// Optional instrumentation (nil-safe): meter advances, real P-state
+	// transitions, and a live consumed-energy gauge for exposition.
+	advances    *metrics.Counter
+	transitions *metrics.Counter
+	consumed    *metrics.Gauge
 }
 
 // NewMeter creates a meter with every core initialized to the given idle
@@ -137,6 +144,15 @@ func NewMeter(c *cluster.Cluster, initial cluster.PState, budget float64, record
 	return m, nil
 }
 
+// Instrument attaches counters for Advance calls and real P-state
+// transitions, plus a gauge tracking consumed energy live. Any handle may
+// be nil; instrumentation changes accounting not at all.
+func (m *Meter) Instrument(advances, transitions *metrics.Counter, consumed *metrics.Gauge) {
+	m.advances = advances
+	m.transitions = transitions
+	m.consumed = consumed
+}
+
 // Now returns the meter's current time.
 func (m *Meter) Now() float64 { return m.now }
 
@@ -166,16 +182,19 @@ func (m *Meter) Advance(t float64) (float64, bool) {
 	}
 	dt := t - m.now
 	dE := m.rate * dt
+	m.advances.Inc()
 	if m.used+dE >= m.budget && m.rate > 0 {
 		tEx := m.now + (m.budget-m.used)/m.rate
 		if tEx <= t {
 			m.now = tEx
 			m.used = m.budget
+			m.consumed.Set(m.used)
 			return tEx, true
 		}
 	}
 	m.now = t
 	m.used += dE
+	m.consumed.Set(m.used)
 	return t, false
 }
 
@@ -204,6 +223,7 @@ func (m *Meter) SetPState(coreIdx int, p cluster.PState) {
 	m.state[coreIdx] = p
 	m.override[coreIdx] = -1
 	m.rate += m.coreDraw(coreIdx)
+	m.transitions.Inc()
 	if m.record {
 		m.lists[coreIdx] = append(m.lists[coreIdx], Transition{Time: m.now, To: p})
 	}

@@ -10,9 +10,13 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/pmf"
 	"repro/internal/randx"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -71,6 +75,20 @@ type Env struct {
 
 	memoMu sync.Mutex
 	memo   map[string]*VariantResult
+
+	// Telemetry: every simulated trial runs with its own metrics registry
+	// whose snapshot is merged here, so the aggregate reflects all work
+	// the environment performed (memo hits contribute nothing — no work
+	// was done). phases accumulates per-phase wall-clock; pmfBase is the
+	// process-global pmf operation sample taken at Build, so reports can
+	// attribute convolution work to this environment's lifetime.
+	metricsMu  sync.Mutex
+	metricsAgg *metrics.Snapshot
+	phases     *metrics.Phases
+	pmfBase    pmf.OpCounts
+
+	progressMu sync.Mutex
+	progress   func(done, total int, label string)
 }
 
 // Build constructs the environment: cluster, pmf tables, energy budget, and
@@ -79,6 +97,9 @@ func Build(spec Spec) (*Env, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	phases := metrics.NewPhases()
+	stopBuild := phases.Start("build")
+	defer stopBuild()
 	root := randx.NewStream(spec.Seed)
 	c, err := cluster.Generate(root.Child("cluster"), spec.ClusterGen)
 	if err != nil {
@@ -92,7 +113,12 @@ func Build(spec Spec) (*Env, error) {
 	if spec.BudgetScale > 0 {
 		budget = spec.BudgetScale * model.DefaultEnergyBudget()
 	}
-	env := &Env{Spec: spec, Model: model, Budget: budget, rootRng: root}
+	env := &Env{
+		Spec: spec, Model: model, Budget: budget, rootRng: root,
+		metricsAgg: &metrics.Snapshot{},
+		phases:     phases,
+		pmfBase:    pmf.ReadOpCounts(),
+	}
 	env.trials = make([]*workload.Trial, spec.Trials)
 	for i := range env.trials {
 		tr, err := workload.GenerateTrial(root.ChildN("trial", i), model)
@@ -106,6 +132,47 @@ func Build(spec Spec) (*Env, error) {
 
 // Trial returns the i-th trial's task stream.
 func (e *Env) Trial(i int) *workload.Trial { return e.trials[i] }
+
+// SetProgress installs a live progress callback invoked after every
+// completed trial with the number done, the total for the current variant,
+// and the variant's label. Invocations are serialized; the callback itself
+// may print without further locking. Pass nil to disable.
+func (e *Env) SetProgress(fn func(done, total int, label string)) {
+	e.progressMu.Lock()
+	e.progress = fn
+	e.progressMu.Unlock()
+}
+
+func (e *Env) notifyProgress(done, total int, label string) {
+	e.progressMu.Lock()
+	fn := e.progress
+	if fn != nil {
+		fn(done, total, label)
+	}
+	e.progressMu.Unlock()
+}
+
+// MetricsSnapshot returns a merged copy of every simulated trial's metrics
+// so far: hot-path counters from the scheduler, robustness cache, energy
+// meter, and simulator, aggregated with metrics.Snapshot.Merge semantics.
+func (e *Env) MetricsSnapshot() *metrics.Snapshot {
+	e.metricsMu.Lock()
+	defer e.metricsMu.Unlock()
+	out := &metrics.Snapshot{}
+	_ = out.Merge(e.metricsAgg) // identical registrations cannot mismatch
+	return out
+}
+
+// Phases returns the environment's accumulated per-phase wall-clock
+// timings (build, simulate, aggregate).
+func (e *Env) Phases() []metrics.PhaseTiming { return e.phases.Timings() }
+
+// PMFOpCounts returns the pmf operation counts attributable to this
+// environment: the process-global counters sampled now minus the sample
+// taken at Build.
+func (e *Env) PMFOpCounts() pmf.OpCounts {
+	return pmf.ReadOpCounts().Sub(e.pmfBase)
+}
 
 // VariantResult aggregates one heuristic × filter configuration over all
 // trials.
@@ -204,24 +271,45 @@ func (e *Env) run(m *sched.Mapper, opts runOpts) (*VariantResult, error) {
 	if workers > n {
 		workers = n
 	}
+	// Mapper.Name already embeds the paper filter variants ("LL+en+rob");
+	// append the tag only when it adds information (ablation labels etc.).
+	label := m.Name()
+	if tag := opts.filterTag; tag != "" && tag != "none" && !strings.HasSuffix(label, "+"+tag) {
+		label += " [" + tag + "]"
+	}
+	stopSim := e.phases.Start("simulate")
 	results := make([]*sim.Result, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
+	var done atomic.Int64
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				// Each trial collects into its own registry; snapshots
+				// merge associatively, so worker completion order cannot
+				// change the aggregate.
+				reg := metrics.NewRegistry()
 				cfg := sim.Config{
 					Model:        e.Model,
 					Mapper:       m,
 					EnergyBudget: opts.budget,
+					Metrics:      reg,
 				}
 				if opts.simMut != nil {
 					opts.simMut(&cfg)
 				}
 				results[i], errs[i] = sim.Run(cfg, trials[i], e.rootRng.ChildN("decisions", i))
+				snap := reg.Snapshot()
+				e.metricsMu.Lock()
+				mergeErr := e.metricsAgg.Merge(snap)
+				e.metricsMu.Unlock()
+				if mergeErr != nil && errs[i] == nil {
+					errs[i] = mergeErr
+				}
+				e.notifyProgress(int(done.Add(1)), n, label)
 			}
 		}()
 	}
@@ -230,11 +318,14 @@ func (e *Env) run(m *sched.Mapper, opts runOpts) (*VariantResult, error) {
 	}
 	close(next)
 	wg.Wait()
+	stopSim()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: trial %d: %w", i, err)
 		}
 	}
+	stopAgg := e.phases.Start("aggregate")
+	defer stopAgg()
 	vr := &VariantResult{
 		Label:       m.Name(),
 		FilterLabel: opts.filterTag,

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/pmf"
+)
+
+// RunReport is the observability summary of everything an environment has
+// executed: per-phase wall-clock timings, the merged per-trial metrics
+// snapshot, pmf hot-path operation counts, and headline derived figures
+// (convolution volume, robustness-cache hit ratio, filter rejections).
+// It serializes to JSON for tooling and renders human-readably for CLIs.
+type RunReport struct {
+	// Seed, Trials, Window identify the experimental setup.
+	Seed   uint64 `json:"seed"`
+	Trials int    `json:"trials"`
+	Window int    `json:"window"`
+	// Phases is the accumulated wall-clock per harness phase.
+	Phases []metrics.PhaseTiming `json:"phases"`
+	// PMF is the pmf-layer operation tally over the environment lifetime.
+	PMF pmf.OpCounts `json:"pmf"`
+	// Derived are the headline figures extracted from Metrics.
+	Derived DerivedStats `json:"derived"`
+	// Metrics is the full merged snapshot (all registered series).
+	Metrics *metrics.Snapshot `json:"metrics"`
+}
+
+// DerivedStats are the headline numbers pulled out of the merged snapshot
+// so report consumers need not know metric names.
+type DerivedStats struct {
+	MappingDecisions      int64            `json:"mappingDecisions"`
+	CandidatesEnumerated  int64            `json:"candidatesEnumerated"`
+	FreeTimeCacheHits     int64            `json:"freeTimeCacheHits"`
+	FreeTimeCacheMisses   int64            `json:"freeTimeCacheMisses"`
+	FreeTimeCacheHitRatio float64          `json:"freeTimeCacheHitRatio"`
+	RhoEvaluations        int64            `json:"rhoEvaluations"`
+	FilterRejections      map[string]int64 `json:"filterRejections"`
+	TasksFilteredToEmpty  int64            `json:"tasksFilteredToEmpty"`
+	EventsProcessed       int64            `json:"eventsProcessed"`
+	EnergyConsumed        float64          `json:"energyConsumed"`
+	HeapDepthHighWater    int64            `json:"heapDepthHighWater"`
+}
+
+// Report assembles the environment's RunReport from everything executed so
+// far. Call it after the figures/variants of interest have run.
+func (e *Env) Report() *RunReport {
+	snap := e.MetricsSnapshot()
+	r := &RunReport{
+		Seed:    e.Spec.Seed,
+		Trials:  e.Spec.Trials,
+		Window:  e.Spec.Workload.WindowSize,
+		Phases:  e.Phases(),
+		PMF:     e.PMFOpCounts(),
+		Metrics: snap,
+	}
+	d := &r.Derived
+	d.MappingDecisions = int64(snap.SumByName("sched_decisions_total"))
+	d.CandidatesEnumerated = int64(snap.SumByName("sched_candidates_total"))
+	d.FreeTimeCacheHits = int64(snap.SumByName("robustness_freetime_cache_hits_total"))
+	d.FreeTimeCacheMisses = int64(snap.SumByName("robustness_freetime_cache_misses_total"))
+	if total := d.FreeTimeCacheHits + d.FreeTimeCacheMisses; total > 0 {
+		d.FreeTimeCacheHitRatio = float64(d.FreeTimeCacheHits) / float64(total)
+	}
+	d.RhoEvaluations = int64(snap.SumByName("sched_rho_evaluations_total"))
+	d.TasksFilteredToEmpty = int64(snap.SumByName("sched_filtered_to_empty_total"))
+	d.EventsProcessed = int64(snap.SumByName("sim_events_total"))
+	d.EnergyConsumed = snap.SumByName("energy_meter_consumed")
+	d.HeapDepthHighWater = int64(snap.SumByName("sim_event_heap_high_water"))
+	d.FilterRejections = make(map[string]int64)
+	for i := range snap.Metrics {
+		mv := &snap.Metrics[i]
+		if mv.Name != "sched_filter_rejections_total" {
+			continue
+		}
+		for _, l := range mv.Labels {
+			if l.Key == "filter" {
+				d.FilterRejections[l.Value] += int64(mv.Value)
+			}
+		}
+	}
+	return r
+}
+
+// JSON serializes the report as indented, deterministic JSON.
+func (r *RunReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render returns the human-readable report block.
+func (r *RunReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run report (seed %d, %d trials × %d tasks)\n", r.Seed, r.Trials, r.Window)
+	b.WriteString("  phases:\n")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "    %-10s %8.3fs  (%d intervals)\n", p.Name, p.Seconds, p.Count)
+	}
+	d := &r.Derived
+	fmt.Fprintf(&b, "  scheduler: %d decisions, %d candidates enumerated, %d ρ evaluations\n",
+		d.MappingDecisions, d.CandidatesEnumerated, d.RhoEvaluations)
+	fmt.Fprintf(&b, "  free-time cache: %d hits / %d misses (%.1f%% hit ratio)\n",
+		d.FreeTimeCacheHits, d.FreeTimeCacheMisses, 100*d.FreeTimeCacheHitRatio)
+	if len(d.FilterRejections) > 0 {
+		names := make([]string, 0, len(d.FilterRejections))
+		for n := range d.FilterRejections {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("  filter rejections:")
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s=%d", n, d.FilterRejections[n])
+		}
+		fmt.Fprintf(&b, "; %d tasks filtered to empty\n", d.TasksFilteredToEmpty)
+	}
+	fmt.Fprintf(&b, "  pmf: %d convolutions (%d bucketed), %d compactions dropping %d impulses\n",
+		r.PMF.Convolutions, r.PMF.BucketedConvolutions, r.PMF.Compactions, r.PMF.ImpulsesCompacted)
+	fmt.Fprintf(&b, "  simulator: %d events processed, heap high-water %d, energy consumed %.4g\n",
+		d.EventsProcessed, d.HeapDepthHighWater, d.EnergyConsumed)
+	return b.String()
+}

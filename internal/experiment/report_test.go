@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestReportAfterVariant(t *testing.T) {
+	env := buildEnv(t)
+
+	var mu sync.Mutex
+	seen := 0
+	lastLabel := ""
+	env.SetProgress(func(done, total int, label string) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen++
+		if total != env.Spec.Trials {
+			t.Errorf("progress total %d, want %d", total, env.Spec.Trials)
+		}
+		lastLabel = label
+	})
+
+	if _, err := env.RunVariant(sched.LightestLoad{}, sched.EnergyAndRobustness); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if seen != env.Spec.Trials {
+		t.Fatalf("progress fired %d times, want %d", seen, env.Spec.Trials)
+	}
+	if !strings.Contains(lastLabel, "en+rob") {
+		t.Fatalf("progress label %q lacks the filter tag", lastLabel)
+	}
+	mu.Unlock()
+
+	r := env.Report()
+	if r.Trials != env.Spec.Trials || r.Seed != env.Spec.Seed {
+		t.Fatalf("report identity wrong: %+v", r)
+	}
+
+	d := &r.Derived
+	if d.MappingDecisions != int64(env.Spec.Trials*env.Spec.Workload.WindowSize) {
+		t.Fatalf("decisions %d, want %d", d.MappingDecisions, env.Spec.Trials*env.Spec.Workload.WindowSize)
+	}
+	if d.CandidatesEnumerated <= d.MappingDecisions {
+		t.Fatalf("candidates %d should exceed decisions %d", d.CandidatesEnumerated, d.MappingDecisions)
+	}
+	if d.FreeTimeCacheHits+d.FreeTimeCacheMisses == 0 {
+		t.Fatal("free-time cache saw no lookups")
+	}
+	if d.FreeTimeCacheHitRatio <= 0 || d.FreeTimeCacheHitRatio > 1 {
+		t.Fatalf("hit ratio %v out of range", d.FreeTimeCacheHitRatio)
+	}
+	if len(d.FilterRejections) == 0 {
+		t.Fatal("en+rob run recorded no per-filter rejection series")
+	}
+	if d.EventsProcessed == 0 {
+		t.Fatal("no simulator events in merged snapshot")
+	}
+	if r.PMF.Convolutions == 0 {
+		t.Fatal("no pmf convolutions attributed to the environment")
+	}
+
+	// Phase timings: build and simulate must both be present with wall time.
+	names := map[string]bool{}
+	for _, p := range r.Phases {
+		names[p.Name] = true
+		if p.Seconds < 0 {
+			t.Fatalf("phase %s has negative duration", p.Name)
+		}
+	}
+	for _, want := range []string{"build", "simulate", "aggregate"} {
+		if !names[want] {
+			t.Fatalf("phase %q missing from %v", want, r.Phases)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	env := buildEnv(t)
+	if _, err := env.RunVariant(sched.ShortestQueue{}, sched.NoFilter); err != nil {
+		t.Fatal(err)
+	}
+	r := env.Report()
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// DerivedStats contains a map, so compare via JSON.
+	a, _ := json.Marshal(r.Derived)
+	b, _ := json.Marshal(back.Derived)
+	if string(a) != string(b) {
+		t.Fatalf("derived stats changed in round trip:\n%s\n%s", a, b)
+	}
+	if len(back.Metrics.Metrics) != len(r.Metrics.Metrics) {
+		t.Fatalf("metric count changed: %d vs %d", len(back.Metrics.Metrics), len(r.Metrics.Metrics))
+	}
+
+	text := r.Render()
+	for _, want := range []string{"run report", "phases:", "free-time cache", "pmf:", "simulator:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMergedMetricsIndependentOfWorkerOrder: two environments built from
+// the same spec must produce identical merged snapshots even though the
+// worker pool completes trials in nondeterministic order.
+func TestMergedMetricsIndependentOfWorkerOrder(t *testing.T) {
+	runMerged := func() string {
+		env, err := Build(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := env.RunVariant(sched.LightestLoad{}, sched.EnergyAndRobustness); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(env.MetricsSnapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	a, b := runMerged(), runMerged()
+	if a != b {
+		t.Fatal("merged metrics depend on trial completion order")
+	}
+}

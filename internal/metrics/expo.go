@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// This file is the exposition layer: Prometheus text format, JSON, and an
+// HTTP server bundling both with the stdlib expvar and pprof debug
+// endpoints — the `-listen` surface of cmd/ecsim and cmd/ectrace.
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Max-gauges render as gauges; histograms render
+// with cumulative `le` buckets plus _sum and _count series.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	for i := range s.Metrics {
+		mv := &s.Metrics[i]
+		promKind := "gauge"
+		switch mv.Kind {
+		case KindCounter:
+			promKind = "counter"
+		case KindHistogram:
+			promKind = "histogram"
+		}
+		if !typed[mv.Name] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", mv.Name, promKind); err != nil {
+				return err
+			}
+			typed[mv.Name] = true
+		}
+		switch mv.Kind {
+		case KindHistogram:
+			cum := int64(0)
+			for b, c := range mv.Hist.Counts {
+				cum += c
+				le := "+Inf"
+				if b < len(mv.Hist.Bounds) {
+					le = fmt.Sprintf("%g", mv.Hist.Bounds[b])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					mv.Name, promLabels(mv.Labels, L("le", le)), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n",
+				mv.Name, promLabels(mv.Labels), mv.Hist.Sum,
+				mv.Name, promLabels(mv.Labels), mv.Hist.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", mv.Name, promLabels(mv.Labels), mv.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Source produces the current snapshot on demand — the handle a live HTTP
+// exposition polls. Implementations must be safe for concurrent use.
+type Source func() *Snapshot
+
+// NewMux builds an http.ServeMux exposing the source:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  the Snapshot JSON document
+//	/debug/vars    stdlib expvar (includes the snapshot under "metrics")
+//	/debug/pprof/  stdlib CPU/heap/goroutine profiling
+func NewMux(source Source) *http.ServeMux {
+	publishExpvar(source)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = source().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(source())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var (
+	expvarOnce   sync.Once
+	expvarSource Source
+	expvarMu     sync.Mutex
+)
+
+// publishExpvar publishes the snapshot under the expvar name "metrics".
+// expvar.Publish panics on duplicate names, so the Func is registered once
+// and re-pointed at the most recent source.
+func publishExpvar(source Source) {
+	expvarMu.Lock()
+	expvarSource = source
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("metrics", expvar.Func(func() any {
+			expvarMu.Lock()
+			src := expvarSource
+			expvarMu.Unlock()
+			if src == nil {
+				return nil
+			}
+			return src()
+		}))
+	})
+}
+
+// Server is a running metrics/debug HTTP server.
+type Server struct {
+	Addr net.Addr
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve starts an HTTP server on addr (host:port; port 0 picks a free
+// port) exposing the source via NewMux. It returns once the listener is
+// bound, so the caller can log the resolved address immediately.
+func Serve(addr string, source Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Addr: ln.Addr(),
+		srv:  &http.Server{Handler: NewMux(source)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close shuts the server down and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

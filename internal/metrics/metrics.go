@@ -1,0 +1,309 @@
+// Package metrics is the repository's dependency-free telemetry substrate:
+// a registry of labeled counters, gauges, max-gauges, and fixed-bucket
+// histograms with atomic hot-path updates, point-in-time snapshots, and an
+// associative Merge so per-trial snapshots aggregate across the experiment
+// harness's parallel worker pool. The package deliberately has no
+// third-party dependencies and no domain knowledge; the simulator, the
+// scheduler, and the experiment harness register the instruments they need.
+//
+// Concurrency model: instrument handles (Counter, Gauge, Max, Histogram)
+// are registered once — typically at engine construction, under the
+// registry's lock — and updated lock-free on the hot path with atomic
+// operations. All instrument methods are nil-receiver-safe, so call sites
+// stay unconditional when instrumentation is disabled.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies an instrument, which determines its Merge semantics.
+type Kind uint8
+
+// Instrument kinds.
+const (
+	// KindCounter is a monotonically increasing count; merges by summing.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value; merges by summing (per-trial
+	// gauges such as energy consumed add up across trials).
+	KindGauge
+	// KindMax is a high-water mark; merges by taking the maximum.
+	KindMax
+	// KindHistogram is a fixed-bucket distribution; merges bucket-wise.
+	KindHistogram
+)
+
+// String names the kind for expositions.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindMax:
+		return "max"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Label is one name=value dimension of a metric.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increments the gauge by v with a CAS loop. No-op on a nil receiver.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Max is a high-water mark: Observe keeps the largest value seen.
+type Max struct{ bits atomic.Uint64 }
+
+// Observe raises the mark to v if v exceeds it. No-op on a nil receiver.
+// Only non-negative observations are meaningful (the zero value reads 0).
+func (m *Max) Observe(v float64) {
+	if m == nil {
+		return
+	}
+	for {
+		old := m.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if m.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the high-water mark (zero on a nil receiver).
+func (m *Max) Value() float64 {
+	if m == nil {
+		return 0
+	}
+	return math.Float64frombits(m.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v <= bounds[i]; one implicit overflow bucket counts the
+// rest. Bounds are fixed at registration, which is what makes Merge
+// well-defined across snapshots.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf overflow
+	sum    Gauge
+	n      Counter
+}
+
+// Observe records one observation. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists on the hot path are short (≤ ~16).
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Inc()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Value()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// metric is one registered instrument with its identity.
+type metric struct {
+	name   string
+	labels []Label
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	max     *Max
+	hist    *Histogram
+}
+
+// Registry holds registered instruments. Registration (the *Counter/Gauge/
+// Max/Histogram getters) takes a lock and is meant for setup paths; the
+// returned handles update lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	byID    map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*metric)}
+}
+
+// metricID canonicalizes (name, labels) into a map key. Labels are sorted
+// by key so registration order does not split identities.
+func metricID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('{')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// get returns the registered metric for (name, labels), creating it with
+// mk on first use. Panics if the name+labels were already registered with
+// a different kind — that is a programming error, not an input error.
+func (r *Registry) get(name string, labels []Label, kind Kind, mk func(*metric)) *metric {
+	labels = sortLabels(labels)
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byID[id]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("metrics: %s registered as %v, requested as %v", id, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, labels: labels, kind: kind}
+	mk(m)
+	r.byID[id] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter returns the counter with the given identity, registering it on
+// first use. Returns nil when the registry itself is nil, which composes
+// with the nil-safe instrument methods to disable instrumentation.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, labels, KindCounter, func(m *metric) { m.counter = &Counter{} }).counter
+}
+
+// Gauge returns the gauge with the given identity, registering it on first
+// use. Nil-registry-safe like Counter.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, labels, KindGauge, func(m *metric) { m.gauge = &Gauge{} }).gauge
+}
+
+// Max returns the high-water gauge with the given identity, registering it
+// on first use. Nil-registry-safe like Counter.
+func (r *Registry) Max(name string, labels ...Label) *Max {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, labels, KindMax, func(m *metric) { m.max = &Max{} }).max
+}
+
+// Histogram returns the histogram with the given identity, registering it
+// with the given bucket upper bounds on first use (bounds must be sorted
+// ascending; an overflow bucket is implicit). Re-registration keeps the
+// original bounds. Nil-registry-safe like Counter.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, labels, KindHistogram, func(m *metric) {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				panic(fmt.Sprintf("metrics: histogram %s bounds not strictly ascending at %d", name, i))
+			}
+		}
+		m.hist = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	}).hist
+}

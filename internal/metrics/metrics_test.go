@@ -1,0 +1,314 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("k", "v"), L("a", "b"))
+	b := r.Counter("x_total", L("a", "b"), L("k", "v"))
+	if a != b {
+		t.Fatal("label order split the metric identity")
+	}
+	a.Add(2)
+	b.Inc()
+	if got := a.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if c, d := r.Counter("y_total"), r.Counter("y_total"); c != d {
+		t.Fatal("unlabeled re-registration returned a different handle")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	m := r.Max("m")
+	h := r.Histogram("h", []float64{1, 2})
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(2)
+	m.Observe(3)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || m.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if n := len(r.Snapshot().Metrics); n != 0 {
+		t.Fatalf("nil registry snapshot has %d metrics", n)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	hv := snap.Metrics[0].Hist
+	want := []int64{2, 2, 2, 1} // <=1: {0.5,1}; <=2: {1.5,2}; <=4: {3,4}; +Inf: {100}
+	if !reflect.DeepEqual(hv.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", hv.Counts, want)
+	}
+	if hv.Count != 7 {
+		t.Fatalf("count = %d, want 7", hv.Count)
+	}
+}
+
+// buildSnapshot makes a snapshot with every kind, with values derived from
+// the per-trial seed so merge tests exercise distinct contributions.
+func buildSnapshot(seed int64) *Snapshot {
+	r := NewRegistry()
+	rng := rand.New(rand.NewSource(seed))
+	r.Counter("conv_total").Add(rng.Int63n(100) + 1)
+	r.Counter("rej_total", L("filter", "energy")).Add(rng.Int63n(10))
+	r.Counter("rej_total", L("filter", "robustness")).Add(rng.Int63n(10))
+	r.Gauge("energy").Add(rng.Float64() * 10)
+	r.Max("heap_hw").Observe(float64(rng.Int63n(50)))
+	h := r.Histogram("backlog", []float64{1, 4, 16})
+	for i := 0; i < 20; i++ {
+		h.Observe(float64(rng.Int63n(32)))
+	}
+	return r.Snapshot()
+}
+
+func snapshotEqual(a, b *Snapshot) bool {
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	return string(aj) == string(bj)
+}
+
+// TestMergeAssociativeCommutative is the satellite-3 guarantee: the worker
+// pool merges trial snapshots in completion order, which must not matter.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	const n = 8
+	snaps := make([]*Snapshot, n)
+	var wg sync.WaitGroup
+	for i := range snaps {
+		wg.Add(1)
+		go func(i int) { // goroutine-produced, like the trial workers
+			defer wg.Done()
+			snaps[i] = buildSnapshot(int64(i + 1))
+		}(i)
+	}
+	wg.Wait()
+
+	// Forward order.
+	fwd, err := MergeSnapshots(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse order (commutativity).
+	rev := &Snapshot{}
+	for i := n - 1; i >= 0; i-- {
+		if err := rev.Merge(snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !snapshotEqual(fwd, rev) {
+		t.Fatal("merge is not commutative across snapshot order")
+	}
+	// Grouped ((a+b)+(c+d))+... (associativity).
+	grouped := &Snapshot{}
+	for i := 0; i < n; i += 2 {
+		pair, err := MergeSnapshots(snaps[i], snaps[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := grouped.Merge(pair); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !snapshotEqual(fwd, grouped) {
+		t.Fatal("merge is not associative across grouping")
+	}
+
+	// Spot-check the aggregate semantics against the raw snapshots.
+	var wantConv, wantHW float64
+	for _, s := range snaps {
+		v, _ := s.Value("conv_total")
+		wantConv += v
+		hw, _ := s.Value("heap_hw")
+		if hw > wantHW {
+			wantHW = hw
+		}
+	}
+	if got, _ := fwd.Value("conv_total"); got != wantConv {
+		t.Fatalf("merged counter = %g, want %g", got, wantConv)
+	}
+	if got, _ := fwd.Value("heap_hw"); got != wantHW {
+		t.Fatalf("merged max = %g, want %g", got, wantHW)
+	}
+}
+
+func TestMergeMismatchError(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("m").Inc()
+	r2 := NewRegistry()
+	r2.Gauge("m").Set(4)
+	s := r1.Snapshot()
+	if err := s.Merge(r2.Snapshot()); err == nil {
+		t.Fatal("expected kind-mismatch error")
+	}
+	if v, _ := s.Value("m"); v != 1 {
+		t.Fatalf("mismatched metric was modified: %g", v)
+	}
+
+	h1 := NewRegistry()
+	h1.Histogram("h", []float64{1, 2}).Observe(1)
+	h2 := NewRegistry()
+	h2.Histogram("h", []float64{1, 2, 3}).Observe(1)
+	hs := h1.Snapshot()
+	if err := hs.Merge(h2.Snapshot()); err == nil {
+		t.Fatal("expected histogram-shape error")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := buildSnapshot(7)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !snapshotEqual(s, &back) {
+		t.Fatal("JSON round trip changed the snapshot")
+	}
+	for i := range back.Metrics {
+		if back.Metrics[i].Kind.String() != back.Metrics[i].KindS {
+			t.Fatalf("kind %q not re-derived", back.Metrics[i].KindS)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	s := buildSnapshot(3)
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE conv_total counter",
+		"# TYPE backlog histogram",
+		`backlog_bucket{le="+Inf"}`,
+		"backlog_sum",
+		"backlog_count",
+		`rej_total{filter="energy"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative: the +Inf bucket equals count.
+	var infLine, countLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `backlog_bucket{le="+Inf"}`) {
+			infLine = strings.Fields(line)[1]
+		}
+		if strings.HasPrefix(line, "backlog_count") {
+			countLine = strings.Fields(line)[1]
+		}
+	}
+	if infLine == "" || infLine != countLine {
+		t.Fatalf("+Inf bucket %q != count %q", infLine, countLine)
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(42)
+	srv := httptest.NewServer(NewMux(r.Snapshot))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "hits_total 42") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	if code, body := get("/metrics.json"); code != 200 || !strings.Contains(body, `"hits_total"`) {
+		t.Fatalf("/metrics.json: %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, `"metrics"`) {
+		t.Fatalf("/debug/vars: %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g").Set(1.5)
+	srv, err := Serve("127.0.0.1:0", r.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "g 1.5") {
+		t.Fatalf("served body %q", body)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	p := NewPhases()
+	stop := p.Start("build")
+	stop()
+	stop2 := p.Start("simulate")
+	stop2()
+	stop3 := p.Start("simulate")
+	stop3()
+	ts := p.Timings()
+	if len(ts) != 2 || ts[0].Name != "build" || ts[1].Name != "simulate" {
+		t.Fatalf("timings = %+v", ts)
+	}
+	if ts[1].Count != 2 {
+		t.Fatalf("simulate count = %d, want 2", ts[1].Count)
+	}
+	var nilP *Phases
+	nilP.Record("x", 0) // must not panic
+	if nilP.Timings() != nil {
+		t.Fatal("nil Phases should report nil timings")
+	}
+	done := nilP.Start("x")
+	done()
+}

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// HistogramValue is the snapshot of one histogram: per-bucket cumulative-
+// free counts (Counts[i] is the count for values <= Bounds[i]; the final
+// entry is the overflow bucket), the observation sum, and the total count.
+type HistogramValue struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// MetricValue is the snapshot of one instrument.
+type MetricValue struct {
+	Name   string          `json:"name"`
+	Labels []Label         `json:"labels,omitempty"`
+	Kind   Kind            `json:"-"`
+	KindS  string          `json:"kind"`
+	Value  float64         `json:"value,omitempty"`
+	Hist   *HistogramValue `json:"histogram,omitempty"`
+}
+
+// ID returns the metric's canonical identity string.
+func (v *MetricValue) ID() string { return metricID(v.Name, v.Labels) }
+
+// Snapshot is a point-in-time copy of a registry's instruments. Snapshots
+// are plain values: safe to serialize, ship across goroutines, and Merge.
+type Snapshot struct {
+	Metrics []MetricValue `json:"metrics"`
+}
+
+// Snapshot captures the registry's current values, sorted by identity so
+// equal registries produce byte-identical serializations.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	metricsCopy := make([]*metric, len(r.ordered))
+	copy(metricsCopy, r.ordered)
+	r.mu.Unlock()
+	for _, m := range metricsCopy {
+		mv := MetricValue{Name: m.name, Labels: m.labels, Kind: m.kind, KindS: m.kind.String()}
+		switch m.kind {
+		case KindCounter:
+			mv.Value = float64(m.counter.Value())
+		case KindGauge:
+			mv.Value = m.gauge.Value()
+		case KindMax:
+			mv.Value = m.max.Value()
+		case KindHistogram:
+			h := m.hist
+			hv := &HistogramValue{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+				Sum:    h.sum.Value(),
+				Count:  h.n.Value(),
+			}
+			for i := range h.counts {
+				hv.Counts[i] = h.counts[i].Load()
+			}
+			mv.Hist = hv
+		}
+		s.Metrics = append(s.Metrics, mv)
+	}
+	s.sort()
+	return s
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].ID() < s.Metrics[j].ID() })
+}
+
+// Merge folds other into s. The operation is associative and commutative
+// per metric identity: counters and gauges add, max-gauges take the
+// maximum, histograms add bucket-wise (their bounds must match — they come
+// from the same registration site). Metrics present in only one snapshot
+// carry over unchanged. Merging mismatched kinds or histogram shapes for
+// the same identity returns an error and leaves that metric as it was in s.
+func (s *Snapshot) Merge(other *Snapshot) error {
+	if other == nil {
+		return nil
+	}
+	index := make(map[string]int, len(s.Metrics))
+	for i := range s.Metrics {
+		index[s.Metrics[i].ID()] = i
+	}
+	var firstErr error
+	for i := range other.Metrics {
+		ov := &other.Metrics[i]
+		j, ok := index[ov.ID()]
+		if !ok {
+			s.Metrics = append(s.Metrics, cloneValue(ov))
+			index[ov.ID()] = len(s.Metrics) - 1
+			continue
+		}
+		mv := &s.Metrics[j]
+		if mv.Kind != ov.Kind {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("metrics: merge kind mismatch for %s: %v vs %v", mv.ID(), mv.Kind, ov.Kind)
+			}
+			continue
+		}
+		switch mv.Kind {
+		case KindCounter, KindGauge:
+			mv.Value += ov.Value
+		case KindMax:
+			if ov.Value > mv.Value {
+				mv.Value = ov.Value
+			}
+		case KindHistogram:
+			if err := mergeHist(mv.Hist, ov.Hist); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("metrics: merge %s: %w", mv.ID(), err)
+				}
+			}
+		}
+	}
+	s.sort()
+	return firstErr
+}
+
+func cloneValue(v *MetricValue) MetricValue {
+	out := *v
+	if v.Hist != nil {
+		h := *v.Hist
+		h.Bounds = append([]float64(nil), v.Hist.Bounds...)
+		h.Counts = append([]int64(nil), v.Hist.Counts...)
+		out.Hist = &h
+	}
+	return out
+}
+
+func mergeHist(dst, src *HistogramValue) error {
+	if dst == nil || src == nil {
+		return fmt.Errorf("missing histogram value")
+	}
+	if len(dst.Counts) != len(src.Counts) {
+		return fmt.Errorf("bucket count mismatch: %d vs %d", len(dst.Counts), len(src.Counts))
+	}
+	for i, b := range dst.Bounds {
+		if src.Bounds[i] != b {
+			return fmt.Errorf("bucket bound mismatch at %d: %g vs %g", i, b, src.Bounds[i])
+		}
+	}
+	for i := range dst.Counts {
+		dst.Counts[i] += src.Counts[i]
+	}
+	dst.Sum += src.Sum
+	dst.Count += src.Count
+	return nil
+}
+
+// MergeSnapshots folds any number of snapshots into a fresh one.
+func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
+	out := &Snapshot{}
+	for _, s := range snaps {
+		if err := out.Merge(s); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Value returns the scalar value of the named metric (counters, gauges,
+// max-gauges) and whether it was present. Labels identify the exact series.
+func (s *Snapshot) Value(name string, labels ...Label) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	id := metricID(name, sortLabels(labels))
+	for i := range s.Metrics {
+		if s.Metrics[i].ID() == id {
+			return s.Metrics[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumByName sums the scalar values of every series sharing the metric name
+// (e.g. one counter split across label values). Histograms contribute
+// their observation count.
+func (s *Snapshot) SumByName(name string) float64 {
+	if s == nil {
+		return 0
+	}
+	total := 0.0
+	for i := range s.Metrics {
+		mv := &s.Metrics[i]
+		if mv.Name != name {
+			continue
+		}
+		if mv.Kind == KindHistogram && mv.Hist != nil {
+			total += float64(mv.Hist.Count)
+			continue
+		}
+		total += mv.Value
+	}
+	return total
+}
+
+// MarshalJSON emits the snapshot as a deterministic JSON document.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot
+	return json.Marshal((*alias)(s))
+}
+
+// UnmarshalJSON restores a snapshot, re-deriving the typed Kind from its
+// serialized name.
+func (s *Snapshot) UnmarshalJSON(data []byte) error {
+	type alias Snapshot
+	if err := json.Unmarshal(data, (*alias)(s)); err != nil {
+		return err
+	}
+	for i := range s.Metrics {
+		switch s.Metrics[i].KindS {
+		case "counter":
+			s.Metrics[i].Kind = KindCounter
+		case "gauge":
+			s.Metrics[i].Kind = KindGauge
+		case "max":
+			s.Metrics[i].Kind = KindMax
+		case "histogram":
+			s.Metrics[i].Kind = KindHistogram
+		default:
+			return fmt.Errorf("metrics: unknown kind %q", s.Metrics[i].KindS)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// PhaseTiming is one named phase's accumulated wall-clock time.
+type PhaseTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Count   int     `json:"count"`
+}
+
+// Phases accumulates wall-clock time per named phase — the per-phase
+// timing block of the RunReport. It is safe for concurrent use; repeated
+// phases accumulate (count tracks how many intervals contributed).
+type Phases struct {
+	mu    sync.Mutex
+	order []string
+	byN   map[string]*PhaseTiming
+}
+
+// NewPhases returns an empty phase accumulator.
+func NewPhases() *Phases {
+	return &Phases{byN: make(map[string]*PhaseTiming)}
+}
+
+// Record adds one elapsed interval to the named phase. Nil-receiver-safe.
+func (p *Phases) Record(name string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.byN[name]
+	if !ok {
+		t = &PhaseTiming{Name: name}
+		p.byN[name] = t
+		p.order = append(p.order, name)
+	}
+	t.Seconds += d.Seconds()
+	t.Count++
+}
+
+// Start begins timing the named phase and returns the stop function that
+// records the elapsed interval. Nil-receiver-safe (stop is then a no-op).
+func (p *Phases) Start(name string) func() {
+	if p == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { p.Record(name, time.Since(t0)) }
+}
+
+// Timings returns the accumulated phases in first-recorded order.
+func (p *Phases) Timings() []PhaseTiming {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PhaseTiming, 0, len(p.order))
+	for _, n := range p.order {
+		out = append(out, *p.byN[n])
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package pmf
+
+import "sync/atomic"
+
+// Hot-path operation counters. Convolution is the scheduler's dominant
+// cost (§IV-B chains one convolution per queued task per candidate core),
+// so the package keeps process-global atomic tallies that the experiment
+// harness samples before and after a run to attribute work. One atomic add
+// per convolution is noise next to the O(n·m) impulse product itself.
+var (
+	opConvolutions     atomic.Int64
+	opBucketed         atomic.Int64
+	opCompactions      atomic.Int64
+	opImpulsesCompacted atomic.Int64
+)
+
+// OpCounts is a sample of the package's operation counters.
+type OpCounts struct {
+	// Convolutions counts ConvolveN calls that performed an impulse
+	// product (degenerate shift shortcuts are excluded).
+	Convolutions int64 `json:"convolutions"`
+	// BucketedConvolutions counts the subset of Convolutions that took the
+	// direct-to-buckets fast path.
+	BucketedConvolutions int64 `json:"bucketedConvolutions"`
+	// Compactions counts explicit Compact calls that reduced a support.
+	Compactions int64 `json:"compactions"`
+	// ImpulsesCompacted counts impulses eliminated by compaction (input
+	// minus output support sizes, summed over Compactions).
+	ImpulsesCompacted int64 `json:"impulsesCompacted"`
+}
+
+// ReadOpCounts samples the counters. Counters increase monotonically for
+// the life of the process; subtract two samples to attribute work to an
+// interval.
+func ReadOpCounts() OpCounts {
+	return OpCounts{
+		Convolutions:         opConvolutions.Load(),
+		BucketedConvolutions: opBucketed.Load(),
+		Compactions:          opCompactions.Load(),
+		ImpulsesCompacted:    opImpulsesCompacted.Load(),
+	}
+}
+
+// Sub returns the per-field difference c - prev.
+func (c OpCounts) Sub(prev OpCounts) OpCounts {
+	return OpCounts{
+		Convolutions:         c.Convolutions - prev.Convolutions,
+		BucketedConvolutions: c.BucketedConvolutions - prev.BucketedConvolutions,
+		Compactions:          c.Compactions - prev.Compactions,
+		ImpulsesCompacted:    c.ImpulsesCompacted - prev.ImpulsesCompacted,
+	}
+}

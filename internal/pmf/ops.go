@@ -64,12 +64,14 @@ func ConvolveN(p, q PMF, maxImpulses int) PMF {
 		return p.Shift(q.vals[0])
 	}
 	n := p.Len() * q.Len()
+	opConvolutions.Add(1)
 	// When the exact product support would be compacted anyway, accumulate
 	// straight into the compaction buckets: same result layout as
 	// Compact (equal-width buckets, mass-weighted centroids, mean preserved
 	// exactly) without materializing and sorting n·m impulses. This is the
 	// scheduler's hot path.
 	if maxImpulses > 0 && n > 4*maxImpulses {
+		opBucketed.Add(1)
 		return convolveBucketed(p, q, maxImpulses)
 	}
 	vals := make([]float64, 0, n)
@@ -188,6 +190,8 @@ func (p PMF) Compact(maxImpulses int) PMF {
 		moment += p.probs[i] * p.vals[i]
 	}
 	flush()
+	opCompactions.Add(1)
+	opImpulsesCompacted.Add(int64(p.Len() - len(outV)))
 	// Centroids of consecutive buckets are strictly increasing because the
 	// buckets partition disjoint value ranges, so outV is already sorted
 	// and duplicate-free.

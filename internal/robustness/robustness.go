@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/pmf"
 	"repro/internal/workload"
 )
@@ -42,10 +43,16 @@ type CoreQueue struct {
 }
 
 // Calculator computes completion-time distributions and robustness values
-// against a fixed workload model. It is stateless and safe for concurrent
-// use.
+// against a fixed workload model. It holds no mutable state beyond
+// optional atomic instrumentation counters and is safe for concurrent use.
 type Calculator struct {
 	model *workload.Model
+
+	// Optional instrumentation, attached via Instrument. The counters are
+	// atomic, so attaching them preserves concurrent safety; nil counters
+	// make the increments no-ops.
+	freeTimeEvals   *metrics.Counter
+	completionEvals *metrics.Counter
 }
 
 // NewCalculator returns a Calculator for the given model.
@@ -56,10 +63,20 @@ func NewCalculator(m *workload.Model) *Calculator {
 	return &Calculator{model: m}
 }
 
+// Instrument attaches counters for free-time chain evaluations (one per
+// FreeTime call, each walking a convolution chain down a core's queue) and
+// candidate completion-distribution evaluations (one per CompletionPMF
+// call). Either counter may be nil.
+func (c *Calculator) Instrument(freeTimeEvals, completionEvals *metrics.Counter) {
+	c.freeTimeEvals = freeTimeEvals
+	c.completionEvals = completionEvals
+}
+
 // FreeTime returns the distribution of the instant the core becomes free
 // (finishes everything in queue), predicted at time now. An empty queue
 // yields the degenerate distribution at now — the core's ready time.
 func (c *Calculator) FreeTime(q CoreQueue, now float64) pmf.PMF {
+	c.freeTimeEvals.Inc()
 	if len(q.Tasks) == 0 {
 		return pmf.Point(now)
 	}
@@ -83,6 +100,7 @@ func (c *Calculator) FreeTime(q CoreQueue, now float64) pmf.PMF {
 // task of the given type if appended to a core of the given node at P-state
 // p, where free is the core's FreeTime distribution.
 func (c *Calculator) CompletionPMF(free pmf.PMF, taskType, node int, p cluster.PState) pmf.PMF {
+	c.completionEvals.Inc()
 	return pmf.Convolve(free, c.model.ExecPMF(taskType, node, p))
 }
 

@@ -1,0 +1,93 @@
+package sched
+
+import "repro/internal/metrics"
+
+// Counters is the scheduler's prepared instrumentation: handles registered
+// once per simulation run and bumped lock-free on the mapping hot path.
+// All methods are nil-receiver-safe, so instrumented call sites stay
+// unconditional when no registry is attached.
+type Counters struct {
+	// Decisions counts mapping decisions (one per arriving task).
+	Decisions *metrics.Counter
+	// Candidates counts enumerated (core, P-state) assignments.
+	Candidates *metrics.Counter
+	// FreeTimeHits / FreeTimeMisses track the per-decision free-time
+	// distribution cache: a miss materializes the §IV-B convolution chain
+	// for a core, a hit reuses it for another P-state of the same core.
+	FreeTimeHits   *metrics.Counter
+	FreeTimeMisses *metrics.Counter
+	// RhoEvals counts ρ(i,j,k,π,t_l,z) evaluations (candidate-level
+	// completion-probability convolutions).
+	RhoEvals *metrics.Counter
+	// Discards counts tasks whose feasible set was filtered to empty.
+	Discards *metrics.Counter
+
+	// rejections[i] counts candidates eliminated by Mapper.Filters[i];
+	// prepared per filter so the hot path avoids map lookups.
+	rejections []*metrics.Counter
+}
+
+// NewCounters registers the scheduler's instruments in the registry, with
+// one labeled rejection counter per filter in the chain. A nil registry
+// yields a Counters whose updates are all no-ops.
+func NewCounters(r *metrics.Registry, filters []Filter) *Counters {
+	c := &Counters{
+		Decisions:      r.Counter("sched_decisions_total"),
+		Candidates:     r.Counter("sched_candidates_total"),
+		FreeTimeHits:   r.Counter("robustness_freetime_cache_hits_total"),
+		FreeTimeMisses: r.Counter("robustness_freetime_cache_misses_total"),
+		RhoEvals:       r.Counter("sched_rho_evaluations_total"),
+		Discards:       r.Counter("sched_filtered_to_empty_total"),
+	}
+	c.rejections = make([]*metrics.Counter, len(filters))
+	for i, f := range filters {
+		c.rejections[i] = r.Counter("sched_filter_rejections_total", metrics.L("filter", f.Name()))
+	}
+	return c
+}
+
+func (c *Counters) addDecision() {
+	if c == nil {
+		return
+	}
+	c.Decisions.Inc()
+}
+
+func (c *Counters) addCandidates(n int) {
+	if c == nil {
+		return
+	}
+	c.Candidates.Add(int64(n))
+}
+
+func (c *Counters) freeTime(hit bool) {
+	if c == nil {
+		return
+	}
+	if hit {
+		c.FreeTimeHits.Inc()
+	} else {
+		c.FreeTimeMisses.Inc()
+	}
+}
+
+func (c *Counters) addRho() {
+	if c == nil {
+		return
+	}
+	c.RhoEvals.Inc()
+}
+
+func (c *Counters) addRejections(filterIdx, n int) {
+	if c == nil || filterIdx >= len(c.rejections) {
+		return
+	}
+	c.rejections[filterIdx].Add(int64(n))
+}
+
+func (c *Counters) addDiscard() {
+	if c == nil {
+		return
+	}
+	c.Discards.Inc()
+}

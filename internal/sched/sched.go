@@ -49,6 +49,7 @@ type Candidate struct {
 	deadline float64
 	taskType int
 	calc     *robustness.Calculator
+	counters *Counters
 
 	rho    float64
 	rhoSet bool
@@ -66,6 +67,7 @@ func (c *Candidate) Rho() float64 {
 	if !c.rhoSet {
 		c.rho = c.calc.ProbOnTime(c.free(), c.taskType, c.Core.Node, c.PState, c.deadline)
 		c.rhoSet = true
+		c.counters.addRho()
 	}
 	return c.rho
 }
@@ -92,6 +94,9 @@ type Context struct {
 	AvgQueueDepth float64
 	// Rand drives the Random heuristic's choice.
 	Rand *randx.Stream
+	// Counters, when non-nil, receives hot-path instrumentation (candidate
+	// enumeration, free-time cache traffic, filter rejections).
+	Counters *Counters
 }
 
 // SystemView is the scheduler's read-only window into the simulator state.
@@ -111,6 +116,7 @@ type SystemView interface {
 func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
 	n := view.NumCores()
 	cands := make([]*Candidate, 0, n*cluster.NumPStates)
+	ctx.Counters.addDecision()
 	for idx := 0; idx < n; idx++ {
 		id := view.CoreID(idx)
 		q := view.Queue(idx)
@@ -119,7 +125,9 @@ func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
 		freeMean := freeMeanByLinearity(ctx, q)
 		var cached pmf.PMF
 		freeFn := func() pmf.PMF {
-			if cached.IsZero() {
+			hit := !cached.IsZero()
+			ctx.Counters.freeTime(hit)
+			if !hit {
 				cached = ctx.Calc.FreeTime(q, ctx.Now)
 			}
 			return cached
@@ -137,9 +145,11 @@ func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
 				deadline:   ctx.Task.Deadline,
 				taskType:   ctx.Task.Type,
 				calc:       ctx.Calc,
+				counters:   ctx.Counters,
 			})
 		}
 	}
+	ctx.Counters.addCandidates(len(cands))
 	return cands
 }
 
@@ -212,15 +222,17 @@ func (m *Mapper) Name() string {
 // out, in which case the task is discarded (§V-A).
 func (m *Mapper) Map(ctx *Context, cands []*Candidate) *Candidate {
 	feasible := cands
-	for _, f := range m.Filters {
+	for i, f := range m.Filters {
 		kept := feasible[:0:0]
 		for _, c := range feasible {
 			if f.Keep(ctx, c) {
 				kept = append(kept, c)
 			}
 		}
+		ctx.Counters.addRejections(i, len(feasible)-len(kept))
 		feasible = kept
 		if len(feasible) == 0 {
+			ctx.Counters.addDiscard()
 			return nil
 		}
 	}

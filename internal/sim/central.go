@@ -101,15 +101,16 @@ func (e *centralEngine) loopCentral() {
 		e.depthIntegral += float64(e.inSystem+len(e.pool)) * (ev.time - e.lastT)
 		e.lastT = ev.time
 		at, exhausted := e.meter.Advance(ev.time)
+		e.sampleEnergy(at)
 		if exhausted {
 			e.res.EnergyExhausted = true
 			e.res.ExhaustedAt = at
 			e.res.Makespan = at
-			if e.cfg.Observer != nil {
-				e.cfg.Observer.EnergyExhausted(at)
-			}
+			e.met.energyExhausted()
+			e.cfg.Observer.EnergyExhausted(at)
 			return
 		}
+		e.met.event(ev.kind, e.inSystem+len(e.pool))
 		switch ev.kind {
 		case evArrival:
 			task := e.trial.Tasks[ev.idx]
@@ -147,6 +148,7 @@ func (e *centralEngine) dispatch(now float64) {
 		e.energyLeft -= exec.Mean() * e.cfg.Model.Cluster.Node(e.cores[coreIdx]).Power[ps] /
 			e.cfg.Model.Cluster.Node(e.cores[coreIdx]).Efficiency
 		e.res.Mapped++
+		e.met.taskMapped()
 		actual := e.cfg.Model.ActualExecTime(task, node, ps)
 		e.queues[coreIdx] = append(e.queues[coreIdx], queued{task: task, pstate: ps, actual: actual})
 		e.inSystem++
@@ -155,9 +157,7 @@ func (e *centralEngine) dispatch(now float64) {
 			tr.Mapped = true
 			tr.Assignment = e.assignment(coreIdx, ps)
 		}
-		if e.cfg.Observer != nil {
-			e.cfg.Observer.TaskMapped(now, task, e.assignment(coreIdx, ps))
-		}
+		e.cfg.Observer.TaskMapped(now, task, e.assignment(coreIdx, ps))
 		e.start(now, coreIdx)
 	}
 }

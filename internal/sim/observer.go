@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// NopObserver is the do-nothing Observer. The engine substitutes it when
+// Config.Observer is nil so every emission site is unconditional, and
+// implementations can embed it to pick up defaults for events they ignore.
+type NopObserver struct{}
+
+var _ Observer = NopObserver{}
+
+// TaskMapped implements Observer.
+func (NopObserver) TaskMapped(float64, workload.Task, sched.Assignment) {}
+
+// TaskDiscarded implements Observer.
+func (NopObserver) TaskDiscarded(float64, workload.Task) {}
+
+// TaskStarted implements Observer.
+func (NopObserver) TaskStarted(float64, workload.Task, sched.Assignment) {}
+
+// TaskFinished implements Observer.
+func (NopObserver) TaskFinished(float64, workload.Task, sched.Assignment, bool) {}
+
+// PStateChanged implements Observer.
+func (NopObserver) PStateChanged(float64, cluster.CoreID, cluster.PState) {}
+
+// EnergyExhausted implements Observer.
+func (NopObserver) EnergyExhausted(float64) {}
+
+// EnergyObserver is an optional Observer extension: implementations also
+// receive the energy meter's trajectory — one sample per processed event,
+// after the meter advanced to it. consumed is cumulative wall energy,
+// rate the instantaneous cluster draw in watts. High-volume; implementors
+// should decimate if they retain samples.
+type EnergyObserver interface {
+	EnergySample(t, consumed, rate float64)
+}
+
+// MultiObserver fans every simulation event out to each member in order,
+// so trace recording and metrics collection (and anything else) attach to
+// one run simultaneously. Members that also implement EnergyObserver
+// receive energy samples; the fan-out preserves member order for every
+// event type.
+type MultiObserver struct {
+	obs    []Observer
+	energy []EnergyObserver
+}
+
+var (
+	_ Observer       = (*MultiObserver)(nil)
+	_ EnergyObserver = (*MultiObserver)(nil)
+)
+
+// Multi composes observers into one. Nil members are dropped; with zero
+// survivors it returns NopObserver, with one it returns that observer
+// unwrapped.
+func Multi(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return NopObserver{}
+	case 1:
+		return kept[0]
+	}
+	m := &MultiObserver{obs: kept}
+	for _, o := range kept {
+		if eo, ok := o.(EnergyObserver); ok {
+			m.energy = append(m.energy, eo)
+		}
+	}
+	return m
+}
+
+// TaskMapped implements Observer.
+func (m *MultiObserver) TaskMapped(t float64, task workload.Task, a sched.Assignment) {
+	for _, o := range m.obs {
+		o.TaskMapped(t, task, a)
+	}
+}
+
+// TaskDiscarded implements Observer.
+func (m *MultiObserver) TaskDiscarded(t float64, task workload.Task) {
+	for _, o := range m.obs {
+		o.TaskDiscarded(t, task)
+	}
+}
+
+// TaskStarted implements Observer.
+func (m *MultiObserver) TaskStarted(t float64, task workload.Task, a sched.Assignment) {
+	for _, o := range m.obs {
+		o.TaskStarted(t, task, a)
+	}
+}
+
+// TaskFinished implements Observer.
+func (m *MultiObserver) TaskFinished(t float64, task workload.Task, a sched.Assignment, onTime bool) {
+	for _, o := range m.obs {
+		o.TaskFinished(t, task, a, onTime)
+	}
+}
+
+// PStateChanged implements Observer.
+func (m *MultiObserver) PStateChanged(t float64, core cluster.CoreID, ps cluster.PState) {
+	for _, o := range m.obs {
+		o.PStateChanged(t, core, ps)
+	}
+}
+
+// EnergyExhausted implements Observer.
+func (m *MultiObserver) EnergyExhausted(t float64) {
+	for _, o := range m.obs {
+		o.EnergyExhausted(t)
+	}
+}
+
+// EnergySample implements EnergyObserver, forwarding to the members that
+// asked for it.
+func (m *MultiObserver) EnergySample(t, consumed, rate float64) {
+	for _, eo := range m.energy {
+		eo.EnergySample(t, consumed, rate)
+	}
+}
+
+// backlogBuckets bounds the sim_backlog_depth histogram: tasks in system
+// observed at every event, roughly log-spaced up to the paper's window.
+var backlogBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// simMetrics is the engine's prepared instrumentation: handles registered
+// once in Run, bumped on the event loop. A nil *simMetrics (no registry
+// attached) makes every method a no-op.
+type simMetrics struct {
+	events     [3]*metrics.Counter // indexed by event kind
+	heapHW     *metrics.Max
+	backlog    *metrics.Histogram
+	mapped     *metrics.Counter
+	discarded  *metrics.Counter
+	onTime     *metrics.Counter
+	late       *metrics.Counter
+	cancelled *metrics.Counter
+	exhausted *metrics.Counter
+	makespan  *metrics.Max
+	sched     *sched.Counters
+}
+
+// newSimMetrics registers the simulator's instruments.
+func newSimMetrics(r *metrics.Registry) *simMetrics {
+	if r == nil {
+		return nil
+	}
+	return &simMetrics{
+		events: [3]*metrics.Counter{
+			evCompletion: r.Counter("sim_events_total", metrics.L("kind", "completion")),
+			evArrival:    r.Counter("sim_events_total", metrics.L("kind", "arrival")),
+			evPark:       r.Counter("sim_events_total", metrics.L("kind", "park")),
+		},
+		heapHW:     r.Max("sim_event_heap_high_water"),
+		backlog:    r.Histogram("sim_backlog_depth", backlogBuckets),
+		mapped:     r.Counter("sim_tasks_total", metrics.L("outcome", "mapped")),
+		discarded:  r.Counter("sim_tasks_total", metrics.L("outcome", "discarded")),
+		onTime:     r.Counter("sim_tasks_total", metrics.L("outcome", "on-time")),
+		late:       r.Counter("sim_tasks_total", metrics.L("outcome", "late")),
+		cancelled: r.Counter("sim_tasks_total", metrics.L("outcome", "cancelled")),
+		exhausted: r.Counter("sim_energy_exhausted_total"),
+		makespan:  r.Max("sim_makespan"),
+	}
+}
+
+// event records one processed event and the backlog observed at it.
+func (m *simMetrics) event(kind, backlog int) {
+	if m == nil {
+		return
+	}
+	m.events[kind].Inc()
+	m.backlog.Observe(float64(backlog))
+}
+
+func (m *simMetrics) heapDepth(n int) {
+	if m == nil {
+		return
+	}
+	m.heapHW.Observe(float64(n))
+}
+
+func (m *simMetrics) taskMapped() {
+	if m == nil {
+		return
+	}
+	m.mapped.Inc()
+}
+
+func (m *simMetrics) taskDiscarded() {
+	if m == nil {
+		return
+	}
+	m.discarded.Inc()
+}
+
+func (m *simMetrics) taskFinished(onTime bool) {
+	if m == nil {
+		return
+	}
+	if onTime {
+		m.onTime.Inc()
+	} else {
+		m.late.Inc()
+	}
+}
+
+func (m *simMetrics) taskCancelled() {
+	if m == nil {
+		return
+	}
+	m.cancelled.Inc()
+}
+
+func (m *simMetrics) energyExhausted() {
+	if m == nil {
+		return
+	}
+	m.exhausted.Inc()
+}
+
+func (m *simMetrics) finish(makespan float64) {
+	if m == nil {
+		return
+	}
+	m.makespan.Observe(makespan)
+}
+
+func (m *simMetrics) schedCounters() *sched.Counters {
+	if m == nil {
+		return nil
+	}
+	return m.sched
+}

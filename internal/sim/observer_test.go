@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// logObserver appends a label per event into a shared log — the fixture for
+// fan-out ordering and engine-parity tests.
+type logObserver struct {
+	name string
+	log  *[]string
+}
+
+func (o logObserver) emit(kind string, task int) {
+	*o.log = append(*o.log, fmt.Sprintf("%s:%s:%d", o.name, kind, task))
+}
+
+func (o logObserver) TaskMapped(_ float64, task workload.Task, _ sched.Assignment) {
+	o.emit("mapped", task.ID)
+}
+func (o logObserver) TaskDiscarded(_ float64, task workload.Task) { o.emit("discarded", task.ID) }
+func (o logObserver) TaskStarted(_ float64, task workload.Task, _ sched.Assignment) {
+	o.emit("started", task.ID)
+}
+func (o logObserver) TaskFinished(_ float64, task workload.Task, _ sched.Assignment, _ bool) {
+	o.emit("finished", task.ID)
+}
+func (o logObserver) PStateChanged(float64, cluster.CoreID, cluster.PState) { o.emit("pstate", -1) }
+func (o logObserver) EnergyExhausted(float64)                               { o.emit("exhausted", -1) }
+
+// energyLog additionally implements EnergyObserver.
+type energyLog struct {
+	logObserver
+	samples *int
+}
+
+func (o energyLog) EnergySample(float64, float64, float64) { *o.samples++ }
+
+// TestMultiObserverOrder: Multi must deliver every event to each observer
+// in registration order before moving to the next event.
+func TestMultiObserverOrder(t *testing.T) {
+	m := buildModel(t, 60, 40)
+	var log []string
+	samples := 0
+	a := energyLog{logObserver{name: "A", log: &log}, &samples}
+	b := logObserver{name: "B", log: &log}
+	runOnce(t, m, mapperFor(sched.LightestLoad{}, sched.NoFilter), math.Inf(1), 9, func(cfg *Config) {
+		cfg.Observer = Multi(a, nil, b) // nils are dropped
+	})
+	if len(log) == 0 || len(log)%2 != 0 {
+		t.Fatalf("log has %d entries, want a nonzero even count", len(log))
+	}
+	for i := 0; i < len(log); i += 2 {
+		wantB := "B" + log[i][1:]
+		if log[i][0] != 'A' || log[i+1] != wantB {
+			t.Fatalf("event %d delivered out of order: %q then %q", i/2, log[i], log[i+1])
+		}
+	}
+	if samples == 0 {
+		t.Fatal("EnergyObserver member of Multi received no samples")
+	}
+}
+
+func TestMultiDegenerateForms(t *testing.T) {
+	if _, ok := Multi().(NopObserver); !ok {
+		t.Fatal("Multi() should collapse to NopObserver")
+	}
+	var log []string
+	o := logObserver{name: "A", log: &log}
+	if got := Multi(o); got != Observer(o) {
+		t.Fatal("Multi(single) should unwrap to the observer itself")
+	}
+	if _, ok := Multi(nil, nil).(NopObserver); !ok {
+		t.Fatal("Multi(nil, nil) should collapse to NopObserver")
+	}
+}
+
+// observe runs one trial with a logObserver attached and returns the event
+// log plus the result.
+func observeRun(t *testing.T, m *workload.Model, trialSeed uint64, mut func(*Config)) ([]string, *Result) {
+	t.Helper()
+	var log []string
+	res := runOnce(t, m, nil, math.Inf(1), trialSeed, func(cfg *Config) {
+		cfg.Observer = logObserver{name: "O", log: &log}
+		if mut != nil {
+			mut(cfg)
+		}
+	})
+	return log, res
+}
+
+// TestEngineEventParity is the satellite-1 audit: for the same seed, the
+// immediate-mode and central-queue engines must emit event streams of the
+// same shape — per-kind counts agreeing with the Result accounting, and the
+// per-task mapped→started→finished lifecycle in order — even though the
+// schedules themselves differ.
+func TestEngineEventParity(t *testing.T) {
+	m := buildModel(t, 61, 50)
+	const seed = 13
+
+	immLog, immRes := observeRun(t, m, seed, func(cfg *Config) {
+		cfg.Mapper = mapperFor(sched.LightestLoad{}, sched.NoFilter)
+	})
+	cenLog, cenRes := observeRun(t, m, seed, func(cfg *Config) {
+		cfg.CentralQueue = EDFCheapest{}
+	})
+
+	for _, eng := range []struct {
+		name string
+		log  []string
+		res  *Result
+	}{{"immediate", immLog, immRes}, {"central", cenLog, cenRes}} {
+		counts := map[string]int{}
+		state := map[int]string{} // task -> last lifecycle stage
+		for _, entry := range eng.log {
+			counts[kindOf(entry)]++
+			tid := taskOf(entry)
+			switch kindOf(entry) {
+			case "mapped":
+				if prev, seen := state[tid]; seen {
+					t.Fatalf("%s: task %d mapped after %s", eng.name, tid, prev)
+				}
+				state[tid] = "mapped"
+			case "started":
+				if state[tid] != "mapped" {
+					t.Fatalf("%s: task %d started from state %q", eng.name, tid, state[tid])
+				}
+				state[tid] = "started"
+			case "finished":
+				if state[tid] != "started" {
+					t.Fatalf("%s: task %d finished from state %q", eng.name, tid, state[tid])
+				}
+				state[tid] = "finished"
+			}
+		}
+		if counts["mapped"] != eng.res.Mapped {
+			t.Fatalf("%s: %d mapped events, result says %d", eng.name, counts["mapped"], eng.res.Mapped)
+		}
+		if counts["discarded"] != eng.res.Discarded {
+			t.Fatalf("%s: %d discarded events, result says %d", eng.name, counts["discarded"], eng.res.Discarded)
+		}
+		if counts["finished"] != eng.res.OnTime+eng.res.Late {
+			t.Fatalf("%s: %d finished events, result says %d",
+				eng.name, counts["finished"], eng.res.OnTime+eng.res.Late)
+		}
+		if counts["started"] != counts["finished"] {
+			t.Fatalf("%s: started %d != finished %d in a run-to-completion trial",
+				eng.name, counts["started"], counts["finished"])
+		}
+		if counts["exhausted"] != 0 {
+			t.Fatalf("%s: exhaustion event in an unconstrained run", eng.name)
+		}
+	}
+
+	// Same shape across engines: both map and finish the full window.
+	if immRes.Mapped != cenRes.Mapped {
+		t.Fatalf("engines mapped different task counts: %d vs %d", immRes.Mapped, cenRes.Mapped)
+	}
+}
+
+func kindOf(entry string) string {
+	// entry is "N:kind:task"
+	start := 2
+	for i := start; i < len(entry); i++ {
+		if entry[i] == ':' {
+			return entry[start:i]
+		}
+	}
+	return entry[start:]
+}
+
+func taskOf(entry string) int {
+	for i := len(entry) - 1; i >= 0; i-- {
+		if entry[i] == ':' {
+			var id int
+			fmt.Sscanf(entry[i+1:], "%d", &id)
+			return id
+		}
+	}
+	return -1
+}
+
+// resultKey projects a Result onto its value fields for equality checks
+// (Traces compared separately — they are per-task structs).
+func resultKey(r *Result) string {
+	return fmt.Sprintf("%d/%d/%d/%d/%d/%d/%v/%v/%v/%v",
+		r.Mapped, r.Discarded, r.OnTime, r.Late, r.Unfinished, r.Cancelled,
+		r.EnergyConsumed, r.Makespan, r.EnergyExhausted, r.ExhaustedAt)
+}
+
+// TestObserversDoNotChangeResults is the satellite-6 determinism guard:
+// attaching observers and a metrics registry must leave the simulation's
+// outcome byte-identical for a fixed seed.
+func TestObserversDoNotChangeResults(t *testing.T) {
+	m := buildModel(t, 62, 50)
+	mapper := func() *sched.Mapper { return mapperFor(sched.LightestLoad{}, sched.EnergyAndRobustness) }
+	budget := m.DefaultEnergyBudget()
+
+	base := runOnce(t, m, mapper(), budget, 17, nil)
+
+	var log []string
+	samples := 0
+	instrumented := runOnce(t, m, mapper(), budget, 17, func(cfg *Config) {
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.Observer = Multi(
+			energyLog{logObserver{name: "A", log: &log}, &samples},
+			logObserver{name: "B", log: &log},
+		)
+	})
+
+	if resultKey(base) != resultKey(instrumented) {
+		t.Fatalf("observers changed the outcome:\n  base         %s\n  instrumented %s",
+			resultKey(base), resultKey(instrumented))
+	}
+	if !reflect.DeepEqual(base.Traces, instrumented.Traces) {
+		t.Fatal("observers changed per-task traces")
+	}
+
+	// Same guard for the central-queue engine.
+	cbase := runOnce(t, m, nil, budget, 18, func(cfg *Config) {
+		cfg.CentralQueue = EDFCheapest{}
+	})
+	cinst := runOnce(t, m, nil, budget, 18, func(cfg *Config) {
+		cfg.CentralQueue = EDFCheapest{}
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.Observer = logObserver{name: "C", log: &log}
+	})
+	if resultKey(cbase) != resultKey(cinst) {
+		t.Fatalf("central engine: observers changed the outcome:\n  base         %s\n  instrumented %s",
+			resultKey(cbase), resultKey(cinst))
+	}
+}
+
+// TestSimMetricsPopulated: a metrics-enabled run must account its events
+// against the Result and capture scheduler instrumentation.
+func TestSimMetricsPopulated(t *testing.T) {
+	m := buildModel(t, 63, 50)
+	reg := metrics.NewRegistry()
+	res := runOnce(t, m, mapperFor(sched.LightestLoad{}, sched.EnergyAndRobustness),
+		m.DefaultEnergyBudget(), 21, func(cfg *Config) { cfg.Metrics = reg })
+	snap := reg.Snapshot()
+
+	if v, _ := snap.Value("sim_tasks_total", metrics.L("outcome", "mapped")); int(v) != res.Mapped {
+		t.Fatalf("mapped metric %v != result %d", v, res.Mapped)
+	}
+	if v, _ := snap.Value("sim_tasks_total", metrics.L("outcome", "discarded")); int(v) != res.Discarded {
+		t.Fatalf("discarded metric %v != result %d", v, res.Discarded)
+	}
+	if v, _ := snap.Value("sched_decisions_total"); int(v) != res.Window {
+		t.Fatalf("decisions %v != window %d", v, res.Window)
+	}
+	if v := snap.SumByName("sim_events_total"); v <= 0 {
+		t.Fatal("no simulator events counted")
+	}
+	hits := snap.SumByName("robustness_freetime_cache_hits_total")
+	misses := snap.SumByName("robustness_freetime_cache_misses_total")
+	if hits+misses == 0 {
+		t.Fatal("free-time cache saw no lookups")
+	}
+	if v, _ := snap.Value("sim_event_heap_high_water"); v < 1 {
+		t.Fatalf("heap high-water %v", v)
+	}
+	if v, _ := snap.Value("energy_meter_consumed"); math.Abs(v-res.EnergyConsumed) > 1e-9 {
+		t.Fatalf("consumed gauge %v != result %v", v, res.EnergyConsumed)
+	}
+	rej := 0.0
+	for i := range snap.Metrics {
+		if snap.Metrics[i].Name == "sched_filter_rejections_total" {
+			rej += snap.Metrics[i].Value
+		}
+	}
+	if res.Discarded > 0 && rej == 0 {
+		t.Fatal("tasks were discarded but no filter rejections counted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/energy"
+	"repro/internal/metrics"
 	"repro/internal/randx"
 	"repro/internal/robustness"
 	"repro/internal/sched"
@@ -47,8 +48,16 @@ type Config struct {
 	CancelOverdueWaiting bool
 	// Observer, when non-nil, receives every simulation event as it
 	// happens (see the Observer interface). Used by the trace package to
-	// build event logs and core timelines.
+	// build event logs and core timelines. Compose several observers with
+	// Multi; nil means no observation (the engine substitutes NopObserver).
 	Observer Observer
+	// Metrics, when non-nil, receives hot-path instrumentation for the
+	// run: events processed, heap depth high-water, backlog histogram,
+	// task outcomes, scheduler candidate/filter/cache counters, and energy
+	// meter activity. Attaching a registry never changes simulation
+	// results; a registry must not be shared between concurrent runs
+	// unless the caller wants their counts blended.
+	Metrics *metrics.Registry
 	// PowerCV is a §VIII extension ("use full probability distributions to
 	// represent power consumption"): when positive, each task execution
 	// draws its actual power from a gamma distribution with mean μ(i,π) and
@@ -279,6 +288,9 @@ type engine struct {
 	idleGen   []int // invalidates stale park events
 	parkedAt  []float64
 
+	met  *simMetrics    // nil when Config.Metrics is nil
+	eobs EnergyObserver // non-nil when the observer wants energy samples
+
 	res *Result
 }
 
@@ -355,6 +367,9 @@ func Run(cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Observer == nil {
+		cfg.Observer = NopObserver{}
+	}
 
 	e := &engine{
 		cfg:        cfg,
@@ -368,6 +383,24 @@ func Run(cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, e
 		res: &Result{
 			Window: len(trial.Tasks),
 		},
+	}
+	if eo, ok := cfg.Observer.(EnergyObserver); ok {
+		e.eobs = eo
+	}
+	if cfg.Metrics != nil {
+		var filters []sched.Filter
+		if cfg.Mapper != nil {
+			filters = cfg.Mapper.Filters
+		}
+		e.met = newSimMetrics(cfg.Metrics)
+		e.met.sched = sched.NewCounters(cfg.Metrics, filters)
+		e.calc.Instrument(
+			cfg.Metrics.Counter("robustness_freetime_evals_total"),
+			cfg.Metrics.Counter("robustness_completion_evals_total"))
+		e.meter.Instrument(
+			cfg.Metrics.Counter("energy_meter_advances_total"),
+			cfg.Metrics.Counter("energy_pstate_transitions_total"),
+			cfg.Metrics.Gauge("energy_meter_consumed"))
 	}
 	if cfg.Trace {
 		e.res.Traces = make([]TaskTrace, len(trial.Tasks))
@@ -408,6 +441,7 @@ func (e *engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.events, ev)
+	e.met.heapDepth(e.events.Len())
 }
 
 func (e *engine) loop() {
@@ -416,15 +450,16 @@ func (e *engine) loop() {
 		e.depthIntegral += float64(e.inSystem) * (ev.time - e.lastT)
 		e.lastT = ev.time
 		at, exhausted := e.meter.Advance(ev.time)
+		e.sampleEnergy(at)
 		if exhausted {
 			e.res.EnergyExhausted = true
 			e.res.ExhaustedAt = at
 			e.res.Makespan = at
-			if e.cfg.Observer != nil {
-				e.cfg.Observer.EnergyExhausted(at)
-			}
+			e.met.energyExhausted()
+			e.cfg.Observer.EnergyExhausted(at)
 			return
 		}
+		e.met.event(ev.kind, e.inSystem)
 		switch ev.kind {
 		case evArrival:
 			e.arrive(ev.time, ev.idx)
@@ -434,6 +469,14 @@ func (e *engine) loop() {
 			e.park(ev.idx, ev.gen)
 		}
 		e.res.Makespan = ev.time
+	}
+}
+
+// sampleEnergy forwards one energy-meter trajectory point to the observer
+// if it asked for them.
+func (e *engine) sampleEnergy(t float64) {
+	if e.eobs != nil {
+		e.eobs.EnergySample(t, e.meter.Consumed(), e.meter.Rate())
 	}
 }
 
@@ -449,20 +492,21 @@ func (e *engine) arrive(now float64, taskIdx int) {
 		TasksLeft:     len(e.trial.Tasks) - taskIdx - 1,
 		AvgQueueDepth: float64(e.inSystem) / float64(len(e.cores)),
 		Rand:          e.rand,
+		Counters:      e.met.schedCounters(),
 	}
 	cands := sched.BuildCandidates(ctx, e)
 	chosen := e.cfg.Mapper.Map(ctx, cands)
 	if chosen == nil {
 		e.res.Discarded++
+		e.met.taskDiscarded()
 		if e.cfg.Trace {
 			e.res.Traces[taskIdx].Outcome = OutcomeDiscarded
 		}
-		if e.cfg.Observer != nil {
-			e.cfg.Observer.TaskDiscarded(now, task)
-		}
+		e.cfg.Observer.TaskDiscarded(now, task)
 		return
 	}
 	e.res.Mapped++
+	e.met.taskMapped()
 	e.energyLeft -= chosen.EEC
 	actual := e.cfg.Model.ActualExecTime(task, chosen.Core.Node, chosen.PState)
 	q := queued{task: task, pstate: chosen.PState, actual: actual}
@@ -474,9 +518,7 @@ func (e *engine) arrive(now float64, taskIdx int) {
 		tr.Mapped = true
 		tr.Assignment = chosen.Assignment
 	}
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.TaskMapped(now, task, chosen.Assignment)
-	}
+	e.cfg.Observer.TaskMapped(now, task, chosen.Assignment)
 	if len(e.queues[idx]) == 1 {
 		e.start(now, idx)
 	}
@@ -508,9 +550,7 @@ func (e *engine) start(now float64, coreIdx int) {
 	if e.cfg.Trace {
 		e.res.Traces[head.task.ID].Start = now
 	}
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.TaskStarted(now, head.task, e.assignment(coreIdx, head.pstate))
-	}
+	e.cfg.Observer.TaskStarted(now, head.task, e.assignment(coreIdx, head.pstate))
 	e.push(event{time: now + wake + head.actual, kind: evCompletion, idx: coreIdx})
 }
 
@@ -532,9 +572,7 @@ func (e *engine) setPState(now float64, coreIdx int, ps cluster.PState) {
 		return
 	}
 	e.meter.SetPState(coreIdx, ps)
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.PStateChanged(now, e.cores[coreIdx], ps)
-	}
+	e.cfg.Observer.PStateChanged(now, e.cores[coreIdx], ps)
 }
 
 // assignment reconstructs the sched.Assignment of a core's current task.
@@ -562,9 +600,8 @@ func (e *engine) complete(now float64, coreIdx int) {
 			e.res.Traces[head.task.ID].Outcome = OutcomeLate
 		}
 	}
-	if e.cfg.Observer != nil {
-		e.cfg.Observer.TaskFinished(now, head.task, e.assignment(coreIdx, head.pstate), onTime)
-	}
+	e.met.taskFinished(onTime)
+	e.cfg.Observer.TaskFinished(now, head.task, e.assignment(coreIdx, head.pstate), onTime)
 	if e.cfg.Trace {
 		e.res.Traces[head.task.ID].Finish = now
 	}
@@ -574,6 +611,7 @@ func (e *engine) complete(now float64, coreIdx int) {
 			e.queues[coreIdx] = e.queues[coreIdx][1:]
 			e.inSystem--
 			e.res.Cancelled++
+			e.met.taskCancelled()
 			if e.cfg.Trace {
 				e.res.Traces[dropped.task.ID].Outcome = OutcomeCancelled
 			}
@@ -611,6 +649,7 @@ func (e *engine) finalize() {
 			r.EnergyVerifyError = diff
 		}
 	}
+	e.met.finish(r.Makespan)
 }
 
 // String summarizes the result in one line.

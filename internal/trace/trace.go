@@ -43,8 +43,9 @@ type Event struct {
 	OnTime *bool   `json:"onTime,omitempty"`
 }
 
-// Recorder implements sim.Observer, accumulating the event log and the
-// per-core execution spans needed for timeline rendering.
+// Recorder implements sim.Observer (and sim.EnergyObserver), accumulating
+// the event log, the per-core execution spans needed for timeline
+// rendering, and a decimated energy-meter trajectory.
 type Recorder struct {
 	Events []Event
 
@@ -52,7 +53,18 @@ type Recorder struct {
 	exhaust  float64
 	halted   bool
 	lastTime float64
+
+	// Decimated energy trajectory: when the buffer fills, every second
+	// point is dropped and the keep-stride doubles, bounding memory while
+	// preserving the run-wide shape.
+	energyT []float64
+	energyE []float64
+	eStride int
+	eSkip   int
 }
+
+// maxEnergyPoints bounds the retained energy-trajectory buffer.
+const maxEnergyPoints = 2048
 
 type span struct {
 	start, end float64
@@ -122,6 +134,39 @@ func (r *Recorder) EnergyExhausted(t float64) {
 	r.add(Event{Time: t, Kind: KindExhausted})
 	r.exhaust = t
 	r.halted = true
+}
+
+// EnergySample implements sim.EnergyObserver: the recorder keeps a
+// decimated (time, cumulative energy) trajectory of the meter.
+func (r *Recorder) EnergySample(t, consumed, _ float64) {
+	if r.eStride == 0 {
+		r.eStride = 1
+	}
+	if r.eSkip > 0 {
+		r.eSkip--
+		return
+	}
+	r.eSkip = r.eStride - 1
+	r.energyT = append(r.energyT, t)
+	r.energyE = append(r.energyE, consumed)
+	if len(r.energyT) >= maxEnergyPoints {
+		keep := 0
+		for i := 0; i < len(r.energyT); i += 2 {
+			r.energyT[keep] = r.energyT[i]
+			r.energyE[keep] = r.energyE[i]
+			keep++
+		}
+		r.energyT = r.energyT[:keep]
+		r.energyE = r.energyE[:keep]
+		r.eStride *= 2
+	}
+}
+
+// EnergySeries returns the recorded (time, cumulative energy) trajectory.
+// Empty unless the recorder was attached to a run as its observer (energy
+// samples flow through the sim.EnergyObserver extension).
+func (r *Recorder) EnergySeries() (times, consumed []float64) {
+	return r.energyT, r.energyE
 }
 
 // Len returns the number of recorded events.

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Tiered verification:
+#   tier 1 — build + tests (the ROADMAP gate)
+#   tier 2 — go vet + race-enabled tests
+# Usage: ./verify.sh [1|2]   (default: both tiers)
+set -eu
+cd "$(dirname "$0")"
+
+tier="${1:-2}"
+case "$tier" in
+1 | 2) ;;
+*)
+    echo "usage: $0 [1|2]" >&2
+    exit 2
+    ;;
+esac
+
+echo "== tier 1: go build ./..."
+go build ./...
+echo "== tier 1: go test ./..."
+go test ./...
+
+if [ "$tier" -ge 2 ]; then
+    echo "== tier 2: go vet ./..."
+    go vet ./...
+    echo "== tier 2: go test -race ./..."
+    go test -race ./...
+fi
+
+echo "verify: OK (tier $tier)"
