@@ -13,7 +13,9 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/energy"
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/pmf"
 	"repro/internal/randx"
 	"repro/internal/robustness"
@@ -333,6 +335,75 @@ func BenchmarkModelBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := workload.BuildModel(s.Child("wl"), c, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrialFaults measures the fault machinery's cost on the same
+// trial as BenchmarkTrial. The "off" case runs with the zero-valued
+// fault.Spec — the default every paper figure uses — and should be
+// indistinguishable from BenchmarkTrial/MECT_none, demonstrating the
+// disabled path adds no per-event work. "on" injects aggressive transient
+// faults with requeue recovery plus the staged brownout, bounding the cost
+// of full resilience mode.
+func BenchmarkTrialFaults(b *testing.B) {
+	m := microModel(b)
+	tr, err := workload.GenerateTrial(randx.NewStream(3), m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newMapper := func() *sched.Mapper {
+		return &sched.Mapper{Heuristic: sched.MinExpectedCompletionTime{}}
+	}
+	b.Run("off", func(b *testing.B) {
+		cfg := sim.Config{Model: m, Mapper: newMapper(), EnergyBudget: math.Inf(1)}
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(cfg, tr, randx.NewStream(9)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		cfg := sim.Config{
+			Model: m, Mapper: newMapper(),
+			EnergyBudget: 0.8 * m.DefaultEnergyBudget(),
+			Faults: fault.Spec{
+				Transient:  fault.Process{Enabled: true, MTBF: 2 * m.TAvg()},
+				RepairTime: 0.3 * m.TAvg(),
+				Recovery:   fault.Recovery{Mode: fault.Requeue, MaxRetries: 2, Backoff: 0.05 * m.TAvg(), DeadlineAware: true},
+			},
+			Brownout: energy.DefaultBrownoutStages(),
+		}
+		var faults int
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(cfg, tr, randx.NewStream(9))
+			if err != nil {
+				b.Fatal(err)
+			}
+			faults = res.Faults
+		}
+		b.ReportMetric(float64(faults), "faults")
+	})
+}
+
+// BenchmarkAblationMTBF runs the §VIII fault-rate study.
+func BenchmarkAblationMTBF(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.MTBFStudy(sched.LightestLoad{}, []float64{8, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBrownout runs the §VIII degradation-policy study.
+func BenchmarkAblationBrownout(b *testing.B) {
+	env := sharedEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.BrownoutStudy(sched.LightestLoad{}, []float64{0.7, 1.0}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@
 //	ecfig -table summary              # §VII improvement table
 //	ecfig -table zmul|rthresh|budget|arrivals|priority   # ablations
 //	ecfig -table parking|powercv|cancel                  # §VIII extension studies
+//	ecfig -table mtbf|brownout                           # resilience studies
 //	ecfig -fig 2 -csv fig2.csv        # also write per-trial samples
 //	ecfig -trials 10                  # reduced trial count for quick looks
 package main
@@ -35,7 +36,7 @@ func main() {
 func run() error {
 	var (
 		fig    = flag.Int("fig", 0, "figure number to regenerate (2-6)")
-		table  = flag.String("table", "", "table to regenerate: summary, significance, zmul, rthresh, budget, arrivals, priority, parking, powercv, cancel, central, classes")
+		table  = flag.String("table", "", "table to regenerate: summary, significance, zmul, rthresh, budget, arrivals, priority, parking, powercv, cancel, central, classes, mtbf, brownout")
 		all    = flag.Bool("all", false, "regenerate figures 2-6 and the summary table")
 		trials = flag.Int("trials", 50, "number of simulation trials")
 		seed   = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
@@ -157,6 +158,10 @@ func printTable(sys *core.System, spec core.Spec, name string) error {
 		tab, err = env.SignificanceTable()
 	case "central":
 		tab, err = env.CentralQueueStudy()
+	case "mtbf":
+		tab, err = env.MTBFStudy(sched.LightestLoad{}, []float64{16, 8, 4, 2})
+	case "brownout":
+		tab, err = env.BrownoutStudy(sched.LightestLoad{}, []float64{0.7, 0.85, 1.0})
 	case "classes":
 		tab, err = experiment.ClassStudy(spec, workload.PaperClassMix())
 	default:

@@ -7,6 +7,9 @@
 //	ecsim -heuristic MECT -filters none -trials 10 -trace
 //	ecsim -heuristic LL -listen :8080 -hold      # Prometheus + pprof endpoints
 //	ecsim -heuristic LL -report report.json      # merged RunReport JSON
+//	ecsim -heuristic LL -trials 10 \
+//	    -faults "mtbf=4000,repair=300,recovery=requeue,retries=2,backoff=60,deadline-aware" \
+//	    -brownout -rel                           # resilience run
 //
 // Heuristics: SQ, MECT, LL, Random (paper §V) plus the extensions PLL,
 // GreenLL, MaxRho, MinEEC. Filters: none, en, rob, en+rob (§V-F).
@@ -20,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -41,6 +45,9 @@ func run() error {
 		listen    = flag.String("listen", "", "serve /metrics, /metrics.json, /debug/vars, /debug/pprof on this address (e.g. :8080 or :0)")
 		report    = flag.String("report", "", "write the merged RunReport JSON to this file ('-' = stdout)")
 		hold      = flag.Bool("hold", false, "with -listen: block after the run so the endpoints stay up")
+		faults    = flag.String("faults", "", "fault-injection spec, key=value list: mtbf, dist=exp|weibull, shape, repair, node-mtbf, recovery=drop|requeue, retries, backoff, deadline-aware")
+		brownout  = flag.Bool("brownout", false, "replace the hard energy halt with the staged 90/95/98% brownout schedule")
+		rel       = flag.Bool("rel", false, "append the availability-aware reliability filter to the chain")
 	)
 	flag.Parse()
 
@@ -81,8 +88,39 @@ func run() error {
 		}
 	})
 
-	vr, err := sys.RunHeuristic(*heuristic, variant)
-	if err != nil {
+	var fspec core.FaultSpec
+	if *faults != "" {
+		if fspec, err = core.ParseFaultSpec(*faults); err != nil {
+			return err
+		}
+	}
+	var stages []core.BrownoutStage
+	if *brownout {
+		stages = core.DefaultBrownoutStages()
+	}
+	resilient := *faults != "" || *brownout || *rel
+
+	var vr *core.VariantResult
+	if resilient {
+		h, err := core.HeuristicByName(*heuristic)
+		if err != nil {
+			return err
+		}
+		fl := variant.Filters()
+		tag := variant.String()
+		if *rel {
+			fl = append(fl, sched.ReliabilityFilter{})
+			tag += "+rel"
+		}
+		m := &sched.Mapper{Heuristic: h, Filters: fl}
+		vr, err = sys.Env().RunConfigured(m, tag, func(c *sim.Config) {
+			c.Faults = fspec
+			c.Brownout = stages
+		})
+		if err != nil {
+			return err
+		}
+	} else if vr, err = sys.RunHeuristic(*heuristic, variant); err != nil {
 		return err
 	}
 	fmt.Printf("\n%s over %d trials:\n  missed deadlines: %s\n", vr.Label, spec.Trials, vr.Summary)
@@ -90,9 +128,18 @@ func run() error {
 		vr.MeanOnTime, vr.MeanLate, vr.MeanDiscarded, vr.MeanUnfinished)
 	fmt.Printf("  mean energy %.4g (budget %.4g), exhausted in %d/%d trials\n",
 		vr.MeanEnergy, sys.Budget(), vr.ExhaustedTrials, spec.Trials)
+	if resilient {
+		fmt.Printf("  resilience: faults %.1f/trial, retries %.1f/trial, lost %.1f/trial, mean brownout stage %.1f\n",
+			vr.MeanFaults, vr.MeanRetries, vr.MeanLost, vr.MeanBrownoutStage)
+	}
 
 	if *trace {
-		res, err := sys.SimulateOnce(*heuristic, variant, 0)
+		var res *core.Result
+		if resilient {
+			res, err = sys.SimulateOnceResilient(*heuristic, variant, 0, fspec, stages)
+		} else {
+			res, err = sys.SimulateOnce(*heuristic, variant, 0)
+		}
 		if err != nil {
 			return err
 		}

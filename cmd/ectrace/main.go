@@ -8,6 +8,7 @@
 //
 //	ectrace -heuristic LL -filters en+rob
 //	ectrace -heuristic MECT -filters none -window 300 -jsonl events.jsonl
+//	ectrace -heuristic LL -faults "mtbf=2000,repair=400,recovery=requeue" -brownout
 package main
 
 import (
@@ -43,6 +44,8 @@ func run() error {
 		csvPath   = flag.String("csv", "", "write the event log as CSV to this file")
 		listen    = flag.String("listen", "", "serve /metrics, /metrics.json, /debug/vars, /debug/pprof on this address")
 		hold      = flag.Bool("hold", false, "with -listen: block after the run so the endpoints stay up")
+		faults    = flag.String("faults", "", "fault-injection spec, key=value list: mtbf, dist=exp|weibull, shape, repair, node-mtbf, recovery=drop|requeue, retries, backoff, deadline-aware")
+		brownout  = flag.Bool("brownout", false, "replace the hard energy halt with the staged 90/95/98% brownout schedule")
 	)
 	flag.Parse()
 
@@ -91,6 +94,14 @@ func run() error {
 		EnergyBudget: sys.Budget(),
 		Observer:     sim.Multi(rec),
 		Metrics:      reg,
+	}
+	if *faults != "" {
+		if cfg.Faults, err = core.ParseFaultSpec(*faults); err != nil {
+			return err
+		}
+	}
+	if *brownout {
+		cfg.Brownout = core.DefaultBrownoutStages()
 	}
 	res, err := sim.Run(cfg, sys.Env().Trial(0), randx.NewStream(spec.Seed).ChildN("decisions", 0))
 	if err != nil {

@@ -23,7 +23,9 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/energy"
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/randx"
 	"repro/internal/sched"
@@ -62,7 +64,20 @@ type (
 	RunReport = experiment.RunReport
 	// MetricsSnapshot is a point-in-time view of the merged metric registry.
 	MetricsSnapshot = metrics.Snapshot
+	// FaultSpec configures the failure-injection processes and the recovery
+	// policy for resilient runs.
+	FaultSpec = fault.Spec
+	// BrownoutStage is one rung of the staged energy-degradation schedule.
+	BrownoutStage = energy.BrownoutStage
 )
+
+// ParseFaultSpec parses the compact key=value fault syntax used by the CLI
+// flags (e.g. "mtbf=5000,repair=300,recovery=requeue,retries=2").
+func ParseFaultSpec(s string) (FaultSpec, error) { return fault.ParseSpec(s) }
+
+// DefaultBrownoutStages returns the three-stage 90/95/98% degradation
+// schedule (tighten ζ_mul, floor the P-state, park idle cores).
+func DefaultBrownoutStages() []BrownoutStage { return energy.DefaultBrownoutStages() }
 
 // The paper's filter variants.
 const (
@@ -184,6 +199,30 @@ func (s *System) SimulateOnce(name string, v FilterVariant, trialIdx int) (*Resu
 		EnergyBudget: s.env.Budget,
 		Trace:        true,
 		VerifyEnergy: true,
+	}
+	return sim.Run(cfg, s.env.Trial(trialIdx), randx.NewStream(s.env.Spec.Seed).ChildN("decisions", trialIdx))
+}
+
+// SimulateOnceResilient is SimulateOnce with fault injection and/or a
+// brownout schedule active. The per-task energy verification is off (a
+// killed task's spent joules cannot be reconciled against its completion
+// record), so the Result's energy fields come straight from the meter.
+// A zero FaultSpec and nil brownout reduce to an unverified SimulateOnce.
+func (s *System) SimulateOnceResilient(name string, v FilterVariant, trialIdx int, faults FaultSpec, brownout []BrownoutStage) (*Result, error) {
+	h, err := HeuristicByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if trialIdx < 0 || trialIdx >= s.env.Spec.Trials {
+		return nil, fmt.Errorf("core: trial %d outside [0,%d)", trialIdx, s.env.Spec.Trials)
+	}
+	cfg := sim.Config{
+		Model:        s.env.Model,
+		Mapper:       &sched.Mapper{Heuristic: h, Filters: v.Filters()},
+		EnergyBudget: s.env.Budget,
+		Trace:        true,
+		Faults:       faults,
+		Brownout:     brownout,
 	}
 	return sim.Run(cfg, s.env.Trial(trialIdx), randx.NewStream(s.env.Spec.Seed).ChildN("decisions", trialIdx))
 }

@@ -1,0 +1,114 @@
+// Brownout: staged degradation as the energy budget drains, replacing the
+// all-or-nothing halt at ζ_max with a controlled descent. The paper (§III-C)
+// simply stops the cluster the instant ζ_max is exhausted; a brownout
+// controller instead watches the consumed fraction of the budget and, at
+// configured thresholds, progressively (1) tightens the admission filter's
+// ζ_mul so fewer marginal tasks are admitted, (2) floors new dispatches at
+// deep (slow, frugal) P-states, and (3) power-gates idle cores — so the
+// final joules finish in-flight work instead of stranding it. The hard halt
+// at 100% is unchanged.
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// BrownoutStage is one degradation threshold. When consumed/budget reaches
+// Frac the stage trips (stages trip monotonically; energy consumption never
+// decreases) and its measures apply until a deeper stage takes over.
+type BrownoutStage struct {
+	// Frac is the consumed fraction of ζ_max in (0,1] at which the stage
+	// trips.
+	Frac float64
+	// ZetaMul caps the energy filter's ζ_mul multiplier: the effective
+	// multiplier becomes min(adaptive ζ_mul, ZetaMul). Zero means "no cap".
+	ZetaMul float64
+	// PStateFloor is the shallowest P-state new dispatches may use; P0 (the
+	// zero value) leaves dispatch unrestricted. Deeper states are allowed —
+	// the floor only rules out the fast, power-hungry end.
+	PStateFloor cluster.PState
+	// ParkIdle power-gates cores the moment they go idle (draw 0 instead of
+	// the idle P-state's power).
+	ParkIdle bool
+}
+
+// DefaultBrownoutStages returns the three-stage schedule used by the
+// ecsim/ectrace -brownout flag and the brownout-vs-hard-halt ablation:
+// at 90% admit only clearly-affordable work and stay at or below P2, at 95%
+// tighten further to P3, and at 98% admit almost nothing, dispatch only at
+// P4, and power-gate idle cores.
+func DefaultBrownoutStages() []BrownoutStage {
+	return []BrownoutStage{
+		{Frac: 0.90, ZetaMul: 0.8, PStateFloor: cluster.P2},
+		{Frac: 0.95, ZetaMul: 0.6, PStateFloor: cluster.P3},
+		{Frac: 0.98, ZetaMul: 0.4, PStateFloor: cluster.P4, ParkIdle: true},
+	}
+}
+
+// ValidateBrownoutStages checks that the schedule is well-formed: fractions
+// strictly increasing in (0,1], ζ_mul caps non-negative and finite, P-state
+// floors valid.
+func ValidateBrownoutStages(stages []BrownoutStage) error {
+	prev := 0.0
+	for i, st := range stages {
+		if math.IsNaN(st.Frac) || st.Frac <= prev || st.Frac > 1 {
+			return fmt.Errorf("energy: brownout stage %d: Frac %v not in (%v,1]", i, st.Frac, prev)
+		}
+		if st.ZetaMul < 0 || math.IsNaN(st.ZetaMul) || math.IsInf(st.ZetaMul, 0) {
+			return fmt.Errorf("energy: brownout stage %d: invalid ZetaMul %v", i, st.ZetaMul)
+		}
+		if !st.PStateFloor.Valid() {
+			return fmt.Errorf("energy: brownout stage %d: invalid PStateFloor %d", i, st.PStateFloor)
+		}
+		prev = st.Frac
+	}
+	return nil
+}
+
+// Brownout tracks which stage of a degradation schedule is active. It is a
+// pure threshold automaton: feed it the consumed fraction after every meter
+// advance and it reports transitions. Stages only deepen.
+type Brownout struct {
+	stages []BrownoutStage
+	stage  int // number of stages tripped; 0 = nominal operation
+}
+
+// NewBrownout validates the schedule and returns a controller in the
+// nominal (no stage tripped) state.
+func NewBrownout(stages []BrownoutStage) (*Brownout, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("energy: brownout schedule is empty")
+	}
+	if err := ValidateBrownoutStages(stages); err != nil {
+		return nil, err
+	}
+	return &Brownout{stages: stages}, nil
+}
+
+// Update advances the automaton given the consumed fraction of the budget.
+// It returns the active stage number (0 = nominal, 1..n = stages tripped in
+// schedule order) and whether this call deepened it.
+func (b *Brownout) Update(frac float64) (stage int, changed bool) {
+	for b.stage < len(b.stages) && frac >= b.stages[b.stage].Frac {
+		b.stage++
+		changed = true
+	}
+	return b.stage, changed
+}
+
+// Stage returns the active stage number (0 = nominal).
+func (b *Brownout) Stage() int { return b.stage }
+
+// NumStages returns the length of the schedule.
+func (b *Brownout) NumStages() int { return len(b.stages) }
+
+// Current returns the active stage's measures, or nil in nominal operation.
+func (b *Brownout) Current() *BrownoutStage {
+	if b.stage == 0 {
+		return nil
+	}
+	return &b.stages[b.stage-1]
+}

@@ -1,0 +1,139 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestBrownoutAutomaton(t *testing.T) {
+	b, err := NewBrownout(DefaultBrownoutStages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stage() != 0 || b.Current() != nil {
+		t.Fatal("fresh controller not nominal")
+	}
+	if b.NumStages() != 3 {
+		t.Fatalf("NumStages %d", b.NumStages())
+	}
+	steps := []struct {
+		frac    float64
+		stage   int
+		changed bool
+	}{
+		{0, 0, false},
+		{0.5, 0, false},
+		{0.899999, 0, false},
+		{0.90, 1, true}, // threshold is inclusive
+		{0.91, 1, false},
+		{0.97, 2, true},
+		{0.97, 2, false},
+		{1.0, 3, true},
+		{1.0, 3, false},
+	}
+	for i, s := range steps {
+		stage, changed := b.Update(s.frac)
+		if stage != s.stage || changed != s.changed {
+			t.Fatalf("step %d (frac %v): stage %d changed %v, want %d %v",
+				i, s.frac, stage, changed, s.stage, s.changed)
+		}
+		if b.Stage() != stage {
+			t.Fatalf("step %d: Stage() %d != returned %d", i, b.Stage(), stage)
+		}
+	}
+	if cur := b.Current(); cur == nil || !cur.ParkIdle {
+		t.Fatalf("deepest stage measures wrong: %+v", b.Current())
+	}
+}
+
+func TestBrownoutSkipsStraightToDeepStage(t *testing.T) {
+	// A single large advance can cross several thresholds at once; every
+	// intermediate stage is tripped in order within one Update.
+	b, _ := NewBrownout(DefaultBrownoutStages())
+	stage, changed := b.Update(0.99)
+	if stage != 3 || !changed {
+		t.Fatalf("jump update: stage %d changed %v", stage, changed)
+	}
+}
+
+func TestValidateBrownoutStages(t *testing.T) {
+	bad := [][]BrownoutStage{
+		{{Frac: 0}},
+		{{Frac: -0.5}},
+		{{Frac: 1.5}},
+		{{Frac: math.NaN()}},
+		{{Frac: 0.9}, {Frac: 0.9}},                  // not strictly increasing
+		{{Frac: 0.95}, {Frac: 0.9}},                 // decreasing
+		{{Frac: 0.9, ZetaMul: -1}},                  // negative cap
+		{{Frac: 0.9, ZetaMul: math.Inf(1)}},         // infinite cap
+		{{Frac: 0.9, PStateFloor: cluster.PState(9)}}, // invalid floor
+	}
+	for i, stages := range bad {
+		if err := ValidateBrownoutStages(stages); err == nil {
+			t.Errorf("bad schedule %d accepted: %+v", i, stages)
+		}
+	}
+	if err := ValidateBrownoutStages(DefaultBrownoutStages()); err != nil {
+		t.Fatalf("default schedule rejected: %v", err)
+	}
+	if _, err := NewBrownout(nil); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+}
+
+func TestMeterAdvanceClampsAtBudget(t *testing.T) {
+	// The exhaustion branch must clamp consumed energy to exactly the budget
+	// even when float accumulation would land above or just below it — the
+	// invariant the brownout fraction and the run results rely on.
+	c := testCluster(t, 9)
+	budget := c.AvgPower() * float64(c.TotalCores()) * 10.3333333333
+	m, err := NewMeter(c, cluster.P0, budget, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance in many tiny uneven slices so m.used accumulates drift.
+	step := 0.0101
+	var exhausted bool
+	var at float64
+	for i := 1; !exhausted && i < 10000; i++ {
+		at, exhausted = m.Advance(float64(i) * step)
+		if m.Consumed() > budget {
+			t.Fatalf("consumed %v exceeded budget %v before exhaustion", m.Consumed(), budget)
+		}
+	}
+	if !exhausted {
+		t.Fatal("meter never exhausted")
+	}
+	if m.Consumed() != budget {
+		t.Fatalf("at exhaustion consumed %v, want exactly budget %v", m.Consumed(), budget)
+	}
+	if at > m.Now()+1e-12 || at <= 0 {
+		t.Fatalf("exhaustion instant %v outside advance window (now %v)", at, m.Now())
+	}
+}
+
+func TestMeterOverriddenAccessor(t *testing.T) {
+	c := testCluster(t, 10)
+	m, err := NewMeter(c, cluster.P4, math.Inf(1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Overridden(0) {
+		t.Fatal("fresh meter reports override")
+	}
+	m.SetPower(0, 0)
+	if !m.Overridden(0) || m.Overridden(1) {
+		t.Fatal("override tracking wrong after SetPower")
+	}
+	m.ClearPower(0)
+	if m.Overridden(0) {
+		t.Fatal("override survives ClearPower")
+	}
+	m.SetPower(0, 1.5)
+	m.SetPState(0, cluster.P0)
+	if m.Overridden(0) {
+		t.Fatal("override survives SetPState")
+	}
+}

@@ -171,6 +171,10 @@ func (m *Meter) Rate() float64 { return m.rate }
 // PStateOf returns the current P-state of the core at the given flat index.
 func (m *Meter) PStateOf(coreIdx int) cluster.PState { return m.state[coreIdx] }
 
+// Overridden reports whether the core's draw is currently governed by a
+// SetPower override rather than its P-state table power.
+func (m *Meter) Overridden(coreIdx int) bool { return m.override[coreIdx] >= 0 }
+
 // Advance moves the meter to time t, accumulating energy. If the budget is
 // exhausted strictly before t, the meter stops at the exact exhaustion
 // instant and returns (exhaustionTime, true); otherwise it advances fully
@@ -184,16 +188,19 @@ func (m *Meter) Advance(t float64) (float64, bool) {
 	dE := m.rate * dt
 	m.advances.Inc()
 	if m.used+dE >= m.budget && m.rate > 0 {
+		// The budget runs out somewhere in (now, t]. The division can drift
+		// a few ulps outside that interval, which previously let the
+		// comparison fall through and push used past budget; clamp the
+		// exhaustion instant into [now, t] and always stop there.
 		tEx := m.now + (m.budget-m.used)/m.rate
-		if tEx <= t {
-			m.now = tEx
-			m.used = m.budget
-			m.consumed.Set(m.used)
-			return tEx, true
-		}
+		tEx = math.Max(m.now, math.Min(tEx, t))
+		m.now = tEx
+		m.used = m.budget
+		m.consumed.Set(m.used)
+		return tEx, true
 	}
 	m.now = t
-	m.used += dE
+	m.used = math.Min(m.used+dE, m.budget)
 	m.consumed.Set(m.used)
 	return t, false
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -315,6 +317,92 @@ func (e *Env) CentralQueueStudy() (*Table, error) {
 		return nil, err
 	}
 	row("central EDFCheapest", vr)
+	return t, nil
+}
+
+// MTBFStudy evaluates graceful degradation under transient core faults: the
+// heuristic (with en+rob filtering) runs fault-free and then under
+// exponential failures at several MTBF values (given as multiples of t_avg),
+// with repair time 0.25·t_avg and a deadline-aware requeue policy (2
+// retries, backoff 0.05·t_avg). Tighter MTBFs strike more often; the table
+// shows how much of the window survives.
+func (e *Env) MTBFStudy(h sched.Heuristic, mtbfFracs []float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("transient-fault study for %s+en+rob (MTBF as multiples of t_avg)", h.Name()),
+		Header: []string{"MTBF", "median missed", "faults/trial", "retries/trial", "lost/trial"},
+	}
+	m := &sched.Mapper{Heuristic: h, Filters: sched.EnergyAndRobustness.Filters()}
+	base, err := e.RunConfigured(m, "no faults", func(*sim.Config) {})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"disabled",
+		fmt.Sprintf("%.1f", base.Summary.Median), "0", "0", "0"})
+	tavg := e.Model.TAvg()
+	for _, frac := range mtbfFracs {
+		spec := fault.Spec{
+			Transient:  fault.Process{Enabled: true, Dist: fault.Exponential, MTBF: frac * tavg},
+			RepairTime: 0.25 * tavg,
+			Recovery: fault.Recovery{
+				Mode:          fault.Requeue,
+				MaxRetries:    2,
+				Backoff:       0.05 * tavg,
+				DeadlineAware: true,
+			},
+		}
+		vr, err := e.RunConfigured(m, fmt.Sprintf("mtbf %.0f", frac),
+			func(c *sim.Config) { c.Faults = spec })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f·t_avg", frac),
+			fmt.Sprintf("%.1f", vr.Summary.Median),
+			fmt.Sprintf("%.1f", vr.MeanFaults),
+			fmt.Sprintf("%.1f", vr.MeanRetries),
+			fmt.Sprintf("%.1f", vr.MeanLost),
+		})
+	}
+	return t, nil
+}
+
+// BrownoutStudy compares the paper's hard halt at ζ_max against the staged
+// brownout controller across energy-budget scales. Under a tight budget the
+// hard halt strands everything mapped after exhaustion, while the brownout
+// stages trade P-state headroom and idle power for continued (degraded)
+// service before the wall.
+func (e *Env) BrownoutStudy(h sched.Heuristic, budgetScales []float64) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("brownout study for %s+en+rob (hard halt vs staged degradation)", h.Name()),
+		Header: []string{"ζ_max scale", "policy", "median missed", "mean energy", "exhausted", "stage"},
+	}
+	m := &sched.Mapper{Heuristic: h, Filters: sched.EnergyAndRobustness.Filters()}
+	for _, sc := range budgetScales {
+		budget := sc * e.Model.DefaultEnergyBudget()
+		for _, mode := range []struct {
+			name   string
+			stages []energy.BrownoutStage
+		}{{"hard halt (paper)", nil}, {"staged brownout", energy.DefaultBrownoutStages()}} {
+			mode := mode
+			vr, err := e.run(m, runOpts{
+				budget:    budget,
+				trials:    e.trials,
+				filterTag: fmt.Sprintf("brownout %s @%.2f", mode.name, sc),
+				simMut:    func(c *sim.Config) { c.Brownout = mode.stages },
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.2f", sc),
+				mode.name,
+				fmt.Sprintf("%.1f", vr.Summary.Median),
+				fmt.Sprintf("%.4g", vr.MeanEnergy),
+				fmt.Sprintf("%d/%d", vr.ExhaustedTrials, vr.Summary.N),
+				fmt.Sprintf("%.1f", vr.MeanBrownoutStage),
+			})
+		}
+	}
 	return t, nil
 }
 

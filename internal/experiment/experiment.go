@@ -200,6 +200,13 @@ type VariantResult struct {
 	// MeanWakeups and MeanParkedTime report the parking extension's
 	// activity (zero when parking is disabled).
 	MeanWakeups, MeanParkedTime float64
+	// MeanFaults, MeanRetries, and MeanLost report fault-injection activity
+	// per trial: failures struck, requeue dispatches, and tasks lost to
+	// failure (all zero when faults are disabled).
+	MeanFaults, MeanRetries, MeanLost float64
+	// MeanBrownoutStage is the average deepest brownout stage reached per
+	// trial (zero without a brownout schedule).
+	MeanBrownoutStage float64
 }
 
 // runOpts are per-call overrides for RunConfigured.
@@ -341,6 +348,10 @@ func (e *Env) run(m *sched.Mapper, opts runOpts) (*VariantResult, error) {
 		vr.MeanWeightedOnTime += r.WeightedOnTime
 		vr.MeanWakeups += float64(r.Wakeups)
 		vr.MeanParkedTime += r.ParkedTime
+		vr.MeanFaults += float64(r.Faults)
+		vr.MeanRetries += float64(r.Retries)
+		vr.MeanLost += float64(r.LostToFailure)
+		vr.MeanBrownoutStage += float64(r.BrownoutStage)
 		if r.EnergyExhausted {
 			vr.ExhaustedTrials++
 		}
@@ -354,6 +365,10 @@ func (e *Env) run(m *sched.Mapper, opts runOpts) (*VariantResult, error) {
 	vr.MeanWeightedOnTime /= fn
 	vr.MeanWakeups /= fn
 	vr.MeanParkedTime /= fn
+	vr.MeanFaults /= fn
+	vr.MeanRetries /= fn
+	vr.MeanLost /= fn
+	vr.MeanBrownoutStage /= fn
 	var err error
 	vr.Summary, err = stats.Summarize(vr.Missed)
 	if err != nil {

@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestParseSpecFull(t *testing.T) {
+	spec, err := ParseSpec("mtbf=15000, dist=weibull, shape=1.5, repair=500, node-mtbf=90000, recovery=requeue, retries=4, backoff=100, deadline-aware")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Transient.Enabled || spec.Transient.MTBF != 15000 || spec.Transient.Dist != Weibull || spec.Transient.Shape != 1.5 {
+		t.Fatalf("transient process wrong: %+v", spec.Transient)
+	}
+	if !spec.Permanent.Enabled || spec.Permanent.MTBF != 90000 || spec.Permanent.Dist != Exponential {
+		t.Fatalf("permanent process wrong: %+v", spec.Permanent)
+	}
+	if spec.RepairTime != 500 {
+		t.Fatalf("repair %v", spec.RepairTime)
+	}
+	r := spec.Recovery
+	if r.Mode != Requeue || r.MaxRetries != 4 || r.Backoff != 100 || !r.DeadlineAware {
+		t.Fatalf("recovery wrong: %+v", r)
+	}
+	if !spec.Enabled() {
+		t.Fatal("parsed spec should be enabled")
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Enabled() {
+		t.Fatal("empty spec must mean no faults")
+	}
+	// Requeue without explicit retries defaults to 2 attempts.
+	spec, err = ParseSpec("mtbf=1000,repair=10,recovery=requeue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Recovery.MaxRetries != 2 {
+		t.Fatalf("default retries %d, want 2", spec.Recovery.MaxRetries)
+	}
+	// deadline-aware accepts an explicit bool.
+	spec, err = ParseSpec("mtbf=1000,deadline-aware=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Recovery.DeadlineAware {
+		t.Fatal("deadline-aware=false ignored")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, s := range []string{
+		"mtbf=abc",
+		"dist=uniform",
+		"recovery=panic",
+		"retries=1.5",
+		"deadline-aware=maybe",
+		"frobnicate=1",
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("%q: expected parse error", s)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{
+		Transient:  Process{Enabled: true, MTBF: 100},
+		Permanent:  Process{Enabled: true, Dist: Weibull, MTBF: 1000, Shape: 2},
+		RepairTime: 10,
+		Script:     []Scripted{{Time: 5, Kind: Transient, Core: 3}, {Time: 9, Kind: Permanent, Node: 1}},
+		Recovery:   Recovery{Mode: Requeue, MaxRetries: 2, Backoff: 1},
+	}
+	if err := good.Validate(8, 4); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Transient: Process{Enabled: true, MTBF: 0}},
+		{Transient: Process{Enabled: true, MTBF: math.NaN()}},
+		{Transient: Process{Enabled: true, Dist: Weibull, MTBF: 1, Shape: 0}},
+		{Transient: Process{Enabled: true, Dist: Dist(9), MTBF: 1}},
+		{RepairTime: -1},
+		{RepairTime: math.Inf(1)},
+		{Script: []Scripted{{Time: -1, Kind: Transient}}},
+		{Script: []Scripted{{Time: 1, Kind: Transient, Core: 8}}},
+		{Script: []Scripted{{Time: 1, Kind: Permanent, Node: 4}}},
+		{Script: []Scripted{{Time: 1, Kind: Kind(7)}}},
+		{Script: []Scripted{{Time: 1, Kind: Transient, Repair: math.NaN()}}},
+		{Recovery: Recovery{Mode: RecoveryMode(5)}},
+		{Recovery: Recovery{MaxRetries: -1}},
+		{Recovery: Recovery{Backoff: -2}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(8, 4); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestAvailability(t *testing.T) {
+	s := Spec{}
+	if got := s.Availability(); got != 1 {
+		t.Fatalf("disabled spec availability %v, want 1", got)
+	}
+	s = Spec{Transient: Process{Enabled: true, MTBF: 900}, RepairTime: 100}
+	if got := s.Availability(); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("availability %v, want 0.9", got)
+	}
+}
+
+func TestSampleMeansMatchMTBF(t *testing.T) {
+	// Both distributions are parameterized so the sample mean is the MTBF;
+	// check over many draws (law of large numbers, generous tolerance).
+	const mtbf = 250.0
+	for _, p := range []Process{
+		{Enabled: true, Dist: Exponential, MTBF: mtbf},
+		{Enabled: true, Dist: Weibull, MTBF: mtbf, Shape: 0.8},
+		{Enabled: true, Dist: Weibull, MTBF: mtbf, Shape: 2.5},
+	} {
+		s := randx.NewStream(99).Child(p.Dist.String())
+		sum := 0.0
+		const n = 60000
+		for i := 0; i < n; i++ {
+			d := p.Sample(s)
+			if d <= 0 {
+				t.Fatalf("%v: non-positive inter-arrival %v", p, d)
+			}
+			sum += d
+		}
+		mean := sum / n
+		if math.Abs(mean-mtbf)/mtbf > 0.03 {
+			t.Errorf("%v shape=%v: sample mean %v far from MTBF %v", p.Dist, p.Shape, mean, mtbf)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	p := Process{Enabled: true, Dist: Weibull, MTBF: 100, Shape: 1.3}
+	a, b := randx.NewStream(7).Child("f"), randx.NewStream(7).Child("f")
+	for i := 0; i < 100; i++ {
+		if x, y := p.Sample(a), p.Sample(b); x != y {
+			t.Fatalf("draw %d diverged: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		Exponential.String():     "exponential",
+		Weibull.String():         "weibull",
+		Dist(9).String():         "Dist(9)",
+		Transient.String():       "transient",
+		Permanent.String():       "permanent",
+		Kind(9).String():         "Kind(9)",
+		Drop.String():            "drop",
+		Requeue.String():         "requeue",
+		RecoveryMode(9).String(): "RecoveryMode(9)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("stringer: got %q, want %q", got, want)
+		}
+	}
+	if !strings.Contains(Dist(9).String(), "9") {
+		t.Error("unknown dist should embed the value")
+	}
+}

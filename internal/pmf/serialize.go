@@ -16,6 +16,19 @@ func (p PMF) MarshalJSON() ([]byte, error) {
 	return json.Marshal(jsonPMF{Values: p.Values(), Probs: p.Probs()})
 }
 
+// FromJSON decodes and fully validates one PMF from JSON bytes: NaN or
+// infinite values/probabilities, negative mass, and empty support are all
+// rejected with descriptive errors (the New constructor's invariants),
+// never propagated into downstream convolutions. It is the named entry
+// point for loading externally-produced distributions.
+func FromJSON(data []byte) (PMF, error) {
+	var p PMF
+	if err := p.UnmarshalJSON(data); err != nil {
+		return PMF{}, err
+	}
+	return p, nil
+}
+
 // UnmarshalJSON decodes and validates a PMF; probabilities are renormalized
 // exactly as in New.
 func (p *PMF) UnmarshalJSON(data []byte) error {

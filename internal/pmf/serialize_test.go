@@ -1,0 +1,51 @@
+package pmf
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFromJSONRoundTrip(t *testing.T) {
+	orig, err := New([]float64{1, 2, 4}, []float64{0.25, 0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() || back.Mean() != orig.Mean() {
+		t.Fatalf("round trip changed distribution: %v vs %v", back, orig)
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if back.Value(i) != orig.Value(i) || back.Prob(i) != orig.Prob(i) {
+			t.Fatalf("atom %d differs after round trip", i)
+		}
+	}
+}
+
+func TestFromJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"malformed":       `{"values":[1],`,
+		"empty support":   `{"values":[],"probs":[]}`,
+		"length mismatch": `{"values":[1,2],"probs":[1]}`,
+		"negative mass":   `{"values":[1,2],"probs":[-0.5,1.5]}`,
+		"zero total mass": `{"values":[1,2],"probs":[0,0]}`,
+		// NaN/Inf are not valid JSON literals, so they surface as decode
+		// errors before validation — still a rejection, never a silent load.
+		"nan value": `{"values":[NaN],"probs":[1]}`,
+		"inf prob":  `{"values":[1],"probs":[Infinity]}`,
+	}
+	for name, body := range cases {
+		if _, err := FromJSON([]byte(body)); err == nil {
+			t.Errorf("%s: expected error", name)
+		} else if !strings.Contains(err.Error(), "pmf") {
+			t.Errorf("%s: error lacks package context: %v", name, err)
+		}
+	}
+}

@@ -104,6 +104,18 @@ func (s *Stream) Exponential(rate float64) float64 {
 	return -math.Log(1-s.rng.Float64()) / rate
 }
 
+// Weibull returns a Weibull-distributed sample with the given shape k and
+// scale λ (mean = λ·Γ(1+1/k)), via the inverse CDF λ·(-ln(1-U))^(1/k).
+// Shape < 1 gives a decreasing hazard (infant mortality), shape = 1 reduces
+// to Exponential(1/λ), and shape > 1 gives wear-out failures. It panics if
+// shape or scale is not positive.
+func (s *Stream) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("randx: Weibull requires shape > 0 and scale > 0")
+	}
+	return scale * math.Pow(-math.Log(1-s.rng.Float64()), 1/shape)
+}
+
 // Normal returns a normally distributed sample with the given mean and
 // standard deviation, using the polar Box–Muller method via rand/v2.
 func (s *Stream) Normal(mean, stddev float64) float64 {

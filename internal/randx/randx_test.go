@@ -259,3 +259,55 @@ func TestPermIsPermutation(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+func TestWeibullMoments(t *testing.T) {
+	// Weibull(shape k, scale λ) has mean λ·Γ(1+1/k); shape 1 must reduce to
+	// Exponential(1/λ).
+	cases := []struct{ shape, scale float64 }{
+		{0.7, 50},
+		{1.0, 200},
+		{2.0, 10},
+		{3.5, 1000},
+	}
+	for _, c := range cases {
+		s := NewStream(uint64(c.shape*100) + 31)
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := s.Weibull(c.shape, c.scale)
+			if v <= 0 {
+				t.Fatalf("non-positive weibull sample %v", v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		want := c.scale * math.Gamma(1+1/c.shape)
+		if math.Abs(mean-want)/want > 0.03 {
+			t.Fatalf("weibull(%v,%v) mean %v, want ~%v", c.shape, c.scale, mean, want)
+		}
+	}
+}
+
+func TestWeibullDeterministic(t *testing.T) {
+	a, b := NewStream(44).Child("w"), NewStream(44).Child("w")
+	for i := 0; i < 200; i++ {
+		if x, y := a.Weibull(1.5, 30), b.Weibull(1.5, 30); x != y {
+			t.Fatalf("draw %d diverged: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestWeibullPanicsOnBadParams(t *testing.T) {
+	for _, c := range []struct{ shape, scale float64 }{
+		{0, 1}, {-1, 1}, {1, 0}, {1, -2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for shape=%v scale=%v", c.shape, c.scale)
+				}
+			}()
+			NewStream(1).Weibull(c.shape, c.scale)
+		}()
+	}
+}

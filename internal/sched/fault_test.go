@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// Tests for the fault/brownout context decorations: down-core exclusion,
+// P-state floors, the ζ_mul override, and the reliability filter.
+
+func TestBuildCandidatesSkipsDownCores(t *testing.T) {
+	f := newFixture(t, 21)
+	ctx := f.ctx()
+	ctx.CoreUp = func(idx int) bool { return idx != 0 && idx != 3 }
+	cands := BuildCandidates(ctx, f.view)
+	wantN := (f.view.NumCores() - 2) * cluster.NumPStates
+	if len(cands) != wantN {
+		t.Fatalf("got %d candidates, want %d with two cores down", len(cands), wantN)
+	}
+	for _, c := range cands {
+		if c.CoreIdx == 0 || c.CoreIdx == 3 {
+			t.Fatalf("down core %d enumerated", c.CoreIdx)
+		}
+	}
+}
+
+func TestBuildCandidatesPStateFloor(t *testing.T) {
+	f := newFixture(t, 22)
+	ctx := f.ctx()
+	ctx.PStateFloor = cluster.P3
+	cands := BuildCandidates(ctx, f.view)
+	wantN := f.view.NumCores() * 2 // only P3, P4 remain
+	if len(cands) != wantN {
+		t.Fatalf("got %d candidates, want %d under a P3 floor", len(cands), wantN)
+	}
+	for _, c := range cands {
+		if c.PState < cluster.P3 {
+			t.Fatalf("candidate at %v below the floor", c.PState)
+		}
+	}
+}
+
+func TestEnergyFilterZetaMulOverride(t *testing.T) {
+	f := newFixture(t, 23)
+	ctx := f.ctx()
+	// A brownout override below the adaptive ζ_mul must replace it in the
+	// fair-share formula ζ_mul · E_left / T_left.
+	base := EnergyFilter{}.Threshold(ctx)
+	ctx.ZetaMulOverride = 0.5
+	capped := EnergyFilter{}.Threshold(ctx)
+	want := 0.5 * ctx.EnergyLeft / float64(ctx.TasksLeft)
+	if math.Abs(capped-want) > 1e-9 {
+		t.Fatalf("override threshold %v, want %v", capped, want)
+	}
+	if capped >= base {
+		t.Fatalf("override did not tighten: %v vs base %v", capped, base)
+	}
+	// An override looser than the adaptive value must not widen admission.
+	ctx.ZetaMulOverride = 99
+	if got := (EnergyFilter{}).Threshold(ctx); got != base {
+		t.Fatalf("loose override changed threshold: %v vs %v", got, base)
+	}
+}
+
+func TestReliabilityFilter(t *testing.T) {
+	f := newFixture(t, 24)
+	ctx := f.ctx()
+	cands := BuildCandidates(ctx, f.view)
+	rf := ReliabilityFilter{}
+	if rf.Name() != "rel" || !rf.NeedsRho() {
+		t.Fatalf("filter identity wrong: %q needsRho=%v", rf.Name(), rf.NeedsRho())
+	}
+	// Pick an idle-core P0 candidate: rho ≈ 1 with the generous fixture
+	// deadline, so admission is decided by availability alone.
+	var c *Candidate
+	for i := range cands {
+		if cands[i].PState == cluster.P0 {
+			c = cands[i]
+			break
+		}
+	}
+	if c == nil || c.Rho() < 0.99 {
+		t.Fatalf("fixture candidate unusable: %+v", c)
+	}
+	// No availability context: defaults to 1, passes the 0.5 threshold.
+	if !rf.Keep(ctx, c) {
+		t.Fatal("full availability rejected")
+	}
+	// High availability keeps, low availability rejects.
+	ctx.Availability = func(int) float64 { return 0.9 }
+	if !rf.Keep(ctx, c) {
+		t.Fatal("0.9 availability rejected at thresh 0.5")
+	}
+	ctx.Availability = func(int) float64 { return 0.3 }
+	if rf.Keep(ctx, c) {
+		t.Fatal("0.3 availability accepted at thresh 0.5")
+	}
+	ctx.Availability = func(int) float64 { return 0 }
+	if rf.Keep(ctx, c) {
+		t.Fatal("zero availability accepted")
+	}
+	// Custom threshold.
+	ctx.Availability = func(int) float64 { return 0.3 }
+	if !(ReliabilityFilter{Thresh: 0.2}).Keep(ctx, c) {
+		t.Fatal("custom low threshold rejected 0.3 availability")
+	}
+}

@@ -58,7 +58,11 @@ func (f EnergyFilter) Threshold(ctx *Context) float64 {
 	if ctx.EnergyLeft <= 0 {
 		return 0
 	}
-	return mul(ctx.AvgQueueDepth) * ctx.EnergyLeft / float64(ctx.TasksLeft)
+	m := mul(ctx.AvgQueueDepth)
+	if ctx.ZetaMulOverride > 0 && ctx.ZetaMulOverride < m {
+		m = ctx.ZetaMulOverride
+	}
+	return m * ctx.EnergyLeft / float64(ctx.TasksLeft)
 }
 
 // Keep retains candidates with EEC at or below the fair share.
@@ -90,6 +94,39 @@ func (f RobustnessFilter) Keep(_ *Context, c *Candidate) bool {
 		t = PaperRhoThresh
 	}
 	return c.Rho() >= t
+}
+
+// ReliabilityFilter eliminates assignments whose deadline probability,
+// discounted by the target core's availability, falls below the threshold.
+// Under fault injection a core that is up now may still fail before the
+// task completes; availability·ρ is the probability the task both fits its
+// deadline and lands on a core that stays up, under the steady-state
+// up-fraction estimate of the configured transient-fault process. With no
+// availability estimate in the context the filter reduces to the plain
+// robustness filter.
+type ReliabilityFilter struct {
+	// Thresh is the availability·ρ threshold; zero value means
+	// PaperRhoThresh.
+	Thresh float64
+}
+
+// Name returns "rel".
+func (ReliabilityFilter) Name() string { return "rel" }
+
+// NeedsRho reports true.
+func (ReliabilityFilter) NeedsRho() bool { return true }
+
+// Keep retains candidates with availability·ρ at or above the threshold.
+func (f ReliabilityFilter) Keep(ctx *Context, c *Candidate) bool {
+	t := f.Thresh
+	if t == 0 {
+		t = PaperRhoThresh
+	}
+	avail := ctx.availability(c.CoreIdx)
+	if avail <= 0 {
+		return false
+	}
+	return avail*c.Rho() >= t
 }
 
 // FilterVariant names one of the four filtering configurations evaluated in

@@ -97,6 +97,31 @@ type Context struct {
 	// Counters, when non-nil, receives hot-path instrumentation (candidate
 	// enumeration, free-time cache traffic, filter rejections).
 	Counters *Counters
+
+	// CoreUp, when non-nil, reports whether the core at a flat index is
+	// currently up; BuildCandidates skips down cores entirely. Nil means
+	// every core is up (the paper's fault-free world).
+	CoreUp func(coreIdx int) bool
+	// Availability, when non-nil, gives the steady-state probability that
+	// the core at a flat index is up, for the reliability filter's ρ
+	// discount. Nil means availability 1 everywhere.
+	Availability func(coreIdx int) float64
+	// PStateFloor, when above P0, restricts candidates to P-states at or
+	// below it in speed (ps >= floor) — the brownout controller's lever for
+	// forcing frugal dispatch as the budget drains.
+	PStateFloor cluster.PState
+	// ZetaMulOverride, when positive, caps the energy filter's ζ_mul at
+	// min(schedule value, override) — the brownout controller's admission
+	// tightening.
+	ZetaMulOverride float64
+}
+
+// availability resolves the context's availability estimate for a core.
+func (ctx *Context) availability(coreIdx int) float64 {
+	if ctx.Availability == nil {
+		return 1
+	}
+	return ctx.Availability(coreIdx)
 }
 
 // SystemView is the scheduler's read-only window into the simulator state.
@@ -118,6 +143,9 @@ func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
 	cands := make([]*Candidate, 0, n*cluster.NumPStates)
 	ctx.Counters.addDecision()
 	for idx := 0; idx < n; idx++ {
+		if ctx.CoreUp != nil && !ctx.CoreUp(idx) {
+			continue
+		}
 		id := view.CoreID(idx)
 		q := view.Queue(idx)
 		node := ctx.Model.Cluster.Node(id)
@@ -133,6 +161,9 @@ func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
 			return cached
 		}
 		for _, ps := range cluster.AllPStates() {
+			if ps < ctx.PStateFloor {
+				continue
+			}
 			exec := ctx.Model.ExecPMF(ctx.Task.Type, id.Node, ps)
 			eet := exec.Mean()
 			cands = append(cands, &Candidate{

@@ -98,6 +98,9 @@ func validateCentral(cfg Config) error {
 func (e *centralEngine) loopCentral() {
 	for e.events.Len() > 0 {
 		ev := popEvent(&e.events)
+		if ev.kind == evFault && !e.faultWorkRemains() {
+			continue // trailing fault; see engine.loop
+		}
 		e.depthIntegral += float64(e.inSystem+len(e.pool)) * (ev.time - e.lastT)
 		e.lastT = ev.time
 		at, exhausted := e.meter.Advance(ev.time)
@@ -110,16 +113,26 @@ func (e *centralEngine) loopCentral() {
 			e.cfg.Observer.EnergyExhausted(at)
 			return
 		}
+		e.checkBrownout(at)
 		e.met.event(ev.kind, e.inSystem+len(e.pool))
 		switch ev.kind {
 		case evArrival:
+			e.arrived++
 			task := e.trial.Tasks[ev.idx]
 			e.pool = append(e.pool, task)
 			e.dispatch(ev.time)
 		case evCompletion:
-			e.completeCentral(ev.time, ev.idx)
+			if !e.staleCompletion(ev) {
+				e.completeCentral(ev.time, ev.idx)
+			}
 		case evPark:
 			e.park(ev.idx, ev.gen)
+		case evFault:
+			e.handleFault(ev.time, ev.idx)
+		case evRepair:
+			e.handleRepair(ev.time, ev.idx)
+		case evRequeue:
+			e.handleRequeue(ev.time, ev.idx)
 		}
 		e.res.Makespan = ev.time
 	}
@@ -139,6 +152,13 @@ func (e *centralEngine) dispatch(now float64) {
 		pick, ps := e.policy.Select(e.calc, e.pool, node, now, e.energyLeft, 0)
 		if pick < 0 || pick >= len(e.pool) {
 			return // policy declines; core stays idle
+		}
+		if e.bro != nil {
+			// An active brownout stage floors dispatch at frugal P-states
+			// regardless of what the pull policy asked for.
+			if st := e.bro.Current(); st != nil && ps < st.PStateFloor {
+				ps = st.PStateFloor
+			}
 		}
 		task := e.pool[pick]
 		e.pool = append(e.pool[:pick], e.pool[pick+1:]...)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -41,19 +42,46 @@ type EnergyObserver interface {
 	EnergySample(t, consumed, rate float64)
 }
 
+// FaultObserver is an optional Observer extension for runs with fault
+// injection: implementations additionally see failures, repairs, killed
+// tasks, and requeue decisions. repair is the scheduled down interval for
+// transient faults and 0 for permanent ones.
+type FaultObserver interface {
+	CoreFailed(t float64, core cluster.CoreID, kind fault.Kind, repair float64)
+	CoreRepaired(t float64, core cluster.CoreID)
+	// TaskKilled fires for every task stranded on the failed core (running
+	// or waiting); whether it is lost or retried is reported separately via
+	// TaskRequeued / the task's final outcome.
+	TaskKilled(t float64, task workload.Task, core cluster.CoreID)
+	// TaskRequeued fires when the recovery policy schedules a retry;
+	// attempt counts from 1.
+	TaskRequeued(t float64, task workload.Task, attempt int)
+}
+
+// BrownoutObserver is an optional Observer extension for runs with a
+// brownout schedule: stage transitions as the budget drains (stage counts
+// from 1; frac is the consumed budget fraction at the transition).
+type BrownoutObserver interface {
+	BrownoutStageChanged(t float64, stage int, frac float64)
+}
+
 // MultiObserver fans every simulation event out to each member in order,
 // so trace recording and metrics collection (and anything else) attach to
-// one run simultaneously. Members that also implement EnergyObserver
-// receive energy samples; the fan-out preserves member order for every
-// event type.
+// one run simultaneously. Members that also implement the EnergyObserver,
+// FaultObserver, or BrownoutObserver extensions receive those events; the
+// fan-out preserves member order for every event type.
 type MultiObserver struct {
-	obs    []Observer
-	energy []EnergyObserver
+	obs      []Observer
+	energy   []EnergyObserver
+	faults   []FaultObserver
+	brownout []BrownoutObserver
 }
 
 var (
-	_ Observer       = (*MultiObserver)(nil)
-	_ EnergyObserver = (*MultiObserver)(nil)
+	_ Observer         = (*MultiObserver)(nil)
+	_ EnergyObserver   = (*MultiObserver)(nil)
+	_ FaultObserver    = (*MultiObserver)(nil)
+	_ BrownoutObserver = (*MultiObserver)(nil)
 )
 
 // Multi composes observers into one. Nil members are dropped; with zero
@@ -76,6 +104,12 @@ func Multi(obs ...Observer) Observer {
 	for _, o := range kept {
 		if eo, ok := o.(EnergyObserver); ok {
 			m.energy = append(m.energy, eo)
+		}
+		if fo, ok := o.(FaultObserver); ok {
+			m.faults = append(m.faults, fo)
+		}
+		if bo, ok := o.(BrownoutObserver); ok {
+			m.brownout = append(m.brownout, bo)
 		}
 	}
 	return m
@@ -131,6 +165,41 @@ func (m *MultiObserver) EnergySample(t, consumed, rate float64) {
 	}
 }
 
+// CoreFailed implements FaultObserver.
+func (m *MultiObserver) CoreFailed(t float64, core cluster.CoreID, kind fault.Kind, repair float64) {
+	for _, fo := range m.faults {
+		fo.CoreFailed(t, core, kind, repair)
+	}
+}
+
+// CoreRepaired implements FaultObserver.
+func (m *MultiObserver) CoreRepaired(t float64, core cluster.CoreID) {
+	for _, fo := range m.faults {
+		fo.CoreRepaired(t, core)
+	}
+}
+
+// TaskKilled implements FaultObserver.
+func (m *MultiObserver) TaskKilled(t float64, task workload.Task, core cluster.CoreID) {
+	for _, fo := range m.faults {
+		fo.TaskKilled(t, task, core)
+	}
+}
+
+// TaskRequeued implements FaultObserver.
+func (m *MultiObserver) TaskRequeued(t float64, task workload.Task, attempt int) {
+	for _, fo := range m.faults {
+		fo.TaskRequeued(t, task, attempt)
+	}
+}
+
+// BrownoutStageChanged implements BrownoutObserver.
+func (m *MultiObserver) BrownoutStageChanged(t float64, stage int, frac float64) {
+	for _, bo := range m.brownout {
+		bo.BrownoutStageChanged(t, stage, frac)
+	}
+}
+
 // backlogBuckets bounds the sim_backlog_depth histogram: tasks in system
 // observed at every event, roughly log-spaced up to the paper's window.
 var backlogBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
@@ -139,17 +208,23 @@ var backlogBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 // once in Run, bumped on the event loop. A nil *simMetrics (no registry
 // attached) makes every method a no-op.
 type simMetrics struct {
-	events     [3]*metrics.Counter // indexed by event kind
-	heapHW     *metrics.Max
-	backlog    *metrics.Histogram
-	mapped     *metrics.Counter
-	discarded  *metrics.Counter
-	onTime     *metrics.Counter
-	late       *metrics.Counter
-	cancelled *metrics.Counter
-	exhausted *metrics.Counter
-	makespan  *metrics.Max
-	sched     *sched.Counters
+	events        [numEventKinds]*metrics.Counter // indexed by event kind
+	heapHW        *metrics.Max
+	backlog       *metrics.Histogram
+	mapped        *metrics.Counter
+	discarded     *metrics.Counter
+	onTime        *metrics.Counter
+	late          *metrics.Counter
+	cancelled     *metrics.Counter
+	exhausted     *metrics.Counter
+	makespan      *metrics.Max
+	faults        [2]*metrics.Counter // indexed by fault.Kind
+	killed        *metrics.Counter
+	requeues      *metrics.Counter
+	failed        *metrics.Counter
+	brownoutTrans *metrics.Counter
+	brownoutGauge *metrics.Gauge
+	sched         *sched.Counters
 }
 
 // newSimMetrics registers the simulator's instruments.
@@ -158,20 +233,32 @@ func newSimMetrics(r *metrics.Registry) *simMetrics {
 		return nil
 	}
 	return &simMetrics{
-		events: [3]*metrics.Counter{
+		events: [numEventKinds]*metrics.Counter{
 			evCompletion: r.Counter("sim_events_total", metrics.L("kind", "completion")),
 			evArrival:    r.Counter("sim_events_total", metrics.L("kind", "arrival")),
 			evPark:       r.Counter("sim_events_total", metrics.L("kind", "park")),
+			evFault:      r.Counter("sim_events_total", metrics.L("kind", "fault")),
+			evRepair:     r.Counter("sim_events_total", metrics.L("kind", "repair")),
+			evRequeue:    r.Counter("sim_events_total", metrics.L("kind", "requeue")),
 		},
-		heapHW:     r.Max("sim_event_heap_high_water"),
-		backlog:    r.Histogram("sim_backlog_depth", backlogBuckets),
-		mapped:     r.Counter("sim_tasks_total", metrics.L("outcome", "mapped")),
-		discarded:  r.Counter("sim_tasks_total", metrics.L("outcome", "discarded")),
-		onTime:     r.Counter("sim_tasks_total", metrics.L("outcome", "on-time")),
-		late:       r.Counter("sim_tasks_total", metrics.L("outcome", "late")),
+		heapHW:    r.Max("sim_event_heap_high_water"),
+		backlog:   r.Histogram("sim_backlog_depth", backlogBuckets),
+		mapped:    r.Counter("sim_tasks_total", metrics.L("outcome", "mapped")),
+		discarded: r.Counter("sim_tasks_total", metrics.L("outcome", "discarded")),
+		onTime:    r.Counter("sim_tasks_total", metrics.L("outcome", "on-time")),
+		late:      r.Counter("sim_tasks_total", metrics.L("outcome", "late")),
 		cancelled: r.Counter("sim_tasks_total", metrics.L("outcome", "cancelled")),
 		exhausted: r.Counter("sim_energy_exhausted_total"),
 		makespan:  r.Max("sim_makespan"),
+		faults: [2]*metrics.Counter{
+			fault.Transient: r.Counter("sim_faults_total", metrics.L("kind", "transient")),
+			fault.Permanent: r.Counter("sim_faults_total", metrics.L("kind", "permanent")),
+		},
+		killed:        r.Counter("sim_tasks_killed_total"),
+		requeues:      r.Counter("sim_requeues_total"),
+		failed:        r.Counter("sim_tasks_total", metrics.L("outcome", "failed")),
+		brownoutTrans: r.Counter("sim_brownout_transitions_total"),
+		brownoutGauge: r.Gauge("sim_brownout_stage"),
 	}
 }
 
@@ -221,6 +308,42 @@ func (m *simMetrics) taskCancelled() {
 		return
 	}
 	m.cancelled.Inc()
+}
+
+func (m *simMetrics) faultInjected(kind fault.Kind) {
+	if m == nil {
+		return
+	}
+	m.faults[kind].Inc()
+}
+
+func (m *simMetrics) taskKilled() {
+	if m == nil {
+		return
+	}
+	m.killed.Inc()
+}
+
+func (m *simMetrics) taskRequeued() {
+	if m == nil {
+		return
+	}
+	m.requeues.Inc()
+}
+
+func (m *simMetrics) taskFailed() {
+	if m == nil {
+		return
+	}
+	m.failed.Inc()
+}
+
+func (m *simMetrics) brownoutStage(stage int) {
+	if m == nil {
+		return
+	}
+	m.brownoutTrans.Inc()
+	m.brownoutGauge.Set(float64(stage))
 }
 
 func (m *simMetrics) energyExhausted() {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/randx"
 	"repro/internal/robustness"
@@ -77,6 +78,22 @@ type Config struct {
 	// cluster-wide pool and the policy assigns them to cores only when the
 	// core is ready to execute. Mutually exclusive with Mapper.
 	CentralQueue PullPolicy
+	// Faults configures failure injection: stochastic transient-core and
+	// permanent-node failure processes plus scripted fault traces, with a
+	// recovery policy for stranded tasks (see internal/fault). The zero
+	// value (no faults) reproduces the paper's never-failing cluster and
+	// costs nothing on the hot path. Incompatible with VerifyEnergy: a
+	// downed core draws zero watts via a power override, which the Eq. 1
+	// transition replay cannot represent.
+	Faults fault.Spec
+	// Brownout, when non-empty, replaces the all-or-nothing halt at ζ_max
+	// with staged degradation: as consumed energy crosses each stage's
+	// fraction of the budget, the admission filter's ζ_mul tightens, new
+	// dispatches are floored at deep P-states, and (optionally) idle cores
+	// are power-gated. The hard halt at 100% is unchanged. See
+	// energy.BrownoutStage / energy.DefaultBrownoutStages. Requires a
+	// finite EnergyBudget; nil reproduces the paper.
+	Brownout []energy.BrownoutStage
 }
 
 // ParkPolicy configures the power-gating extension.
@@ -143,6 +160,9 @@ const (
 	OutcomeUnfinished
 	// OutcomeCancelled: dropped by the CancelOverdueWaiting extension.
 	OutcomeCancelled
+	// OutcomeFailed: lost to a core/node failure — killed or stranded by a
+	// fault and not recovered (dropped, or retries exhausted).
+	OutcomeFailed
 )
 
 // String names the outcome.
@@ -158,6 +178,8 @@ func (o Outcome) String() string {
 		return "unfinished"
 	case OutcomeCancelled:
 		return "cancelled"
+	case OutcomeFailed:
+		return "failed"
 	}
 	return "unknown"
 }
@@ -191,7 +213,9 @@ type Result struct {
 	// Unfinished counts tasks mapped but not completed (plus tasks that
 	// never arrived) when the run halted.
 	Unfinished int
-	// Mapped counts tasks that received an assignment.
+	// Mapped counts assignments issued. Without fault injection this equals
+	// the number of tasks mapped; with requeue recovery a task counts once
+	// per (re-)assignment.
 	Mapped int
 
 	// EnergyConsumed is the actual wall energy drawn (Eqs. 1–2).
@@ -216,6 +240,20 @@ type Result struct {
 	Wakeups int
 	// ParkedTime is the total core-time spent parked (parking extension).
 	ParkedTime float64
+	// Faults counts injected failures (fault injection only); TasksKilled
+	// counts running tasks killed mid-execution by them, Retries counts
+	// requeue dispatch attempts, and LostToFailure counts tasks that ended
+	// OutcomeFailed (dropped or retries exhausted). A killed task that a
+	// retry later completes is NOT lost — it lands in OnTime/Late.
+	Faults        int
+	TasksKilled   int
+	Retries       int
+	LostToFailure int
+	// DownTime is the total core-time spent failed (summed over cores).
+	DownTime float64
+	// BrownoutStage is the deepest degradation stage reached (0 = nominal;
+	// brownout controller only).
+	BrownoutStage int
 	// EnergyVerifyError is |meter − exact Eq.1/2| when VerifyEnergy is set.
 	EnergyVerifyError float64
 
@@ -235,19 +273,28 @@ type queued struct {
 
 // event kinds, in tie-break priority order at equal times: completions
 // free cores before a simultaneous arrival is mapped, and a core is handed
-// work before a simultaneous park fires.
+// work before a simultaneous park fires. The fault kinds sort after the
+// paper's kinds so that, at equal times, normal progress happens before the
+// failure strikes, a repair lands after the fault that caused it, and a
+// requeued task re-enters the mapper last.
 const (
 	evCompletion = iota
 	evArrival
 	evPark
+	evFault
+	evRepair
+	evRequeue
+	numEventKinds
 )
 
 type event struct {
 	time float64
 	kind int
-	idx  int // task index for arrivals, core index for completions/parks
-	gen  int // park-event generation; stale parks are ignored
-	seq  int
+	idx  int // task index for arrivals/requeues, core index for completions/
+	// parks/repairs, fault-source index for faults
+	gen int // generation: stale park and (post-failure) completion events
+	// are ignored
+	seq int
 }
 
 type eventHeap []event
@@ -288,8 +335,28 @@ type engine struct {
 	idleGen   []int // invalidates stale park events
 	parkedAt  []float64
 
+	arrived int           // arrival events processed, for requeue T_left
+	flt     *faultRuntime // nil when fault injection is disabled
+	bro     *energy.Brownout
+	// Cached context decorations so fault-enabled dispatch does not
+	// allocate per arrival; nil when faults are disabled.
+	coreUpFn func(int) bool
+	availFn  func(int) float64
+
+	// Central-queue hooks, set only in central mode: the shared fault
+	// handlers call them so pool accounting and the idle-core set stay
+	// consistent with core up/down state.
+	onDown     func(coreIdx int)
+	onUp       func(now float64, coreIdx int)
+	redispatch func(now float64, task workload.Task)
+	poolLen    func() int
+
+	pendingReq int // requeue events in flight, for fault-loop termination
+
 	met  *simMetrics    // nil when Config.Metrics is nil
 	eobs EnergyObserver // non-nil when the observer wants energy samples
+	fobs FaultObserver  // non-nil when the observer wants fault events
+	bobs BrownoutObserver
 
 	res *Result
 }
@@ -356,12 +423,34 @@ func Run(cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, e
 	if cfg.VerifyEnergy && (cfg.PowerCV > 0 || cfg.Park.Enabled) {
 		return nil, errors.New("sim: VerifyEnergy is incompatible with the PowerCV/Park extensions (Eq. 1 replay knows only P-state table powers)")
 	}
+	faultsOn := cfg.Faults.Enabled()
+	if faultsOn {
+		if err := cfg.Faults.Validate(cfg.Model.Cluster.TotalCores(), cfg.Model.Cluster.N()); err != nil {
+			return nil, err
+		}
+		if cfg.VerifyEnergy {
+			return nil, errors.New("sim: VerifyEnergy is incompatible with fault injection (downed cores draw zero watts via power overrides)")
+		}
+	}
+	if len(cfg.Brownout) > 0 {
+		if err := energy.ValidateBrownoutStages(cfg.Brownout); err != nil {
+			return nil, err
+		}
+		for _, st := range cfg.Brownout {
+			if st.ParkIdle && cfg.VerifyEnergy {
+				return nil, errors.New("sim: VerifyEnergy is incompatible with brownout idle parking (power overrides)")
+			}
+		}
+	}
 	budget := cfg.EnergyBudget
 	if budget == 0 {
 		budget = math.Inf(1)
 	}
 	if budget <= 0 {
 		return nil, fmt.Errorf("sim: energy budget %v must be positive (use +Inf to disable)", budget)
+	}
+	if len(cfg.Brownout) > 0 && math.IsInf(budget, 1) {
+		return nil, errors.New("sim: brownout requires a finite energy budget")
 	}
 	meter, err := energy.NewMeter(cfg.Model.Cluster, cfg.IdlePState, budget, cfg.VerifyEnergy)
 	if err != nil {
@@ -386,6 +475,12 @@ func Run(cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, e
 	}
 	if eo, ok := cfg.Observer.(EnergyObserver); ok {
 		e.eobs = eo
+	}
+	if fo, ok := cfg.Observer.(FaultObserver); ok {
+		e.fobs = fo
+	}
+	if bo, ok := cfg.Observer.(BrownoutObserver); ok {
+		e.bobs = bo
 	}
 	if cfg.Metrics != nil {
 		var filters []sched.Filter
@@ -420,6 +515,13 @@ func Run(cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, e
 			e.push(event{time: cfg.Park.Timeout, kind: evPark, idx: i, gen: 0})
 		}
 	}
+	if faultsOn {
+		e.initFaults(decisions)
+	}
+	if len(cfg.Brownout) > 0 {
+		// Validated above; NewBrownout re-checks but cannot fail here.
+		e.bro, _ = energy.NewBrownout(cfg.Brownout)
+	}
 	for i, t := range trial.Tasks {
 		e.push(event{time: t.Arrival, kind: evArrival, idx: i})
 	}
@@ -427,6 +529,18 @@ func Run(cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, e
 		ce := &centralEngine{engine: e, policy: cfg.CentralQueue, idle: make(map[int]bool, len(e.queues))}
 		for i := range e.queues {
 			ce.idle[i] = true
+		}
+		if faultsOn {
+			e.onDown = func(coreIdx int) { delete(ce.idle, coreIdx) }
+			e.onUp = func(now float64, coreIdx int) {
+				ce.idle[coreIdx] = true
+				ce.dispatch(now)
+			}
+			e.redispatch = func(now float64, task workload.Task) {
+				ce.pool = append(ce.pool, task)
+				ce.dispatch(now)
+			}
+			e.poolLen = func() int { return len(ce.pool) }
 		}
 		ce.loopCentral()
 		ce.finalize()
@@ -447,6 +561,12 @@ func (e *engine) push(ev event) {
 func (e *engine) loop() {
 	for e.events.Len() > 0 {
 		ev := heap.Pop(&e.events).(event)
+		if ev.kind == evFault && !e.faultWorkRemains() {
+			// Trailing fault beyond the last resolvable task: dropping it
+			// (before the meter advances) is what lets the loop drain — the
+			// stochastic processes otherwise reschedule forever.
+			continue
+		}
 		e.depthIntegral += float64(e.inSystem) * (ev.time - e.lastT)
 		e.lastT = ev.time
 		at, exhausted := e.meter.Advance(ev.time)
@@ -459,17 +579,33 @@ func (e *engine) loop() {
 			e.cfg.Observer.EnergyExhausted(at)
 			return
 		}
+		e.checkBrownout(at)
 		e.met.event(ev.kind, e.inSystem)
 		switch ev.kind {
 		case evArrival:
+			e.arrived++
 			e.arrive(ev.time, ev.idx)
 		case evCompletion:
-			e.complete(ev.time, ev.idx)
+			if !e.staleCompletion(ev) {
+				e.complete(ev.time, ev.idx)
+			}
 		case evPark:
 			e.park(ev.idx, ev.gen)
+		case evFault:
+			e.handleFault(ev.time, ev.idx)
+		case evRepair:
+			e.handleRepair(ev.time, ev.idx)
+		case evRequeue:
+			e.handleRequeue(ev.time, ev.idx)
 		}
 		e.res.Makespan = ev.time
 	}
+}
+
+// staleCompletion reports whether a completion event refers to an execution
+// that a failure already killed (the core's run generation moved on).
+func (e *engine) staleCompletion(ev event) bool {
+	return e.flt != nil && ev.gen != e.flt.runGen[ev.idx]
 }
 
 // sampleEnergy forwards one energy-meter trajectory point to the observer
@@ -494,8 +630,14 @@ func (e *engine) arrive(now float64, taskIdx int) {
 		Rand:          e.rand,
 		Counters:      e.met.schedCounters(),
 	}
+	e.decorateCtx(ctx)
 	cands := sched.BuildCandidates(ctx, e)
-	chosen := e.cfg.Mapper.Map(ctx, cands)
+	// With every core down the candidate set is empty; Mapper.Map expects a
+	// non-empty set when it reaches the heuristic, so discard directly.
+	var chosen *sched.Candidate
+	if len(cands) > 0 {
+		chosen = e.cfg.Mapper.Map(ctx, cands)
+	}
 	if chosen == nil {
 		e.res.Discarded++
 		e.met.taskDiscarded()
@@ -551,13 +693,20 @@ func (e *engine) start(now float64, coreIdx int) {
 		e.res.Traces[head.task.ID].Start = now
 	}
 	e.cfg.Observer.TaskStarted(now, head.task, e.assignment(coreIdx, head.pstate))
-	e.push(event{time: now + wake + head.actual, kind: evCompletion, idx: coreIdx})
+	gen := 0
+	if e.flt != nil {
+		gen = e.flt.runGen[coreIdx]
+	}
+	e.push(event{time: now + wake + head.actual, kind: evCompletion, idx: coreIdx, gen: gen})
 }
 
 // park power-gates a core if it is still idle and the check is current.
 func (e *engine) park(coreIdx, gen int) {
 	if !e.cfg.Park.Enabled || e.parked[coreIdx] || gen != e.idleGen[coreIdx] || len(e.queues[coreIdx]) > 0 {
 		return
+	}
+	if e.coreDown(coreIdx) {
+		return // a failed core already draws nothing; keep the 0 W override
 	}
 	e.parked[coreIdx] = true
 	e.parkedAt[coreIdx] = e.meter.Now()
@@ -566,13 +715,20 @@ func (e *engine) park(coreIdx, gen int) {
 }
 
 // setPState changes a core's P-state through the meter and notifies the
-// observer of real transitions only.
+// observer of real transitions only. When a power override is active the
+// meter call must happen even at an unchanged P-state, so the override is
+// cleared and the core charges table power again (previously the early
+// return left e.g. a parked core's retention power active while it
+// executed a task at the idle P-state).
 func (e *engine) setPState(now float64, coreIdx int, ps cluster.PState) {
-	if e.meter.PStateOf(coreIdx) == ps {
+	changed := e.meter.PStateOf(coreIdx) != ps
+	if !changed && !e.meter.Overridden(coreIdx) {
 		return
 	}
 	e.meter.SetPState(coreIdx, ps)
-	e.cfg.Observer.PStateChanged(now, e.cores[coreIdx], ps)
+	if changed {
+		e.cfg.Observer.PStateChanged(now, e.cores[coreIdx], ps)
+	}
 }
 
 // assignment reconstructs the sched.Assignment of a core's current task.
@@ -621,6 +777,7 @@ func (e *engine) complete(now float64, coreIdx int) {
 		e.start(now, coreIdx)
 	} else {
 		e.setPState(now, coreIdx, e.cfg.IdlePState)
+		e.applyIdlePower(coreIdx)
 		if e.cfg.Park.Enabled {
 			e.idleGen[coreIdx]++
 			e.push(event{time: now + e.cfg.Park.Timeout, kind: evPark, idx: coreIdx, gen: e.idleGen[coreIdx]})
@@ -631,7 +788,14 @@ func (e *engine) complete(now float64, coreIdx int) {
 func (e *engine) finalize() {
 	r := e.res
 	r.Missed = r.Window - r.OnTime
-	r.Unfinished = r.Window - r.OnTime - r.Late - r.Discarded - r.Cancelled
+	r.Unfinished = r.Window - r.OnTime - r.Late - r.Discarded - r.Cancelled - r.LostToFailure
+	if e.flt != nil {
+		for i, down := range e.flt.down {
+			if down {
+				r.DownTime += e.meter.Now() - e.flt.downAt[i]
+			}
+		}
+	}
 	if e.cfg.Park.Enabled {
 		for i, p := range e.parked {
 			if p {

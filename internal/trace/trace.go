@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -30,6 +31,11 @@ const (
 	KindFinished  Kind = "finished"
 	KindPState    Kind = "pstate"
 	KindExhausted Kind = "exhausted"
+	KindFault     Kind = "fault"
+	KindRepair    Kind = "repair"
+	KindKilled    Kind = "killed"
+	KindRequeue   Kind = "requeue"
+	KindBrownout  Kind = "brownout"
 )
 
 // Event is one recorded simulation event.
@@ -41,6 +47,9 @@ type Event struct {
 	Core   string  `json:"core,omitempty"`
 	PState string  `json:"pstate,omitempty"`
 	OnTime *bool   `json:"onTime,omitempty"`
+	// Detail carries kind-specific context: the fault kind for "fault",
+	// the retry attempt for "requeue", the stage number for "brownout".
+	Detail string `json:"detail,omitempty"`
 }
 
 // Recorder implements sim.Observer (and sim.EnergyObserver), accumulating
@@ -50,6 +59,9 @@ type Recorder struct {
 	Events []Event
 
 	spans    map[string][]span // core label -> executed spans
+	downs    map[string][]span // core label -> failed (down) intervals
+	faults   int
+	brownout int // deepest brownout stage seen
 	exhaust  float64
 	halted   bool
 	lastTime float64
@@ -72,14 +84,20 @@ type span struct {
 	pstate     cluster.PState
 	onTime     bool
 	open       bool
+	killed     bool
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{spans: make(map[string][]span)}
+	return &Recorder{spans: make(map[string][]span), downs: make(map[string][]span)}
 }
 
-var _ sim.Observer = (*Recorder)(nil)
+var (
+	_ sim.Observer         = (*Recorder)(nil)
+	_ sim.EnergyObserver   = (*Recorder)(nil)
+	_ sim.FaultObserver    = (*Recorder)(nil)
+	_ sim.BrownoutObserver = (*Recorder)(nil)
+)
 
 func (r *Recorder) add(e Event) {
 	r.Events = append(r.Events, e)
@@ -134,6 +152,59 @@ func (r *Recorder) EnergyExhausted(t float64) {
 	r.add(Event{Time: t, Kind: KindExhausted})
 	r.exhaust = t
 	r.halted = true
+}
+
+// CoreFailed implements sim.FaultObserver: the down interval opens and any
+// execution span running on the core is closed by the following TaskKilled.
+func (r *Recorder) CoreFailed(t float64, core cluster.CoreID, kind fault.Kind, _ float64) {
+	r.add(Event{Time: t, Kind: KindFault, Core: core.String(), Detail: kind.String()})
+	r.faults++
+	key := core.String()
+	r.downs[key] = append(r.downs[key], span{start: t, open: true})
+}
+
+// CoreRepaired implements sim.FaultObserver: the down interval closes.
+func (r *Recorder) CoreRepaired(t float64, core cluster.CoreID) {
+	r.add(Event{Time: t, Kind: KindRepair, Core: core.String()})
+	key := core.String()
+	ds := r.downs[key]
+	for i := len(ds) - 1; i >= 0; i-- {
+		if ds[i].open {
+			ds[i].end = t
+			ds[i].open = false
+			break
+		}
+	}
+}
+
+// TaskKilled implements sim.FaultObserver: a running task's execution span
+// is cut at the failure instant and marked killed.
+func (r *Recorder) TaskKilled(t float64, task workload.Task, core cluster.CoreID) {
+	r.add(Event{Time: t, Kind: KindKilled, TaskID: task.ID, Type: task.Type, Core: core.String()})
+	key := core.String()
+	ss := r.spans[key]
+	for i := len(ss) - 1; i >= 0; i-- {
+		if ss[i].open && ss[i].taskID == task.ID {
+			ss[i].end = t
+			ss[i].open = false
+			ss[i].killed = true
+			break
+		}
+	}
+}
+
+// TaskRequeued implements sim.FaultObserver.
+func (r *Recorder) TaskRequeued(t float64, task workload.Task, attempt int) {
+	r.add(Event{Time: t, Kind: KindRequeue, TaskID: task.ID, Type: task.Type,
+		Detail: fmt.Sprintf("attempt %d", attempt)})
+}
+
+// BrownoutStageChanged implements sim.BrownoutObserver.
+func (r *Recorder) BrownoutStageChanged(t float64, stage int, frac float64) {
+	r.add(Event{Time: t, Kind: KindBrownout, Detail: fmt.Sprintf("stage %d (%.1f%% consumed)", stage, 100*frac)})
+	if stage > r.brownout {
+		r.brownout = stage
+	}
 }
 
 // EnergySample implements sim.EnergyObserver: the recorder keeps a
@@ -191,7 +262,7 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 
 // WriteCSV writes the event log as CSV with a header row.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "t,kind,task,type,core,pstate,onTime\n"); err != nil {
+	if _, err := io.WriteString(w, "t,kind,task,type,core,pstate,onTime,detail\n"); err != nil {
 		return err
 	}
 	for i := range r.Events {
@@ -200,8 +271,8 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		if e.OnTime != nil {
 			ot = fmt.Sprintf("%v", *e.OnTime)
 		}
-		if _, err := fmt.Fprintf(w, "%g,%s,%d,%d,%s,%s,%s\n",
-			e.Time, e.Kind, e.TaskID, e.Type, e.Core, e.PState, ot); err != nil {
+		if _, err := fmt.Fprintf(w, "%g,%s,%d,%d,%s,%s,%s,%s\n",
+			e.Time, e.Kind, e.TaskID, e.Type, e.Core, e.PState, ot, e.Detail); err != nil {
 			return err
 		}
 	}
@@ -222,9 +293,14 @@ func (r *Recorder) Timeline(width int) string {
 	if end <= 0 {
 		return "(empty trace)\n"
 	}
-	labels := make([]string, 0, len(r.spans))
+	labels := make([]string, 0, len(r.spans)+len(r.downs))
 	for k := range r.spans {
 		labels = append(labels, k)
+	}
+	for k := range r.downs {
+		if _, ok := r.spans[k]; !ok {
+			labels = append(labels, k)
+		}
 	}
 	sort.Strings(labels)
 	labelW := 0
@@ -249,13 +325,25 @@ func (r *Recorder) Timeline(width int) string {
 		for i := range row {
 			row[i] = '.'
 		}
+		for _, s := range r.downs[l] {
+			endT := s.end
+			if s.open {
+				endT = end
+			}
+			for i := pos(s.start); i <= pos(endT); i++ {
+				row[i] = '~'
+			}
+		}
 		for _, s := range r.spans[l] {
 			endT := s.end
 			if s.open {
 				endT = end
 			}
 			mark := byte('0' + int(s.pstate))
-			if !s.open && !s.onTime {
+			switch {
+			case s.killed:
+				mark = 'x'
+			case !s.open && !s.onTime:
 				mark = '!'
 			}
 			for i := pos(s.start); i <= pos(endT); i++ {
@@ -269,6 +357,9 @@ func (r *Recorder) Timeline(width int) string {
 	}
 	fmt.Fprintf(&b, "%-*s %-*.4g%*.4g\n", labelW, "", width/2, 0.0, width-width/2, end)
 	b.WriteString("digits = executing at P-state; '!' = span missed deadline; '.' = idle")
+	if r.faults > 0 {
+		b.WriteString("; 'x' = killed by fault; '~' = core down")
+	}
 	if r.halted {
 		b.WriteString("; '#' = energy exhausted")
 	}
@@ -331,6 +422,21 @@ func (r *Recorder) Summary() string {
 	}
 	s := fmt.Sprintf("trace: %d events; mapped %d, discarded %d, finished %d (%d late)",
 		len(r.Events), mapped, discarded, finished, missed)
+	if r.faults > 0 {
+		var killed, requeued int
+		for i := range r.Events {
+			switch r.Events[i].Kind {
+			case KindKilled:
+				killed++
+			case KindRequeue:
+				requeued++
+			}
+		}
+		s += fmt.Sprintf("; faults %d (killed %d, requeued %d)", r.faults, killed, requeued)
+	}
+	if r.brownout > 0 {
+		s += fmt.Sprintf("; brownout stage %d reached", r.brownout)
+	}
 	if r.halted {
 		s += fmt.Sprintf("; energy exhausted at t=%.1f", r.exhaust)
 	}

@@ -3,11 +3,14 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/randx"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -231,5 +234,137 @@ func TestSummary(t *testing.T) {
 	s := rec.Summary()
 	if !strings.Contains(s, "mapped") || !strings.Contains(s, "events") {
 		t.Fatalf("summary %q", s)
+	}
+}
+
+// recordFaultRun drives a run with aggressive stochastic transient faults,
+// requeue recovery, and a staged brownout, so every fault-path marker has a
+// chance to appear in the trace.
+func recordFaultRun(t *testing.T) (*Recorder, *sim.Result) {
+	t.Helper()
+	s := randx.NewStream(4)
+	c, err := cluster.Generate(s.Child("cluster"), cluster.PaperGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.PaperParams()
+	p.TaskTypes = 8
+	p.WindowSize = 60
+	p.BurstLen = 12
+	p.PMFSamples = 300
+	m, err := workload.BuildModel(s.Child("wl"), c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateTrial(randx.NewStream(5), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	cfg := sim.Config{
+		Model:        m,
+		Mapper:       &sched.Mapper{Heuristic: sched.MinExpectedCompletionTime{}},
+		EnergyBudget: 0.5 * m.DefaultEnergyBudget(),
+		Observer:     rec,
+		Faults: fault.Spec{
+			Transient:  fault.Process{Enabled: true, MTBF: 0.4 * m.TAvg()},
+			RepairTime: 0.3 * m.TAvg(),
+			Recovery:   fault.Recovery{Mode: fault.Requeue, MaxRetries: 2, Backoff: 0.05 * m.TAvg()},
+		},
+		Brownout: energy.DefaultBrownoutStages(),
+	}
+	res, err := sim.Run(cfg, tr, randx.NewStream(5).Child("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+func TestRecorderFaultEvents(t *testing.T) {
+	rec, res := recordFaultRun(t)
+	counts := map[Kind]int{}
+	for _, e := range rec.Events {
+		counts[e.Kind]++
+	}
+	if counts[KindFault] != res.Faults || counts[KindFault] == 0 {
+		t.Fatalf("%d fault events for %d faults", counts[KindFault], res.Faults)
+	}
+	if counts[KindKilled] == 0 {
+		t.Fatal("hammered run recorded no killed tasks")
+	}
+	if counts[KindRequeue] != res.Retries {
+		t.Fatalf("%d requeue events for %d retries", counts[KindRequeue], res.Retries)
+	}
+	if counts[KindRepair] == 0 {
+		t.Fatal("no repair events")
+	}
+	// Fault events carry the fault kind, requeues the attempt number.
+	for _, e := range rec.Events {
+		switch e.Kind {
+		case KindFault:
+			if e.Detail != "transient" {
+				t.Fatalf("fault detail %q", e.Detail)
+			}
+		case KindRequeue:
+			if !strings.Contains(e.Detail, "attempt") {
+				t.Fatalf("requeue detail %q", e.Detail)
+			}
+		}
+	}
+}
+
+func TestTimelineMarksFaults(t *testing.T) {
+	rec, _ := recordFaultRun(t)
+	out := rec.Timeline(80)
+	if !strings.Contains(out, "~") {
+		t.Fatalf("timeline missing down spans:\n%s", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatalf("timeline missing killed marks:\n%s", out)
+	}
+	if !strings.Contains(out, "'x' = killed by fault") || !strings.Contains(out, "'~' = core down") {
+		t.Fatalf("timeline legend missing fault markers:\n%s", out)
+	}
+}
+
+func TestSummaryReportsFaultsAndBrownout(t *testing.T) {
+	rec, res := recordFaultRun(t)
+	s := rec.Summary()
+	if !strings.Contains(s, fmt.Sprintf("faults %d", res.Faults)) {
+		t.Fatalf("summary missing fault count: %q", s)
+	}
+	if !strings.Contains(s, "killed") || !strings.Contains(s, "requeued") {
+		t.Fatalf("summary missing kill/requeue counts: %q", s)
+	}
+	if res.BrownoutStage > 0 && !strings.Contains(s, fmt.Sprintf("brownout stage %d", res.BrownoutStage)) {
+		t.Fatalf("summary missing brownout stage %d: %q", res.BrownoutStage, s)
+	}
+}
+
+func TestFaultEventsSerializeWithDetail(t *testing.T) {
+	rec, _ := recordFaultRun(t)
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ",fault,") || !strings.Contains(buf.String(), "attempt") {
+		t.Fatal("CSV missing fault rows or requeue detail")
+	}
+	buf.Reset()
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var sawDetail bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Kind == KindFault && e.Detail == "transient" {
+			sawDetail = true
+		}
+	}
+	if !sawDetail {
+		t.Fatal("JSONL lost the fault detail field")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/pmf"
@@ -81,12 +82,19 @@ func ReadModelJSON(r io.Reader) (*Model, error) {
 			}
 		}
 	}
-	if jm.TAvg <= 0 {
-		return nil, fmt.Errorf("workload: decode model: tAvg %v must be > 0", jm.TAvg)
+	for ti, m := range jm.TypeMean {
+		// The negated comparison rejects NaN, which passes every ordering
+		// test and would otherwise corrupt arrival calibration silently.
+		if !(m > 0) || math.IsInf(m, 0) {
+			return nil, fmt.Errorf("workload: decode model: type %d mean %v must be positive and finite", ti, m)
+		}
+	}
+	if !(jm.TAvg > 0) || math.IsInf(jm.TAvg, 0) {
+		return nil, fmt.Errorf("workload: decode model: tAvg %v must be positive and finite", jm.TAvg)
 	}
 	fast, slow := jm.Rates["fast"], jm.Rates["slow"]
-	if fast <= 0 || slow <= 0 {
-		return nil, fmt.Errorf("workload: decode model: rates %v must be positive", jm.Rates)
+	if !(fast > 0 && slow > 0) || math.IsInf(fast, 0) || math.IsInf(slow, 0) {
+		return nil, fmt.Errorf("workload: decode model: rates %v must be positive and finite", jm.Rates)
 	}
 	return &Model{
 		Params:   p,

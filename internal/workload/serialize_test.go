@@ -87,6 +87,9 @@ func TestReadModelJSONRejectsCorruption(t *testing.T) {
 		"bad rates":       corrupt(func(c map[string]json.RawMessage) { c["rates"] = json.RawMessage(`{"fast":0,"slow":1}`) }),
 		"short table":     corrupt(func(c map[string]json.RawMessage) { c["table"] = json.RawMessage(`[]`) }),
 		"short typeMean":  corrupt(func(c map[string]json.RawMessage) { c["typeMean"] = json.RawMessage(`[1]`) }),
+		"negative mean": corrupt(func(c map[string]json.RawMessage) {
+			c["typeMean"] = json.RawMessage(`[1,2,-3,4,5,6]`)
+		}),
 	}
 	for name, body := range cases {
 		if _, err := ReadModelJSON(strings.NewReader(body)); err == nil {

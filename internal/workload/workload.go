@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/cvb"
@@ -90,27 +91,29 @@ func PaperParams() Params {
 // only uses FastRate and SlowRate.
 const EquilibriumRate = 1.0 / 28
 
-// Validate reports whether the parameters are usable.
+// Validate reports whether the parameters are usable. Comparisons are
+// phrased as !(x > 0) rather than x <= 0 so NaN — which fails every
+// ordering comparison — is rejected instead of slipping through.
 func (p Params) Validate() error {
 	switch {
 	case p.TaskTypes < 1:
 		return fmt.Errorf("workload: TaskTypes %d must be >= 1", p.TaskTypes)
 	case p.WindowSize < 1:
 		return fmt.Errorf("workload: WindowSize %d must be >= 1", p.WindowSize)
-	case p.ExecCV <= 0:
-		return fmt.Errorf("workload: ExecCV %v must be > 0", p.ExecCV)
+	case !(p.ExecCV > 0) || math.IsInf(p.ExecCV, 0):
+		return fmt.Errorf("workload: ExecCV %v must be positive and finite", p.ExecCV)
 	case p.PMFBins < 1:
 		return fmt.Errorf("workload: PMFBins %d must be >= 1", p.PMFBins)
 	case p.PMFSamples < 2:
 		return fmt.Errorf("workload: PMFSamples %d must be >= 2", p.PMFSamples)
-	case !p.CalibrateRates && (p.FastRate <= 0 || p.SlowRate <= 0):
+	case !p.CalibrateRates && !(p.FastRate > 0 && p.SlowRate > 0):
 		return fmt.Errorf("workload: rates must be > 0 (fast %v, slow %v)", p.FastRate, p.SlowRate)
-	case p.CalibrateRates && (p.FastFactor <= 0 || p.SlowFactor <= 0):
+	case p.CalibrateRates && !(p.FastFactor > 0 && p.SlowFactor > 0):
 		return fmt.Errorf("workload: rate factors must be > 0 (fast %v, slow %v)", p.FastFactor, p.SlowFactor)
 	case p.BurstLen < 0 || 2*p.BurstLen > p.WindowSize:
 		return fmt.Errorf("workload: BurstLen %d incompatible with window %d", p.BurstLen, p.WindowSize)
-	case p.LoadFactorMult < 0:
-		return fmt.Errorf("workload: LoadFactorMult %v must be >= 0", p.LoadFactorMult)
+	case !(p.LoadFactorMult >= 0) || math.IsInf(p.LoadFactorMult, 0):
+		return fmt.Errorf("workload: LoadFactorMult %v must be >= 0 and finite", p.LoadFactorMult)
 	}
 	if err := validateClasses(p.Classes); err != nil {
 		return err

@@ -25,6 +25,11 @@ if [ "$tier" -ge 2 ]; then
     go vet ./...
     echo "== tier 2: go test -race ./..."
     go test -race ./...
+    # The fault/brownout paths assert bit-level determinism; run them twice
+    # under the race detector so a flaky ordering can't slip through a
+    # single lucky pass.
+    echo "== tier 2: go test -race -count=2 (fault injection)"
+    go test -race -count=2 ./internal/fault ./internal/sim ./internal/energy
 fi
 
 echo "verify: OK (tier $tier)"
