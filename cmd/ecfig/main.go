@@ -13,12 +13,20 @@
 //	ecfig -table mtbf|brownout                           # resilience studies
 //	ecfig -fig 2 -csv fig2.csv        # also write per-trial samples
 //	ecfig -trials 10                  # reduced trial count for quick looks
+//	ecfig -all -journal figs.wal      # crash-safe: journal every trial
+//	ecfig -all -journal figs.wal -resume   # continue an interrupted sweep
+//
+// SIGINT/SIGTERM cancel the sweep cleanly; with -journal the completed
+// trials survive, and -resume replays them bit-identically on the next run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -35,34 +43,53 @@ func main() {
 
 func run() error {
 	var (
-		fig    = flag.Int("fig", 0, "figure number to regenerate (2-6)")
-		table  = flag.String("table", "", "table to regenerate: summary, significance, zmul, rthresh, budget, arrivals, priority, parking, powercv, cancel, central, classes, mtbf, brownout")
-		all    = flag.Bool("all", false, "regenerate figures 2-6 and the summary table")
-		trials = flag.Int("trials", 50, "number of simulation trials")
-		seed   = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
-		width  = flag.Int("width", 72, "box plot width in characters")
-		csv    = flag.String("csv", "", "write per-trial CSV for the selected figure to this file")
-		report = flag.String("report", "", "write the merged RunReport JSON to this file ('-' = stdout)")
-		quiet  = flag.Bool("quiet", false, "suppress the per-trial progress line on stderr")
+		fig          = flag.Int("fig", 0, "figure number to regenerate (2-6)")
+		table        = flag.String("table", "", "table to regenerate: summary, significance, zmul, rthresh, budget, arrivals, priority, parking, powercv, cancel, central, classes, mtbf, brownout")
+		all          = flag.Bool("all", false, "regenerate figures 2-6 and the summary table")
+		trials       = flag.Int("trials", 50, "number of simulation trials")
+		seed         = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
+		width        = flag.Int("width", 72, "box plot width in characters")
+		csv          = flag.String("csv", "", "write per-trial CSV for the selected figure to this file")
+		report       = flag.String("report", "", "write the merged RunReport JSON to this file ('-' = stdout)")
+		quiet        = flag.Bool("quiet", false, "suppress the per-trial progress line on stderr")
+		journal      = flag.String("journal", "", "write-ahead journal file: persist each completed trial before counting it done")
+		resume       = flag.Bool("resume", false, "with -journal: replay trials already journaled instead of re-running them")
+		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall-clock limit; a trial exceeding it is quarantined (0 = none)")
 	)
 	flag.Parse()
+
+	if *resume && *journal == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	spec := core.DefaultSpec()
 	spec.Trials = *trials
 	if *seed != 0 {
 		spec.Seed = *seed
 	}
+	spec.TrialTimeout = *trialTimeout
 
 	if !*all && *fig == 0 && *table == "" {
 		flag.Usage()
 		return fmt.Errorf("pick -fig N, -table NAME, or -all")
 	}
 
-	sys, err := core.NewSystem(spec)
+	sys, err := core.NewSystemContext(ctx, spec)
 	if err != nil {
 		return err
 	}
 	fmt.Println(sys.Describe())
+
+	if *journal != "" {
+		j, jerr := sys.AttachJournal(*journal, *resume)
+		if jerr != nil {
+			return jerr
+		}
+		fmt.Printf("journal %s: %d trial(s) on file\n", j.Path(), j.Len())
+	}
 	fmt.Println()
 
 	if !*quiet {
@@ -89,23 +116,53 @@ func run() error {
 		return printTable(sys, spec, *table)
 	}()
 	if err != nil {
-		return err
+		fmt.Fprintln(os.Stderr)
+		return abort(sys, err, ctx, *report, *journal)
 	}
 
 	if *report != "" {
-		data, jerr := sys.Report().JSON()
-		if jerr != nil {
-			return jerr
-		}
-		if *report == "-" {
-			fmt.Println(string(data))
-		} else {
-			if err := os.WriteFile(*report, data, 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", *report)
+		if err := writeReport(sys.Report(), *report); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// abort handles a failed sweep: when the failure came from cancellation it
+// flushes a partial RunReport marked incomplete (if -report was given) and
+// prints the resume hint, then returns the original error either way.
+func abort(sys *core.System, runErr error, ctx context.Context, reportPath, journalPath string) error {
+	if ctx.Err() == nil {
+		return runErr
+	}
+	rr := sys.Report()
+	rr.MarkIncomplete(runErr.Error())
+	if reportPath != "" {
+		if werr := writeReport(rr, reportPath); werr != nil {
+			fmt.Fprintln(os.Stderr, "ecfig: flushing partial report:", werr)
+		}
+	}
+	if journalPath != "" {
+		fmt.Fprintf(os.Stderr, "interrupted; completed trials are journaled in %s — rerun with -resume to continue\n", journalPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "interrupted; rerun with -journal FILE to make sweeps resumable")
+	}
+	return runErr
+}
+
+func writeReport(rr *core.RunReport, path string) error {
+	data, err := rr.JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		fmt.Println(string(data))
+		return nil
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -37,6 +40,9 @@ func run() error {
 		modelPath = flag.String("model", "", "write the full workload model (cluster + pmf tables) as JSON to this file")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	spec := core.DefaultSpec()
 	if *seed != 0 {
@@ -61,6 +67,11 @@ func run() error {
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 
+	// pmf-table construction is the one slow stage; honor an interrupt
+	// that arrived while the cluster summary was printing.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	model, err := workload.BuildModel(root.Child("model"), c, spec.Workload)
 	if err != nil {
 		return err

@@ -7,18 +7,30 @@
 //	ecsim -heuristic MECT -filters none -trials 10 -trace
 //	ecsim -heuristic LL -listen :8080 -hold      # Prometheus + pprof endpoints
 //	ecsim -heuristic LL -report report.json      # merged RunReport JSON
+//	ecsim -heuristic LL -journal run.wal         # crash-safe: journal each trial
+//	ecsim -heuristic LL -journal run.wal -resume # replay finished trials, run the rest
+//	ecsim -heuristic LL -trial-timeout 2m        # quarantine trials that hang
 //	ecsim -heuristic LL -trials 10 \
 //	    -faults "mtbf=4000,repair=300,recovery=requeue,retries=2,backoff=60,deadline-aware" \
 //	    -brownout -rel                           # resilience run
 //
 // Heuristics: SQ, MECT, LL, Random (paper §V) plus the extensions PLL,
 // GreenLL, MaxRho, MinEEC. Filters: none, en, rob, en+rob (§V-F).
+//
+// SIGINT/SIGTERM cancel the run cleanly: in-flight trials stop at the next
+// event batch, completed trials stay in the journal (if one is attached),
+// and -report flushes a partial RunReport marked incomplete. Re-running
+// with -resume picks up where the interrupted sweep left off, bit-identical
+// to an uninterrupted run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -35,21 +47,31 @@ func main() {
 
 func run() error {
 	var (
-		heuristic = flag.String("heuristic", "LL", "heuristic: SQ, MECT, LL, Random, PLL, GreenLL, MaxRho, MinEEC")
-		filters   = flag.String("filters", "en+rob", "filter variant: none, en, rob, en+rob")
-		trials    = flag.Int("trials", 50, "number of simulation trials")
-		seed      = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
-		window    = flag.Int("window", 1000, "tasks per trial")
-		budget    = flag.Float64("budget", 1, "energy budget scale (<=0 = unconstrained)")
-		trace     = flag.Bool("trace", false, "print the per-task outcome log of trial 0")
-		listen    = flag.String("listen", "", "serve /metrics, /metrics.json, /debug/vars, /debug/pprof on this address (e.g. :8080 or :0)")
-		report    = flag.String("report", "", "write the merged RunReport JSON to this file ('-' = stdout)")
-		hold      = flag.Bool("hold", false, "with -listen: block after the run so the endpoints stay up")
-		faults    = flag.String("faults", "", "fault-injection spec, key=value list: mtbf, dist=exp|weibull, shape, repair, node-mtbf, recovery=drop|requeue, retries, backoff, deadline-aware")
-		brownout  = flag.Bool("brownout", false, "replace the hard energy halt with the staged 90/95/98% brownout schedule")
-		rel       = flag.Bool("rel", false, "append the availability-aware reliability filter to the chain")
+		heuristic    = flag.String("heuristic", "LL", "heuristic: SQ, MECT, LL, Random, PLL, GreenLL, MaxRho, MinEEC")
+		filters      = flag.String("filters", "en+rob", "filter variant: none, en, rob, en+rob")
+		trials       = flag.Int("trials", 50, "number of simulation trials")
+		seed         = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
+		window       = flag.Int("window", 1000, "tasks per trial")
+		budget       = flag.Float64("budget", 1, "energy budget scale (<=0 = unconstrained)")
+		trace        = flag.Bool("trace", false, "print the per-task outcome log of trial 0")
+		listen       = flag.String("listen", "", "serve /metrics, /metrics.json, /debug/vars, /debug/pprof on this address (e.g. :8080 or :0)")
+		report       = flag.String("report", "", "write the merged RunReport JSON to this file ('-' = stdout)")
+		hold         = flag.Bool("hold", false, "with -listen: block after the run so the endpoints stay up")
+		faults       = flag.String("faults", "", "fault-injection spec, key=value list: mtbf, dist=exp|weibull, shape, repair, node-mtbf, recovery=drop|requeue, retries, backoff, deadline-aware")
+		brownout     = flag.Bool("brownout", false, "replace the hard energy halt with the staged 90/95/98% brownout schedule")
+		rel          = flag.Bool("rel", false, "append the availability-aware reliability filter to the chain")
+		journal      = flag.String("journal", "", "write-ahead journal file: persist each completed trial before counting it done")
+		resume       = flag.Bool("resume", false, "with -journal: replay trials already journaled instead of re-running them")
+		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall-clock limit; a trial exceeding it is quarantined (0 = none)")
 	)
 	flag.Parse()
+
+	if *resume && *journal == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	spec := core.DefaultSpec()
 	spec.Trials = *trials
@@ -61,17 +83,30 @@ func run() error {
 	if *seed != 0 {
 		spec.Seed = *seed
 	}
+	spec.TrialTimeout = *trialTimeout
 
 	variant, err := parseVariant(*filters)
 	if err != nil {
 		return err
 	}
 
-	sys, err := core.NewSystem(spec)
+	sys, err := core.NewSystemContext(ctx, spec)
 	if err != nil {
 		return err
 	}
 	fmt.Println(sys.Describe())
+
+	if *journal != "" {
+		j, err := sys.AttachJournal(*journal, *resume)
+		if err != nil {
+			return err
+		}
+		if *resume {
+			fmt.Printf("journal %s: %d trial(s) on file; matching trials will be replayed\n", j.Path(), j.Len())
+		} else {
+			fmt.Printf("journal %s: %d trial(s) on file\n", j.Path(), j.Len())
+		}
+	}
 
 	if *listen != "" {
 		srv, err := metrics.Serve(*listen, sys.Metrics)
@@ -102,9 +137,9 @@ func run() error {
 
 	var vr *core.VariantResult
 	if resilient {
-		h, err := core.HeuristicByName(*heuristic)
-		if err != nil {
-			return err
+		h, herr := core.HeuristicByName(*heuristic)
+		if herr != nil {
+			return herr
 		}
 		fl := variant.Filters()
 		tag := variant.String()
@@ -117,11 +152,12 @@ func run() error {
 			c.Faults = fspec
 			c.Brownout = stages
 		})
-		if err != nil {
-			return err
-		}
-	} else if vr, err = sys.RunHeuristic(*heuristic, variant); err != nil {
-		return err
+	} else {
+		vr, err = sys.RunHeuristic(*heuristic, variant)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		return abort(sys, err, ctx, *report, *journal)
 	}
 	fmt.Printf("\n%s over %d trials:\n  missed deadlines: %s\n", vr.Label, spec.Trials, vr.Summary)
 	fmt.Printf("  mean outcomes/trial: on-time %.1f, late %.1f, discarded %.1f, unfinished %.1f\n",
@@ -157,24 +193,54 @@ func run() error {
 	rr := sys.Report()
 	fmt.Printf("\n%s", rr.Render())
 	if *report != "" {
-		data, err := rr.JSON()
-		if err != nil {
+		if err := writeReport(rr, *report); err != nil {
 			return err
-		}
-		if *report == "-" {
-			fmt.Println(string(data))
-		} else {
-			if err := os.WriteFile(*report, data, 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", *report)
 		}
 	}
 
 	if *hold && *listen != "" {
 		fmt.Println("holding; interrupt to exit")
-		select {}
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr)
 	}
+	return nil
+}
+
+// abort handles a failed run: when the failure came from cancellation it
+// flushes a partial RunReport marked incomplete (if -report was given) and
+// prints the resume hint, then returns the original error either way.
+func abort(sys *core.System, runErr error, ctx context.Context, reportPath, journalPath string) error {
+	if ctx.Err() == nil {
+		return runErr
+	}
+	rr := sys.Report()
+	rr.MarkIncomplete(runErr.Error())
+	if reportPath != "" {
+		if werr := writeReport(rr, reportPath); werr != nil {
+			fmt.Fprintln(os.Stderr, "ecsim: flushing partial report:", werr)
+		}
+	}
+	if journalPath != "" {
+		fmt.Fprintf(os.Stderr, "interrupted; completed trials are journaled in %s — rerun with -resume to continue\n", journalPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "interrupted; rerun with -journal FILE to make sweeps resumable")
+	}
+	return runErr
+}
+
+func writeReport(rr *core.RunReport, path string) error {
+	data, err := rr.JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		fmt.Println(string(data))
+		return nil
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

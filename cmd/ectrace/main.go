@@ -9,12 +9,19 @@
 //	ectrace -heuristic LL -filters en+rob
 //	ectrace -heuristic MECT -filters none -window 300 -jsonl events.jsonl
 //	ectrace -heuristic LL -faults "mtbf=2000,repair=400,recovery=requeue" -brownout
+//
+// SIGINT/SIGTERM cancel the run mid-trial; -trial-timeout bounds the
+// trial's wall clock.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -46,8 +53,13 @@ func run() error {
 		hold      = flag.Bool("hold", false, "with -listen: block after the run so the endpoints stay up")
 		faults    = flag.String("faults", "", "fault-injection spec, key=value list: mtbf, dist=exp|weibull, shape, repair, node-mtbf, recovery=drop|requeue, retries, backoff, deadline-aware")
 		brownout  = flag.Bool("brownout", false, "replace the hard energy halt with the staged 90/95/98% brownout schedule")
+
+		trialTimeout = flag.Duration("trial-timeout", 0, "wall-clock limit for the trial (0 = none)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	spec := core.DefaultSpec()
 	spec.Trials = 1
@@ -72,7 +84,7 @@ func run() error {
 		return err
 	}
 
-	sys, err := core.NewSystem(spec)
+	sys, err := core.NewSystemContext(ctx, spec)
 	if err != nil {
 		return err
 	}
@@ -103,8 +115,19 @@ func run() error {
 	if *brownout {
 		cfg.Brownout = core.DefaultBrownoutStages()
 	}
-	res, err := sim.Run(cfg, sys.Env().Trial(0), randx.NewStream(spec.Seed).ChildN("decisions", 0))
+	runCtx := ctx
+	if *trialTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, *trialTimeout)
+		defer cancel()
+	}
+	res, err := sim.RunContext(runCtx, cfg, sys.Env().Trial(0), randx.NewStream(spec.Seed).ChildN("decisions", 0))
 	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted; partial event log discarded")
+		} else if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "trial exceeded -trial-timeout %v\n", *trialTimeout)
+		}
 		return err
 	}
 	fmt.Printf("\n%s\n", res)
@@ -176,7 +199,8 @@ func run() error {
 	}
 	if *hold && *listen != "" {
 		fmt.Println("holding; interrupt to exit")
-		select {}
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr)
 	}
 	return nil
 }

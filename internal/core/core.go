@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -69,7 +70,20 @@ type (
 	FaultSpec = fault.Spec
 	// BrownoutStage is one rung of the staged energy-degradation schedule.
 	BrownoutStage = energy.BrownoutStage
+	// Journal is the write-ahead log of completed trials that makes
+	// interrupted sweeps resumable.
+	Journal = experiment.Journal
+	// TrialRecord is one journaled trial (result + metrics snapshot).
+	TrialRecord = experiment.TrialRecord
+	// RetryPolicy bounds per-trial failure re-attempts in the harness.
+	RetryPolicy = experiment.RetryPolicy
+	// PanicError is a recovered per-trial panic converted into an error.
+	PanicError = experiment.PanicError
 )
+
+// ErrTransient marks a trial error as retryable under the harness retry
+// policy; see experiment.ErrTransient.
+var ErrTransient = experiment.ErrTransient
 
 // ParseFaultSpec parses the compact key=value fault syntax used by the CLI
 // flags (e.g. "mtbf=5000,repair=300,recovery=requeue,retries=2").
@@ -99,11 +113,37 @@ type System struct {
 
 // NewSystem builds the environment: cluster, pmf tables, trials.
 func NewSystem(spec Spec) (*System, error) {
-	env, err := experiment.Build(spec)
+	return NewSystemContext(context.Background(), spec)
+}
+
+// NewSystemContext is NewSystem with cooperative cancellation during the
+// (potentially long) build phase. The context also becomes the system's
+// default run context, so every subsequent figure, table, and variant run
+// — including the ablation studies — aborts cleanly when it is cancelled.
+func NewSystemContext(ctx context.Context, spec Spec) (*System, error) {
+	env, err := experiment.BuildContext(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
+	env.SetContext(ctx)
 	return &System{env: env}, nil
+}
+
+// AttachJournal opens (or creates) the write-ahead trial journal at path
+// and attaches it to the system: every completed trial of a journalable
+// run is persisted atomically before it counts as done. With resume set,
+// trials already present in the journal are replayed instead of
+// re-simulated — bit-identical to an uninterrupted run. The journal keys
+// records by spec hash, so a journal written under a different seed,
+// trial count, or workload is simply never matched. It trusts its hash:
+// after changing heuristic or simulator *code*, delete the journal file.
+func (s *System) AttachJournal(path string, resume bool) (*Journal, error) {
+	j, err := experiment.OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	s.env.SetJournal(j, resume)
+	return j, nil
 }
 
 // Env exposes the underlying experiment environment for advanced use
@@ -148,11 +188,17 @@ func HeuristicByName(name string) (Heuristic, error) {
 // RunHeuristic runs one named heuristic with a paper filter variant over
 // all trials.
 func (s *System) RunHeuristic(name string, v FilterVariant) (*VariantResult, error) {
+	return s.RunHeuristicContext(nil, name, v)
+}
+
+// RunHeuristicContext is RunHeuristic under an explicit context; nil falls
+// back to the system's default context.
+func (s *System) RunHeuristicContext(ctx context.Context, name string, v FilterVariant) (*VariantResult, error) {
 	h, err := HeuristicByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return s.env.RunVariant(h, v)
+	return s.env.RunVariantContext(ctx, h, v)
 }
 
 // RunMapper runs a custom mapper over all trials; budgetScale <= 0 keeps
@@ -178,8 +224,18 @@ func (s *System) SetProgress(fn func(done, total int, label string)) {
 // Figure regenerates a paper figure (2–6).
 func (s *System) Figure(n int) (*Figure, error) { return s.env.Figure(n) }
 
+// FigureContext is Figure under an explicit context.
+func (s *System) FigureContext(ctx context.Context, n int) (*Figure, error) {
+	return s.env.FigureContext(ctx, n)
+}
+
 // SummaryTable regenerates the §VII filtering-improvement comparison.
 func (s *System) SummaryTable() (*Table, error) { return s.env.SummaryTable() }
+
+// SummaryTableContext is SummaryTable under an explicit context.
+func (s *System) SummaryTableContext(ctx context.Context) (*Table, error) {
+	return s.env.SummaryTableContext(ctx)
+}
 
 // SimulateOnce runs a single traced trial of the named heuristic and filter
 // variant and returns the full per-task result — the observable,

@@ -304,7 +304,7 @@ func (e *Env) CentralQueueStudy() (*Table, error) {
 		row("immediate "+m.Name(), vr)
 	}
 	central := &sched.Mapper{Heuristic: sched.ShortestQueue{}} // placeholder label source
-	vr, err := e.run(central, runOpts{
+	vr, err := e.run(nil, central, runOpts{
 		budget:    e.Budget,
 		trials:    e.trials,
 		filterTag: "central",
@@ -384,7 +384,7 @@ func (e *Env) BrownoutStudy(h sched.Heuristic, budgetScales []float64) (*Table, 
 			stages []energy.BrownoutStage
 		}{{"hard halt (paper)", nil}, {"staged brownout", energy.DefaultBrownoutStages()}} {
 			mode := mode
-			vr, err := e.run(m, runOpts{
+			vr, err := e.run(nil, m, runOpts{
 				budget:    budget,
 				trials:    e.trials,
 				filterTag: fmt.Sprintf("brownout %s @%.2f", mode.name, sc),

@@ -4,15 +4,25 @@
 // heuristic × filter configuration over all trials on a worker pool, and
 // assembles the box-plot figures (Figures 2–6), the summary-improvement
 // table, and the ablation studies.
+//
+// The harness is crash-safe: runs are cancellable through a
+// context.Context (SIGINT in the CLIs), each trial executes behind panic
+// isolation with a bounded-backoff retry policy, and completed trials can
+// be journaled to a write-ahead log so an interrupted sweep resumes
+// bit-identically instead of starting over (see Journal).
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
@@ -39,7 +49,17 @@ type Spec struct {
 	// ζ_max = t_avg·p_avg·window; values <= 0 mean unconstrained.
 	BudgetScale float64
 	// Parallelism bounds concurrent trials; <= 0 means GOMAXPROCS.
+	// Harness-only: it never changes results (excluded from Hash).
 	Parallelism int
+	// Retry governs how per-trial failures (including recovered panics)
+	// are re-attempted before the trial is quarantined. The zero value
+	// quarantines on first failure. Harness-only (excluded from Hash).
+	Retry RetryPolicy
+	// TrialTimeout bounds each trial attempt's wall-clock time; zero means
+	// unbounded. A timed-out trial is quarantined, never retried (the
+	// simulator is deterministic, so a re-run would time out again).
+	// Harness-only (excluded from Hash).
+	TrialTimeout time.Duration
 }
 
 // PaperSpec is the configuration of §VI: 50 trials of 1,000 tasks on the
@@ -59,10 +79,106 @@ func (s Spec) Validate() error {
 	if s.Trials < 1 {
 		return fmt.Errorf("experiment: Trials %d must be >= 1", s.Trials)
 	}
+	if s.TrialTimeout < 0 {
+		return fmt.Errorf("experiment: TrialTimeout %v must be >= 0", s.TrialTimeout)
+	}
+	if err := s.Retry.Validate(); err != nil {
+		return err
+	}
 	if err := s.ClusterGen.Validate(); err != nil {
 		return err
 	}
 	return s.Workload.Validate()
+}
+
+// RetryPolicy bounds how the harness re-attempts failed trials.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure; 0
+	// quarantines immediately.
+	MaxRetries int
+	// Backoff is the delay before the first retry; attempt k waits
+	// Backoff·2^(k-1) (exponential), capped at MaxBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth; <= 0 means 30s.
+	MaxBackoff time.Duration
+	// RetryPanics treats recovered panics as retryable. The simulator is
+	// deterministic, so a panicking trial usually panics again — but a
+	// bounded retry distinguishes data races and environment flakes from
+	// systematic faults, and the attempts are counted in the harness
+	// metrics either way.
+	RetryPanics bool
+}
+
+// Validate reports whether the policy is usable.
+func (p RetryPolicy) Validate() error {
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("experiment: Retry.MaxRetries %d must be >= 0", p.MaxRetries)
+	}
+	if p.Backoff < 0 {
+		return fmt.Errorf("experiment: Retry.Backoff %v must be >= 0", p.Backoff)
+	}
+	return nil
+}
+
+// backoff returns the delay before re-attempt number attempt (0-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	cap := p.MaxBackoff
+	if cap <= 0 {
+		cap = 30 * time.Second
+	}
+	if attempt > 30 {
+		attempt = 30 // 2^30 × anything positive already exceeds any sane cap
+	}
+	d := p.Backoff << uint(attempt)
+	if d <= 0 || d > cap {
+		return cap
+	}
+	return d
+}
+
+// ErrTransient marks a trial error as retryable: wrap it
+// (fmt.Errorf("...: %w", experiment.ErrTransient)) from custom heuristics,
+// filters, or sim-config mutators whose failures are environmental rather
+// than deterministic.
+var ErrTransient = errors.New("transient trial failure")
+
+// IsTransient reports whether err is marked retryable, either by wrapping
+// ErrTransient or by implementing interface{ Transient() bool }.
+func IsTransient(err error) bool {
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// PanicError is a recovered per-trial panic, converted into an error so
+// one poisoned trial cannot kill a 50-trial sweep. The stack is captured
+// at the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value and its stack.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("trial panicked: %v\n%s", p.Value, p.Stack)
+}
+
+// harnessCounters instrument the runner itself (as opposed to the
+// simulations it runs): trial lifecycle outcomes across every variant the
+// environment executes.
+type harnessCounters struct {
+	run         *metrics.Counter // trials simulated to completion
+	resumed     *metrics.Counter // trials replayed from the journal
+	panicked    *metrics.Counter // attempts that ended in a recovered panic
+	retried     *metrics.Counter // re-attempts issued by the retry policy
+	timedout    *metrics.Counter // attempts killed by TrialTimeout
+	cancelled   *metrics.Counter // trials aborted or never run due to cancellation
+	quarantined *metrics.Counter // trials permanently failed
 }
 
 // Env is a built environment: everything held constant across trials.
@@ -77,15 +193,28 @@ type Env struct {
 	memo   map[string]*VariantResult
 
 	// Telemetry: every simulated trial runs with its own metrics registry
-	// whose snapshot is merged here, so the aggregate reflects all work
-	// the environment performed (memo hits contribute nothing — no work
-	// was done). phases accumulates per-phase wall-clock; pmfBase is the
-	// process-global pmf operation sample taken at Build, so reports can
-	// attribute convolution work to this environment's lifetime.
+	// whose snapshot is merged here in trial-index order, so the aggregate
+	// reflects all work the environment performed and is bit-identical
+	// across re-runs regardless of worker scheduling (memo hits contribute
+	// nothing — no work was done). phases accumulates per-phase
+	// wall-clock; pmfBase is the process-global pmf operation sample taken
+	// at Build, so reports can attribute convolution work to this
+	// environment's lifetime. harness holds the runner's own lifecycle
+	// counters, kept separate from the trial aggregate so resumed runs
+	// still report bit-identical simulation metrics.
 	metricsMu  sync.Mutex
 	metricsAgg *metrics.Snapshot
 	phases     *metrics.Phases
 	pmfBase    pmf.OpCounts
+	harness    *metrics.Registry
+	hc         harnessCounters
+
+	// optMu guards the harness options below.
+	optMu   sync.Mutex
+	baseCtx context.Context
+	journal *Journal
+	resume  bool
+	specKey string // memoized Spec.Hash()
 
 	progressMu sync.Mutex
 	progress   func(done, total int, label string)
@@ -94,6 +223,16 @@ type Env struct {
 // Build constructs the environment: cluster, pmf tables, energy budget, and
 // all trial task streams.
 func Build(spec Spec) (*Env, error) {
+	return BuildContext(context.Background(), spec)
+}
+
+// BuildContext is Build with cooperative cancellation between trial
+// generations (pmf-table and trial construction dominate startup time on
+// big specs).
+func BuildContext(ctx context.Context, spec Spec) (*Env, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,14 +252,28 @@ func Build(spec Spec) (*Env, error) {
 	if spec.BudgetScale > 0 {
 		budget = spec.BudgetScale * model.DefaultEnergyBudget()
 	}
+	harness := metrics.NewRegistry()
 	env := &Env{
 		Spec: spec, Model: model, Budget: budget, rootRng: root,
 		metricsAgg: &metrics.Snapshot{},
 		phases:     phases,
 		pmfBase:    pmf.ReadOpCounts(),
+		harness:    harness,
+		hc: harnessCounters{
+			run:         harness.Counter("experiment_trials_run_total"),
+			resumed:     harness.Counter("experiment_trials_resumed_total"),
+			panicked:    harness.Counter("experiment_trials_panicked_total"),
+			retried:     harness.Counter("experiment_trials_retried_total"),
+			timedout:    harness.Counter("experiment_trials_timedout_total"),
+			cancelled:   harness.Counter("experiment_trials_cancelled_total"),
+			quarantined: harness.Counter("experiment_trials_quarantined_total"),
+		},
 	}
 	env.trials = make([]*workload.Trial, spec.Trials)
 	for i := range env.trials {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: build cancelled at trial %d/%d: %w", i, spec.Trials, err)
+		}
 		tr, err := workload.GenerateTrial(root.ChildN("trial", i), model)
 		if err != nil {
 			return nil, err
@@ -132,6 +285,52 @@ func Build(spec Spec) (*Env, error) {
 
 // Trial returns the i-th trial's task stream.
 func (e *Env) Trial(i int) *workload.Trial { return e.trials[i] }
+
+// SetContext installs a default context consulted by every Run*/Figure/
+// table entry point that is not handed an explicit one — the CLI hook that
+// makes an entire sweep (including ablation studies built from many Run*
+// calls) respond to SIGINT. Pass nil to restore context.Background().
+func (e *Env) SetContext(ctx context.Context) {
+	e.optMu.Lock()
+	e.baseCtx = ctx
+	e.optMu.Unlock()
+}
+
+// SetJournal attaches a write-ahead journal: every completed trial of a
+// journalable run (the environment's own trial set, no sim-config
+// mutation) is persisted before it is counted done. With resume set,
+// journaled trials are replayed instead of re-simulated — bit-identical to
+// an uninterrupted run, because seed streams are keyed by trial index and
+// aggregation order is fixed. Pass nil to detach.
+func (e *Env) SetJournal(j *Journal, resume bool) {
+	e.optMu.Lock()
+	e.journal = j
+	e.resume = resume
+	e.optMu.Unlock()
+}
+
+// runContext resolves the effective context for a run.
+func (e *Env) runContext(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	e.optMu.Lock()
+	defer e.optMu.Unlock()
+	if e.baseCtx != nil {
+		return e.baseCtx
+	}
+	return context.Background()
+}
+
+// specHash returns the environment's memoized spec hash.
+func (e *Env) specHash() string {
+	e.optMu.Lock()
+	defer e.optMu.Unlock()
+	if e.specKey == "" {
+		e.specKey = e.Spec.Hash()
+	}
+	return e.specKey
+}
 
 // SetProgress installs a live progress callback invoked after every
 // completed trial with the number done, the total for the current variant,
@@ -162,6 +361,13 @@ func (e *Env) MetricsSnapshot() *metrics.Snapshot {
 	_ = out.Merge(e.metricsAgg) // identical registrations cannot mismatch
 	return out
 }
+
+// HarnessSnapshot returns the runner's own lifecycle counters (trials run,
+// resumed, panicked, retried, timed out, cancelled, quarantined). They are
+// kept out of MetricsSnapshot: a resumed run does less *work* than an
+// uninterrupted one while producing bit-identical *results*, and the
+// split keeps both stories true.
+func (e *Env) HarnessSnapshot() *metrics.Snapshot { return e.harness.Snapshot() }
 
 // Phases returns the environment's accumulated per-phase wall-clock
 // timings (build, simulate, aggregate).
@@ -220,35 +426,138 @@ type runOpts struct {
 // RunVariant runs one heuristic with one paper filter variant over all
 // trials and aggregates the results.
 func (e *Env) RunVariant(h sched.Heuristic, v sched.FilterVariant) (*VariantResult, error) {
+	return e.RunVariantContext(nil, h, v)
+}
+
+// RunVariantContext is RunVariant under an explicit context: cancellation
+// stops dispatching new trials, aborts in-flight simulations at their next
+// event-batch boundary, and returns an error joining every per-trial
+// failure with the cancellation cause.
+func (e *Env) RunVariantContext(ctx context.Context, h sched.Heuristic, v sched.FilterVariant) (*VariantResult, error) {
 	m := &sched.Mapper{Heuristic: h, Filters: v.Filters()}
-	return e.run(m, runOpts{budget: e.Budget, trials: e.trials, filterTag: v.String()})
+	return e.run(ctx, m, runOpts{budget: e.Budget, trials: e.trials, filterTag: v.String()})
 }
 
 // RunMapper runs an arbitrary mapper (custom filters, thresholds, or
 // heuristics) with an explicit budget scale; scale <= 0 means the
 // environment's resolved budget.
 func (e *Env) RunMapper(m *sched.Mapper, budgetScale float64, filterTag string) (*VariantResult, error) {
+	return e.RunMapperContext(nil, m, budgetScale, filterTag)
+}
+
+// RunMapperContext is RunMapper under an explicit context.
+func (e *Env) RunMapperContext(ctx context.Context, m *sched.Mapper, budgetScale float64, filterTag string) (*VariantResult, error) {
 	budget := e.Budget
 	if budgetScale > 0 {
 		budget = budgetScale * e.Model.DefaultEnergyBudget()
 	}
-	return e.run(m, runOpts{budget: budget, trials: e.trials, filterTag: filterTag})
+	return e.run(ctx, m, runOpts{budget: budget, trials: e.trials, filterTag: filterTag})
 }
 
 // RunWithTrials runs a mapper over a caller-supplied trial set (used by the
-// priority study, which needs trials carrying priority weights).
+// priority study, which needs trials carrying priority weights). Such runs
+// bypass both the memo cache and the journal: the harness cannot prove a
+// foreign trial set matches a cached key.
 func (e *Env) RunWithTrials(m *sched.Mapper, trials []*workload.Trial, filterTag string) (*VariantResult, error) {
-	return e.run(m, runOpts{budget: e.Budget, trials: trials, filterTag: filterTag})
+	return e.RunWithTrialsContext(nil, m, trials, filterTag)
+}
+
+// RunWithTrialsContext is RunWithTrials under an explicit context.
+func (e *Env) RunWithTrialsContext(ctx context.Context, m *sched.Mapper, trials []*workload.Trial, filterTag string) (*VariantResult, error) {
+	return e.run(ctx, m, runOpts{budget: e.Budget, trials: trials, filterTag: filterTag})
 }
 
 // RunConfigured runs a mapper over all trials with a simulation-config
 // mutation applied per trial (extension studies: parking, power noise,
-// cancellation). Mutated runs bypass the memo cache.
+// cancellation). Mutated runs bypass the memo cache and the journal.
 func (e *Env) RunConfigured(m *sched.Mapper, filterTag string, mut func(*sim.Config)) (*VariantResult, error) {
-	return e.run(m, runOpts{budget: e.Budget, trials: e.trials, filterTag: filterTag, simMut: mut})
+	return e.RunConfiguredContext(nil, m, filterTag, mut)
 }
 
-func (e *Env) run(m *sched.Mapper, opts runOpts) (*VariantResult, error) {
+// RunConfiguredContext is RunConfigured under an explicit context.
+func (e *Env) RunConfiguredContext(ctx context.Context, m *sched.Mapper, filterTag string, mut func(*sim.Config)) (*VariantResult, error) {
+	return e.run(ctx, m, runOpts{budget: e.Budget, trials: e.trials, filterTag: filterTag, simMut: mut})
+}
+
+// runTrialOnce executes a single trial attempt behind panic isolation: a
+// panic anywhere in the mapper, filters, or engine surfaces as a
+// *PanicError instead of unwinding the worker goroutine.
+func runTrialOnce(ctx context.Context, cfg sim.Config, tr *workload.Trial, decisions *randx.Stream) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return sim.RunContext(ctx, cfg, tr, decisions)
+}
+
+// runTrial runs trial i to a final verdict: success, or a quarantining
+// error after the retry policy is exhausted. Each attempt gets a fresh
+// metrics registry so a failed attempt contributes nothing to the
+// aggregate.
+func (e *Env) runTrial(ctx context.Context, m *sched.Mapper, opts runOpts, tr *workload.Trial, i int) (*sim.Result, *metrics.Snapshot, error) {
+	pol := e.Spec.Retry
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		tctx := ctx
+		var cancel context.CancelFunc
+		if e.Spec.TrialTimeout > 0 {
+			tctx, cancel = context.WithTimeout(ctx, e.Spec.TrialTimeout)
+		}
+		reg := metrics.NewRegistry()
+		cfg := sim.Config{
+			Model:        e.Model,
+			Mapper:       m,
+			EnergyBudget: opts.budget,
+			Metrics:      reg,
+		}
+		if opts.simMut != nil {
+			opts.simMut(&cfg)
+		}
+		res, err := runTrialOnce(tctx, cfg, tr, e.rootRng.ChildN("decisions", i))
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return res, reg.Snapshot(), nil
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			e.hc.panicked.Inc()
+		}
+		if ctx.Err() != nil {
+			return nil, nil, err // whole run is being cancelled; don't retry
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The trial's own timeout fired. Deterministic work would time
+			// out again; quarantine immediately.
+			e.hc.timedout.Inc()
+			e.hc.quarantined.Inc()
+			return nil, nil, fmt.Errorf("timed out after %v: %w", e.Spec.TrialTimeout, err)
+		}
+		retryable := (pe != nil && pol.RetryPanics) || IsTransient(err)
+		if !retryable || attempt >= pol.MaxRetries {
+			e.hc.quarantined.Inc()
+			if attempt > 0 {
+				err = fmt.Errorf("quarantined after %d attempts: %w", attempt+1, err)
+			}
+			return nil, nil, err
+		}
+		e.hc.retried.Inc()
+		if d := pol.backoff(attempt); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+		}
+	}
+}
+
+func (e *Env) run(ctx context.Context, m *sched.Mapper, opts runOpts) (*VariantResult, error) {
+	ctx = e.runContext(ctx)
 	trials := opts.trials
 	n := len(trials)
 	if n == 0 {
@@ -257,9 +566,11 @@ func (e *Env) run(m *sched.Mapper, opts runOpts) (*VariantResult, error) {
 	// Runs are deterministic, so identical configurations over the
 	// environment's own trial set are memoized (figures share variants with
 	// the summary table). Caller-supplied trial sets and mutated sim
-	// configs bypass the cache.
+	// configs bypass the cache — and the journal, which shares the same
+	// identity requirement.
+	ownTrials := opts.simMut == nil && len(trials) == len(e.trials) && (len(trials) == 0 || &trials[0] == &e.trials[0])
 	var memoKey string
-	if opts.simMut == nil && len(trials) == len(e.trials) && (len(trials) == 0 || &trials[0] == &e.trials[0]) {
+	if ownTrials {
 		memoKey = fmt.Sprintf("%s|%s|%g", m.Name(), opts.filterTag, opts.budget)
 		e.memoMu.Lock()
 		if e.memo == nil {
@@ -270,6 +581,16 @@ func (e *Env) run(m *sched.Mapper, opts runOpts) (*VariantResult, error) {
 			return vr, nil
 		}
 		e.memoMu.Unlock()
+	}
+	e.optMu.Lock()
+	journal, resume := e.journal, e.resume
+	e.optMu.Unlock()
+	if memoKey == "" {
+		journal = nil
+	}
+	specHash := ""
+	if journal != nil {
+		specHash = e.specHash()
 	}
 	workers := e.Spec.Parallelism
 	if workers <= 0 {
@@ -286,6 +607,7 @@ func (e *Env) run(m *sched.Mapper, opts runOpts) (*VariantResult, error) {
 	}
 	stopSim := e.phases.Start("simulate")
 	results := make([]*sim.Result, n)
+	snaps := make([]*metrics.Snapshot, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	var done atomic.Int64
@@ -295,41 +617,96 @@ func (e *Env) run(m *sched.Mapper, opts runOpts) (*VariantResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				// Each trial collects into its own registry; snapshots
-				// merge associatively, so worker completion order cannot
-				// change the aggregate.
-				reg := metrics.NewRegistry()
-				cfg := sim.Config{
-					Model:        e.Model,
-					Mapper:       m,
-					EnergyBudget: opts.budget,
-					Metrics:      reg,
+				res, snap, err := e.runTrial(ctx, m, opts, trials[i], i)
+				if err == nil && journal != nil {
+					// Write-ahead: the record hits disk before the trial
+					// counts as done, so a crash between the two re-runs
+					// the trial instead of losing it.
+					if jerr := journal.Append(TrialRecord{
+						SpecHash: specHash,
+						Seed:     e.Spec.Seed,
+						Variant:  memoKey,
+						Trial:    i,
+						Result:   res,
+						Metrics:  snap,
+					}); jerr != nil {
+						err = fmt.Errorf("journal: %w", jerr)
+					}
 				}
-				if opts.simMut != nil {
-					opts.simMut(&cfg)
-				}
-				results[i], errs[i] = sim.Run(cfg, trials[i], e.rootRng.ChildN("decisions", i))
-				snap := reg.Snapshot()
-				e.metricsMu.Lock()
-				mergeErr := e.metricsAgg.Merge(snap)
-				e.metricsMu.Unlock()
-				if mergeErr != nil && errs[i] == nil {
-					errs[i] = mergeErr
+				if err != nil {
+					errs[i] = err
+				} else {
+					results[i], snaps[i] = res, snap
+					e.hc.run.Inc()
 				}
 				e.notifyProgress(int(done.Add(1)), n, label)
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		if resume && journal != nil {
+			if rec, ok := journal.Lookup(specHash, memoKey, i, e.Spec.Seed); ok {
+				results[i], snaps[i] = rec.Result, rec.Metrics
+				e.hc.resumed.Inc()
+				e.notifyProgress(int(done.Add(1)), n, label)
+				continue
+			}
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			// Stop feeding the pool: workers drain what they already hold
+			// and exit; undispatched trials are reported as cancelled.
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 	stopSim()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiment: trial %d: %w", i, err)
+	// Merge per-trial snapshots in index order — deterministic regardless
+	// of worker completion order, so a resumed run reproduces the
+	// uninterrupted aggregate bit for bit.
+	for i := range snaps {
+		if snaps[i] == nil {
+			continue
 		}
+		e.metricsMu.Lock()
+		mergeErr := e.metricsAgg.Merge(snaps[i])
+		e.metricsMu.Unlock()
+		if mergeErr != nil && errs[i] == nil {
+			errs[i] = mergeErr
+			results[i] = nil
+		}
+	}
+	// Aggregate every failure (not just the first) so a multi-trial
+	// breakage is diagnosable in one pass. Cancelled trials collapse into
+	// a single summarizing error.
+	var failures []error
+	cancelledTrials, completed := 0, 0
+	for i := range errs {
+		switch {
+		case errs[i] == nil && results[i] != nil:
+			completed++
+		case errs[i] == nil:
+			cancelledTrials++ // never dispatched
+		case ctx.Err() != nil && errors.Is(errs[i], ctx.Err()):
+			cancelledTrials++ // aborted mid-flight by the run context
+		default:
+			failures = append(failures, fmt.Errorf("trial %d: %w", i, errs[i]))
+		}
+	}
+	if cancelledTrials > 0 {
+		e.hc.cancelled.Add(int64(cancelledTrials))
+		cause := context.Cause(ctx)
+		if cause == nil {
+			cause = context.Canceled
+		}
+		failures = append(failures, fmt.Errorf("cancelled with %d/%d trials incomplete (%d completed): %w",
+			cancelledTrials, n, completed, cause))
+	}
+	if len(failures) > 0 {
+		return nil, fmt.Errorf("experiment: %s: %w", label, errors.Join(failures...))
 	}
 	stopAgg := e.phases.Start("aggregate")
 	defer stopAgg()

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,13 +44,20 @@ func figureHeuristic(n int) (sched.Heuristic, bool) {
 //	5 — Random with all four filter variants;
 //	6 — the best ("en+rob") variation of every heuristic.
 func (e *Env) Figure(n int) (*Figure, error) {
+	return e.FigureContext(nil, n)
+}
+
+// FigureContext is Figure under an explicit context: an interrupted figure
+// returns the cancellation error, and already-completed trials survive in
+// the attached journal (if any).
+func (e *Env) FigureContext(ctx context.Context, n int) (*Figure, error) {
 	if h, ok := figureHeuristic(n); ok {
 		f := &Figure{
 			ID:    fmt.Sprintf("fig%d", n),
 			Title: fmt.Sprintf("Missed deadlines for all variations of the %s heuristic (%d trials)", h.Name(), e.Spec.Trials),
 		}
 		for _, v := range sched.AllFilterVariants() {
-			vr, err := e.RunVariant(h, v)
+			vr, err := e.RunVariantContext(ctx, h, v)
 			if err != nil {
 				return nil, err
 			}
@@ -67,7 +75,7 @@ func (e *Env) Figure(n int) (*Figure, error) {
 			sched.LightestLoad{}, sched.ShortestQueue{},
 			sched.MinExpectedCompletionTime{}, sched.Random{},
 		} {
-			vr, err := e.RunVariant(h, sched.EnergyAndRobustness)
+			vr, err := e.RunVariantContext(ctx, h, sched.EnergyAndRobustness)
 			if err != nil {
 				return nil, err
 			}
@@ -233,16 +241,21 @@ func (e *Env) SignificanceTable() (*Table, error) {
 // improvement due to filtering (paper: 25% Random, 13.65% SQ, 13.05% MECT,
 // 15.5% LL — all at least 13%).
 func (e *Env) SummaryTable() (*Table, error) {
+	return e.SummaryTableContext(nil)
+}
+
+// SummaryTableContext is SummaryTable under an explicit context.
+func (e *Env) SummaryTableContext(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Filtering improvement per heuristic (median missed deadlines)",
 		Header: []string{"heuristic", "none", "en+rob", "improvement %"},
 	}
 	for _, h := range sched.AllHeuristics() {
-		base, err := e.RunVariant(h, sched.NoFilter)
+		base, err := e.RunVariantContext(ctx, h, sched.NoFilter)
 		if err != nil {
 			return nil, err
 		}
-		best, err := e.RunVariant(h, sched.EnergyAndRobustness)
+		best, err := e.RunVariantContext(ctx, h, sched.EnergyAndRobustness)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,207 @@
+package experiment
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Hash returns a stable hex digest of the spec fields that determine
+// simulation *results*: seed, trial count, cluster and workload generation
+// parameters, and the budget scale. Harness-only knobs (Parallelism, Retry,
+// TrialTimeout) are deliberately excluded — two runs that differ only in
+// how they were executed produce identical trials and may share a journal.
+func (s Spec) Hash() string {
+	identity := struct {
+		Seed        uint64
+		Trials      int
+		ClusterGen  cluster.GenParams
+		Workload    workload.Params
+		BudgetScale float64
+	}{s.Seed, s.Trials, s.ClusterGen, s.Workload, s.BudgetScale}
+	b, err := json.Marshal(identity)
+	if err != nil {
+		// The identity struct contains only plain numeric fields; Marshal
+		// cannot fail. Guard anyway so a future field type cannot silently
+		// collapse every spec onto one hash.
+		panic(fmt.Sprintf("experiment: spec hash: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// TrialRecord is one journaled trial: the full simulation result plus the
+// trial's metrics snapshot, keyed by (spec hash, variant label, trial
+// index, seed). Replaying the record is bit-identical to re-simulating
+// because seed streams are keyed by trial index, aggregation iterates in
+// index order, and JSON round-trips float64 exactly.
+type TrialRecord struct {
+	SpecHash string            `json:"specHash"`
+	Seed     uint64            `json:"seed"`
+	Variant  string            `json:"variant"`
+	Trial    int               `json:"trial"`
+	Result   *sim.Result       `json:"result"`
+	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+type trialKey struct {
+	specHash string
+	variant  string
+	trial    int
+	seed     uint64
+}
+
+// Journal is a write-ahead log of completed trials. Every Append persists
+// the whole record set atomically (write to a temp file in the same
+// directory, fsync, rename), so a crash at any instant leaves either the
+// previous or the new journal on disk — never a torn file. Loading
+// tolerates a truncated final line (the one failure mode of a crash during
+// a non-atomic write by an older tool or a copy) by dropping it.
+//
+// Records are idempotent by key: appending a key that is already present
+// is a no-op, so interleaved writers replaying the same spec cannot bloat
+// the file.
+type Journal struct {
+	mu    sync.Mutex
+	path  string
+	recs  []TrialRecord
+	index map[trialKey]int
+}
+
+// OpenJournal loads (or creates) the journal at path. A missing file is an
+// empty journal; corrupt trailing data is dropped with the valid prefix
+// kept. Corrupt data *before* valid records is an error — that is not a
+// torn tail but a damaged file.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, index: make(map[trialKey]int)}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiment: open journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec TrialRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A torn tail can only be the final line; anything after it
+			// would have been written by a later (complete) append.
+			if !sc.Scan() {
+				break
+			}
+			return nil, fmt.Errorf("experiment: journal %s: corrupt record at line %d: %v", path, line, err)
+		}
+		j.add(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: read journal: %w", err)
+	}
+	return j, nil
+}
+
+// add indexes one record in memory, keeping the first copy of a key.
+func (j *Journal) add(rec TrialRecord) {
+	k := trialKey{rec.SpecHash, rec.Variant, rec.Trial, rec.Seed}
+	if _, dup := j.index[k]; dup {
+		return
+	}
+	j.recs = append(j.recs, rec)
+	j.index[k] = len(j.recs) - 1
+}
+
+// Append journals one completed trial and persists atomically. The record
+// must carry a non-nil Result.
+func (j *Journal) Append(rec TrialRecord) error {
+	if rec.Result == nil {
+		return fmt.Errorf("experiment: journal append: record %q trial %d has no result", rec.Variant, rec.Trial)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	before := len(j.recs)
+	j.add(rec)
+	if len(j.recs) == before {
+		return nil // idempotent duplicate
+	}
+	if err := j.persistLocked(); err != nil {
+		// Roll back the in-memory append so memory and disk agree.
+		k := trialKey{rec.SpecHash, rec.Variant, rec.Trial, rec.Seed}
+		delete(j.index, k)
+		j.recs = j.recs[:before]
+		return err
+	}
+	return nil
+}
+
+// persistLocked writes every record to a temp file and renames it over the
+// journal path. Callers hold j.mu.
+func (j *Journal) persistLocked() error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("experiment: journal persist: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for i := range j.recs {
+		if err := enc.Encode(&j.recs[i]); err != nil {
+			tmp.Close()
+			return fmt.Errorf("experiment: journal persist: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiment: journal persist: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("experiment: journal sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("experiment: journal close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("experiment: journal rename: %w", err)
+	}
+	return nil
+}
+
+// Lookup returns the journaled record for a key, if present.
+func (j *Journal) Lookup(specHash, variant string, trial int, seed uint64) (*TrialRecord, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i, ok := j.index[trialKey{specHash, variant, trial, seed}]
+	if !ok {
+		return nil, false
+	}
+	return &j.recs[i], true
+}
+
+// Len reports how many records the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// Path returns the journal's on-disk location.
+func (j *Journal) Path() string { return j.path }

@@ -20,14 +20,38 @@ type RunReport struct {
 	Seed   uint64 `json:"seed"`
 	Trials int    `json:"trials"`
 	Window int    `json:"window"`
+	// SpecHash is the journal-compatible identity of the spec (see
+	// Spec.Hash): reports with equal hashes describe the same experiment.
+	SpecHash string `json:"specHash"`
+	// Incomplete marks a report flushed from an interrupted or failing
+	// run: the aggregates cover only the work finished before the
+	// shutdown, and Reason says why. A resumed run that finishes cleanly
+	// reports Incomplete=false like any other.
+	Incomplete bool   `json:"incomplete,omitempty"`
+	Reason     string `json:"reason,omitempty"`
 	// Phases is the accumulated wall-clock per harness phase.
 	Phases []metrics.PhaseTiming `json:"phases"`
 	// PMF is the pmf-layer operation tally over the environment lifetime.
+	// Like Phases and Harness it measures work performed, not results: a
+	// resumed run reports fewer operations than an uninterrupted one while
+	// producing identical Metrics and Derived figures.
 	PMF pmf.OpCounts `json:"pmf"`
 	// Derived are the headline figures extracted from Metrics.
 	Derived DerivedStats `json:"derived"`
 	// Metrics is the full merged snapshot (all registered series).
 	Metrics *metrics.Snapshot `json:"metrics"`
+	// Harness is the runner's own lifecycle counters (trials run /
+	// resumed / panicked / retried / timed out / cancelled / quarantined).
+	// Kept separate from Metrics so resumed runs still reproduce the
+	// simulation aggregate bit for bit.
+	Harness *metrics.Snapshot `json:"harness,omitempty"`
+}
+
+// MarkIncomplete flags the report as a partial flush from an interrupted
+// run, recording why.
+func (r *RunReport) MarkIncomplete(reason string) {
+	r.Incomplete = true
+	r.Reason = reason
 }
 
 // DerivedStats are the headline numbers pulled out of the merged snapshot
@@ -51,12 +75,14 @@ type DerivedStats struct {
 func (e *Env) Report() *RunReport {
 	snap := e.MetricsSnapshot()
 	r := &RunReport{
-		Seed:    e.Spec.Seed,
-		Trials:  e.Spec.Trials,
-		Window:  e.Spec.Workload.WindowSize,
-		Phases:  e.Phases(),
-		PMF:     e.PMFOpCounts(),
-		Metrics: snap,
+		Seed:     e.Spec.Seed,
+		Trials:   e.Spec.Trials,
+		Window:   e.Spec.Workload.WindowSize,
+		SpecHash: e.specHash(),
+		Phases:   e.Phases(),
+		PMF:      e.PMFOpCounts(),
+		Metrics:  snap,
+		Harness:  e.HarnessSnapshot(),
 	}
 	d := &r.Derived
 	d.MappingDecisions = int64(snap.SumByName("sched_decisions_total"))
@@ -94,7 +120,10 @@ func (r *RunReport) JSON() ([]byte, error) {
 // Render returns the human-readable report block.
 func (r *RunReport) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "run report (seed %d, %d trials × %d tasks)\n", r.Seed, r.Trials, r.Window)
+	fmt.Fprintf(&b, "run report (seed %d, %d trials × %d tasks, spec %s)\n", r.Seed, r.Trials, r.Window, r.SpecHash)
+	if r.Incomplete {
+		fmt.Fprintf(&b, "  INCOMPLETE: %s\n", r.Reason)
+	}
 	b.WriteString("  phases:\n")
 	for _, p := range r.Phases {
 		fmt.Fprintf(&b, "    %-10s %8.3fs  (%d intervals)\n", p.Name, p.Seconds, p.Count)
@@ -120,5 +149,18 @@ func (r *RunReport) Render() string {
 		r.PMF.Convolutions, r.PMF.BucketedConvolutions, r.PMF.Compactions, r.PMF.ImpulsesCompacted)
 	fmt.Fprintf(&b, "  simulator: %d events processed, heap high-water %d, energy consumed %.4g\n",
 		d.EventsProcessed, d.HeapDepthHighWater, d.EnergyConsumed)
+	if h := r.Harness; h != nil {
+		ran := h.SumByName("experiment_trials_run_total")
+		resumed := h.SumByName("experiment_trials_resumed_total")
+		panicked := h.SumByName("experiment_trials_panicked_total")
+		retried := h.SumByName("experiment_trials_retried_total")
+		timedout := h.SumByName("experiment_trials_timedout_total")
+		cancelled := h.SumByName("experiment_trials_cancelled_total")
+		quarantined := h.SumByName("experiment_trials_quarantined_total")
+		if ran+resumed+panicked+retried+timedout+cancelled+quarantined > 0 {
+			fmt.Fprintf(&b, "  harness: %.0f trials run, %.0f resumed from journal, %.0f panicked, %.0f retried, %.0f timed out, %.0f cancelled, %.0f quarantined\n",
+				ran, resumed, panicked, retried, timedout, cancelled, quarantined)
+		}
+	}
 	return b.String()
 }

@@ -1,0 +1,533 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pmf"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// --- spec hash ---------------------------------------------------------
+
+func TestSpecHashStability(t *testing.T) {
+	a := testSpec()
+	if a.Hash() != testSpec().Hash() {
+		t.Fatal("identical specs must hash identically")
+	}
+	// Result-determining fields change the hash.
+	c := testSpec()
+	c.Seed++
+	if c.Hash() == a.Hash() {
+		t.Fatal("seed change must change the hash")
+	}
+	d := testSpec()
+	d.Trials++
+	if d.Hash() == a.Hash() {
+		t.Fatal("trial-count change must change the hash")
+	}
+	e := testSpec()
+	e.BudgetScale = 0.5
+	if e.Hash() == a.Hash() {
+		t.Fatal("budget change must change the hash")
+	}
+	// Harness-only knobs do not: two runs that differ only in execution
+	// strategy may share a journal.
+	f := testSpec()
+	f.Parallelism = 7
+	f.TrialTimeout = time.Hour
+	f.Retry = RetryPolicy{MaxRetries: 9, Backoff: time.Second, RetryPanics: true}
+	if f.Hash() != a.Hash() {
+		t.Fatal("harness-only knobs must not change the hash")
+	}
+}
+
+// --- journal persistence ----------------------------------------------
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trial.wal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("missing file should open empty, got %d records", j.Len())
+	}
+	for i := 0; i < 3; i++ {
+		rec := TrialRecord{SpecHash: "abc", Seed: 1, Variant: "LL|none|1", Trial: i,
+			Result: &sim.Result{Window: 120, OnTime: 100 + i, Missed: 20 - i, EnergyConsumed: 1.25 * float64(i)}}
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Idempotent duplicate.
+	first, ok := j.Lookup("abc", "LL|none|1", 0, 1)
+	if !ok {
+		t.Fatal("lookup of journaled trial 0 missed")
+	}
+	if err := j.Append(*first); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("duplicate append changed length to %d", j.Len())
+	}
+	// Reload from disk and compare a record bit-for-bit.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 3 {
+		t.Fatalf("reloaded journal has %d records, want 3", j2.Len())
+	}
+	rec, ok := j2.Lookup("abc", "LL|none|1", 2, 1)
+	if !ok {
+		t.Fatal("record (abc, LL|none|1, 2, 1) missing after reload")
+	}
+	want, _ := j.Lookup("abc", "LL|none|1", 2, 1)
+	if !reflect.DeepEqual(rec.Result, want.Result) {
+		t.Fatalf("result changed across reload: %+v vs %+v", rec.Result, want.Result)
+	}
+	if _, ok := j2.Lookup("abc", "LL|none|1", 9, 1); ok {
+		t.Fatal("lookup of absent trial must miss")
+	}
+	if _, ok := j2.Lookup("other", "LL|none|1", 0, 1); ok {
+		t.Fatal("lookup under a different spec hash must miss")
+	}
+	if err := j.Append(TrialRecord{Variant: "x"}); err == nil {
+		t.Fatal("append without a result must be rejected")
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := j.Append(TrialRecord{SpecHash: "h", Variant: "v", Trial: i, Result: &sim.Result{Window: 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-write by a non-atomic writer: valid prefix, torn
+	// final line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte(`{"specHash":"h","variant":"v","tri`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got %v", err)
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("torn-tail journal kept %d records, want 2", j2.Len())
+	}
+	// Corruption before valid records is damage, not a torn tail.
+	if err := os.WriteFile(path, append([]byte("garbage-not-json\n"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("corrupt leading record must be an error")
+	}
+}
+
+// --- resume equivalence ------------------------------------------------
+
+// TestResumeBitIdentical is the crash-safety acceptance test: a sweep is
+// killed after k of n trials, resumed from the journal in a fresh
+// environment, and the resumed run's variant result, merged metrics, and
+// run report must be bit-identical to an uninterrupted run.
+func TestResumeBitIdentical(t *testing.T) {
+	spec := testSpec()
+	spec.Parallelism = 1 // deterministic dispatch order for the cancel point
+	path := filepath.Join(t.TempDir(), "resume.wal")
+
+	// Phase 1: run with a journal attached and cancel after the first
+	// completed trial.
+	envA, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jA, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA.SetJournal(jA, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	envA.SetProgress(func(done, total int, label string) {
+		if done >= 1 {
+			cancel()
+		}
+	})
+	_, err = envA.RunVariantContext(ctx, sched.LightestLoad{}, sched.EnergyAndRobustness)
+	if err == nil {
+		t.Fatal("cancelled sweep must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep error should wrap context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled with") {
+		t.Fatalf("error should summarize the cancellation: %v", err)
+	}
+	k := jA.Len()
+	if k < 1 || k >= spec.Trials {
+		t.Fatalf("journal holds %d trials after interrupt, want in [1,%d)", k, spec.Trials)
+	}
+
+	// Phase 2: fresh environment, same journal, resume. Must succeed and
+	// replay exactly the journaled trials.
+	envB, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jB, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envB.SetJournal(jB, true)
+	vrB, err := envB.RunVariant(sched.LightestLoad{}, sched.EnergyAndRobustness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := envB.HarnessSnapshot()
+	if resumed, _ := hb.Value("experiment_trials_resumed_total"); int(resumed) != k {
+		t.Fatalf("resumed %v trials, want %d", resumed, k)
+	}
+	if run, _ := hb.Value("experiment_trials_run_total"); int(run) != spec.Trials-k {
+		t.Fatalf("re-ran %v trials, want %d", run, spec.Trials-k)
+	}
+
+	// Phase 3: uninterrupted reference run, no journal.
+	envC, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrC, err := envC.RunVariant(sched.LightestLoad{}, sched.EnergyAndRobustness)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(vrB, vrC) {
+		t.Fatalf("resumed variant result differs from uninterrupted run:\n%+v\nvs\n%+v", vrB, vrC)
+	}
+	if !envB.MetricsSnapshot().Equal(envC.MetricsSnapshot()) {
+		t.Fatal("resumed metrics aggregate is not bit-identical to the uninterrupted run")
+	}
+	// Reports must match bit for bit once the execution-telemetry fields
+	// are stripped: wall-clock phases, the harness lifecycle counters, and
+	// the process-global pmf work tally all legitimately differ (run B did
+	// less work). Everything else — SpecHash, Metrics, Derived — is a
+	// simulation result and must be identical.
+	rb, rc := envB.Report(), envC.Report()
+	rb.Phases, rc.Phases = nil, nil
+	rb.Harness, rc.Harness = nil, nil
+	rb.PMF, rc.PMF = pmf.OpCounts{}, pmf.OpCounts{}
+	jb, err := rb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := rc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(jb) != string(jc) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n%s\nvs\n%s", jb, jc)
+	}
+
+	// Phase 4: the journal now holds all trials; a further resumed run
+	// simulates nothing at all.
+	envD, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jD, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jD.Len() != spec.Trials {
+		t.Fatalf("journal holds %d records after completion, want %d", jD.Len(), spec.Trials)
+	}
+	envD.SetJournal(jD, true)
+	vrD, err := envD.RunVariant(sched.LightestLoad{}, sched.EnergyAndRobustness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := envD.HarnessSnapshot()
+	if run, _ := hd.Value("experiment_trials_run_total"); run != 0 {
+		t.Fatalf("fully journaled run still simulated %v trials", run)
+	}
+	if !reflect.DeepEqual(vrD, vrC) {
+		t.Fatal("fully replayed run differs from uninterrupted run")
+	}
+}
+
+// TestResumeIgnoresForeignSpec pins the isolation property: a journal
+// written under one spec never satisfies lookups for another.
+func TestResumeIgnoresForeignSpec(t *testing.T) {
+	spec := testSpec()
+	path := filepath.Join(t.TempDir(), "foreign.wal")
+	envA, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jA, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA.SetJournal(jA, false)
+	if _, err := envA.RunVariant(sched.ShortestQueue{}, sched.NoFilter); err != nil {
+		t.Fatal(err)
+	}
+	if jA.Len() != spec.Trials {
+		t.Fatalf("journal holds %d records, want %d", jA.Len(), spec.Trials)
+	}
+	// Same journal, different seed: nothing must be replayed.
+	other := testSpec()
+	other.Seed++
+	envB, err := Build(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jB, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envB.SetJournal(jB, true)
+	if _, err := envB.RunVariant(sched.ShortestQueue{}, sched.NoFilter); err != nil {
+		t.Fatal(err)
+	}
+	h := envB.HarnessSnapshot()
+	if resumed, _ := h.Value("experiment_trials_resumed_total"); resumed != 0 {
+		t.Fatalf("foreign-spec run resumed %v trials, want 0", resumed)
+	}
+	if run, _ := h.Value("experiment_trials_run_total"); int(run) != other.Trials {
+		t.Fatalf("foreign-spec run simulated %v trials, want %d", run, other.Trials)
+	}
+}
+
+// --- panic quarantine --------------------------------------------------
+
+// panicOn is a heuristic that panics while mapping the first task of the
+// poisoned trial (identified by that task's arrival time, which is unique
+// per trial) and otherwise behaves as LightestLoad.
+type panicOn struct {
+	sched.LightestLoad
+	arrivals map[float64]bool
+}
+
+func (p panicOn) Name() string { return "PanicOn" }
+
+func (p panicOn) Choose(ctx *sched.Context, feasible []*sched.Candidate) *sched.Candidate {
+	if ctx.Task.ID == 0 && p.arrivals[ctx.Task.Arrival] {
+		panic("poisoned trial")
+	}
+	return p.LightestLoad.Choose(ctx, feasible)
+}
+
+// TestPanicQuarantineIsolatesTrial injects a panicking mapper into one
+// trial of a sweep and asserts that only that trial fails — quarantined
+// after the retry policy is exhausted — while the others complete and are
+// journaled.
+func TestPanicQuarantineIsolatesTrial(t *testing.T) {
+	spec := testSpec()
+	spec.Retry = RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond, RetryPanics: true}
+	env, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "panic.wal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.SetJournal(j, false)
+	poisoned := 1
+	h := panicOn{arrivals: map[float64]bool{env.Trial(poisoned).Tasks[0].Arrival: true}}
+	_, err = env.RunVariant(h, sched.NoFilter)
+	if err == nil {
+		t.Fatal("sweep with a poisoned trial must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "trial 1:") || !strings.Contains(msg, "panicked") || !strings.Contains(msg, "poisoned trial") {
+		t.Fatalf("error should blame trial 1's panic: %v", msg)
+	}
+	if !strings.Contains(msg, "quarantined after 3 attempts") {
+		t.Fatalf("error should report quarantine after initial + 2 retries: %v", msg)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatal("the panic should surface as a *PanicError in the chain")
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "panicOn") {
+		t.Fatal("PanicError should carry the panic-site stack")
+	}
+	// Every healthy trial completed and was journaled before the run failed.
+	if j.Len() != spec.Trials-1 {
+		t.Fatalf("journal holds %d records, want %d (all but the poisoned trial)", j.Len(), spec.Trials-1)
+	}
+	h2 := env.HarnessSnapshot()
+	if v, _ := h2.Value("experiment_trials_panicked_total"); v != 3 {
+		t.Fatalf("panicked counter %v, want 3 (initial + 2 retries)", v)
+	}
+	if v, _ := h2.Value("experiment_trials_retried_total"); v != 2 {
+		t.Fatalf("retried counter %v, want 2", v)
+	}
+	if v, _ := h2.Value("experiment_trials_quarantined_total"); v != 1 {
+		t.Fatalf("quarantined counter %v, want 1", v)
+	}
+	if v, _ := h2.Value("experiment_trials_run_total"); int(v) != spec.Trials-1 {
+		t.Fatalf("run counter %v, want %d", v, spec.Trials-1)
+	}
+}
+
+// TestErrorsJoinAggregatesAllFailures pins the multi-error contract: every
+// failed trial appears in the returned error, not just the first.
+func TestErrorsJoinAggregatesAllFailures(t *testing.T) {
+	env := buildEnv(t) // zero RetryPolicy: quarantine on first failure
+	h := panicOn{arrivals: map[float64]bool{
+		env.Trial(0).Tasks[0].Arrival: true,
+		env.Trial(2).Tasks[0].Arrival: true,
+	}}
+	_, err := env.RunVariant(h, sched.NoFilter)
+	if err == nil {
+		t.Fatal("sweep with two poisoned trials must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "trial 0:") || !strings.Contains(msg, "trial 2:") {
+		t.Fatalf("error must name both failed trials: %v", msg)
+	}
+	if strings.Contains(msg, "trial 1:") {
+		t.Fatalf("healthy trial 1 must not appear as a failure: %v", msg)
+	}
+}
+
+// --- trial timeout -----------------------------------------------------
+
+// slowChoose delays every mapping decision so a trial's wall clock can
+// exceed TrialTimeout even though the simulation itself is fine.
+type slowChoose struct {
+	sched.LightestLoad
+	delay time.Duration
+}
+
+func (s slowChoose) Name() string { return "Slow" }
+
+func (s slowChoose) Choose(ctx *sched.Context, feasible []*sched.Candidate) *sched.Candidate {
+	time.Sleep(s.delay)
+	return s.LightestLoad.Choose(ctx, feasible)
+}
+
+func TestTrialTimeoutQuarantines(t *testing.T) {
+	spec := testSpec()
+	spec.Trials = 1
+	spec.TrialTimeout = 30 * time.Millisecond
+	// Even a panic-retrying policy must not retry a deterministic timeout.
+	spec.Retry = RetryPolicy{MaxRetries: 3, RetryPanics: true}
+	env, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = env.RunVariant(slowChoose{delay: 5 * time.Millisecond}, sched.NoFilter)
+	if err == nil {
+		t.Fatal("a trial exceeding TrialTimeout must fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout should surface as DeadlineExceeded, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "timed out after 30ms") {
+		t.Fatalf("error should name the timeout: %v", err)
+	}
+	h := env.HarnessSnapshot()
+	if v, _ := h.Value("experiment_trials_timedout_total"); v != 1 {
+		t.Fatalf("timedout counter %v, want 1", v)
+	}
+	if v, _ := h.Value("experiment_trials_retried_total"); v != 0 {
+		t.Fatalf("timeouts must not be retried, counter %v", v)
+	}
+	if v, _ := h.Value("experiment_trials_quarantined_total"); v != 1 {
+		t.Fatalf("quarantined counter %v, want 1", v)
+	}
+}
+
+// --- memo cache boundaries ---------------------------------------------
+
+// TestMemoBypass pins the cache identity rule: only runs over the
+// environment's own trial slice with an unmutated sim config may share (or
+// populate) memoized results; everything else re-simulates.
+func TestMemoBypass(t *testing.T) {
+	env := buildEnv(t)
+	var simulated int
+	env.SetProgress(func(done, total int, label string) { simulated++ })
+
+	a, err := env.RunVariant(sched.LightestLoad{}, sched.NoFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated != env.Spec.Trials {
+		t.Fatalf("first run simulated %d trials, want %d", simulated, env.Spec.Trials)
+	}
+
+	// Memo hit: identical result, zero additional work.
+	b, err := env.RunVariant(sched.LightestLoad{}, sched.NoFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Fatal("memo hit must return the identical result")
+	}
+	if simulated != env.Spec.Trials {
+		t.Fatalf("memo hit re-simulated (progress count %d)", simulated)
+	}
+
+	// A caller-supplied trial set — even a copy with equal contents — has a
+	// different backing array and must bypass the cache.
+	copied := make([]*workload.Trial, env.Spec.Trials)
+	for i := range copied {
+		copied[i] = env.Trial(i)
+	}
+	m := &sched.Mapper{Heuristic: sched.LightestLoad{}}
+	c, err := env.RunWithTrials(m, copied, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("caller-supplied trials must not share the memoized result")
+	}
+	if simulated != 2*env.Spec.Trials {
+		t.Fatalf("bypassed run should re-simulate, progress count %d", simulated)
+	}
+
+	// A mutated sim config must bypass too, even when the mutation is a
+	// no-op — the harness cannot inspect the closure.
+	d, err := env.RunConfigured(m, "none", func(*sim.Config) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Fatal("mutated-config runs must not share the memoized result")
+	}
+	if simulated != 3*env.Spec.Trials {
+		t.Fatalf("mutated run should re-simulate, progress count %d", simulated)
+	}
+
+	// And neither bypass polluted the cache: the plain variant still hits.
+	e, err := env.RunVariant(sched.LightestLoad{}, sched.NoFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != a || simulated != 3*env.Spec.Trials {
+		t.Fatal("bypassing runs must not overwrite the memoized entry")
+	}
+}

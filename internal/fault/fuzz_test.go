@@ -1,0 +1,45 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFaultParseSpec feeds arbitrary strings to the -faults flag parser.
+// The contract under test: ParseSpec never panics, and any spec it accepts
+// can be Validated (which walks every field) without panicking — Validate
+// may still reject it with an error, e.g. mtbf=-1 parses but does not
+// validate, and that is fine.
+func FuzzFaultParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("mtbf=5000,repair=300,recovery=requeue,retries=2")
+	f.Add("mtbf=15000,dist=weibull,shape=1.5,repair=500,node-mtbf=90000")
+	f.Add("recovery=drop,deadline-aware")
+	f.Add("deadline-aware=true,backoff=60")
+	f.Add("mtbf=1e309")
+	f.Add("mtbf=NaN,repair=Inf")
+	f.Add(",,,=,==,mtbf=")
+	f.Add("retries=-1,backoff=-5")
+	f.Add("dist=weibull")
+	f.Add("mtbf=5000,,repair = 300 , deadline-aware = yes")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "fault: ") {
+				t.Fatalf("error without package prefix: %v (input %q)", err, s)
+			}
+			return
+		}
+		// Validate must not panic on anything ParseSpec accepted; its
+		// verdict (nil or error) is not constrained here.
+		_ = spec.Validate(8*4, 8)
+		// A parsed spec must be idempotently re-parseable when it came
+		// from the documented grammar keys only; at minimum, Availability
+		// must stay finite and in [0, 1] for validated specs.
+		if spec.Validate(8*4, 8) == nil {
+			if a := spec.Availability(); !(a >= 0 && a <= 1) {
+				t.Fatalf("validated spec has availability %v (input %q)", a, s)
+			}
+		}
+	})
+}

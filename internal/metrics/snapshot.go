@@ -206,6 +206,20 @@ func (s *Snapshot) SumByName(name string) float64 {
 	return total
 }
 
+// Equal reports whether two snapshots carry exactly the same series with
+// exactly the same values — bit-level float equality, no tolerance. Both
+// snapshots are sorted by identity at construction, so comparing their
+// deterministic JSON forms is sufficient and keeps the definition in sync
+// with what gets persisted to journals and reports.
+func (s *Snapshot) Equal(other *Snapshot) bool {
+	if s == nil || other == nil {
+		return (s == nil || len(s.Metrics) == 0) && (other == nil || len(other.Metrics) == 0)
+	}
+	a, errA := s.MarshalJSON()
+	b, errB := other.MarshalJSON()
+	return errA == nil && errB == nil && string(a) == string(b)
+}
+
 // MarshalJSON emits the snapshot as a deterministic JSON document.
 func (s *Snapshot) MarshalJSON() ([]byte, error) {
 	type alias Snapshot

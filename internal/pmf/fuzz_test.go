@@ -1,0 +1,67 @@
+package pmf
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPMFFromJSON feeds arbitrary bytes to the external-PMF loader. The
+// contract under test: FromJSON never panics, and every PMF it accepts
+// satisfies the package invariants (non-empty sorted support, finite
+// values, probabilities normalized to 1) so downstream convolutions and
+// moments stay well-defined.
+func FuzzPMFFromJSON(f *testing.F) {
+	f.Add([]byte(`{"values":[1,2,3],"probs":[0.2,0.3,0.5]}`))
+	f.Add([]byte(`{"values":[10],"probs":[1]}`))
+	f.Add([]byte(`{"values":[],"probs":[]}`))
+	f.Add([]byte(`{"values":[1,2],"probs":[0.5]}`))
+	f.Add([]byte(`{"values":[1e308,1e308],"probs":[0.5,0.5]}`))
+	f.Add([]byte(`{"values":[-1,0,1],"probs":[1e-300,1e-300,1e-300]}`))
+	f.Add([]byte(`{"values":[3,1,2],"probs":[0.1,0.8,0.1]}`))
+	f.Add([]byte(`{"values":[1,1],"probs":[0.5,0.5]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"values":null,"probs":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := FromJSON(data)
+		if err != nil {
+			return // rejected input: the only requirement is "no panic"
+		}
+		if p.Len() == 0 {
+			t.Fatalf("accepted PMF with empty support: %q", data)
+		}
+		sum := 0.0
+		for _, pr := range p.Probs() {
+			if pr < 0 || math.IsNaN(pr) || math.IsInf(pr, 0) {
+				t.Fatalf("accepted probability %v: %q", pr, data)
+			}
+			sum += pr
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("accepted PMF with total mass %v: %q", sum, data)
+		}
+		vals := p.Values()
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted value %v: %q", v, data)
+			}
+			if i > 0 && vals[i-1] >= v {
+				t.Fatalf("accepted unsorted/duplicate support %v >= %v: %q", vals[i-1], v, data)
+			}
+		}
+		if m := p.Mean(); math.IsNaN(m) {
+			t.Fatalf("accepted PMF with NaN mean: %q", data)
+		}
+		// Round-trip: a valid PMF must serialize and reload to itself.
+		out, err := p.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal of accepted PMF failed: %v", err)
+		}
+		q, err := FromJSON(out)
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v (payload %s)", err, out)
+		}
+		if q.Len() != p.Len() {
+			t.Fatalf("round-trip changed support size %d -> %d", p.Len(), q.Len())
+		}
+	})
+}

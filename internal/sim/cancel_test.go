@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// cancelAfter is an observer that cancels a context after n mapped tasks,
+// exercising mid-run cancellation from inside the event loop.
+type cancelAfter struct {
+	NopObserver
+	n      int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) TaskMapped(t float64, task workload.Task, a sched.Assignment) {
+	c.seen++
+	if c.seen == c.n {
+		c.cancel()
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	m := buildModel(t, 1, 60)
+	tr, err := workload.GenerateTrial(randx.NewStream(7), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Model: m, Mapper: mapperFor(sched.LightestLoad{}, sched.NoFilter), EnergyBudget: math.Inf(1)}
+	res, err := RunContext(ctx, cfg, tr, randx.NewStream(7).Child("decisions"))
+	if res != nil {
+		t.Fatalf("cancelled run leaked a result: %v", res)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	m := buildModel(t, 1, 120)
+	tr, err := workload.GenerateTrial(randx.NewStream(7), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &cancelAfter{n: 10, cancel: cancel}
+	cfg := Config{
+		Model:        m,
+		Mapper:       mapperFor(sched.LightestLoad{}, sched.NoFilter),
+		EnergyBudget: math.Inf(1),
+		Observer:     obs,
+	}
+	res, err := RunContext(ctx, cfg, tr, randx.NewStream(7).Child("decisions"))
+	if res != nil || err == nil {
+		t.Fatalf("mid-run cancellation: res=%v err=%v, want nil result + error", res, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if obs.seen < 10 {
+		t.Fatalf("run aborted after %d mapped tasks, before the cancellation fired", obs.seen)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	m := buildModel(t, 1, 60)
+	tr, err := workload.GenerateTrial(randx.NewStream(7), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	cfg := Config{Model: m, Mapper: mapperFor(sched.LightestLoad{}, sched.NoFilter), EnergyBudget: math.Inf(1)}
+	_, err = RunContext(ctx, cfg, tr, randx.NewStream(7).Child("decisions"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunContextCentralCancelled(t *testing.T) {
+	m := buildModel(t, 1, 60)
+	tr, err := workload.GenerateTrial(randx.NewStream(7), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Model: m, CentralQueue: EDFCheapest{}, EnergyBudget: math.Inf(1)}
+	res, err := RunContext(ctx, cfg, tr, randx.NewStream(7).Child("decisions"))
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("central cancel: res=%v err=%v", res, err)
+	}
+}
+
+// TestRunMatchesRunContext pins the compatibility contract: Run is exactly
+// RunContext with a background context, bit for bit.
+func TestRunMatchesRunContext(t *testing.T) {
+	m := buildModel(t, 1, 60)
+	tr, err := workload.GenerateTrial(randx.NewStream(7), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Model: m, Mapper: mapperFor(sched.ShortestQueue{}, sched.EnergyAndRobustness), EnergyBudget: m.DefaultEnergyBudget()}
+	a, err := Run(cfg, tr, randx.NewStream(7).Child("decisions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg, tr, randx.NewStream(7).Child("decisions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Run and RunContext diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -95,8 +95,11 @@ func validateCentral(cfg Config) error {
 	return nil
 }
 
-func (e *centralEngine) loopCentral() {
+func (e *centralEngine) loopCentral() error {
 	for e.events.Len() > 0 {
+		if err := e.checkCancelled(); err != nil {
+			return err
+		}
 		ev := popEvent(&e.events)
 		if ev.kind == evFault && !e.faultWorkRemains() {
 			continue // trailing fault; see engine.loop
@@ -111,7 +114,7 @@ func (e *centralEngine) loopCentral() {
 			e.res.Makespan = at
 			e.met.energyExhausted()
 			e.cfg.Observer.EnergyExhausted(at)
-			return
+			return nil
 		}
 		e.checkBrownout(at)
 		e.met.event(ev.kind, e.inSystem+len(e.pool))
@@ -136,6 +139,7 @@ func (e *centralEngine) loopCentral() {
 		}
 		e.res.Makespan = ev.time
 	}
+	return nil
 }
 
 // dispatch matches idle cores to pool tasks until one side runs dry.

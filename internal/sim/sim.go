@@ -9,6 +9,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -315,15 +316,17 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 
 // engine is the run state; it implements sched.SystemView.
 type engine struct {
-	cfg    Config
-	trial  *workload.Trial
-	calc   *robustness.Calculator
-	meter  *energy.Meter
-	rand   *randx.Stream
-	cores  []cluster.CoreID
-	queues [][]queued
-	events eventHeap
-	seq    int
+	cfg       Config
+	ctx       context.Context
+	processed int // events handled, for periodic cancellation checks
+	trial     *workload.Trial
+	calc      *robustness.Calculator
+	meter     *energy.Meter
+	rand      *randx.Stream
+	cores     []cluster.CoreID
+	queues    [][]queued
+	events    eventHeap
+	seq       int
 
 	energyLeft    float64 // heuristic estimate ζ(t_l)
 	inSystem      int     // mapped, not yet completed
@@ -393,6 +396,19 @@ func (e *engine) Queue(idx int) robustness.CoreQueue {
 // Random heuristic's draws (and any other stochastic policy choice); runs
 // with equal (cfg, trial, decisions) are bit-identical.
 func Run(cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, error) {
+	return RunContext(context.Background(), cfg, trial, decisions)
+}
+
+// RunContext is Run with cooperative cancellation: the event loop polls
+// ctx between batches of events and aborts with an error wrapping
+// ctx.Err() when the context is cancelled or its deadline passes. A
+// cancelled run returns no Result — partial simulation state is never
+// observable, so callers cannot mistake an aborted trial for a short one.
+// A nil ctx behaves like context.Background().
+func RunContext(ctx context.Context, cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Model == nil {
 		return nil, errors.New("sim: Config.Model is nil")
 	}
@@ -462,6 +478,7 @@ func Run(cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, e
 
 	e := &engine{
 		cfg:        cfg,
+		ctx:        ctx,
 		trial:      trial,
 		calc:       robustness.NewCalculator(cfg.Model),
 		meter:      meter,
@@ -542,11 +559,15 @@ func Run(cfg Config, trial *workload.Trial, decisions *randx.Stream) (*Result, e
 			}
 			e.poolLen = func() int { return len(ce.pool) }
 		}
-		ce.loopCentral()
+		if err := ce.loopCentral(); err != nil {
+			return nil, err
+		}
 		ce.finalize()
 		return ce.res, nil
 	}
-	e.loop()
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
 	e.finalize()
 	return e.res, nil
 }
@@ -558,8 +579,28 @@ func (e *engine) push(ev event) {
 	e.met.heapDepth(e.events.Len())
 }
 
-func (e *engine) loop() {
+// cancelCheckMask throttles context polls to one per 64 processed events:
+// cheap enough for the hot path, responsive enough that a cancelled trial
+// aborts within microseconds of simulated work.
+const cancelCheckMask = 63
+
+// checkCancelled polls the run context once every cancelCheckMask+1 events
+// and converts a cancellation into the run-aborting error.
+func (e *engine) checkCancelled() error {
+	if e.processed&cancelCheckMask == 0 {
+		if err := e.ctx.Err(); err != nil {
+			return fmt.Errorf("sim: run cancelled at t=%.1f after %d events: %w", e.lastT, e.processed, err)
+		}
+	}
+	e.processed++
+	return nil
+}
+
+func (e *engine) loop() error {
 	for e.events.Len() > 0 {
+		if err := e.checkCancelled(); err != nil {
+			return err
+		}
 		ev := heap.Pop(&e.events).(event)
 		if ev.kind == evFault && !e.faultWorkRemains() {
 			// Trailing fault beyond the last resolvable task: dropping it
@@ -577,7 +618,7 @@ func (e *engine) loop() {
 			e.res.Makespan = at
 			e.met.energyExhausted()
 			e.cfg.Observer.EnergyExhausted(at)
-			return
+			return nil
 		}
 		e.checkBrownout(at)
 		e.met.event(ev.kind, e.inSystem)
@@ -600,6 +641,7 @@ func (e *engine) loop() {
 		}
 		e.res.Makespan = ev.time
 	}
+	return nil
 }
 
 // staleCompletion reports whether a completion event refers to an execution

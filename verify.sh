@@ -30,6 +30,16 @@ if [ "$tier" -ge 2 ]; then
     # single lucky pass.
     echo "== tier 2: go test -race -count=2 (fault injection)"
     go test -race -count=2 ./internal/fault ./internal/sim ./internal/energy
+    # Resume equivalence: interrupted sweeps replayed from the journal must
+    # be bit-identical to uninterrupted runs, on every pass.
+    echo "== tier 2: go test -run Resume -count=2 (journal resume)"
+    go test -run Resume -count=2 ./internal/experiment
+    # Fuzz the external input surfaces (PMF JSON loader, -faults parser)
+    # briefly; regressions found here land as crash corpus entries.
+    echo "== tier 2: go fuzz (pmf FromJSON, 10s)"
+    go test -fuzz=FuzzPMFFromJSON -fuzztime=10s ./internal/pmf
+    echo "== tier 2: go fuzz (fault ParseSpec, 10s)"
+    go test -fuzz=FuzzFaultParseSpec -fuzztime=10s ./internal/fault
 fi
 
 echo "verify: OK (tier $tier)"
