@@ -20,6 +20,7 @@ import (
 	"repro/internal/randx"
 	"repro/internal/robustness"
 	"repro/internal/sched"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -406,5 +407,43 @@ func BenchmarkAblationBrownout(b *testing.B) {
 		if _, err := env.BrownoutStudy(sched.LightestLoad{}, []float64{0.7, 1.0}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeAdmit measures the serving engine's full admission path —
+// Submit, the four-stage pipeline, mapping, placement — against a manual
+// clock advanced at the equilibrium arrival spacing so completions retire
+// and core queues stay at steady-state depth rather than growing with b.N.
+func BenchmarkServeAdmit(b *testing.B) {
+	s := randx.NewStream(99)
+	c, err := cluster.Generate(s.Child("cluster"), cluster.PaperGenParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := workload.PaperParams()
+	p.TaskTypes = 10
+	p.PMFSamples = 300
+	m, err := workload.BuildModel(s.Child("wl"), c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clk := server.NewManualClock()
+	eng, err := server.New(server.Config{
+		Model:  m,
+		Mapper: &sched.Mapper{Heuristic: sched.LightestLoad{}, Filters: sched.EnergyAndRobustness.Filters()},
+		Clock:  clk,
+		Seed:   7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	dt := m.TAvg() / float64(m.Cluster.TotalCores())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Submit(server.TaskRequest{Type: i % p.TaskTypes}); err != nil {
+			b.Fatal(err)
+		}
+		clk.Advance(dt)
 	}
 }

@@ -1,0 +1,207 @@
+// Command ecserve runs the online allocation service: the paper's
+// immediate-mode mapper behind an HTTP/JSON API, with bounded admission,
+// deadline-aware load shedding, per-node circuit breakers, energy-budget
+// brownout, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	ecserve -addr :9090                              # serve the API
+//	ecserve -addr :9090 -listen :8080                # + Prometheus/pprof
+//	ecserve -heuristic LL -filters en+rob -budget 1  # paper policy, ζ_max
+//	ecserve -faults "mtbf=4000,repair=300,recovery=requeue,retries=2,backoff=60,deadline-aware" -rel
+//	ecserve -brownout -budget 1                      # staged degradation + admission shedding
+//	ecserve -scale 5000 -queue 512 -timeout 2s       # virtual time at 5000 units/s
+//
+// Submit a task:
+//
+//	curl -s -X POST localhost:9090/v1/tasks -d '{"type": 7}'
+//
+// On SIGINT/SIGTERM the server stops admitting (503), decides everything
+// already queued, fast-forwards in-flight work to completion, prints the
+// drain report (optionally -report JSON), and exits 0 only if no task was
+// orphaned.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ecserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":9090", "HTTP address for the allocation API")
+		listen     = flag.String("listen", "", "serve /metrics, /metrics.json, /debug/vars, /debug/pprof on this address")
+		heuristic  = flag.String("heuristic", "LL", "heuristic: SQ, MECT, LL, Random, PLL, GreenLL, MaxRho, MinEEC")
+		filters    = flag.String("filters", "en+rob", "filter variant: none, en, rob, en+rob")
+		rel        = flag.Bool("rel", false, "append the availability-aware reliability filter to the chain")
+		seed       = flag.Uint64("seed", 0, "instance seed (0 = paper default); shared with ecsim/ecload")
+		budget     = flag.Float64("budget", 1, "energy budget scale of ζ_max (<=0 = unconstrained)")
+		scale      = flag.Float64("scale", 1000, "virtual time units per wall second")
+		queueCap   = flag.Int("queue", 256, "admission queue bound; beyond it requests get 429 + Retry-After")
+		reqTimeout = flag.Duration("timeout", 5*time.Second, "per-request admission timeout (504 past it)")
+		horizon    = flag.Int("horizon", 0, "energy fair-share horizon in tasks (0 = model window)")
+		faults     = flag.String("faults", "", "fault-injection spec, key=value list: mtbf, dist=exp|weibull, shape, repair, node-mtbf, recovery=drop|requeue, retries, backoff, deadline-aware")
+		brownout   = flag.Bool("brownout", false, "staged 90/95/98% brownout; the deepest stage also sheds admissions")
+		grace      = flag.Duration("drain-grace", 10*time.Second, "wall-clock bound on the shutdown drain")
+		report     = flag.String("report", "", "write the final drain report JSON to this file ('-' = stdout)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	spec := core.DefaultSpec()
+	spec.BudgetScale = *budget
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	model, zeta, err := core.BuildServeModel(spec)
+	if err != nil {
+		return err
+	}
+
+	h, err := core.HeuristicByName(*heuristic)
+	if err != nil {
+		return err
+	}
+	variant, err := parseVariant(*filters)
+	if err != nil {
+		return err
+	}
+	fl := variant.Filters()
+	tag := variant.String()
+	if *rel {
+		fl = append(fl, sched.ReliabilityFilter{})
+		tag += "+rel"
+	}
+
+	var fspec core.FaultSpec
+	if *faults != "" {
+		if fspec, err = core.ParseFaultSpec(*faults); err != nil {
+			return err
+		}
+	}
+	var stages []energy.BrownoutStage
+	if *brownout {
+		stages = energy.DefaultServeBrownoutStages()
+	}
+
+	reg := metrics.NewRegistry()
+	eng, err := server.New(server.Config{
+		Model:          model,
+		Mapper:         &sched.Mapper{Heuristic: h, Filters: fl},
+		Budget:         zeta,
+		TimeScale:      *scale,
+		QueueCap:       *queueCap,
+		RequestTimeout: *reqTimeout,
+		Horizon:        *horizon,
+		Faults:         fspec,
+		Brownout:       stages,
+		Metrics:        reg,
+		Seed:           spec.Seed,
+		DrainGrace:     *grace,
+	})
+	if err != nil {
+		return err
+	}
+
+	api := server.NewServer(eng)
+	apiAddr, shutdownAPI, err := api.ListenAndServe(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ecserve: %s+%s on http://%s/v1/tasks (seed %d, scale %gx", *heuristic, tag, apiAddr, spec.Seed, *scale)
+	if !math.IsInf(zeta, 1) {
+		fmt.Printf(", ζ_max %.4g", zeta)
+	}
+	fmt.Println(")")
+	if win := eng.IdleEnergyWindow(); !math.IsInf(win, 1) {
+		// The budget drains from idle draw alone, exactly like the paper's
+		// fixed-window trials: this service has a finite lifetime. Say so up
+		// front instead of surprising the operator with 503s.
+		fmt.Printf("ecserve: energy window ≤ %.0f vt (~%.0fs wall at this scale); then the cluster halts\n",
+			win, win / *scale)
+	}
+	if *faults != "" {
+		fmt.Printf("ecserve: fault injection live: %s\n", *faults)
+	}
+
+	if *listen != "" {
+		msrv, merr := metrics.Serve(*listen, reg.Snapshot)
+		if merr != nil {
+			return merr
+		}
+		defer msrv.Close()
+		fmt.Printf("ecserve: metrics on http://%s/metrics (pprof under /debug/pprof)\n", msrv.Addr)
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "\necserve: draining (new requests get 503)...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace+5*time.Second)
+	defer cancel()
+	// Drain and HTTP shutdown run concurrently: the drain answers the
+	// Submit calls blocked inside in-flight handlers, which lets Shutdown's
+	// wait complete.
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- eng.Drain(drainCtx) }()
+	_ = shutdownAPI(drainCtx)
+	if derr := <-drainErr; derr != nil {
+		fmt.Fprintln(os.Stderr, "ecserve:", derr)
+	}
+
+	rep := eng.FinalReport()
+	fmt.Print(rep.Render())
+	if *report != "" {
+		if err := writeReport(rep, *report); err != nil {
+			return err
+		}
+	}
+	if rep.Orphaned != 0 || !rep.Balanced {
+		return fmt.Errorf("drain left %d orphaned task(s) (balanced=%v)", rep.Orphaned, rep.Balanced)
+	}
+	return nil
+}
+
+func writeReport(rep *server.FinalReport, path string) error {
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		fmt.Println(string(data))
+		return nil
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func parseVariant(s string) (core.FilterVariant, error) {
+	for _, v := range sched.AllFilterVariants() {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown filter variant %q (none, en, rob, en+rob)", s)
+}

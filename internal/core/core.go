@@ -22,6 +22,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/energy"
@@ -287,4 +288,30 @@ func (s *System) SimulateOnceResilient(name string, v FilterVariant, trialIdx in
 // a convenience for tooling that inspects the machine model.
 func GenerateCluster(seed uint64) (*cluster.Cluster, error) {
 	return cluster.Generate(randx.NewStream(seed).Child("cluster"), cluster.PaperGenParams())
+}
+
+// BuildServeModel constructs just the fixed workload model and resolved
+// energy budget of a spec — no trials, no harness — for long-lived serving
+// processes (cmd/ecserve) that receive their workload over the network
+// instead of generating it. The cluster and pmf tables are derived exactly
+// as BuildContext derives them, so a server and an offline experiment with
+// the same spec allocate on the identical instance.
+func BuildServeModel(spec Spec) (*workload.Model, float64, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, 0, err
+	}
+	root := randx.NewStream(spec.Seed)
+	c, err := cluster.Generate(root.Child("cluster"), spec.ClusterGen)
+	if err != nil {
+		return nil, 0, err
+	}
+	model, err := workload.BuildModel(root.Child("model"), c, spec.Workload)
+	if err != nil {
+		return nil, 0, err
+	}
+	budget := math.Inf(1)
+	if spec.BudgetScale > 0 {
+		budget = spec.BudgetScale * model.DefaultEnergyBudget()
+	}
+	return model, budget, nil
 }

@@ -33,6 +33,12 @@ type BrownoutStage struct {
 	// ParkIdle power-gates cores the moment they go idle (draw 0 instead of
 	// the idle P-state's power).
 	ParkIdle bool
+	// ShedAdmission closes the admission gate entirely while the stage is
+	// active: a serving front-end refuses new work (sheds arrivals) so the
+	// remaining joules finish what is already in flight. The batch simulator
+	// ignores this field — its arrivals are the experiment, not admission
+	// requests — so existing schedules are unaffected.
+	ShedAdmission bool
 }
 
 // DefaultBrownoutStages returns the three-stage schedule used by the
@@ -46,6 +52,16 @@ func DefaultBrownoutStages() []BrownoutStage {
 		{Frac: 0.95, ZetaMul: 0.6, PStateFloor: cluster.P3},
 		{Frac: 0.98, ZetaMul: 0.4, PStateFloor: cluster.P4, ParkIdle: true},
 	}
+}
+
+// DefaultServeBrownoutStages is the serving-mode schedule: identical to
+// DefaultBrownoutStages except the deepest stage also sheds new admissions,
+// so a long-lived allocation daemon spends its last joules completing
+// accepted work instead of admitting tasks it can no longer finish.
+func DefaultServeBrownoutStages() []BrownoutStage {
+	stages := DefaultBrownoutStages()
+	stages[len(stages)-1].ShedAdmission = true
+	return stages
 }
 
 // ValidateBrownoutStages checks that the schedule is well-formed: fractions

@@ -64,10 +64,10 @@ func TestValidateBrownoutStages(t *testing.T) {
 		{{Frac: -0.5}},
 		{{Frac: 1.5}},
 		{{Frac: math.NaN()}},
-		{{Frac: 0.9}, {Frac: 0.9}},                  // not strictly increasing
-		{{Frac: 0.95}, {Frac: 0.9}},                 // decreasing
-		{{Frac: 0.9, ZetaMul: -1}},                  // negative cap
-		{{Frac: 0.9, ZetaMul: math.Inf(1)}},         // infinite cap
+		{{Frac: 0.9}, {Frac: 0.9}},                    // not strictly increasing
+		{{Frac: 0.95}, {Frac: 0.9}},                   // decreasing
+		{{Frac: 0.9, ZetaMul: -1}},                    // negative cap
+		{{Frac: 0.9, ZetaMul: math.Inf(1)}},           // infinite cap
 		{{Frac: 0.9, PStateFloor: cluster.PState(9)}}, // invalid floor
 	}
 	for i, stages := range bad {

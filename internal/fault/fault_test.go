@@ -174,3 +174,76 @@ func TestStringers(t *testing.T) {
 		t.Error("unknown dist should embed the value")
 	}
 }
+
+// TestParseSpecTable exercises the parser's reporting contract: empty and
+// whitespace-only specs are valid no-ops, duplicate keys are rejected, and
+// every error names the offending token and its byte offset in the input.
+func TestParseSpecTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		wants []string // substrings the error must contain; nil = must parse
+	}{
+		{"empty", "", nil},
+		{"whitespace only", "   \t  ", nil},
+		{"bare commas", " , ,, ", nil},
+		{"single key", "mtbf=5000", nil},
+		{"spaced fields", "  mtbf = 5000 , repair = 10  ", nil},
+		{"duplicate key", "mtbf=5000,repair=10,mtbf=6000",
+			[]string{"duplicate key", `"mtbf"`, `"mtbf=6000"`, "offset 20"}},
+		{"duplicate spaced", "mtbf=1, mtbf=2",
+			[]string{"duplicate key", `"mtbf=2"`, "offset 8"}},
+		{"duplicate deadline-aware", "deadline-aware,deadline-aware=false",
+			[]string{"duplicate key", `"deadline-aware"`, "offset 15"}},
+		{"bad number", "mtbf=abc",
+			[]string{`"abc" is not a number`, `"mtbf=abc"`, "offset 0"}},
+		{"bad number offset", "repair=10,mtbf=abc",
+			[]string{`"mtbf=abc"`, "offset 10"}},
+		{"unknown key", "repair=10,frobnicate=1",
+			[]string{"unknown key", `"frobnicate=1"`, "offset 10"}},
+		{"bad dist", "dist=uniform",
+			[]string{"unknown distribution", `"dist=uniform"`, "offset 0"}},
+		{"bad recovery", "mtbf=1,recovery=panic",
+			[]string{"unknown mode", `"recovery=panic"`, "offset 7"}},
+		{"bad retries", "retries=1.5",
+			[]string{"not an integer", `"retries=1.5"`}},
+		{"bad bool", "deadline-aware=maybe",
+			[]string{"not a bool", `"deadline-aware=maybe"`}},
+		{"empty value", "mtbf=",
+			[]string{`"" is not a number`, `"mtbf="`, "offset 0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.in)
+			if tc.wants == nil {
+				if err != nil {
+					t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ParseSpec(%q): expected error", tc.in)
+			}
+			if !strings.HasPrefix(err.Error(), "fault: ") {
+				t.Fatalf("error lacks package prefix: %v", err)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("ParseSpec(%q) error %q missing %q", tc.in, err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParseSpecDuplicateAcrossAliases: distinct keys that touch the same
+// field (dist vs shape etc.) are not duplicates; only literal key repeats
+// are.
+func TestParseSpecDuplicateAcrossAliases(t *testing.T) {
+	if _, err := ParseSpec("dist=weibull,shape=1.5,mtbf=100"); err != nil {
+		t.Fatalf("distinct keys rejected: %v", err)
+	}
+	if _, err := ParseSpec("dist=exp,dist=weibull"); err == nil {
+		t.Fatal("repeated dist accepted")
+	}
+}

@@ -312,3 +312,80 @@ func TestPhases(t *testing.T) {
 	done := nilP.Start("x")
 	done()
 }
+
+// TestSnapshotConsistentUnderConcurrentObserve hammers a histogram from
+// writer goroutines while snapshots are taken concurrently. Every snapshot
+// must be internally consistent — Count equal to the sum of its bucket
+// counts — and monotone across successive snapshots; a torn read of the
+// independent total counter used to break both.
+func TestSnapshotConsistentUnderConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hammer", []float64{0.25, 0.5, 0.75})
+	c := r.Counter("hits")
+
+	const writers = 4
+	const perWriter = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i%100) / 100)
+				c.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done); close(stop) }()
+
+	var prev int64
+	snaps := 0
+	for {
+		select {
+		case <-stop:
+			goto final
+		default:
+		}
+		s := r.Snapshot()
+		for _, mv := range s.Metrics {
+			if mv.Kind != KindHistogram {
+				continue
+			}
+			var sum int64
+			for _, n := range mv.Hist.Counts {
+				sum += n
+			}
+			if mv.Hist.Count != sum {
+				t.Fatalf("torn snapshot: Count %d != bucket sum %d", mv.Hist.Count, sum)
+			}
+			if mv.Hist.Count < prev {
+				t.Fatalf("snapshot went backwards: %d after %d", mv.Hist.Count, prev)
+			}
+			prev = mv.Hist.Count
+		}
+		snaps++
+	}
+final:
+	<-done
+	s := r.Snapshot()
+	if got, _ := s.Value("hits"); got != writers*perWriter {
+		t.Fatalf("final counter %v, want %d", got, writers*perWriter)
+	}
+	for _, mv := range s.Metrics {
+		if mv.Kind != KindHistogram {
+			continue
+		}
+		var sum int64
+		for _, n := range mv.Hist.Counts {
+			sum += n
+		}
+		if mv.Hist.Count != int64(writers*perWriter) || sum != mv.Hist.Count {
+			t.Fatalf("final histogram: Count %d bucket sum %d, want %d", mv.Hist.Count, sum, writers*perWriter)
+		}
+	}
+	if snaps == 0 {
+		t.Log("no snapshot raced the writers (slow machine); invariant still checked at rest")
+	}
+}

@@ -60,12 +60,22 @@ func (r *Registry) Snapshot() *Snapshot {
 			hv := &HistogramValue{
 				Bounds: append([]float64(nil), h.bounds...),
 				Counts: make([]int64, len(h.counts)),
-				Sum:    h.sum.Value(),
-				Count:  h.n.Value(),
 			}
+			// Count is derived from the bucket loads, not read from the
+			// independent total counter: a concurrent Observe landing between
+			// the two loads would otherwise produce a torn snapshot whose
+			// Count != ΣCounts — an inconsistency Merge then compounds across
+			// trials. Sum is read after the buckets and remains best-effort
+			// under concurrent observation (it may include an observation the
+			// bucket read just missed); the bucket/Count pair is exact.
+			var total int64
 			for i := range h.counts {
-				hv.Counts[i] = h.counts[i].Load()
+				c := h.counts[i].Load()
+				hv.Counts[i] = c
+				total += c
 			}
+			hv.Count = total
+			hv.Sum = h.sum.Value()
 			mv.Hist = hv
 		}
 		s.Metrics = append(s.Metrics, mv)

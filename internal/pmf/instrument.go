@@ -8,9 +8,9 @@ import "sync/atomic"
 // harness samples before and after a run to attribute work. One atomic add
 // per convolution is noise next to the O(n·m) impulse product itself.
 var (
-	opConvolutions     atomic.Int64
-	opBucketed         atomic.Int64
-	opCompactions      atomic.Int64
+	opConvolutions      atomic.Int64
+	opBucketed          atomic.Int64
+	opCompactions       atomic.Int64
 	opImpulsesCompacted atomic.Int64
 )
 

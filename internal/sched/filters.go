@@ -129,6 +129,27 @@ func (f ReliabilityFilter) Keep(ctx *Context, c *Candidate) bool {
 	return avail*c.Rho() >= t
 }
 
+// EECCapFilter eliminates assignments whose expected energy consumption
+// exceeds a fixed per-task ceiling. Unlike EnergyFilter, which derives its
+// threshold from the remaining budget, the cap is absolute — it is the
+// serving-path hook for requests that carry their own maxEnergy bound.
+// A non-positive cap keeps everything (no constraint requested).
+type EECCapFilter struct {
+	// Cap is the maximum admissible EEC; <= 0 disables the filter.
+	Cap float64
+}
+
+// Name returns "cap".
+func (EECCapFilter) Name() string { return "cap" }
+
+// NeedsRho reports false.
+func (EECCapFilter) NeedsRho() bool { return false }
+
+// Keep retains candidates with EEC at or below the cap.
+func (f EECCapFilter) Keep(_ *Context, c *Candidate) bool {
+	return f.Cap <= 0 || c.EEC <= f.Cap
+}
+
 // FilterVariant names one of the four filtering configurations evaluated in
 // Figures 2–5.
 type FilterVariant int

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// BreakerConfig tunes the per-node circuit breakers. A breaker watches the
+// fault events internal/fault injects on a node and, once tripped, removes
+// the whole node from the candidate set so mapping routes around it — even
+// after individual cores are repaired — until a cooldown elapses and one
+// probe task completes there successfully.
+type BreakerConfig struct {
+	// Threshold is the number of fault strikes that trips the breaker.
+	// Defaults to 2: a single transient blip does not blacklist a node,
+	// repeated strikes do.
+	Threshold int
+	// Cooldown is how long (virtual time units) a tripped node stays
+	// excluded before the breaker half-opens. Defaults to 4× the fault
+	// spec's repair time, or the model's t_avg when no repair time is set.
+	Cooldown float64
+}
+
+func (c *BreakerConfig) setDefaults(repair, tAvg float64) {
+	if c.Threshold <= 0 {
+		c.Threshold = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 4 * repair
+		if c.Cooldown <= 0 {
+			c.Cooldown = tAvg
+		}
+	}
+}
+
+// breakerState is one node's circuit state.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("breakerState(%d)", int(s))
+}
+
+// nodeBreaker is the per-node automaton. All mutating methods run on the
+// engine goroutine; pub mirrors the state for lock-free /v1/stats reads
+// from handler goroutines.
+type nodeBreaker struct {
+	state     breakerState
+	strikes   int     // fault strikes since last close
+	openUntil float64 // virtual time the open state ends
+	probing   bool    // half-open: one probe task is in flight
+	dead      bool    // permanent node failure: open forever
+	pub       atomic.Int32
+}
+
+// pubDead is the published-state value for a permanently dead node; live
+// states publish their breakerState value directly.
+const pubDead = int32(breakerHalfOpen) + 1
+
+// publish mirrors the automaton state into the atomic.
+func (nb *nodeBreaker) publish() {
+	s := int32(nb.state)
+	if nb.dead {
+		s = pubDead
+	}
+	nb.pub.Store(s)
+}
+
+// breakers manages the per-node set.
+type breakers struct {
+	cfg   BreakerConfig
+	nodes []nodeBreaker
+	// opens counts trip transitions (for metrics/stats).
+	opens int
+}
+
+func newBreakers(cfg BreakerConfig, numNodes int, repair, tAvg float64) *breakers {
+	cfg.setDefaults(repair, tAvg)
+	return &breakers{cfg: cfg, nodes: make([]nodeBreaker, numNodes)}
+}
+
+// allows reports whether mapping may place work on the node at virtual time
+// now. An open breaker whose cooldown has elapsed transitions to half-open
+// and admits a single probe.
+func (b *breakers) allows(node int, now float64) bool {
+	nb := &b.nodes[node]
+	if nb.dead {
+		return false
+	}
+	switch nb.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now < nb.openUntil {
+			return false
+		}
+		nb.state = breakerHalfOpen
+		nb.probing = false
+		nb.publish()
+		return true
+	case breakerHalfOpen:
+		return !nb.probing
+	}
+	return true
+}
+
+// onMapped records that a task was placed on the node; in half-open state
+// that task becomes the probe.
+func (b *breakers) onMapped(node int) {
+	nb := &b.nodes[node]
+	if nb.state == breakerHalfOpen {
+		nb.probing = true
+	}
+}
+
+// onSuccess records a task completing on the node; a successful half-open
+// probe closes the breaker.
+func (b *breakers) onSuccess(node int) {
+	nb := &b.nodes[node]
+	if nb.state == breakerHalfOpen {
+		nb.state = breakerClosed
+		nb.strikes = 0
+		nb.probing = false
+		nb.publish()
+	}
+}
+
+// onFault records a fault strike on the node at virtual time now and
+// reports whether the breaker is (now) open. Permanent faults kill the node
+// for good.
+func (b *breakers) onFault(node int, now float64, permanent bool) bool {
+	nb := &b.nodes[node]
+	if permanent {
+		if !nb.dead {
+			nb.dead = true
+			b.opens++
+			nb.publish()
+		}
+		return true
+	}
+	if nb.state == breakerHalfOpen {
+		// The probe failed: reopen immediately.
+		nb.state = breakerOpen
+		nb.openUntil = now + b.cfg.Cooldown
+		nb.probing = false
+		b.opens++
+		nb.publish()
+		return true
+	}
+	nb.strikes++
+	if nb.state == breakerClosed && nb.strikes >= b.cfg.Threshold {
+		nb.state = breakerOpen
+		nb.openUntil = now + b.cfg.Cooldown
+		b.opens++
+		nb.publish()
+	}
+	return nb.state == breakerOpen
+}
+
+// stateOf returns the node's current state label for /v1/stats. Safe to
+// call from any goroutine; it reads the published mirror, not the automaton.
+func (b *breakers) stateOf(node int) string {
+	s := b.nodes[node].pub.Load()
+	if s == pubDead {
+		return "dead"
+	}
+	return breakerState(s).String()
+}

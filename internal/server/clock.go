@@ -1,0 +1,110 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock maps wall-clock time onto the simulation's virtual time axis. The
+// allocation engine is written entirely against virtual time (the same
+// units as task execution pmfs and deadlines); the clock decides how fast
+// that axis advances. A RealClock ties it to the wall at a configurable
+// scale; tests drive a ManualClock by hand for fully deterministic runs.
+type Clock interface {
+	// Now returns the current virtual time. It must be monotone
+	// non-decreasing.
+	Now() float64
+	// WaitUntil returns a channel that receives (or closes) once virtual
+	// time vt has been reached. A vt at or before Now fires immediately.
+	// Each call returns an independent one-shot channel.
+	WaitUntil(vt float64) <-chan struct{}
+}
+
+// RealClock advances virtual time at Scale units per wall second, starting
+// from zero at construction.
+type RealClock struct {
+	start time.Time
+	scale float64
+}
+
+// NewRealClock returns a clock running at scale virtual units per wall
+// second; scale must be positive.
+func NewRealClock(scale float64) *RealClock {
+	return &RealClock{start: time.Now(), scale: scale}
+}
+
+// Now implements Clock.
+func (c *RealClock) Now() float64 {
+	return time.Since(c.start).Seconds() * c.scale
+}
+
+// WaitUntil implements Clock.
+func (c *RealClock) WaitUntil(vt float64) <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	delta := vt - c.Now()
+	if delta <= 0 {
+		ch <- struct{}{}
+		return ch
+	}
+	d := time.Duration(delta / c.scale * float64(time.Second))
+	time.AfterFunc(d, func() { ch <- struct{}{} })
+	return ch
+}
+
+// ManualClock is a hand-driven clock for deterministic tests: virtual time
+// only moves when Advance is called, and waiters fire synchronously inside
+// the Advance that reaches them.
+type ManualClock struct {
+	mu      sync.Mutex
+	now     float64
+	waiters []manualWaiter
+}
+
+type manualWaiter struct {
+	vt float64
+	ch chan struct{}
+}
+
+// NewManualClock returns a manual clock at virtual time 0.
+func NewManualClock() *ManualClock { return &ManualClock{} }
+
+// Now implements Clock.
+func (c *ManualClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// WaitUntil implements Clock.
+func (c *ManualClock) WaitUntil(vt float64) <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if vt <= c.now {
+		ch <- struct{}{}
+		return ch
+	}
+	c.waiters = append(c.waiters, manualWaiter{vt: vt, ch: ch})
+	return ch
+}
+
+// Advance moves virtual time forward by dt and fires every waiter whose
+// deadline has been reached.
+func (c *ManualClock) Advance(dt float64) {
+	c.mu.Lock()
+	c.now += dt
+	var fire []chan struct{}
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.vt <= c.now {
+			fire = append(fire, w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+	c.mu.Unlock()
+	for _, ch := range fire {
+		ch <- struct{}{}
+	}
+}

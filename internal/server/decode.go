@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// TaskRequest is the decoded body of POST /v1/tasks. Only Type is
+// mandatory; everything else defaults from the workload model.
+type TaskRequest struct {
+	// Type indexes the well-known task type in [0, TaskTypes).
+	Type int `json:"type"`
+	// Deadline, when set, is the absolute virtual-time deadline. Mutually
+	// exclusive with Slack.
+	Deadline *float64 `json:"deadline,omitempty"`
+	// Slack, when set, places the deadline at arrival + slack. Mutually
+	// exclusive with Deadline. When neither is given the server uses the
+	// paper's rule: arrival + type mean execution time + load factor.
+	Slack *float64 `json:"slack,omitempty"`
+	// Priority is the task's weight (> 0); defaults to 1.
+	Priority *float64 `json:"priority,omitempty"`
+	// MaxEnergy, when set, caps the expected energy of any assignment the
+	// mapper may choose for this task (an absolute per-task EEC ceiling on
+	// top of the configured filter chain). Must be positive.
+	MaxEnergy *float64 `json:"maxEnergy,omitempty"`
+	// U, when set, pins the task's execution quantile in (0,1) — replay
+	// and test hook; defaults to a draw from the server's seeded stream.
+	U *float64 `json:"u,omitempty"`
+}
+
+// maxTaskBody bounds the request body: a valid submission is a handful of
+// scalar fields, so anything past 4 KiB is garbage or abuse.
+const maxTaskBody = 4 << 10
+
+// DecodeTask reads and validates one task submission from r. types is the
+// model's task-type count (the valid range of TaskRequest.Type). It is the
+// entire external input surface of the serving path, so it rejects
+// everything malformed loudly: invalid JSON, unknown fields, trailing
+// data, out-of-range types, non-finite or negative deadlines/slack,
+// non-positive priority or energy caps, and quantiles outside (0,1).
+func DecodeTask(r io.Reader, types int) (TaskRequest, error) {
+	var req TaskRequest
+	dec := json.NewDecoder(io.LimitReader(r, maxTaskBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("server: decode task: %w", err)
+	}
+	// A second Decode must see EOF: trailing objects mean a malformed (or
+	// smuggled) request.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		return req, errors.New("server: decode task: trailing data after JSON object")
+	}
+	if err := req.Validate(types); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// Validate checks the decoded request against the model's type range.
+func (req *TaskRequest) Validate(types int) error {
+	if req.Type < 0 || req.Type >= types {
+		return fmt.Errorf("server: task type %d outside [0,%d)", req.Type, types)
+	}
+	if req.Deadline != nil && req.Slack != nil {
+		return errors.New("server: deadline and slack are mutually exclusive")
+	}
+	if err := finitePositive("deadline", req.Deadline, true); err != nil {
+		return err
+	}
+	if err := finitePositive("slack", req.Slack, true); err != nil {
+		return err
+	}
+	if err := finitePositive("priority", req.Priority, false); err != nil {
+		return err
+	}
+	if err := finitePositive("maxEnergy", req.MaxEnergy, false); err != nil {
+		return err
+	}
+	if req.U != nil && !(*req.U > 0 && *req.U < 1) {
+		return fmt.Errorf("server: u %v outside (0,1)", *req.U)
+	}
+	return nil
+}
+
+// finitePositive rejects NaN/Inf and negative values; zeroOK additionally
+// admits zero (deadlines and slack may be zero — immediately infeasible,
+// but well-formed; the shed path handles them).
+func finitePositive(field string, v *float64, zeroOK bool) error {
+	if v == nil {
+		return nil
+	}
+	if math.IsNaN(*v) || math.IsInf(*v, 0) {
+		return fmt.Errorf("server: %s %v must be finite", field, *v)
+	}
+	if *v < 0 || (!zeroOK && *v == 0) {
+		bound := "positive"
+		if zeroOK {
+			bound = "non-negative"
+		}
+		return fmt.Errorf("server: %s %v must be %s", field, *v, bound)
+	}
+	return nil
+}
+
+// IsClientError reports whether err came from request validation (a 400)
+// rather than server state.
+func IsClientError(err error) bool {
+	return err != nil && strings.HasPrefix(err.Error(), "server: ")
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecodeTask(t *testing.T) {
+	const types = 10
+	ok := []string{
+		`{"type": 0}`,
+		`{"type": 9}`,
+		`{"type": 3, "deadline": 5000}`,
+		`{"type": 3, "slack": 0}`,
+		`{"type": 3, "priority": 2.5, "maxEnergy": 1e6}`,
+		`{"type": 3, "u": 0.5}`,
+		`{}`, // type defaults to 0
+	}
+	for _, body := range ok {
+		if _, err := DecodeTask(strings.NewReader(body), types); err != nil {
+			t.Errorf("valid body rejected: %s: %v", body, err)
+		}
+	}
+	bad := []struct{ name, body string }{
+		{"empty", ""},
+		{"not json", "hello"},
+		{"wrong shape", `[1,2,3]`},
+		{"unknown field", `{"type": 1, "bogus": true}`},
+		{"trailing data", `{"type": 1}{"type": 2}`},
+		{"type negative", `{"type": -1}`},
+		{"type too large", `{"type": 10}`},
+		{"type non-integer", `{"type": 1.5}`},
+		{"deadline and slack", `{"type": 1, "deadline": 5, "slack": 5}`},
+		{"deadline negative", `{"type": 1, "deadline": -1}`},
+		{"deadline nan", `{"type": 1, "deadline": "NaN"}`},
+		{"slack negative", `{"type": 1, "slack": -0.5}`},
+		{"priority zero", `{"type": 1, "priority": 0}`},
+		{"priority negative", `{"type": 1, "priority": -2}`},
+		{"maxEnergy zero", `{"type": 1, "maxEnergy": 0}`},
+		{"u zero", `{"type": 1, "u": 0}`},
+		{"u one", `{"type": 1, "u": 1}`},
+		{"u negative", `{"type": 1, "u": -0.1}`},
+		{"oversized body", `{"type": 1, "slack": ` + strings.Repeat("0", maxTaskBody) + `}`},
+	}
+	for _, tc := range bad {
+		req, err := DecodeTask(strings.NewReader(tc.body), types)
+		if err == nil {
+			t.Errorf("%s: accepted %q as %+v", tc.name, tc.body, req)
+			continue
+		}
+		if !IsClientError(err) {
+			t.Errorf("%s: error lacks the client prefix: %v", tc.name, err)
+		}
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	m := buildModel(t, 30)
+	eng, _ := newTestEngine(t, m, nil)
+	srv := httptest.NewServer(NewServer(eng))
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/tasks", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// A good task maps.
+	resp := post(`{"type": 0}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST good task: %s", resp.Status)
+	}
+	var d Decision
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d.Status != StatusMapped || d.Assignment == nil {
+		t.Fatalf("decision: %+v", d)
+	}
+
+	// Malformed bodies are 400 and counted.
+	for _, body := range []string{`{"type": 999}`, `not json`, `{"x":1}`} {
+		resp = post(body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %q: %s, want 400", body, resp.Status)
+		}
+	}
+
+	// An infeasible deadline is shed with 422.
+	resp = post(`{"type": 0, "slack": 0}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("POST infeasible: %s, want 422", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d.Status != StatusShed || d.Reason != ShedInfeasible {
+		t.Fatalf("shed decision: %+v", d)
+	}
+
+	// Health, readiness, stats, model.
+	get := func(path string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := map[string]any{}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp, doc
+	}
+	if resp, doc := get("/v1/healthz"); resp.StatusCode != 200 || doc["status"] != "ok" {
+		t.Fatalf("healthz: %s %v", resp.Status, doc)
+	}
+	if resp, doc := get("/v1/readyz"); resp.StatusCode != 200 || doc["ready"] != true {
+		t.Fatalf("readyz: %s %v", resp.Status, doc)
+	}
+	if _, doc := get("/v1/stats"); doc["queueCap"] == nil || doc["stats"] == nil {
+		t.Fatalf("stats doc: %v", doc)
+	}
+	_, doc := get("/v1/model")
+	if int(doc["taskTypes"].(float64)) != m.Params.TaskTypes || doc["equilibriumRate"].(float64) <= 0 {
+		t.Fatalf("model doc: %v", doc)
+	}
+
+	// Draining flips readiness to 503 and new tasks to 503.
+	if err := eng.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := get("/v1/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %s", resp.Status)
+	}
+	resp = post(`{"type": 0}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining: %s, want 503", resp.Status)
+	}
+	if resp, doc := get("/v1/healthz"); resp.StatusCode != 200 || doc["draining"] != true {
+		t.Fatalf("healthz while draining: %s %v", resp.Status, doc)
+	}
+}
+
+func TestHTTPBackpressureHeaders(t *testing.T) {
+	m := buildModel(t, 31)
+	eng, _ := newTestEngine(t, m, func(c *Config) { c.QueueCap = 1 })
+	srv := httptest.NewServer(NewServer(eng))
+	defer srv.Close()
+
+	release := blockEngine(eng)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(srv.URL+"/v1/tasks", "application/json", strings.NewReader(`{"type": 0}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	for eng.QueueDepth() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Post(srv.URL+"/v1/tasks", "application/json", strings.NewReader(`{"type": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow POST: %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	release()
+	<-done
+}
+
+func TestIsClientError(t *testing.T) {
+	if IsClientError(nil) {
+		t.Fatal("nil is a client error")
+	}
+	_, err := DecodeTask(strings.NewReader(`{"type": -5}`), 4)
+	if !IsClientError(err) {
+		t.Fatalf("validation error not classified: %v", err)
+	}
+	if IsClientError(errors.New("some transport failure")) {
+		t.Fatal("foreign error classified as client error")
+	}
+}

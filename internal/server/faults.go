@@ -1,0 +1,277 @@
+package server
+
+// Live fault injection for the serving engine, mirroring internal/sim's
+// mechanics: a failure kills whatever the stricken core is doing (the
+// energy is already spent), the run-generation counter invalidates its
+// pending completion event, and stranded tasks go through the recovery
+// policy. On top of the simulator's behavior the serving path feeds every
+// strike into the per-node circuit breakers, so mapping routes around
+// flapping nodes instead of rediscovering them the hard way.
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/robustness"
+	"repro/internal/workload"
+)
+
+// NumCores implements sched.SystemView.
+func (e *Engine) NumCores() int { return len(e.cores) }
+
+// CoreID implements sched.SystemView.
+func (e *Engine) CoreID(idx int) cluster.CoreID { return e.cores[idx] }
+
+// Queue implements sched.SystemView.
+func (e *Engine) Queue(idx int) robustness.CoreQueue {
+	q := e.queues[idx]
+	out := robustness.CoreQueue{Node: e.cores[idx].Node}
+	if len(q) == 0 {
+		return out
+	}
+	out.Tasks = make([]robustness.QueuedTask, len(q))
+	for i, t := range q {
+		out.Tasks[i] = robustness.QueuedTask{
+			Type:     t.task.Type,
+			PState:   t.pstate,
+			Deadline: t.task.Deadline,
+			Started:  t.started,
+			StartAt:  t.startAt,
+		}
+	}
+	return out
+}
+
+// scheduleFaults seeds the event heap with the first firing of each
+// enabled stochastic process and every scripted entry.
+func (e *Engine) scheduleFaults() {
+	spec := &e.cfg.Faults
+	if spec.Transient.Enabled {
+		e.push(event{time: spec.Transient.Sample(e.transientRng), kind: evFault, idx: srcTransient})
+	}
+	if spec.Permanent.Enabled {
+		e.push(event{time: spec.Permanent.Sample(e.permanentRng), kind: evFault, idx: srcPermanent})
+	}
+	for i, sf := range spec.Script {
+		e.push(event{time: sf.Time, kind: evFault, idx: srcScript + i})
+	}
+}
+
+// handleFault fires one failure source at virtual time now: picks the
+// victim (stochastic sources), injects it, and reschedules the process.
+func (e *Engine) handleFault(now float64, src int) {
+	spec := &e.cfg.Faults
+	switch src {
+	case srcTransient:
+		if idx, ok := e.pickUpCore(); ok {
+			e.injectFault(now, fault.Transient, idx, -1, spec.RepairTime)
+		}
+		if !e.allNodesDead() {
+			e.push(event{time: now + spec.Transient.Sample(e.transientRng), kind: evFault, idx: srcTransient})
+		}
+	case srcPermanent:
+		if node, ok := e.pickAliveNode(); ok {
+			e.injectFault(now, fault.Permanent, -1, node, 0)
+		}
+		if !e.allNodesDead() {
+			e.push(event{time: now + spec.Permanent.Sample(e.permanentRng), kind: evFault, idx: srcPermanent})
+		}
+	default:
+		sf := spec.Script[src-srcScript]
+		if sf.Kind == fault.Permanent {
+			e.injectFault(now, fault.Permanent, -1, sf.Node, 0)
+		} else {
+			repair := sf.Repair
+			if repair <= 0 {
+				repair = spec.RepairTime
+			}
+			e.injectFault(now, fault.Transient, sf.Core, -1, repair)
+		}
+	}
+}
+
+// pickUpCore selects a victim uniformly among up cores; no draw is
+// consumed when every core is already down.
+func (e *Engine) pickUpCore() (int, bool) {
+	up := 0
+	for _, d := range e.down {
+		if !d {
+			up++
+		}
+	}
+	if up == 0 {
+		return 0, false
+	}
+	n := e.targetRng.IntN(up)
+	for idx, d := range e.down {
+		if d {
+			continue
+		}
+		if n == 0 {
+			return idx, true
+		}
+		n--
+	}
+	return 0, false // unreachable
+}
+
+// pickAliveNode selects a victim uniformly among alive nodes.
+func (e *Engine) pickAliveNode() (int, bool) {
+	alive := 0
+	for _, d := range e.alive {
+		if d {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return 0, false
+	}
+	n := e.targetRng.IntN(alive)
+	for node, up := range e.alive {
+		if !up {
+			continue
+		}
+		if n == 0 {
+			return node, true
+		}
+		n--
+	}
+	return 0, false // unreachable
+}
+
+func (e *Engine) allNodesDead() bool {
+	for _, up := range e.alive {
+		if up {
+			return false
+		}
+	}
+	return true
+}
+
+// injectFault applies one failure and feeds the circuit breaker.
+func (e *Engine) injectFault(now float64, kind fault.Kind, coreIdx, node int, repair float64) {
+	e.st.faults.Add(1)
+	e.met.faults.Inc()
+	if kind == fault.Permanent {
+		if !e.alive[node] {
+			return
+		}
+		e.alive[node] = false
+		e.tripBreaker(node, now, true)
+		for idx, id := range e.cores {
+			if id.Node == node {
+				e.downCore(now, kind, idx, 0)
+			}
+		}
+		return
+	}
+	e.tripBreaker(e.cores[coreIdx].Node, now, false)
+	e.downCore(now, kind, coreIdx, repair)
+}
+
+// tripBreaker records a strike and publishes any open transition.
+func (e *Engine) tripBreaker(node int, now float64, permanent bool) {
+	if e.brk == nil {
+		return
+	}
+	before := e.brk.opens
+	e.brk.onFault(node, now, permanent)
+	if d := e.brk.opens - before; d > 0 {
+		e.st.brkOpens.Add(int64(d))
+		e.met.breakerOpens.Inc()
+	}
+}
+
+// downCore takes one core down: kills its queue, hands stranded tasks to
+// recovery, zeroes its draw, and (transient only) schedules the repair.
+func (e *Engine) downCore(now float64, kind fault.Kind, coreIdx int, repair float64) {
+	if e.down[coreIdx] {
+		return
+	}
+	e.down[coreIdx] = true
+	e.runGen[coreIdx]++ // pending completion (if any) is now stale
+	if e.fobs != nil {
+		e.fobs.CoreFailed(now, e.cores[coreIdx], kind, repair)
+	}
+	q := e.queues[coreIdx]
+	e.queues[coreIdx] = nil
+	if len(q) > 0 {
+		e.inSystem -= len(q)
+		for i := range q {
+			if e.fobs != nil {
+				e.fobs.TaskKilled(now, q[i].task, e.cores[coreIdx])
+			}
+			e.recoverTask(now, q[i].task, q[i].attempts)
+		}
+		e.updInflight()
+	}
+	e.meter.SetPower(coreIdx, 0)
+	if kind == fault.Transient {
+		e.push(event{time: now + repair, kind: evRepair, idx: coreIdx})
+	}
+}
+
+// handleRepair brings a transiently-failed core back at the idle P-state.
+func (e *Engine) handleRepair(now float64, coreIdx int) {
+	if !e.down[coreIdx] {
+		return
+	}
+	if !e.alive[e.cores[coreIdx].Node] {
+		// The node died permanently while this core's repair was pending;
+		// the repair must not resurrect it.
+		return
+	}
+	e.down[coreIdx] = false
+	e.meter.ClearPower(coreIdx)
+	e.setPState(now, coreIdx, e.cfg.IdlePState)
+	if e.fobs != nil {
+		e.fobs.CoreRepaired(now, e.cores[coreIdx])
+	}
+}
+
+// recoverTask routes one stranded task through the recovery policy. used
+// is the retry count the task has already consumed.
+func (e *Engine) recoverTask(now float64, task workload.Task, used int) {
+	rec := e.cfg.Faults.Recovery
+	if rec.Mode != fault.Requeue || used >= rec.MaxRetries {
+		e.fail(task, FailFault)
+		return
+	}
+	if rec.DeadlineAware && task.Deadline <= now {
+		// Already late: a retry can only burn energy on a missed deadline.
+		e.fail(task, FailFault)
+		return
+	}
+	delay := rec.Backoff * float64(used+1)
+	if rec.DeadlineAware {
+		if slack := task.Deadline - now; delay > slack/2 {
+			delay = slack / 2
+		}
+	}
+	if e.fobs != nil {
+		e.fobs.TaskRequeued(now, task, used+1)
+	}
+	slot := e.reqSeq
+	e.reqSeq++
+	e.requeues[slot] = requeueEntry{task: task, attempts: used + 1}
+	e.push(event{time: now + delay, kind: evRequeue, idx: slot})
+}
+
+// handleRequeue re-dispatches a previously-stranded task through the full
+// mapping pipeline; a retry that fails admission goes back through
+// recovery, consuming another attempt, until the bound is hit.
+func (e *Engine) handleRequeue(now float64, slot int) {
+	entry, ok := e.requeues[slot]
+	if !ok {
+		return
+	}
+	delete(e.requeues, slot)
+	e.st.retries.Add(1)
+	e.met.retries.Inc()
+	chosen := e.mapTask(now, entry.task, nil)
+	if chosen == nil {
+		e.recoverTask(now, entry.task, entry.attempts)
+		e.updInflight()
+		return
+	}
+	e.place(now, entry.task, chosen, entry.attempts)
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzServerDecodeTask feeds arbitrary bytes to the POST /v1/tasks body
+// decoder — the entire external input surface of the serving path. The
+// contract: DecodeTask never panics, every rejection carries the "server: "
+// prefix (so the HTTP layer can classify it as a 400), and everything it
+// accepts re-validates cleanly — a request that decodes must be safe to
+// hand to the engine as-is.
+func FuzzServerDecodeTask(f *testing.F) {
+	f.Add(`{"type": 0}`)
+	f.Add(`{"type": 7, "deadline": 5000.5}`)
+	f.Add(`{"type": 3, "slack": 120, "priority": 2, "maxEnergy": 1e6, "u": 0.25}`)
+	f.Add(`{}`)
+	f.Add(`{"type": -1}`)
+	f.Add(`{"type": 1e99}`)
+	f.Add(`{"type": 1, "deadline": 1, "slack": 1}`)
+	f.Add(`{"type": 1, "u": 1.0}`)
+	f.Add(`{"type": 1}{"type": 2}`)
+	f.Add(`{"type": 1, "unknown": {"a": [1,2,3]}}`)
+	f.Add(`[{"type": 1}]`)
+	f.Add(`{"type": 1, "deadline": null, "slack": null}`)
+	f.Add("{\"type\": 1, \"slack\": " + strings.Repeat("9", 400) + "}")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, body string) {
+		const types = 30
+		req, err := DecodeTask(strings.NewReader(body), types)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "server: ") {
+				t.Fatalf("error without package prefix: %v (input %q)", err, body)
+			}
+			return
+		}
+		if verr := req.Validate(types); verr != nil {
+			t.Fatalf("accepted request fails re-validation: %v (input %q)", verr, body)
+		}
+		if req.Type < 0 || req.Type >= types {
+			t.Fatalf("accepted out-of-range type %d (input %q)", req.Type, body)
+		}
+		if req.U != nil && !(*req.U > 0 && *req.U < 1) {
+			t.Fatalf("accepted out-of-range u %v (input %q)", *req.U, body)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Server exposes an Engine over HTTP/JSON:
+//
+//	POST /v1/tasks    submit one task; the response is the mapping decision
+//	GET  /v1/healthz  liveness (200 while the process runs, even draining)
+//	GET  /v1/readyz   readiness (200 only while admitting new work)
+//	GET  /v1/stats    the accounting snapshot
+//	GET  /v1/model    the workload model's serving parameters (for clients
+//	                  and load generators)
+//
+// Admission outcomes map onto status codes: 200 mapped, 400 malformed
+// request, 422 shed (infeasible deadline or filtered to empty — the
+// paper's discard), 429 backpressure (queue full or brownout gate, with
+// Retry-After), 503 not accepting (draining or energy exhausted), 504
+// timed out waiting in the admission queue.
+type Server struct {
+	eng *Engine
+	mux *http.ServeMux
+}
+
+// NewServer wraps the engine with the HTTP API.
+func NewServer(eng *Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/tasks", s.handleTask)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Engine returns the wrapped engine.
+func (s *Server) Engine() *Engine { return s.eng }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeTask(r.Body, s.eng.model.Params.TaskTypes)
+	if err != nil {
+		s.eng.recordBadRequest()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Reason: "bad-request"})
+		return
+	}
+	d, err := s.eng.Submit(req)
+	if err != nil {
+		var rej *ErrRejected
+		if errors.As(err, &rej) {
+			code := http.StatusServiceUnavailable
+			switch rej.Reason {
+			case RejectQueueFull, ShedBrownout:
+				code = http.StatusTooManyRequests
+			}
+			if rej.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(rej.RetryAfter.Seconds()))))
+			}
+			writeJSON(w, code, errorBody{Error: err.Error(), Reason: rej.Reason})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	switch d.Status {
+	case StatusMapped:
+		writeJSON(w, http.StatusOK, d)
+	case StatusTimedOut:
+		writeJSON(w, http.StatusGatewayTimeout, d)
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, d)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.eng.draining.Load(),
+		"halted":   s.eng.halted.Load(),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.eng.Accepting() {
+		reason := RejectDraining
+		switch {
+		case s.eng.halted.Load():
+			reason = ShedHalted
+		case s.eng.shedGate.Load():
+			reason = ShedBrownout
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsDoc())
+}
+
+// statsDoc augments the engine snapshot with queue occupancy.
+func (s *Server) statsDoc() map[string]any {
+	return map[string]any{
+		"stats":      s.eng.Stats(),
+		"queueDepth": s.eng.QueueDepth(),
+		"queueCap":   s.eng.QueueCap(),
+		"policy":     s.eng.cfg.Mapper.Name(),
+	}
+}
+
+// ModelInfo is the GET /v1/model document: everything a client or load
+// generator needs to drive the server at a meaningful rate.
+type ModelInfo struct {
+	TaskTypes       int     `json:"taskTypes"`
+	Nodes           int     `json:"nodes"`
+	Cores           int     `json:"cores"`
+	TAvg            float64 `json:"tAvg"`
+	EquilibriumRate float64 `json:"equilibriumRate"`
+	TimeScale       float64 `json:"timeScale"`
+	EnergyBudget    float64 `json:"energyBudget,omitempty"`
+	// EnergyWindow is the virtual time the idle draw alone takes to exhaust
+	// the budget — the service's maximum lifetime (absent when unconstrained).
+	EnergyWindow float64 `json:"energyWindow,omitempty"`
+	VirtualNow   float64 `json:"virtualNow"`
+	Policy       string  `json:"policy"`
+	Seed         uint64  `json:"seed"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	m := s.eng.model
+	info := ModelInfo{
+		TaskTypes:       m.Params.TaskTypes,
+		Nodes:           m.Cluster.N(),
+		Cores:           m.Cluster.TotalCores(),
+		TAvg:            m.TAvg(),
+		EquilibriumRate: m.EquilibriumRate(),
+		TimeScale:       s.eng.cfg.TimeScale,
+		VirtualNow:      s.eng.Stats().VirtualNow,
+		Policy:          s.eng.cfg.Mapper.Name(),
+		Seed:            s.eng.cfg.Seed,
+	}
+	if !math.IsInf(s.eng.meter.Budget(), 1) {
+		info.EnergyBudget = s.eng.meter.Budget()
+		info.EnergyWindow = s.eng.IdleEnergyWindow()
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// recordBadRequest counts a request rejected at decode time.
+func (e *Engine) recordBadRequest() {
+	e.st.received.Add(1)
+	e.st.rejected.Add(1)
+	e.met.requests.Inc()
+	e.met.rejectedBadReq.Inc()
+}
+
+// FinalReport is the document ecserve flushes after a graceful drain: the
+// terminal accounting, the orphan check, and the full metrics snapshot.
+type FinalReport struct {
+	Policy string `json:"policy"`
+	Seed   uint64 `json:"seed"`
+	// UptimeSeconds is wall-clock time from engine start to report.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Stats         Stats   `json:"stats"`
+	// Orphaned counts admitted tasks that never reached a terminal state;
+	// a clean drain reports 0.
+	Orphaned int64             `json:"orphaned"`
+	Balanced bool              `json:"balanced"`
+	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// FinalReport assembles the post-drain document. Call it after Drain (or
+// Close) has returned; the engine must be stopped.
+func (e *Engine) FinalReport() *FinalReport {
+	st := e.Stats()
+	orphaned := (st.Admitted - st.Mapped - st.Shed - st.TimedOut) +
+		(st.Mapped - st.OnTime - st.Late - st.Failed)
+	r := &FinalReport{
+		Policy:        e.cfg.Mapper.Name(),
+		Seed:          e.cfg.Seed,
+		UptimeSeconds: time.Since(e.started).Seconds(),
+		Stats:         st,
+		Orphaned:      orphaned,
+		Balanced:      st.Balanced() && st.InFlight == 0,
+	}
+	if e.cfg.Metrics != nil {
+		r.Metrics = e.cfg.Metrics.Snapshot()
+	}
+	return r
+}
+
+// Render returns the human-readable drain summary ecserve prints.
+func (r *FinalReport) Render() string {
+	st := r.Stats
+	s := fmt.Sprintf(
+		"drain report (%s, seed %d, up %.1fs)\n"+
+			"  received %d  rejected %d  admitted %d\n"+
+			"  mapped %d  shed %d (filtered %d, infeasible %d, brownout %d, halted %d)  timed-out %d\n"+
+			"  completed on-time %d, late %d  failed %d  retries %d  faults %d  breaker-opens %d\n"+
+			"  energy %.4g",
+		r.Policy, r.Seed, r.UptimeSeconds,
+		st.Received, st.Rejected, st.Admitted,
+		st.Mapped, st.Shed, st.ShedFiltered, st.ShedInfeasible, st.ShedBrownout, st.ShedHalted, st.TimedOut,
+		st.OnTime, st.Late, st.Failed, st.Retries, st.Faults, st.BreakerOpens,
+		st.EnergyConsumed)
+	if st.EnergyBudget > 0 {
+		s += fmt.Sprintf(" / budget %.4g (%.1f%%)", st.EnergyBudget, 100*st.EnergyConsumed/st.EnergyBudget)
+	}
+	s += fmt.Sprintf("\n  orphaned %d  balanced %v\n", r.Orphaned, r.Balanced)
+	return s
+}
+
+// JSON serializes the report as indented JSON.
+func (r *FinalReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ListenAndServe binds addr and serves the API until the returned shutdown
+// function is called. Shutdown stops the listener and waits for in-flight
+// handlers — run the engine drain concurrently so blocked Submit calls get
+// their answers and the handlers can finish.
+func (s *Server) ListenAndServe(addr string) (net.Addr, func(context.Context) error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Shutdown, nil
+}

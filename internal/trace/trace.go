@@ -36,6 +36,7 @@ const (
 	KindKilled    Kind = "killed"
 	KindRequeue   Kind = "requeue"
 	KindBrownout  Kind = "brownout"
+	KindShed      Kind = "shed"
 )
 
 // Event is one recorded simulation event.
@@ -115,6 +116,14 @@ func (r *Recorder) TaskMapped(t float64, task workload.Task, a sched.Assignment)
 // TaskDiscarded implements sim.Observer.
 func (r *Recorder) TaskDiscarded(t float64, task workload.Task) {
 	r.add(Event{Time: t, Kind: KindDiscarded, TaskID: task.ID, Type: task.Type})
+}
+
+// TaskShed records a serving-mode admission rejection: the task was refused
+// before ever reaching the mapper (bounded queue, brownout gate, infeasible
+// deadline, request timeout). Detail carries the shed reason. The batch
+// simulator never emits these; internal/server does.
+func (r *Recorder) TaskShed(t float64, task workload.Task, reason string) {
+	r.add(Event{Time: t, Kind: KindShed, TaskID: task.ID, Type: task.Type, Detail: reason})
 }
 
 // TaskStarted implements sim.Observer.

@@ -1,0 +1,94 @@
+#!/bin/sh
+# End-to-end soak of the serving stack under the race detector:
+#
+#   1. build ecserve + ecload with -race
+#   2. start ecserve with fault injection, brownout staging, and a finite
+#      energy budget sized to survive the run
+#   3. fire SOAK_TASKS bursty tasks at SOAK_MULT x the sustainable rate
+#      (open loop — the server sees genuine overload)
+#   4. SIGTERM the server and demand a clean drained shutdown
+#
+# Pass criteria (any failure exits non-zero):
+#   - ecload gets an HTTP response for every request (no transport errors)
+#   - ecserve exits 0: zero orphaned tasks and balanced terminal accounting
+#   - the race detector stays silent in both processes (exit code 66 trips)
+#   - the energy meter never drifts past the budget in the final report
+#
+# Tunables (env): SOAK_TASKS (default 10000), SOAK_MULT (2), SOAK_SCALE
+# (4000 virtual units per wall second), SOAK_BUDGET (3 x ζ_max — idle draw
+# alone empties 1 x in ~11.5s wall at this scale, so give the run headroom).
+set -eu
+cd "$(dirname "$0")"
+
+N="${SOAK_TASKS:-10000}"
+MULT="${SOAK_MULT:-2}"
+SCALE="${SOAK_SCALE:-4000}"
+BUDGET="${SOAK_BUDGET:-3}"
+
+tmp="$(mktemp -d)"
+srv=""
+cleanup() {
+    [ -n "$srv" ] && kill "$srv" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "soak: building race-instrumented ecserve + ecload"
+go build -race -o "$tmp/ecserve" ./cmd/ecserve
+go build -race -o "$tmp/ecload" ./cmd/ecload
+
+"$tmp/ecserve" -addr 127.0.0.1:0 -scale "$SCALE" -budget "$BUDGET" -brownout \
+    -faults "mtbf=4000,repair=300,recovery=requeue,retries=2,backoff=60,deadline-aware" \
+    -rel -report "$tmp/report.json" >"$tmp/ecserve.log" 2>&1 &
+srv=$!
+
+# The banner is printed only after the listener is bound, so the address
+# appearing in the log doubles as the readiness signal.
+addr=""
+i=0
+while [ "$i" -lt 100 ]; do
+    addr="$(sed -n 's#.*on http://\([^/]*\)/v1/tasks.*#\1#p' "$tmp/ecserve.log")"
+    [ -n "$addr" ] && break
+    kill -0 "$srv" 2>/dev/null || {
+        echo "soak: ecserve died during startup:" >&2
+        cat "$tmp/ecserve.log" >&2
+        exit 1
+    }
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "soak: ecserve never reported its address" >&2
+    cat "$tmp/ecserve.log" >&2
+    exit 1
+fi
+echo "soak: ecserve up on $addr (budget ${BUDGET}x, scale ${SCALE}x, faults live)"
+
+"$tmp/ecload" -addr "$addr" -n "$N" -mult "$MULT" -seed 1 -q
+
+echo "soak: SIGTERM -> drain"
+kill -TERM "$srv"
+rc=0
+wait "$srv" || rc=$?
+srv=""
+cat "$tmp/ecserve.log"
+if [ "$rc" -ne 0 ]; then
+    echo "soak: FAIL — ecserve exited $rc (orphaned tasks, imbalance, or a data race)" >&2
+    exit 1
+fi
+
+# The meter must never drift past ζ_max: consumed <= budget in the report.
+awk '
+    /"energyConsumed"/ { gsub(/[",]/, ""); consumed = $2 }
+    /"energyBudget"/   { gsub(/[",]/, ""); budget = $2 }
+    END {
+        if (budget == "" || consumed == "") { print "soak: report missing energy fields"; exit 1 }
+        if (consumed + 0 > budget + 1e-9) {
+            printf "soak: FAIL — energy meter drifted past the budget: %s > %s\n", consumed, budget
+            exit 1
+        }
+        printf "soak: energy %s / %s — within budget\n", consumed, budget
+    }
+' "$tmp/report.json"
+
+echo "soak: OK ($N tasks at ${MULT}x, clean drain, race-clean)"

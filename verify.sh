@@ -19,6 +19,21 @@ echo "== tier 1: go build ./..."
 go build ./...
 echo "== tier 1: go test ./..."
 go test ./...
+# Static analysis and vulnerability scanning run when the tools are on
+# PATH; the container image doesn't ship them and nothing may be
+# installed here, so absence is a skip, not a failure.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== tier 1: staticcheck ./..."
+    staticcheck ./...
+else
+    echo "== tier 1: staticcheck not installed — skipping"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== tier 1: govulncheck ./..."
+    govulncheck ./...
+else
+    echo "== tier 1: govulncheck not installed — skipping"
+fi
 
 if [ "$tier" -ge 2 ]; then
     echo "== tier 2: go vet ./..."
@@ -40,6 +55,12 @@ if [ "$tier" -ge 2 ]; then
     go test -fuzz=FuzzPMFFromJSON -fuzztime=10s ./internal/pmf
     echo "== tier 2: go fuzz (fault ParseSpec, 10s)"
     go test -fuzz=FuzzFaultParseSpec -fuzztime=10s ./internal/fault
+    echo "== tier 2: go fuzz (server DecodeTask, 10s)"
+    go test -fuzz=FuzzServerDecodeTask -fuzztime=10s ./internal/server
+    # End-to-end soak: race-built ecserve under bursty 2x overload with
+    # fault injection, then a SIGTERM drain that must orphan nothing.
+    echo "== tier 2: soak (ecserve + ecload, race-instrumented)"
+    ./soak.sh
 fi
 
 echo "verify: OK (tier $tier)"
