@@ -35,3 +35,39 @@ END { print "\n]" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+# Compare against the most recent prior baseline, if any: lexicographic
+# order on BENCH_<date>.json is chronological order.
+prev=""
+for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    [ "$f" = "$out" ] && continue
+    prev="$f"
+done
+if [ -n "$prev" ]; then
+    echo
+    echo "delta vs $prev:"
+    awk -v prevfile="$prev" '
+    function grab(line, key,   m) {
+        if (match(line, "\"" key "\": [0-9.eE+-]+")) {
+            m = substr(line, RSTART, RLENGTH)
+            sub(/^.*: /, "", m)
+            return m
+        }
+        return ""
+    }
+    match($0, /"name": "[^"]+"/) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        ns = grab($0, "ns_per_op")
+        al = grab($0, "allocs_per_op")
+        if (FILENAME == prevfile) { pns[name] = ns; pal[name] = al; next }
+        if (!(name in pns)) next
+        dns = "n/a"; dal = "n/a"
+        if (ns != "" && pns[name] + 0 > 0)
+            dns = sprintf("%+.1f%%", 100 * (ns - pns[name]) / pns[name])
+        if (al != "" && pal[name] != "")
+            dal = sprintf("%+d", al - pal[name])
+        printf "  %-44s %14s ns/op (%s)  %8s allocs/op (%s)\n", name, ns, dns, al, dal
+    }
+    ' "$prev" "$out"
+fi

@@ -55,6 +55,7 @@ func sharedEnv(b *testing.B) *experiment.Env {
 // benchFigure runs one paper figure end-to-end per iteration.
 func benchFigure(b *testing.B, n int) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var med float64
 	for i := 0; i < b.N; i++ {
@@ -85,6 +86,7 @@ func BenchmarkFig6_Best(b *testing.B) { benchFigure(b, 6) }
 // BenchmarkTableSummary regenerates the §VII improvement table.
 func BenchmarkTableSummary(b *testing.B) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.SummaryTable(); err != nil {
@@ -97,6 +99,7 @@ func BenchmarkTableSummary(b *testing.B) {
 // schedule (design-choice ablation from §V-F).
 func BenchmarkAblationZetaMul(b *testing.B) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.AblateZetaMul(sched.ShortestQueue{}, []float64{0.8, 1.0, 1.2}); err != nil {
@@ -108,6 +111,7 @@ func BenchmarkAblationZetaMul(b *testing.B) {
 // BenchmarkAblationRhoThresh sweeps the robustness threshold ρ_thresh.
 func BenchmarkAblationRhoThresh(b *testing.B) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.AblateRhoThresh(sched.LightestLoad{}, []float64{0.25, 0.5, 0.75}); err != nil {
@@ -119,6 +123,7 @@ func BenchmarkAblationRhoThresh(b *testing.B) {
 // BenchmarkAblationBudget sweeps the energy budget scale.
 func BenchmarkAblationBudget(b *testing.B) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.AblateBudget(sched.LightestLoad{}, []float64{0.75, 1.0, 1.5}); err != nil {
@@ -131,6 +136,7 @@ func BenchmarkAblationBudget(b *testing.B) {
 func BenchmarkAblationArrivals(b *testing.B) {
 	spec := benchSpec()
 	spec.Trials = 2
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.AblateArrivals(spec, sched.ShortestQueue{}); err != nil {
@@ -143,6 +149,7 @@ func BenchmarkAblationArrivals(b *testing.B) {
 func BenchmarkAblationPriority(b *testing.B) {
 	env := sharedEnv(b)
 	classes := []workload.PriorityClass{{Weight: 4, Fraction: 0.25}, {Weight: 1, Fraction: 0.75}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.PriorityStudy(classes); err != nil {
@@ -156,6 +163,7 @@ func BenchmarkAblationPriority(b *testing.B) {
 // the min-EEC repair (GreenLL), which finishes far more of the window.
 func BenchmarkAblationLLTieBreak(b *testing.B) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var paper, green float64
 	for i := 0; i < b.N; i++ {
@@ -176,6 +184,7 @@ func BenchmarkAblationLLTieBreak(b *testing.B) {
 // BenchmarkAblationParking runs the §VIII power-gating study.
 func BenchmarkAblationParking(b *testing.B) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.ParkingStudy(sched.ShortestQueue{}, []float64{0.25, 1.0}); err != nil {
@@ -187,6 +196,7 @@ func BenchmarkAblationParking(b *testing.B) {
 // BenchmarkAblationPowerNoise runs the §VIII stochastic-power study.
 func BenchmarkAblationPowerNoise(b *testing.B) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.PowerNoiseStudy(sched.ShortestQueue{}, []float64{0.25}); err != nil {
@@ -198,6 +208,7 @@ func BenchmarkAblationPowerNoise(b *testing.B) {
 // BenchmarkAblationCancellation runs the §VIII cancel/reschedule study.
 func BenchmarkAblationCancellation(b *testing.B) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.CancellationStudy(sched.ShortestQueue{}); err != nil {
@@ -242,6 +253,7 @@ func BenchmarkConvolve(b *testing.B) {
 	}
 	free := mk(64, 13.7)
 	exec := mk(24, 31.1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = pmf.Convolve(free, exec)
@@ -258,6 +270,7 @@ func BenchmarkRho(b *testing.B) {
 		{Type: 1, PState: cluster.P2, Deadline: 6000},
 		{Type: 2, PState: cluster.P0, Deadline: 7000},
 	}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		free := calc.FreeTime(q, 500)
@@ -275,6 +288,7 @@ func BenchmarkDecision(b *testing.B) {
 	mapper := &sched.Mapper{Heuristic: sched.LightestLoad{}, Filters: sched.EnergyAndRobustness.Filters()}
 	task := workload.Task{ID: 0, Type: 3, Arrival: 100, Deadline: 100 + 2.5*m.TAvg(), U: 0.5, Priority: 1}
 	rng := randx.NewStream(7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctx := &sched.Context{
@@ -313,11 +327,15 @@ func BenchmarkTrial(b *testing.B) {
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			cfg := sim.Config{Model: m, Mapper: c.mapper, EnergyBudget: math.Inf(1)}
+			b.ReportAllocs()
+			before := pmf.ReadOpCounts()
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.Run(cfg, tr, randx.NewStream(9)); err != nil {
 					b.Fatal(err)
 				}
 			}
+			d := pmf.ReadOpCounts().Sub(before)
+			b.ReportMetric(float64(d.Convolutions)/float64(b.N), "conv/trial")
 		})
 	}
 }
@@ -333,6 +351,7 @@ func BenchmarkModelBuild(b *testing.B) {
 	p := workload.PaperParams()
 	p.TaskTypes = 20
 	p.PMFSamples = 1000
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := workload.BuildModel(s.Child("wl"), c, p); err != nil {
@@ -359,6 +378,7 @@ func BenchmarkTrialFaults(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) {
 		cfg := sim.Config{Model: m, Mapper: newMapper(), EnergyBudget: math.Inf(1)}
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sim.Run(cfg, tr, randx.NewStream(9)); err != nil {
 				b.Fatal(err)
@@ -376,6 +396,7 @@ func BenchmarkTrialFaults(b *testing.B) {
 			},
 			Brownout: energy.DefaultBrownoutStages(),
 		}
+		b.ReportAllocs()
 		var faults int
 		for i := 0; i < b.N; i++ {
 			res, err := sim.Run(cfg, tr, randx.NewStream(9))
@@ -391,6 +412,7 @@ func BenchmarkTrialFaults(b *testing.B) {
 // BenchmarkAblationMTBF runs the §VIII fault-rate study.
 func BenchmarkAblationMTBF(b *testing.B) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.MTBFStudy(sched.LightestLoad{}, []float64{8, 2}); err != nil {
@@ -402,12 +424,142 @@ func BenchmarkAblationMTBF(b *testing.B) {
 // BenchmarkAblationBrownout runs the §VIII degradation-policy study.
 func BenchmarkAblationBrownout(b *testing.B) {
 	env := sharedEnv(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.BrownoutStudy(sched.LightestLoad{}, []float64{0.7, 1.0}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFreeTimeCached measures the incremental free-time engine on its
+// three paths: a hit returns the cached chain with zero convolutions, a
+// miss rebuilds the full §IV-B chain after an invalidation, a rebuild
+// re-derives it because the running head's truncation cut drifted, and
+// extend measures the full invalidate→rebuild→enqueue-extend→hit cycle.
+func BenchmarkFreeTimeCached(b *testing.B) {
+	m := microModel(b)
+	calc := robustness.NewCalculator(m)
+	q := robustness.CoreQueue{Node: 0, Tasks: []robustness.QueuedTask{
+		{Type: 0, PState: cluster.P1, Deadline: 5000, Started: true, StartAt: 0},
+		{Type: 1, PState: cluster.P2, Deadline: 6000},
+		{Type: 2, PState: cluster.P0, Deadline: 7000},
+	}}
+	now := 500.0
+	b.Run("hit", func(b *testing.B) {
+		eng := robustness.NewFreeTimeEngine(calc, 1)
+		eng.FreeTime(0, q, now)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = eng.FreeTime(0, q, now)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		eng := robustness.NewFreeTimeEngine(calc, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Invalidate(0)
+			_ = eng.FreeTime(0, q, now)
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		// Alternate between two instants with different truncation cuts in
+		// the running head's support, so every query re-derives the chain.
+		head := m.ExecPMF(0, 0, cluster.P1)
+		nows := [2]float64{head.Value(head.Len() / 4), head.Value(head.Len() / 2)}
+		eng := robustness.NewFreeTimeEngine(calc, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = eng.FreeTime(0, q, nows[i%2])
+		}
+	})
+	b.Run("extend", func(b *testing.B) {
+		q4 := robustness.CoreQueue{Node: 0, Tasks: append(append([]robustness.QueuedTask(nil), q.Tasks...),
+			robustness.QueuedTask{Type: 3, PState: cluster.P1, Deadline: 8000})}
+		eng := robustness.NewFreeTimeEngine(calc, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Invalidate(0)
+			_ = eng.FreeTime(0, q, now)
+			eng.OnEnqueue(0, 0, 3, cluster.P1, len(q4.Tasks))
+			_ = eng.FreeTime(0, q4, now)
+		}
+	})
+}
+
+// busyView is a SystemView with populated, stable core queues (depth 1–3,
+// heads running), the steady-state shape BuildCandidates sees mid-window.
+type busyView struct {
+	c      *cluster.Cluster
+	queues []robustness.CoreQueue
+}
+
+func newBusyView(m *workload.Model) *busyView {
+	v := &busyView{c: m.Cluster}
+	cores := m.Cluster.Cores()
+	v.queues = make([]robustness.CoreQueue, len(cores))
+	for i, id := range cores {
+		q := robustness.CoreQueue{Node: id.Node}
+		depth := 1 + i%3
+		for d := 0; d < depth; d++ {
+			qt := robustness.QueuedTask{
+				Type:     (i + d) % m.Params.TaskTypes,
+				PState:   cluster.PState((i + d) % cluster.NumPStates),
+				Deadline: 1e9,
+			}
+			if d == 0 {
+				qt.Started = true
+				qt.StartAt = 0
+			}
+			q.Tasks = append(q.Tasks, qt)
+		}
+		v.queues[i] = q
+	}
+	return v
+}
+
+func (v *busyView) NumCores() int                    { return v.c.TotalCores() }
+func (v *busyView) CoreID(i int) cluster.CoreID      { return v.c.Cores()[i] }
+func (v *busyView) Queue(i int) robustness.CoreQueue { return v.queues[i] }
+
+// BenchmarkBuildCandidates measures candidate enumeration plus the full
+// LL+en+rob filter chain over a busy cluster — the mapping hot path — with
+// and without the cross-decision free-time engine. "fresh" derives every
+// core's chain per decision (the pre-cache behavior); "cached" hits the
+// engine's per-core chains, as the engines do between queue mutations.
+func BenchmarkBuildCandidates(b *testing.B) {
+	m := microModel(b)
+	calc := robustness.NewCalculator(m)
+	view := newBusyView(m)
+	mapper := &sched.Mapper{Heuristic: sched.LightestLoad{}, Filters: sched.EnergyAndRobustness.Filters()}
+	task := workload.Task{ID: 0, Type: 3, Arrival: 100, Deadline: 100 + 2.5*m.TAvg(), U: 0.5, Priority: 1}
+	now := 100.0
+	run := func(b *testing.B, ft *robustness.FreeTimeEngine) {
+		rng := randx.NewStream(7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		before := pmf.ReadOpCounts()
+		for i := 0; i < b.N; i++ {
+			ctx := &sched.Context{
+				Now: now, Task: task, Model: m, Calc: calc,
+				EnergyLeft: m.DefaultEnergyBudget(), TasksLeft: 500, AvgQueueDepth: 1.8, Rand: rng,
+				FreeTimes: ft,
+			}
+			cands := sched.BuildCandidates(ctx, view)
+			_ = mapper.Map(ctx, cands)
+		}
+		d := pmf.ReadOpCounts().Sub(before)
+		b.ReportMetric(float64(d.Convolutions)/float64(b.N), "conv/decision")
+	}
+	b.Run("fresh", func(b *testing.B) { run(b, nil) })
+	b.Run("cached", func(b *testing.B) {
+		run(b, robustness.NewFreeTimeEngine(calc, view.NumCores()))
+	})
 }
 
 // BenchmarkServeAdmit measures the serving engine's full admission path —
@@ -439,6 +591,7 @@ func BenchmarkServeAdmit(b *testing.B) {
 	}
 	defer eng.Close()
 	dt := m.TAvg() / float64(m.Cluster.TotalCores())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Submit(server.TaskRequest{Type: i % p.TaskTypes}); err != nil {

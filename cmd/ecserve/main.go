@@ -61,6 +61,7 @@ func run() error {
 		horizon    = flag.Int("horizon", 0, "energy fair-share horizon in tasks (0 = model window)")
 		faults     = flag.String("faults", "", "fault-injection spec, key=value list: mtbf, dist=exp|weibull, shape, repair, node-mtbf, recovery=drop|requeue, retries, backoff, deadline-aware")
 		brownout   = flag.Bool("brownout", false, "staged 90/95/98% brownout; the deepest stage also sheds admissions")
+		exactRho   = flag.Bool("exactrho", false, "evaluate candidate ρ by direct double sum instead of the compacted completion PMF (faster, not bit-identical to the paper pipeline)")
 		grace      = flag.Duration("drain-grace", 10*time.Second, "wall-clock bound on the shutdown drain")
 		report     = flag.String("report", "", "write the final drain report JSON to this file ('-' = stdout)")
 	)
@@ -119,6 +120,7 @@ func run() error {
 		Metrics:        reg,
 		Seed:           spec.Seed,
 		DrainGrace:     *grace,
+		ExactRho:       *exactRho,
 	})
 	if err != nil {
 		return err

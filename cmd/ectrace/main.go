@@ -53,6 +53,7 @@ func run() error {
 		hold      = flag.Bool("hold", false, "with -listen: block after the run so the endpoints stay up")
 		faults    = flag.String("faults", "", "fault-injection spec, key=value list: mtbf, dist=exp|weibull, shape, repair, node-mtbf, recovery=drop|requeue, retries, backoff, deadline-aware")
 		brownout  = flag.Bool("brownout", false, "replace the hard energy halt with the staged 90/95/98% brownout schedule")
+		exactRho  = flag.Bool("exactrho", false, "evaluate candidate ρ by direct double sum instead of the compacted completion PMF (faster, not bit-identical to the paper pipeline)")
 
 		trialTimeout = flag.Duration("trial-timeout", 0, "wall-clock limit for the trial (0 = none)")
 	)
@@ -106,6 +107,7 @@ func run() error {
 		EnergyBudget: sys.Budget(),
 		Observer:     sim.Multi(rec),
 		Metrics:      reg,
+		ExactRho:     *exactRho,
 	}
 	if *faults != "" {
 		if cfg.Faults, err = core.ParseFaultSpec(*faults); err != nil {

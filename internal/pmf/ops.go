@@ -4,7 +4,32 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
+
+// convScratch holds the reusable intermediates of one exact-path
+// convolution: the raw impulse product, its sort permutation, and the
+// sort-merged impulses. Results are always freshly allocated
+// (PMFs are immutable and may be cached by callers), but the O(n·m)
+// intermediates never escape, so pooling them removes the dominant
+// allocation churn of the mapping hot path. The pool keeps convolution
+// safe for concurrent use (the experiment harness runs trials in parallel).
+type convScratch struct {
+	vals, probs   []float64 // raw product impulses
+	mvals, mprobs []float64 // sort-merged impulses
+	idx           []int     // sort permutation over the raw product
+}
+
+var convPool = sync.Pool{New: func() any { return new(convScratch) }}
+
+// growFloats returns buf resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
 
 // Shift returns the PMF translated by dt: if X ~ p then X+dt ~ p.Shift(dt).
 // This is the "shift the execution-time distribution by its start time"
@@ -74,24 +99,28 @@ func ConvolveN(p, q PMF, maxImpulses int) PMF {
 		opBucketed.Add(1)
 		return convolveBucketed(p, q, maxImpulses)
 	}
-	vals := make([]float64, 0, n)
-	probs := make([]float64, 0, n)
+	s := convPool.Get().(*convScratch)
+	defer convPool.Put(s)
+	s.vals = growFloats(s.vals, n)
+	s.probs = growFloats(s.probs, n)
+	k := 0
 	for i := range p.vals {
 		for j := range q.vals {
-			vals = append(vals, p.vals[i]+q.vals[j])
-			probs = append(probs, p.probs[i]*q.probs[j])
+			s.vals[k] = p.vals[i] + q.vals[j]
+			s.probs[k] = p.probs[i] * q.probs[j]
+			k++
 		}
 	}
-	out := sortMerge(vals, probs)
-	if maxImpulses > 0 && out.Len() > maxImpulses {
-		out = out.Compact(maxImpulses)
-	}
-	return out
+	return s.sortMergeCompact(maxImpulses)
 }
 
 // convolveBucketed computes the convolution directly into maxN equal-width
 // buckets over the exact support range, emitting one impulse per non-empty
-// bucket at its mass-weighted centroid.
+// bucket at its mass-weighted centroid. The accumulators are deliberately
+// fresh locals, not pooled scratch: the compiler can prove fresh
+// allocations don't alias the operand slices, which keeps the inner
+// accumulation loop free of redundant reloads (pooled buffers here cost
+// ~60% in ns/op for a saving of two 512-byte allocations).
 func convolveBucketed(p, q PMF, maxN int) PMF {
 	lo := p.vals[0] + q.vals[0]
 	hi := p.vals[len(p.vals)-1] + q.vals[len(q.vals)-1]
@@ -115,8 +144,14 @@ func convolveBucketed(p, q PMF, maxN int) PMF {
 			moment[b] += w * v
 		}
 	}
-	vals := make([]float64, 0, maxN)
-	probs := make([]float64, 0, maxN)
+	count := 0
+	for b := range mass {
+		if mass[b] > 0 {
+			count++
+		}
+	}
+	vals := make([]float64, 0, count)
+	probs := make([]float64, 0, count)
 	for b := range mass {
 		if mass[b] <= 0 {
 			continue
@@ -127,24 +162,39 @@ func convolveBucketed(p, q PMF, maxN int) PMF {
 	return PMF{vals: vals, probs: probs}
 }
 
-// sortMerge sorts impulse pairs by value and merges duplicates. It takes
-// ownership of its arguments.
-func sortMerge(vals, probs []float64) PMF {
-	idx := make([]int, len(vals))
+// sortMergeCompact sorts the raw product in s by value, merges duplicate
+// values, and — when the merged support exceeds maxImpulses — compacts,
+// keeping every intermediate inside the scratch. The returned PMF is
+// freshly allocated and exactly sized.
+func (s *convScratch) sortMergeCompact(maxImpulses int) PMF {
+	n := len(s.vals)
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+	}
+	idx := s.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
+	vals, probs := s.vals, s.probs
 	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
-	outV := make([]float64, 0, len(vals))
-	outP := make([]float64, 0, len(vals))
+	mv := growFloats(s.mvals, n)[:0]
+	mp := growFloats(s.mprobs, n)[:0]
 	for _, i := range idx {
-		if n := len(outV); n > 0 && outV[n-1] == vals[i] {
-			outP[n-1] += probs[i]
+		if k := len(mv); k > 0 && mv[k-1] == vals[i] {
+			mp[k-1] += probs[i]
 			continue
 		}
-		outV = append(outV, vals[i])
-		outP = append(outP, probs[i])
+		mv = append(mv, vals[i])
+		mp = append(mp, probs[i])
 	}
+	s.mvals, s.mprobs = mv, mp
+	if maxImpulses > 0 && len(mv) > maxImpulses {
+		return compactImpulses(mv, mp, maxImpulses)
+	}
+	outV := make([]float64, len(mv))
+	outP := make([]float64, len(mp))
+	copy(outV, mv)
+	copy(outP, mp)
 	return PMF{vals: outV, probs: outP}
 }
 
@@ -160,10 +210,18 @@ func (p PMF) Compact(maxImpulses int) PMF {
 	if p.Len() <= maxImpulses {
 		return p.clone()
 	}
-	lo, hi := p.Min(), p.Max()
+	return compactImpulses(p.vals, p.probs, maxImpulses)
+}
+
+// compactImpulses is the bucket-merge core shared by Compact and the
+// convolution path: an equal-width value partition of [lo, hi] with one
+// impulse per non-empty bucket at its mass-weighted centroid. vals must be
+// sorted ascending and duplicate-free, with len(vals) > maxImpulses.
+func compactImpulses(vals, probs []float64, maxImpulses int) PMF {
+	lo, hi := vals[0], vals[len(vals)-1]
 	span := hi - lo
 	if span <= 0 {
-		return Point(p.vals[0])
+		return Point(vals[0])
 	}
 	outV := make([]float64, 0, maxImpulses)
 	outP := make([]float64, 0, maxImpulses)
@@ -176,8 +234,8 @@ func (p PMF) Compact(maxImpulses int) PMF {
 		outV = append(outV, moment/mass)
 		outP = append(outP, mass)
 	}
-	for i := range p.vals {
-		b := int(float64(maxImpulses) * (p.vals[i] - lo) / span)
+	for i := range vals {
+		b := int(float64(maxImpulses) * (vals[i] - lo) / span)
 		if b >= maxImpulses {
 			b = maxImpulses - 1
 		}
@@ -186,16 +244,25 @@ func (p PMF) Compact(maxImpulses int) PMF {
 			bucket = b
 			mass, moment = 0, 0
 		}
-		mass += p.probs[i]
-		moment += p.probs[i] * p.vals[i]
+		mass += probs[i]
+		moment += probs[i] * vals[i]
 	}
 	flush()
 	opCompactions.Add(1)
-	opImpulsesCompacted.Add(int64(p.Len() - len(outV)))
+	opImpulsesCompacted.Add(int64(len(vals) - len(outV)))
 	// Centroids of consecutive buckets are strictly increasing because the
 	// buckets partition disjoint value ranges, so outV is already sorted
 	// and duplicate-free.
 	return PMF{vals: outV, probs: outP}
+}
+
+// SearchValue returns the index of the first support value >= t — the cut
+// TruncateBelow(t) would apply: 0 keeps every impulse, Len() keeps none.
+// The zero PMF yields 0. Because the truncation depends on t only through
+// this index, two instants with the same cut produce bit-identical
+// truncations — the invariant the incremental free-time cache keys on.
+func (p PMF) SearchValue(t float64) int {
+	return sort.SearchFloat64s(p.vals, t)
 }
 
 // TruncateBelow removes all impulses with value < t and renormalizes the

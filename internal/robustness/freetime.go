@@ -1,0 +1,335 @@
+package robustness
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/pmf"
+)
+
+// FreeTimeEngine caches each core's §IV-B free-time convolution chain
+// across mapping decisions. The naive pipeline rebuilds every core's chain
+// from scratch at every decision, yet an immediate-mode decision mutates
+// exactly one core's queue — on a 64-core cluster ~63 chains are
+// recomputed identically on the next arrival.
+//
+// Bit-identity is the design constraint: convolution followed by
+// compaction is NOT associative, so caching the tail product w1⊗w2⊗…
+// alone and convolving a re-derived head against it would change results.
+// Instead the engine caches the FULL left-associated chain
+// ((head⊗w1)⊗w2)… — exactly what Calculator.FreeTime computes — keyed by
+// (queue version, head truncation cut). The cut is the index TruncateBelow
+// applies (pmf.SearchValue): the truncated head, and therefore the whole
+// chain, depends on the decision instant only through that index, so as
+// long as the cut is stable the cached chain is bit-identical to a fresh
+// recomputation. Enqueueing appends one convolution at the RIGHT end of
+// the left-associated chain, which preserves association order — the O(1)
+// extension the naive loop pays O(queue) for.
+//
+// Contract: callers own the invalidation discipline. Every queue mutation
+// other than a pure tail enqueue — head start, head completion, waiting
+// task cancellation, fault requeue, core down — must call Invalidate for
+// that core; a tail enqueue must call OnEnqueue. Heads that resist caching
+// fall back to the naive path: an unstarted head depends on the raw
+// decision instant (pure shift by now), and a fully overdue head
+// degenerates to Point(now); neither is stored.
+//
+// The engine is NOT safe for concurrent use: each simulation engine and
+// the online server run their event loops on a single goroutine and own
+// one engine instance.
+type FreeTimeEngine struct {
+	calc  *Calculator
+	cores []coreChain
+
+	// Chain-cache instrumentation (nil-safe, attached via Instrument).
+	hits, misses, extends, rebuilds *metrics.Counter
+	compHits, compMisses, compSkips *metrics.Counter
+}
+
+// compKey identifies a candidate completion distribution on one core: the
+// task type and P-state determine the execution PMF (the core's node is
+// fixed), and together with the core's free time they determine
+// Convolve(free, exec).
+type compKey struct {
+	taskType int
+	ps       cluster.PState
+}
+
+// compEntry is a cached completion PMF plus the (version, cut, length)
+// triple that pins the free-time distribution it was convolved against.
+type compEntry struct {
+	ver  uint64
+	cut  int
+	qlen int
+	comp pmf.PMF
+}
+
+// coreChain is one core's cached state, all guarded by ver: Invalidate
+// bumps ver, which lazily discards every derived value below.
+type coreChain struct {
+	ver uint64
+
+	// comp is the running head's execution PMF shifted by its start time —
+	// the now-independent part of the head stage, derived once per version.
+	comp    pmf.PMF
+	compVer uint64
+	compOK  bool
+
+	// head is comp truncated at headCut and renormalized, with its mean.
+	head     pmf.PMF
+	headMean float64
+	headCut  int
+	headVer  uint64
+	headOK   bool
+
+	// chain is the full left-associated free-time chain for the whole
+	// queue of chainLen tasks, built from the head at chainCut.
+	chain    pmf.PMF
+	chainCut int
+	chainLen int
+	chainVer uint64
+	chainOK  bool
+
+	// comps caches candidate completion distributions Convolve(chain, exec)
+	// per (task type, P-state), each pinned to the exact free-time state it
+	// was derived from. Stale entries are overwritten in place, so the map
+	// never exceeds |types|·|P-states| entries.
+	comps map[compKey]compEntry
+
+	// seenQ/seenNow record the queue state most recently passed to FreeMean
+	// or FreeTime, letting RhoSeen re-derive it instead of every candidate
+	// carrying its own copy through the mapping hot path.
+	seenQ   CoreQueue
+	seenNow float64
+}
+
+// NewFreeTimeEngine returns an engine for numCores cores evaluating
+// against calc's model.
+func NewFreeTimeEngine(calc *Calculator, numCores int) *FreeTimeEngine {
+	if calc == nil {
+		panic("robustness: nil calculator")
+	}
+	return &FreeTimeEngine{calc: calc, cores: make([]coreChain, numCores)}
+}
+
+// Instrument attaches the chain-cache counters: hits (a cached chain was
+// returned untouched), misses (no reusable chain existed and it was built
+// from scratch), extends (an enqueue was absorbed with one convolution),
+// and rebuilds (a chain for the same queue was re-derived because the
+// running head's truncation cut drifted). compHits/compMisses count
+// completion-distribution lookups answered from (respectively convolved
+// into) the per-core completion cache, and compSkips counts ρ evaluations
+// resolved to exactly zero by the infeasibility bound without touching a
+// distribution at all. Any counter may be nil.
+func (e *FreeTimeEngine) Instrument(hits, misses, extends, rebuilds, compHits, compMisses, compSkips *metrics.Counter) {
+	e.hits, e.misses, e.extends, e.rebuilds = hits, misses, extends, rebuilds
+	e.compHits, e.compMisses, e.compSkips = compHits, compMisses, compSkips
+}
+
+// Invalidate discards the core's cached state. Call it on every queue
+// mutation that is not a pure tail enqueue.
+func (e *FreeTimeEngine) Invalidate(coreIdx int) {
+	e.cores[coreIdx].ver++
+}
+
+// OnEnqueue absorbs a task of the given type appended at P-state ps to the
+// tail of the core's queue, which now holds queueLen tasks. If the core
+// has a current chain for the previous queue, one convolution extends it
+// in place of the full rebuild the next query would otherwise pay; if not
+// (stale, never built, or built from an uncacheable head), the enqueue is
+// a no-op and the next query rebuilds lazily.
+func (e *FreeTimeEngine) OnEnqueue(coreIdx, node, taskType int, ps cluster.PState, queueLen int) {
+	c := &e.cores[coreIdx]
+	if !c.chainOK || c.chainVer != c.ver || c.chainLen != queueLen-1 || c.chainLen < 1 {
+		return
+	}
+	c.chain = pmf.Convolve(c.chain, e.calc.model.ExecPMF(taskType, node, ps))
+	c.chainLen = queueLen
+	e.extends.Inc()
+}
+
+// FreeMean returns E[free time] by linearity, reusing the cached truncated
+// head mean when the running head's cut is stable. The arithmetic mirrors
+// the naive linearity shortcut exactly: the (truncated) head mean plus the
+// execution means of the waiting tasks, or now + mean for an unstarted
+// head.
+func (e *FreeTimeEngine) FreeMean(coreIdx int, q CoreQueue, now float64) float64 {
+	c := &e.cores[coreIdx]
+	c.seenQ, c.seenNow = q, now
+	if len(q.Tasks) == 0 {
+		return now
+	}
+	var mean float64
+	if t0 := q.Tasks[0]; t0.Started {
+		_, m, _ := e.headFor(coreIdx, q, now)
+		mean = m
+	} else {
+		mean = now + e.calc.model.ExecPMF(t0.Type, q.Node, t0.PState).Mean()
+	}
+	for _, t := range q.Tasks[1:] {
+		mean += e.calc.model.ExecPMF(t.Type, q.Node, t.PState).Mean()
+	}
+	return mean
+}
+
+// FreeTime returns the core's free-time distribution at now,
+// bit-identical to Calculator.FreeTime on the same queue. A query whose
+// queue version, length, and head cut all match the cached chain is a
+// cache hit and costs zero convolutions.
+func (e *FreeTimeEngine) FreeTime(coreIdx int, q CoreQueue, now float64) pmf.PMF {
+	c := &e.cores[coreIdx]
+	c.seenQ, c.seenNow = q, now
+	if len(q.Tasks) == 0 {
+		return pmf.Point(now)
+	}
+	var head pmf.PMF
+	cut := -1
+	if t0 := q.Tasks[0]; t0.Started {
+		head, _, cut = e.headFor(coreIdx, q, now)
+	} else {
+		head = e.calc.model.ExecPMF(t0.Type, q.Node, t0.PState).Shift(now)
+	}
+	if c.chainOK && c.chainVer == c.ver && c.chainLen == len(q.Tasks) && cut >= 0 && c.chainCut == cut {
+		e.hits.Inc()
+		return c.chain
+	}
+	rebuild := c.chainOK && c.chainVer == c.ver && c.chainLen == len(q.Tasks)
+	free := e.calc.FreeTimeFrom(head, q, now)
+	if cut >= 0 {
+		c.chain, c.chainCut, c.chainLen, c.chainVer, c.chainOK = free, cut, len(q.Tasks), c.ver, true
+	} else {
+		// The head is uncacheable (unstarted or fully overdue); any stored
+		// chain for this version can never match again.
+		c.chainOK = false
+	}
+	if rebuild {
+		e.rebuilds.Inc()
+	} else {
+		e.misses.Inc()
+	}
+	return free
+}
+
+// ProbOnTime returns ρ(i,j,k,π,t_l,z) for a candidate of taskType at
+// P-state ps against the core's current queue, bit-identical to
+// Calculator.ProbOnTime(FreeTime(coreIdx, q, now), ...). The completion
+// distribution Convolve(free, exec) is a pure function of the free-time
+// chain and the execution PMF, so while the chain is unchanged (same
+// version, head cut, and queue length) the cached completion PMF answers
+// repeat queries for the same (type, P-state) with zero convolutions —
+// only the deadline CDF lookup remains. free, when non-nil, supplies the
+// free-time distribution on a completion-cache miss (so callers can route
+// the access through their own memo); nil falls back to e.FreeTime.
+//
+// In exact-ρ mode the evaluator never materializes a completion PMF, so
+// there is nothing to cache and the call devolves to the direct double sum.
+func (e *FreeTimeEngine) ProbOnTime(coreIdx int, q CoreQueue, now float64, taskType int, ps cluster.PState, deadline float64, free func() pmf.PMF) float64 {
+	if free == nil {
+		free = func() pmf.PMF { return e.FreeTime(coreIdx, q, now) }
+	}
+	if e.calc.exactRho {
+		return e.calc.ProbOnTime(free(), taskType, q.Node, ps, deadline)
+	}
+	c := &e.cores[coreIdx]
+	cut := -1
+	var freeMin float64
+	if len(q.Tasks) == 0 {
+		freeMin = now
+	} else {
+		if t0 := q.Tasks[0]; t0.Started {
+			var head pmf.PMF
+			head, _, cut = e.headFor(coreIdx, q, now)
+			freeMin = head.Value(0)
+		} else {
+			freeMin = now + e.calc.model.ExecPMF(t0.Type, q.Node, t0.PState).Min()
+		}
+		for _, t := range q.Tasks[1:] {
+			freeMin += e.calc.model.ExecPMF(t.Type, q.Node, t.PState).Min()
+		}
+	}
+	exec := e.calc.model.ExecPMF(taskType, q.Node, ps)
+	// Infeasibility short-circuit: every impulse of the completion
+	// distribution lies at or above the sum of its operands' support minima
+	// (Shift and TruncateBelow are exact; convolution values are correctly-
+	// rounded sums; compaction replaces runs by mass-weighted centroids,
+	// which can dip below the run minimum only by accumulated rounding,
+	// ≲1e-12 relative). A deadline below that bound by a 1e-9 relative
+	// guard — orders of magnitude wider than the worst-case centroid
+	// rounding — therefore lies strictly below every impulse, and ρ is
+	// exactly the 0.0 the naive evaluation would return, with no
+	// convolution at all. Overloaded cores make this the common case.
+	if bound := freeMin + exec.Min(); bound > 0 && deadline < bound*(1-1e-9) {
+		e.compSkips.Inc()
+		return 0
+	}
+	key := compKey{taskType: taskType, ps: ps}
+	if cut >= 0 {
+		if ent, ok := c.comps[key]; ok && ent.ver == c.ver && ent.cut == cut && ent.qlen == len(q.Tasks) {
+			e.compHits.Inc()
+			return ent.comp.ProbByDeadline(deadline)
+		}
+	}
+	comp := e.calc.CompletionPMF(free(), taskType, q.Node, ps)
+	if cut >= 0 {
+		if c.comps == nil {
+			c.comps = make(map[compKey]compEntry)
+		}
+		c.comps[key] = compEntry{ver: c.ver, cut: cut, qlen: len(q.Tasks), comp: comp}
+	}
+	e.compMisses.Inc()
+	return comp.ProbByDeadline(deadline)
+}
+
+// RhoSeen is ProbOnTime evaluated against the queue state most recently
+// passed to FreeMean or FreeTime for this core. BuildCandidates derives
+// every core's free-time mean before any candidate's ρ is demanded, and
+// queues never mutate mid-decision, so the recorded state is exactly the
+// decision's state — without each candidate carrying a queue copy through
+// the mapping hot path.
+func (e *FreeTimeEngine) RhoSeen(coreIdx, taskType int, ps cluster.PState, deadline float64, free func() pmf.PMF) float64 {
+	c := &e.cores[coreIdx]
+	return e.ProbOnTime(coreIdx, c.seenQ, c.seenNow, taskType, ps, deadline, free)
+}
+
+// headFor derives (and caches) the started head stage for the core's
+// current queue at now, returning the truncated completion PMF, its mean,
+// and the truncation cut. cut < 0 marks a head whose value depends on the
+// raw decision instant (the whole support is overdue and the §IV-B
+// pipeline degenerates to Point(now)); such heads are never cached.
+func (e *FreeTimeEngine) headFor(coreIdx int, q CoreQueue, now float64) (pmf.PMF, float64, int) {
+	t0 := q.Tasks[0]
+	c := &e.cores[coreIdx]
+	if !c.compOK || c.compVer != c.ver {
+		c.comp = e.calc.model.ExecPMF(t0.Type, q.Node, t0.PState).Shift(t0.StartAt)
+		c.compVer = c.ver
+		c.compOK = true
+		c.headOK = false
+	}
+	cut := c.comp.SearchValue(now)
+	if cut == c.comp.Len() {
+		return pmf.Point(now), now, -1
+	}
+	if c.headOK && c.headVer == c.ver && c.headCut == cut {
+		return c.head, c.headMean, cut
+	}
+	if cut == 0 {
+		// TruncateBelow would clone; the impulses are identical, and the
+		// chain never mutates its head, so share comp directly.
+		c.head = c.comp
+	} else {
+		head, kept := c.comp.TruncateBelow(now)
+		if kept <= 0 {
+			// All remaining mass vanished: same degenerate Point(now) the
+			// naive pipeline produces. Not cacheable.
+			return head, now, -1
+		}
+		c.head = head
+	}
+	c.headMean = c.head.Mean()
+	c.headCut = cut
+	c.headVer = c.ver
+	c.headOK = true
+	return c.head, c.headMean, cut
+}
+
+// NumCores returns the number of cores the engine tracks.
+func (e *FreeTimeEngine) NumCores() int { return len(e.cores) }

@@ -1,6 +1,9 @@
 package sched
 
-import "repro/internal/metrics"
+import (
+	"repro/internal/metrics"
+	"repro/internal/robustness"
+)
 
 // Counters is the scheduler's prepared instrumentation: handles registered
 // once per simulation run and bumped lock-free on the mapping hot path.
@@ -19,6 +22,25 @@ type Counters struct {
 	// RhoEvals counts ρ(i,j,k,π,t_l,z) evaluations (candidate-level
 	// completion-probability convolutions).
 	RhoEvals *metrics.Counter
+	// ChainHits / ChainMisses / ChainExtends / ChainRebuilds track the
+	// cross-decision chain cache (robustness.FreeTimeEngine): a hit returns
+	// a core's cached §IV-B chain with zero convolutions, a miss builds it
+	// from scratch, an extend absorbs a tail enqueue with one convolution,
+	// and a rebuild re-derives a current chain because the running head's
+	// truncation cut drifted.
+	ChainHits     *metrics.Counter
+	ChainMisses   *metrics.Counter
+	ChainExtends  *metrics.Counter
+	ChainRebuilds *metrics.Counter
+	// CompHits / CompMisses track the engine's completion-distribution
+	// cache: a hit answers a candidate's ρ from a cached
+	// Convolve(free, exec) with zero convolutions. CompSkips counts ρ
+	// evaluations resolved to exactly zero by the infeasibility bound
+	// (deadline below the completion support's minimum) without touching
+	// any distribution.
+	CompHits   *metrics.Counter
+	CompMisses *metrics.Counter
+	CompSkips  *metrics.Counter
 	// Discards counts tasks whose feasible set was filtered to empty.
 	Discards *metrics.Counter
 
@@ -37,6 +59,13 @@ func NewCounters(r *metrics.Registry, filters []Filter) *Counters {
 		FreeTimeHits:   r.Counter("robustness_freetime_cache_hits_total"),
 		FreeTimeMisses: r.Counter("robustness_freetime_cache_misses_total"),
 		RhoEvals:       r.Counter("sched_rho_evaluations_total"),
+		ChainHits:      r.Counter("robustness_chain_cache_hits_total"),
+		ChainMisses:    r.Counter("robustness_chain_cache_misses_total"),
+		ChainExtends:   r.Counter("robustness_chain_cache_extends_total"),
+		ChainRebuilds:  r.Counter("robustness_chain_cache_rebuilds_total"),
+		CompHits:       r.Counter("robustness_completion_cache_hits_total"),
+		CompMisses:     r.Counter("robustness_completion_cache_misses_total"),
+		CompSkips:      r.Counter("robustness_completion_infeasible_skips_total"),
 		Discards:       r.Counter("sched_filtered_to_empty_total"),
 	}
 	c.rejections = make([]*metrics.Counter, len(filters))
@@ -44,6 +73,15 @@ func NewCounters(r *metrics.Registry, filters []Filter) *Counters {
 		c.rejections[i] = r.Counter("sched_filter_rejections_total", metrics.L("filter", f.Name()))
 	}
 	return c
+}
+
+// InstrumentFreeTimes attaches the chain-cache counters to a free-time
+// engine. Nil-safe on both sides.
+func (c *Counters) InstrumentFreeTimes(e *robustness.FreeTimeEngine) {
+	if c == nil || e == nil {
+		return
+	}
+	e.Instrument(c.ChainHits, c.ChainMisses, c.ChainExtends, c.ChainRebuilds, c.CompHits, c.CompMisses, c.CompSkips)
 }
 
 func (c *Counters) addDecision() {

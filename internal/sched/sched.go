@@ -50,9 +50,16 @@ type Candidate struct {
 	taskType int
 	calc     *robustness.Calculator
 	counters *Counters
+	// ft, when non-nil, evaluates ρ through the cross-decision engine's
+	// completion cache (against the engine's per-core recorded queue state)
+	// instead of convolving free ⊛ exec per candidate.
+	ft *robustness.FreeTimeEngine
 
-	rho    float64
-	rhoSet bool
+	// rho memoizes Rho(); -1 (set by BuildCandidates) means not yet
+	// computed. The sentinel instead of a bool keeps Candidate at 128
+	// bytes — one allocation size class below the padded-bool layout,
+	// which is measurable across 300 candidates per decision.
+	rho float64
 }
 
 // ECT returns the expected completion time (§V-A). By linearity of
@@ -64,9 +71,12 @@ func (c *Candidate) ECT() float64 { return c.freeMean + c.EET }
 // its deadline under this assignment. The underlying completion-time
 // convolution is performed once and cached.
 func (c *Candidate) Rho() float64 {
-	if !c.rhoSet {
-		c.rho = c.calc.ProbOnTime(c.free(), c.taskType, c.Core.Node, c.PState, c.deadline)
-		c.rhoSet = true
+	if c.rho < 0 {
+		if c.ft != nil {
+			c.rho = c.ft.RhoSeen(c.CoreIdx, c.taskType, c.PState, c.deadline, c.free)
+		} else {
+			c.rho = c.calc.ProbOnTime(c.free(), c.taskType, c.Core.Node, c.PState, c.deadline)
+		}
 		c.counters.addRho()
 	}
 	return c.rho
@@ -97,6 +107,12 @@ type Context struct {
 	// Counters, when non-nil, receives hot-path instrumentation (candidate
 	// enumeration, free-time cache traffic, filter rejections).
 	Counters *Counters
+	// FreeTimes, when non-nil, is the cross-decision incremental free-time
+	// engine: BuildCandidates consults (and maintains) per-core cached
+	// convolution chains instead of rebuilding every distribution from
+	// scratch. Results are bit-identical either way; nil falls back to
+	// per-decision derivation.
+	FreeTimes *robustness.FreeTimeEngine
 
 	// CoreUp, when non-nil, reports whether the core at a flat index is
 	// currently up; BuildCandidates skips down cores entirely. Nil means
@@ -150,15 +166,34 @@ func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
 		q := view.Queue(idx)
 		node := ctx.Model.Cluster.Node(id)
 
-		freeMean := freeMeanByLinearity(ctx, q)
+		// The per-decision free-time memo (cached/freeFn) shares one
+		// distribution across the core's P-state candidates; behind it sits
+		// either the cross-decision engine or a one-shot derivation whose
+		// head PMF is shared with the linearity shortcut below.
+		var freeMean float64
 		var cached pmf.PMF
-		freeFn := func() pmf.PMF {
-			hit := !cached.IsZero()
-			ctx.Counters.freeTime(hit)
-			if !hit {
-				cached = ctx.Calc.FreeTime(q, ctx.Now)
+		var freeFn func() pmf.PMF
+		if ft := ctx.FreeTimes; ft != nil {
+			freeMean = ft.FreeMean(idx, q, ctx.Now)
+			freeFn = func() pmf.PMF {
+				hit := !cached.IsZero()
+				ctx.Counters.freeTime(hit)
+				if !hit {
+					cached = ft.FreeTime(idx, q, ctx.Now)
+				}
+				return cached
 			}
-			return cached
+		} else {
+			head := ctx.Calc.HeadPMF(q, ctx.Now)
+			freeMean = freeMeanByLinearity(ctx, q, head)
+			freeFn = func() pmf.PMF {
+				hit := !cached.IsZero()
+				ctx.Counters.freeTime(hit)
+				if !hit {
+					cached = ctx.Calc.FreeTimeFrom(head, q, ctx.Now)
+				}
+				return cached
+			}
 		}
 		for _, ps := range cluster.AllPStates() {
 			if ps < ctx.PStateFloor {
@@ -177,6 +212,13 @@ func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
 				taskType:   ctx.Task.Type,
 				calc:       ctx.Calc,
 				counters:   ctx.Counters,
+				// ρ routes through the engine's completion cache when one is
+				// attached: a repeat of the same (type, P-state) against an
+				// unchanged chain costs no convolution. The free-time access
+				// on a completion miss still goes through freeFn so the
+				// per-decision cache counters keep their meaning.
+				ft:  ctx.FreeTimes,
+				rho: -1,
 			})
 		}
 	}
@@ -186,8 +228,12 @@ func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
 
 // freeMeanByLinearity computes E[free time] without convolutions: the
 // truncated completion mean of the running task (if any) plus the execution
-// means of the waiting tasks.
-func freeMeanByLinearity(ctx *Context, q robustness.CoreQueue) float64 {
+// means of the waiting tasks. head is the running task's truncated
+// completion PMF (Calculator.HeadPMF) — derived once by the caller and
+// shared with the full FreeTime chain, instead of each repeating the
+// Shift+TruncateBelow work. It is the zero PMF when the queue is empty or
+// the head task has not started.
+func freeMeanByLinearity(ctx *Context, q robustness.CoreQueue, head pmf.PMF) float64 {
 	if len(q.Tasks) == 0 {
 		return ctx.Now
 	}
@@ -196,9 +242,7 @@ func freeMeanByLinearity(ctx *Context, q robustness.CoreQueue) float64 {
 		exec := ctx.Model.ExecPMF(t.Type, q.Node, t.PState)
 		if i == 0 {
 			if t.Started {
-				comp := exec.Shift(t.StartAt)
-				comp, _ = comp.TruncateBelow(ctx.Now)
-				mean = comp.Mean()
+				mean = head.Mean()
 			} else {
 				mean = ctx.Now + exec.Mean()
 			}

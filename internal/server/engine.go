@@ -196,6 +196,12 @@ type Config struct {
 	// DrainGrace bounds the wall time Drain may spend fast-forwarding
 	// in-flight work; defaults to 10s.
 	DrainGrace time.Duration
+	// ExactRho switches candidate ρ evaluation to the direct double-sum
+	// P(free + exec <= deadline) instead of materializing and compacting
+	// the completion PMF (robustness.Calculator.SetExactRho). Numerically
+	// tighter and allocation-free on the serving hot path, but not
+	// bit-identical to the simulation default; off by default.
+	ExactRho bool
 	// NoShedInfeasible disables deadline-aware admission shedding (tasks
 	// with hopeless deadlines then run the full filter chain instead).
 	NoShedInfeasible bool
@@ -279,6 +285,7 @@ type Engine struct {
 	clock Clock
 	model *workload.Model
 	calc  *robustness.Calculator
+	ftc   *robustness.FreeTimeEngine
 	meter *energy.Meter
 	bro   *energy.Brownout
 	brk   *breakers
@@ -503,6 +510,10 @@ func New(cfg Config) (*Engine, error) {
 		started:      time.Now(),
 	}
 	e.queues = make([][]queued, len(e.cores))
+	e.ftc = robustness.NewFreeTimeEngine(e.calc, len(e.cores))
+	if cfg.ExactRho {
+		e.calc.SetExactRho(true)
+	}
 	e.runGen = make([]int, len(e.cores))
 	e.down = make([]bool, len(e.cores))
 	e.alive = make([]bool, cfg.Model.Cluster.N())
@@ -516,6 +527,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Metrics != nil {
 		e.counters = sched.NewCounters(cfg.Metrics, cfg.Mapper.Filters)
+		e.counters.InstrumentFreeTimes(e.ftc)
 		e.meter.Instrument(
 			cfg.Metrics.Counter("energy_meter_advances_total"),
 			cfg.Metrics.Counter("energy_pstate_transitions_total"),
@@ -782,6 +794,7 @@ func (e *Engine) halt(at float64) {
 			e.fail(q.task, FailHalted)
 		}
 		e.queues[idx] = nil
+		e.ftc.Invalidate(idx)
 	}
 	for _, r := range e.requeues {
 		e.fail(r.task, FailHalted)
@@ -946,6 +959,7 @@ func (e *Engine) mapTask(now float64, task workload.Task, maxEnergy *float64) *s
 		AvgQueueDepth: float64(e.inSystem) / float64(len(e.cores)),
 		Rand:          e.rand,
 		Counters:      e.counters,
+		FreeTimes:     e.ftc,
 		CoreUp:        e.coreUp(now),
 	}
 	if e.brk != nil {
@@ -995,6 +1009,7 @@ func (e *Engine) place(now float64, task workload.Task, chosen *sched.Candidate,
 	actual := e.model.ActualExecTime(task, chosen.Core.Node, chosen.PState)
 	idx := chosen.CoreIdx
 	e.queues[idx] = append(e.queues[idx], queued{task: task, pstate: chosen.PState, actual: actual, attempts: attempts})
+	e.ftc.OnEnqueue(idx, chosen.Core.Node, task.Type, chosen.PState, len(e.queues[idx]))
 	e.inSystem++
 	e.st.assigned.Add(1)
 	e.updInflight()
@@ -1009,6 +1024,7 @@ func (e *Engine) place(now float64, task workload.Task, chosen *sched.Candidate,
 
 // start begins executing the head of a core's queue.
 func (e *Engine) start(now float64, coreIdx int) {
+	e.ftc.Invalidate(coreIdx) // the head gains Started/StartAt
 	head := &e.queues[coreIdx][0]
 	e.setPState(now, coreIdx, head.pstate)
 	head.started = true
@@ -1039,6 +1055,7 @@ func (e *Engine) complete(now float64, coreIdx int) {
 	q := e.queues[coreIdx]
 	head := q[0]
 	e.queues[coreIdx] = q[1:]
+	e.ftc.Invalidate(coreIdx)
 	e.inSystem--
 	e.updInflight()
 	onTime := now <= head.task.Deadline
@@ -1126,6 +1143,7 @@ flush:
 				e.fail(q.task, FailDrainTimeout)
 			}
 			e.queues[idx] = nil
+			e.ftc.Invalidate(idx)
 		}
 		for _, r := range e.requeues {
 			e.fail(r.task, FailDrainTimeout)

@@ -194,6 +194,7 @@ func (e *Engine) downCore(now float64, kind fault.Kind, coreIdx int, repair floa
 	}
 	q := e.queues[coreIdx]
 	e.queues[coreIdx] = nil
+	e.ftc.Invalidate(coreIdx)
 	if len(q) > 0 {
 		e.inSystem -= len(q)
 		for i := range q {

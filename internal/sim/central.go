@@ -174,6 +174,9 @@ func (e *centralEngine) dispatch(now float64) {
 		e.res.Mapped++
 		e.met.taskMapped()
 		actual := e.cfg.Model.ActualExecTime(task, node, ps)
+		// Central queues hold at most the running task, so no chain ever
+		// spans more than the head: start() below invalidates the free-time
+		// engine and no OnEnqueue extension is possible here.
 		e.queues[coreIdx] = append(e.queues[coreIdx], queued{task: task, pstate: ps, actual: actual})
 		e.inSystem++
 		if e.cfg.Trace {

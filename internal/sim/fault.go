@@ -95,6 +95,7 @@ func (e *engine) faultWorkRemains() bool {
 // reliability filter, and an active brownout stage floors the P-state and
 // caps ζ_mul. All fields stay nil/zero when the features are off.
 func (e *engine) decorateCtx(ctx *sched.Context) {
+	ctx.FreeTimes = e.ftc
 	if e.flt != nil {
 		ctx.CoreUp = e.coreUpFn
 		ctx.Availability = e.availFn
@@ -277,6 +278,7 @@ func (e *engine) downCore(now float64, kind fault.Kind, coreIdx int, repair floa
 	}
 	q := e.queues[coreIdx]
 	e.queues[coreIdx] = nil
+	e.ftc.Invalidate(coreIdx)
 	if len(q) > 0 {
 		e.inSystem -= len(q)
 		for i := range q {
@@ -417,6 +419,7 @@ func (e *engine) handleRequeue(now float64, taskID int) {
 	actual := e.cfg.Model.ActualExecTime(task, chosen.Core.Node, chosen.PState)
 	idx := chosen.CoreIdx
 	e.queues[idx] = append(e.queues[idx], queued{task: task, pstate: chosen.PState, actual: actual})
+	e.ftc.OnEnqueue(idx, chosen.Core.Node, task.Type, chosen.PState, len(e.queues[idx]))
 	e.inSystem++
 	if e.cfg.Trace {
 		tr := &e.res.Traces[taskID]

@@ -95,6 +95,12 @@ type Config struct {
 	// energy.BrownoutStage / energy.DefaultBrownoutStages. Requires a
 	// finite EnergyBudget; nil reproduces the paper.
 	Brownout []energy.BrownoutStage
+	// ExactRho switches candidate ρ evaluation to the direct double-sum
+	// P(free + exec <= deadline) instead of materializing and compacting
+	// the completion PMF (robustness.Calculator.SetExactRho). Numerically
+	// tighter and allocation-free, but not bit-identical to the paper
+	// pipeline; leave false to reproduce the paper.
+	ExactRho bool
 }
 
 // ParkPolicy configures the power-gating extension.
@@ -321,6 +327,7 @@ type engine struct {
 	processed int // events handled, for periodic cancellation checks
 	trial     *workload.Trial
 	calc      *robustness.Calculator
+	ftc       *robustness.FreeTimeEngine
 	meter     *energy.Meter
 	rand      *randx.Stream
 	cores     []cluster.CoreID
@@ -490,6 +497,10 @@ func RunContext(ctx context.Context, cfg Config, trial *workload.Trial, decision
 			Window: len(trial.Tasks),
 		},
 	}
+	e.ftc = robustness.NewFreeTimeEngine(e.calc, len(e.queues))
+	if cfg.ExactRho {
+		e.calc.SetExactRho(true)
+	}
 	if eo, ok := cfg.Observer.(EnergyObserver); ok {
 		e.eobs = eo
 	}
@@ -506,6 +517,7 @@ func RunContext(ctx context.Context, cfg Config, trial *workload.Trial, decision
 		}
 		e.met = newSimMetrics(cfg.Metrics)
 		e.met.sched = sched.NewCounters(cfg.Metrics, filters)
+		e.met.sched.InstrumentFreeTimes(e.ftc)
 		e.calc.Instrument(
 			cfg.Metrics.Counter("robustness_freetime_evals_total"),
 			cfg.Metrics.Counter("robustness_completion_evals_total"))
@@ -696,6 +708,7 @@ func (e *engine) arrive(now float64, taskIdx int) {
 	q := queued{task: task, pstate: chosen.PState, actual: actual}
 	idx := chosen.CoreIdx
 	e.queues[idx] = append(e.queues[idx], q)
+	e.ftc.OnEnqueue(idx, chosen.Core.Node, task.Type, chosen.PState, len(e.queues[idx]))
 	e.inSystem++
 	if e.cfg.Trace {
 		tr := &e.res.Traces[taskIdx]
@@ -712,6 +725,7 @@ func (e *engine) arrive(now float64, taskIdx int) {
 // this instant) transitions to the task's P-state and a completion event is
 // scheduled at the realized finish time.
 func (e *engine) start(now float64, coreIdx int) {
+	e.ftc.Invalidate(coreIdx) // the head gains Started/StartAt
 	head := &e.queues[coreIdx][0]
 	wake := 0.0
 	if e.cfg.Park.Enabled {
@@ -784,6 +798,9 @@ func (e *engine) complete(now float64, coreIdx int) {
 	q := e.queues[coreIdx]
 	head := q[0]
 	e.queues[coreIdx] = q[1:]
+	// One version bump covers the head pop and any overdue-waiting drops
+	// below: no free-time query can run before the queue settles.
+	e.ftc.Invalidate(coreIdx)
 	e.inSystem--
 	onTime := now <= head.task.Deadline
 	if onTime {

@@ -19,6 +19,11 @@ echo "== tier 1: go build ./..."
 go build ./...
 echo "== tier 1: go test ./..."
 go test ./...
+# The cache-parity suite proves the incremental free-time engine is
+# bit-identical to the naive recomputation; run it under the race detector
+# so a cache shared across goroutines can never slip in unnoticed.
+echo "== tier 1: go test -race (free-time cache parity)"
+go test -race -run 'FreeTimeEngine|ExactRho' ./internal/robustness
 # Static analysis and vulnerability scanning run when the tools are on
 # PATH; the container image doesn't ship them and nothing may be
 # installed here, so absence is a skip, not a failure.
@@ -45,6 +50,11 @@ if [ "$tier" -ge 2 ]; then
     # single lucky pass.
     echo "== tier 2: go test -race -count=2 (fault injection)"
     go test -race -count=2 ./internal/fault ./internal/sim ./internal/energy
+    # The mutation property test again, with a 20x step budget: long
+    # randomized enqueue/start/complete/requeue sequences against the
+    # incremental free-time engine, bit-compared to naive recomputation.
+    echo "== tier 2: go test (free-time property, 10k steps)"
+    FREETIME_PROP_STEPS=10000 go test -run FreeTimeEngineMatchesNaive -count=1 ./internal/robustness
     # Resume equivalence: interrupted sweeps replayed from the journal must
     # be bit-identical to uninterrupted runs, on every pass.
     echo "== tier 2: go test -run Resume -count=2 (journal resume)"
