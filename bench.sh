@@ -9,8 +9,23 @@ cd "$(dirname "$0")"
 
 pattern="${1:-.}"
 date="$(date +%Y-%m-%d)"
-raw="BENCH_${date}.txt"
-out="BENCH_${date}.json"
+# Never clobber an earlier run from the same day: suffix _1, _2, ... until
+# the name is free. The suffixed runs stay in chronological order for the
+# baseline pick below.
+stem="BENCH_${date}"
+if [ -e "${stem}.json" ] || [ -e "${stem}.txt" ]; then
+    n=1
+    for f in "BENCH_${date}"_*.json "BENCH_${date}"_*.txt; do
+        [ -e "$f" ] || continue
+        s="${f##*_}"
+        s="${s%.*}"
+        case "$s" in '' | *[!0-9]*) continue ;; esac
+        [ "$s" -ge "$n" ] && n=$((s + 1))
+    done
+    stem="BENCH_${date}_${n}"
+fi
+raw="${stem}.txt"
+out="${stem}.json"
 
 go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
 
@@ -36,10 +51,11 @@ END { print "\n]" }
 
 echo "wrote $out"
 
-# Compare against the most recent prior baseline, if any: lexicographic
-# order on BENCH_<date>.json is chronological order.
+# Compare against the most recent prior baseline, if any. Sort by date
+# field then NUMERIC same-day suffix: plain lexicographic order would put
+# BENCH_<date>_10 before BENCH_<date>_2 and pick the wrong "latest".
 prev=""
-for f in BENCH_*.json; do
+for f in $(printf '%s\n' BENCH_*.json | sed 's/\.json$//' | sort -t_ -k2,2 -k3,3n | sed 's/$/.json/'); do
     [ -e "$f" ] || continue
     [ "$f" = "$out" ] && continue
     prev="$f"

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -44,7 +45,7 @@ func main() {
 func run() error {
 	var (
 		fig          = flag.Int("fig", 0, "figure number to regenerate (2-6)")
-		table        = flag.String("table", "", "table to regenerate: summary, significance, zmul, rthresh, budget, arrivals, priority, parking, powercv, cancel, central, classes, mtbf, brownout")
+		table        = flag.String("table", "", "table to regenerate: summary, significance, zmul, rthresh, budget, arrivals, priority, parking, powercv, cancel, central, classes, mtbf, brownout, calibration")
 		all          = flag.Bool("all", false, "regenerate figures 2-6 and the summary table")
 		trials       = flag.Int("trials", 50, "number of simulation trials")
 		seed         = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
@@ -221,6 +222,14 @@ func printTable(sys *core.System, spec core.Spec, name string) error {
 		tab, err = env.BrownoutStudy(sched.LightestLoad{}, []float64{0.7, 0.85, 1.0})
 	case "classes":
 		tab, err = experiment.ClassStudy(spec, workload.PaperClassMix())
+	case "calibration":
+		// Observe→predict→calibrate: record every trial under the paper's
+		// headline configuration (LL, en+rob) and score the predictions.
+		var cal *trace.Calibration
+		cal, err = env.CalibrationStudy(nil, experiment.FlightConfig{Heuristic: "LL", Filter: "en+rob"}, 0)
+		if err == nil {
+			tab = experiment.CalibrationTable(cal)
+		}
 	default:
 		return fmt.Errorf("unknown table %q", name)
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,7 @@ func run() error {
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout (includes waiting for a pooled connection)")
 		conns   = flag.Int("conns", 512, "connection-pool bound; requests past it queue client-side")
 		quiet   = flag.Bool("q", false, "suppress the progress line")
+		logPath = flag.String("log", "", "record the generated arrival stream (seed, per-request virtual send time, type, deadline) as JSONL to this file")
 	)
 	flag.Parse()
 	if *n < 1 {
@@ -115,6 +117,19 @@ func run() error {
 		return err
 	}
 	types := root.Child("types")
+	// Draw every type up front so the stream is fully determined before the
+	// first request fires — the -log file then describes exactly what will
+	// be sent, independent of response timing.
+	taskTypes := make([]int, *n)
+	for i := range taskTypes {
+		taskTypes[i] = types.IntN(info.TaskTypes)
+	}
+	if *logPath != "" {
+		if err := writeStreamLog(*logPath, *seed, *mult, info, arrivals, taskTypes); err != nil {
+			return err
+		}
+		fmt.Printf("ecload: arrival stream logged to %s\n", *logPath)
+	}
 
 	fmt.Printf("ecload: %d tasks at %.2fx λ_eq against %s (%s, %d cores, scale %g)\n",
 		*n, *mult, base, info.Policy, info.Cores, info.TimeScale)
@@ -134,7 +149,7 @@ func run() error {
 		}
 	)
 	for i := 0; i < *n; i++ {
-		body, _ := json.Marshal(map[string]int{"type": types.IntN(info.TaskTypes)})
+		body, _ := json.Marshal(map[string]int{"type": taskTypes[i]})
 		at := start.Add(time.Duration(arrivals[i] / info.TimeScale * float64(time.Second)))
 		wg.Add(1)
 		go func(body []byte, at time.Time) {
@@ -183,6 +198,68 @@ func run() error {
 		return fmt.Errorf("%d request(s) failed at the transport layer", ne)
 	}
 	return nil
+}
+
+// streamLogHeader is the first line of the -log file: everything needed to
+// regenerate the exact same stream (seed + shape) plus the server identity
+// it was aimed at.
+type streamLogHeader struct {
+	Format    string  `json:"format"`
+	Seed      uint64  `json:"seed"`
+	N         int     `json:"n"`
+	Mult      float64 `json:"mult"`
+	TaskTypes int     `json:"taskTypes"`
+	TimeScale float64 `json:"timeScale"`
+	Policy    string  `json:"policy"`
+}
+
+// streamLogRow is one generated request. T is the virtual send time (the
+// same axis ecserve and the offline trials use); Deadline is -1 because the
+// deadline is assigned server-side at admission — the flight trace recorded
+// by ecserve -flight carries the assigned value for each admitted task.
+type streamLogRow struct {
+	I        int     `json:"i"`
+	T        float64 `json:"t"`
+	Type     int     `json:"type"`
+	Deadline float64 `json:"dl"`
+}
+
+// writeStreamLog records the fully-drawn arrival stream as JSONL before the
+// first request fires, via a temp-file rename so a crash mid-run never
+// leaves a torn log behind.
+func writeStreamLog(path string, seed uint64, mult float64, info *modelInfo, arrivals []float64, taskTypes []int) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(streamLogHeader{
+		Format:    "ecload/v1",
+		Seed:      seed,
+		N:         len(arrivals),
+		Mult:      mult,
+		TaskTypes: info.TaskTypes,
+		TimeScale: info.TimeScale,
+		Policy:    info.Policy,
+	}); err != nil {
+		return err
+	}
+	for i := range arrivals {
+		if err := enc.Encode(streamLogRow{I: i, T: arrivals[i], Type: taskTypes[i], Deadline: -1}); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ecload-log-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func codeLabel(code int) string {

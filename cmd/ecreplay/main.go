@@ -1,0 +1,120 @@
+// Command ecreplay re-drives the simulator from a recorded flight trace
+// and verifies the replay is bit-identical to the record.
+//
+// Usage:
+//
+//	ecsim -heuristic LL -trials 2 -trace-out flight.jsonl
+//	ecreplay flight.jsonl                    # replay + verify
+//	ecreplay -out replayed.jsonl flight.jsonl
+//	ecreplay -calibrate flight.jsonl         # also print the calibration table
+//	ecreplay -summary flight.jsonl           # inspect without replaying
+//
+// The trace header carries everything a replay needs — the experiment spec
+// (to rebuild the model, hash-checked), the engine configuration, and the
+// (seed, trial) address of the decision stream — while the task stream
+// itself (arrivals, types, deadlines, execution quantiles) is taken
+// verbatim from the recorded rows, with no distribution sampling. Because
+// the simulator is deterministic given (config, trial, decisions), every
+// row, event, summary field, and metric sample of the replay must equal
+// the record bit for bit; any divergence is reported and the command exits
+// nonzero. Server traces (kind "serve") do not replay — they are driven by
+// wall-clock admission — but -summary and -calibrate work on them.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/experiment"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ecreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out       = flag.String("out", "", "write the replayed trace to this file (byte-comparable with the input)")
+		calibrate = flag.Bool("calibrate", false, "print the predicted-ρ vs observed on-time calibration table")
+		burstLen  = flag.Int("burst-len", 0, "burst length for calibration regimes (0 = take it from the trace header spec)")
+		summary   = flag.Bool("summary", false, "print the recorded trace's summary and exit without replaying")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: ecreplay [flags] <flight-trace.jsonl>")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rec, err := trace.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	h := rec.Header
+	fmt.Printf("trace %s: kind=%s policy=%s seed=%d trial=%d model=%s rows=%d events=%d\n",
+		flag.Arg(0), h.Kind, h.Policy, h.Seed, h.Trial, h.ModelHash, len(rec.Rows), len(rec.Events))
+	if s := rec.Summary; s != nil {
+		fmt.Printf("recorded: window=%d on-time=%d missed=%d late=%d discarded=%d unfinished=%d energy=%.6g makespan=%.6g\n",
+			s.Window, s.OnTime, s.Missed, s.Late, s.Discarded, s.Unfinished, s.EnergyConsumed, s.Makespan)
+	}
+
+	if *calibrate {
+		bl := *burstLen
+		if bl == 0 {
+			bl = burstLenFromSpec(rec)
+		}
+		cal, err := trace.Calibrate(rec, bl)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(experiment.CalibrationTable(cal).Render())
+		fmt.Println()
+	}
+	if *summary {
+		return nil
+	}
+
+	rr, err := experiment.ReplayTrace(ctx, rec)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := trace.WriteFile(*out, rr.Trace); err != nil {
+			return err
+		}
+		fmt.Printf("replayed trace written to %s\n", *out)
+	}
+	if len(rr.Diff) > 0 {
+		fmt.Fprintf(os.Stderr, "REPLAY DIVERGED: %d mismatch(es)\n", len(rr.Diff))
+		for _, d := range rr.Diff {
+			fmt.Fprintln(os.Stderr, "  ", d)
+		}
+		return fmt.Errorf("replay is not bit-identical to the record")
+	}
+	fmt.Printf("replay bit-identical: %d rows, %d events, summary and metrics match\n",
+		len(rr.Trace.Rows), len(rr.Trace.Events))
+	return nil
+}
+
+// burstLenFromSpec pulls the workload burst length out of the header spec
+// so calibration regimes (burst/lull) match the generator's structure.
+func burstLenFromSpec(t *trace.Trace) int {
+	if len(t.Header.Spec) == 0 {
+		return 0
+	}
+	var spec experiment.Spec
+	if err := json.Unmarshal(t.Header.Spec, &spec); err != nil {
+		return 0
+	}
+	return spec.Workload.BurstLen
+}

@@ -37,6 +37,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -64,6 +66,7 @@ func run() error {
 		exactRho   = flag.Bool("exactrho", false, "evaluate candidate ρ by direct double sum instead of the compacted completion PMF (faster, not bit-identical to the paper pipeline)")
 		grace      = flag.Duration("drain-grace", 10*time.Second, "wall-clock bound on the shutdown drain")
 		report     = flag.String("report", "", "write the final drain report JSON to this file ('-' = stdout)")
+		flight     = flag.String("flight", "", "record a per-task flight trace (decision audit + predictions + outcomes) to this file; calibrate with ecreplay -calibrate")
 	)
 	flag.Parse()
 
@@ -107,10 +110,38 @@ func run() error {
 	}
 
 	reg := metrics.NewRegistry()
+	mapper := &sched.Mapper{Heuristic: h, Filters: fl}
+	var fliRec *trace.File
+	var fli *trace.Flight
+	if *flight != "" {
+		// The recorder's counters live in the server registry on purpose:
+		// rows/drops/flushes are part of this process's observability. Serve
+		// traces feed the calibration stage, not the bit-identity replay
+		// gate, so recorder-counter skew is harmless here.
+		if fliRec, err = trace.NewFile(*flight, reg); err != nil {
+			return err
+		}
+		zenc := zeta
+		if math.IsInf(zenc, 1) {
+			zenc = -1
+		}
+		fli = trace.NewFlight(model, trace.Header{
+			Kind:      trace.KindServe,
+			ModelHash: model.Hash(),
+			Seed:      spec.Seed,
+			Policy:    mapper.Name(),
+			Budget:    zenc,
+		}, fliRec)
+	}
+	var obs sim.Observer
+	if fli != nil {
+		obs = fli
+	}
 	eng, err := server.New(server.Config{
 		Model:          model,
-		Mapper:         &sched.Mapper{Heuristic: h, Filters: fl},
+		Mapper:         mapper,
 		Budget:         zeta,
+		Observer:       obs,
 		TimeScale:      *scale,
 		QueueCap:       *queueCap,
 		RequestTimeout: *reqTimeout,
@@ -172,6 +203,25 @@ func run() error {
 
 	rep := eng.FinalReport()
 	fmt.Print(rep.Render())
+	if fli != nil {
+		st := rep.Stats
+		fli.Finish(trace.Summary{
+			Window:         int(st.Admitted),
+			OnTime:         int(st.OnTime),
+			Late:           int(st.Late),
+			Mapped:         int(st.Mapped),
+			EnergyConsumed: st.EnergyConsumed,
+			Makespan:       st.VirtualNow,
+			Faults:         int(st.Faults),
+			Retries:        int(st.Retries),
+			LostToFailure:  int(st.Failed),
+			BrownoutStage:  st.BrownoutStage,
+		}, reg.Snapshot())
+		if err := fliRec.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("ecserve: flight trace written to %s\n", *flight)
+	}
 	if *report != "" {
 		if err := writeReport(rep, *report); err != nil {
 			return err

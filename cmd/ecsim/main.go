@@ -33,9 +33,11 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	ectrace "repro/internal/trace"
 )
 
 func main() {
@@ -63,6 +65,8 @@ func run() error {
 		journal      = flag.String("journal", "", "write-ahead journal file: persist each completed trial before counting it done")
 		resume       = flag.Bool("resume", false, "with -journal: replay trials already journaled instead of re-running them")
 		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall-clock limit; a trial exceeding it is quarantined (0 = none)")
+		traceOut     = flag.String("trace-out", "", "record a flight trace of one trial to this file (replay with ecreplay)")
+		traceTrial   = flag.Int("trace-trial", 0, "with -trace-out: which trial to record")
 	)
 	flag.Parse()
 
@@ -188,6 +192,30 @@ func run() error {
 				fmt.Printf("  %-28s -> %s\n", tr.Task, tr.Outcome)
 			}
 		}
+	}
+
+	if *traceOut != "" {
+		if *rel {
+			return fmt.Errorf("-trace-out cannot record -rel runs: the reliability filter is not part of the replayable configuration")
+		}
+		fc := experiment.FlightConfig{
+			Heuristic: *heuristic,
+			Filter:    variant.String(),
+			Faults:    fspec,
+			Brownout:  stages,
+		}
+		rec, err := ectrace.NewFile(*traceOut, nil)
+		if err != nil {
+			return err
+		}
+		_, res, err := sys.Env().FlightTrace(ctx, fc, *traceTrial, rec)
+		if cerr := rec.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nflight trace of trial %d written to %s (%s)\n", *traceTrial, *traceOut, res)
 	}
 
 	rr := sys.Report()

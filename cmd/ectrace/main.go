@@ -91,7 +91,7 @@ func run() error {
 	}
 	fmt.Println(sys.Describe())
 
-	rec := trace.NewRecorder()
+	rec := trace.NewEventLog()
 	reg := metrics.NewRegistry()
 	if *listen != "" {
 		srv, err := metrics.Serve(*listen, reg.Snapshot)

@@ -22,7 +22,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/energy"
@@ -168,22 +167,11 @@ func (s *System) Describe() string {
 }
 
 // HeuristicByName resolves "SQ", "MECT", "LL", "Random", plus the extension
-// policies "PLL", "GreenLL", "MaxRho", and "MinEEC".
+// policies "PLL", "GreenLL", "MaxRho", and "MinEEC". It is the facade over
+// experiment.HeuristicByName, which trace replay also uses — keeping one
+// name table means a recorded policy always resolves the same way.
 func HeuristicByName(name string) (Heuristic, error) {
-	if h := sched.ByName(name); h != nil {
-		return h, nil
-	}
-	switch name {
-	case "PLL":
-		return sched.PriorityLightestLoad{}, nil
-	case "GreenLL":
-		return sched.GreenLightestLoad{}, nil
-	case "MaxRho":
-		return sched.MaxRobustness{}, nil
-	case "MinEEC":
-		return sched.MinEnergy{}, nil
-	}
-	return nil, fmt.Errorf("core: unknown heuristic %q", name)
+	return experiment.HeuristicByName(name)
 }
 
 // RunHeuristic runs one named heuristic with a paper filter variant over
@@ -297,21 +285,5 @@ func GenerateCluster(seed uint64) (*cluster.Cluster, error) {
 // as BuildContext derives them, so a server and an offline experiment with
 // the same spec allocate on the identical instance.
 func BuildServeModel(spec Spec) (*workload.Model, float64, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, 0, err
-	}
-	root := randx.NewStream(spec.Seed)
-	c, err := cluster.Generate(root.Child("cluster"), spec.ClusterGen)
-	if err != nil {
-		return nil, 0, err
-	}
-	model, err := workload.BuildModel(root.Child("model"), c, spec.Workload)
-	if err != nil {
-		return nil, 0, err
-	}
-	budget := math.Inf(1)
-	if spec.BudgetScale > 0 {
-		budget = spec.BudgetScale * model.DefaultEnergyBudget()
-	}
-	return model, budget, nil
+	return experiment.BuildModelFromSpec(spec)
 }

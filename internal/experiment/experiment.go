@@ -31,6 +31,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -215,6 +216,7 @@ type Env struct {
 	journal *Journal
 	resume  bool
 	specKey string // memoized Spec.Hash()
+	calib   *trace.Calibration
 
 	progressMu sync.Mutex
 	progress   func(done, total int, label string)

@@ -1,0 +1,398 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Flight recording, byte-for-byte replay, and calibration — the experiment
+// layer of the per-task flight recorder (see internal/trace).
+//
+// Record: Env.FlightTrace runs one trial with a trace.Flight attached and
+// stamps the header with everything replay needs: the serialized Spec (to
+// rebuild the model), the FlightConfig (to rebuild the engine), the model
+// hash (to refuse a drifted rebuild), and the (seed, trial) address of the
+// decision stream.
+//
+// Replay: ReplayTrace rebuilds the model from the header's Spec, the
+// engine from its FlightConfig, and the task stream from the recorded rows
+// themselves — arrivals, types, deadlines, and execution quantiles are
+// taken verbatim from the trace, with no distribution sampling — then
+// re-runs and diffs. Because the simulator is deterministic given (config,
+// trial, decision stream), the replayed trace must match the recorded one
+// bit for bit; any diff is evidence of nondeterminism or code drift.
+//
+// Calibrate: Env.CalibrationStudy records a trial set and scores the
+// predictions against outcomes (trace.Calibrate), closing the
+// observe→predict→calibrate loop.
+
+// FlightConfig pins down the engine configuration of a recorded run — the
+// knobs beyond the Spec that decide how tasks are mapped. It serializes
+// into the trace header and back out for replay.
+type FlightConfig struct {
+	// Heuristic names the immediate-mode heuristic (HeuristicByName);
+	// ignored when Central is set.
+	Heuristic string `json:"heuristic,omitempty"`
+	// Filter names the paper filter variant: "none", "en", "rob", "en+rob".
+	Filter string `json:"filter,omitempty"`
+	// Central switches to the central-queue engine (EDFCheapest pull
+	// policy) instead of immediate-mode mapping.
+	Central bool `json:"central,omitempty"`
+	// RhoThresh is the central pull policy's on-time threshold (0 = 0.5).
+	RhoThresh float64 `json:"rhoThresh,omitempty"`
+	// BudgetScale overrides the spec's energy budget scale; <= 0 keeps the
+	// environment's resolved budget.
+	BudgetScale float64 `json:"budgetScale,omitempty"`
+	// Faults and Brownout configure the resilience extensions.
+	Faults   fault.Spec             `json:"faults,omitempty"`
+	Brownout []energy.BrownoutStage `json:"brownout,omitempty"`
+}
+
+// HeuristicByName resolves the paper heuristics ("SQ", "MECT", "LL",
+// "Random") plus the extension policies ("PLL", "GreenLL", "MaxRho",
+// "MinEEC"). The core facade delegates here.
+func HeuristicByName(name string) (sched.Heuristic, error) {
+	if h := sched.ByName(name); h != nil {
+		return h, nil
+	}
+	switch name {
+	case "PLL":
+		return sched.PriorityLightestLoad{}, nil
+	case "GreenLL":
+		return sched.GreenLightestLoad{}, nil
+	case "MaxRho":
+		return sched.MaxRobustness{}, nil
+	case "MinEEC":
+		return sched.MinEnergy{}, nil
+	}
+	return nil, fmt.Errorf("experiment: unknown heuristic %q", name)
+}
+
+// FilterVariantByName resolves a paper filter variant label.
+func FilterVariantByName(name string) (sched.FilterVariant, error) {
+	for _, v := range sched.AllFilterVariants() {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: unknown filter variant %q (want none, en, rob, en+rob)", name)
+}
+
+// BuildModelFromSpec constructs just the fixed workload model and resolved
+// energy budget of a spec — no trials, no harness. The cluster and pmf
+// tables are derived exactly as BuildContext derives them (the stream tree
+// is pure derivation), so replay, serving, and offline experiments with
+// the same spec allocate on the identical instance.
+func BuildModelFromSpec(spec Spec) (*workload.Model, float64, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, 0, err
+	}
+	root := randx.NewStream(spec.Seed)
+	c, err := cluster.Generate(root.Child("cluster"), spec.ClusterGen)
+	if err != nil {
+		return nil, 0, err
+	}
+	model, err := workload.BuildModel(root.Child("model"), c, spec.Workload)
+	if err != nil {
+		return nil, 0, err
+	}
+	budget := math.Inf(1)
+	if spec.BudgetScale > 0 {
+		budget = spec.BudgetScale * model.DefaultEnergyBudget()
+	}
+	return model, budget, nil
+}
+
+// simConfig materializes the engine configuration and its policy label.
+// The returned config has no Observer or Metrics yet.
+func (fc FlightConfig) simConfig(model *workload.Model, envBudget float64) (sim.Config, string, error) {
+	budget := envBudget
+	if fc.BudgetScale > 0 {
+		budget = fc.BudgetScale * model.DefaultEnergyBudget()
+	}
+	cfg := sim.Config{
+		Model:        model,
+		EnergyBudget: budget,
+		Faults:       fc.Faults,
+		Brownout:     fc.Brownout,
+	}
+	if fc.Central {
+		pull := sim.EDFCheapest{RhoThresh: fc.RhoThresh}
+		cfg.CentralQueue = pull
+		return cfg, pull.Name(), nil
+	}
+	h, err := HeuristicByName(fc.Heuristic)
+	if err != nil {
+		return sim.Config{}, "", err
+	}
+	filter := fc.Filter
+	if filter == "" {
+		filter = "none"
+	}
+	v, err := FilterVariantByName(filter)
+	if err != nil {
+		return sim.Config{}, "", err
+	}
+	cfg.Mapper = &sched.Mapper{Heuristic: h, Filters: v.Filters()}
+	return cfg, cfg.Mapper.Name(), nil
+}
+
+// encodeBudget maps +Inf (unconstrained) to the JSON-safe -1 sentinel.
+func encodeBudget(b float64) float64 {
+	if math.IsInf(b, 1) {
+		return -1
+	}
+	return b
+}
+
+// FlightTrace records one trial under the given engine configuration and
+// returns the assembled flight trace. rec, when non-nil, receives the
+// stream as it is produced (attach a trace.File to persist incrementally;
+// keep its metrics registry separate from the run's, or the recorder's own
+// counters would break record-vs-replay metric identity). The run bypasses
+// the memo cache and journal — a flight recording is always live.
+func (e *Env) FlightTrace(ctx context.Context, fc FlightConfig, trialIdx int, rec trace.Recorder) (*trace.Trace, *sim.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if trialIdx < 0 || trialIdx >= len(e.trials) {
+		return nil, nil, fmt.Errorf("experiment: trial %d outside [0,%d)", trialIdx, len(e.trials))
+	}
+	cfg, label, err := fc.simConfig(e.Model, e.Budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	specJSON, err := json.Marshal(e.Spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: serialize spec: %w", err)
+	}
+	knobs, err := json.Marshal(fc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: serialize flight config: %w", err)
+	}
+	hdr := trace.Header{
+		Kind:      trace.KindSim,
+		ModelHash: e.Model.Hash(),
+		Seed:      e.Spec.Seed,
+		Trial:     trialIdx,
+		Policy:    label,
+		Budget:    encodeBudget(cfg.EnergyBudget),
+		Spec:      specJSON,
+		Knobs:     knobs,
+	}
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	fl := trace.NewFlight(e.Model, hdr, rec)
+	tr := e.trials[trialIdx]
+	fl.SetTasks(tr.Tasks)
+	cfg.Observer = fl
+	res, err := sim.RunContext(ctx, cfg, tr, e.rootRng.ChildN("decisions", trialIdx))
+	if err != nil {
+		return nil, nil, err
+	}
+	return fl.Finish(trace.SummaryOf(res), reg.Snapshot()), res, nil
+}
+
+// ReplayResult is the outcome of re-driving a recorded trace.
+type ReplayResult struct {
+	// Trace is the replayed flight trace.
+	Trace *trace.Trace
+	// Result is the replayed run's summary.
+	Result *sim.Result
+	// Diff lists every field where the replay diverged from the record;
+	// empty means the replay was bit-identical.
+	Diff []string
+}
+
+// trialFromRows reassembles the task stream from recorded rows: no
+// distribution sampling — arrival, type, deadline, quantile, and priority
+// come verbatim from the trace. Rows must cover a contiguous ID range
+// starting at 0 (guaranteed for sim traces, which pre-seed every task).
+func trialFromRows(rows []trace.Row) (*workload.Trial, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("experiment: trace has no task rows")
+	}
+	tasks := make([]workload.Task, len(rows))
+	seen := make([]bool, len(rows))
+	for i := range rows {
+		r := &rows[i]
+		if r.ID < 0 || r.ID >= len(rows) || seen[r.ID] {
+			return nil, fmt.Errorf("experiment: task rows are not a contiguous window (bad or duplicate id %d over %d rows)", r.ID, len(rows))
+		}
+		seen[r.ID] = true
+		pri := r.Priority
+		if pri == 0 {
+			pri = 1 // omitted in the row encoding when 1
+		}
+		tasks[r.ID] = workload.Task{
+			ID:       r.ID,
+			Type:     r.Type,
+			Arrival:  r.Arrival,
+			Deadline: r.Deadline,
+			U:        r.U,
+			Priority: pri,
+		}
+	}
+	if !sort.SliceIsSorted(tasks, func(i, j int) bool { return tasks[i].Arrival < tasks[j].Arrival }) {
+		// Arrivals are nondecreasing in generated trials; recorded rows
+		// preserve that. A violation means the trace was hand-edited.
+		return nil, fmt.Errorf("experiment: recorded arrivals are not in order")
+	}
+	return &workload.Trial{Tasks: tasks}, nil
+}
+
+// ReplayTrace re-drives the simulator from a recorded flight trace and
+// compares: same model (rebuilt from the header spec, hash-checked), same
+// engine (rebuilt from the header config), same decision stream (re-derived
+// from seed and trial index), and the recorded task stream itself. Returns
+// the replayed trace and the field-level diff against the record; a
+// non-empty diff means determinism was broken.
+//
+// Only simulator traces replay; serve traces (trace.KindServe) are driven
+// by wall-clock admission and feed the calibration stage instead.
+func ReplayTrace(ctx context.Context, rec *trace.Trace) (*ReplayResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if rec.Header.Kind != trace.KindSim {
+		return nil, fmt.Errorf("experiment: cannot replay a %q trace (replay targets the simulator engines)", rec.Header.Kind)
+	}
+	if len(rec.Header.Spec) == 0 {
+		return nil, fmt.Errorf("experiment: trace header carries no spec")
+	}
+	var spec Spec
+	if err := json.Unmarshal(rec.Header.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("experiment: decode header spec: %w", err)
+	}
+	var fc FlightConfig
+	if len(rec.Header.Knobs) > 0 {
+		if err := json.Unmarshal(rec.Header.Knobs, &fc); err != nil {
+			return nil, fmt.Errorf("experiment: decode header config: %w", err)
+		}
+	}
+	model, envBudget, err := BuildModelFromSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: rebuild model: %w", err)
+	}
+	if h := model.Hash(); h != rec.Header.ModelHash {
+		return nil, fmt.Errorf("experiment: rebuilt model hash %s != recorded %s (code or spec drift; the trace cannot be replayed bit-for-bit)", h, rec.Header.ModelHash)
+	}
+	trial, err := trialFromRows(rec.Rows)
+	if err != nil {
+		return nil, err
+	}
+	cfg, label, err := fc.simConfig(model, envBudget)
+	if err != nil {
+		return nil, err
+	}
+	if label != rec.Header.Policy {
+		return nil, fmt.Errorf("experiment: rebuilt policy %q != recorded %q", label, rec.Header.Policy)
+	}
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	fl := trace.NewFlight(model, rec.Header, nil)
+	fl.SetTasks(trial.Tasks)
+	cfg.Observer = fl
+	decisions := randx.NewStream(rec.Header.Seed).ChildN("decisions", rec.Header.Trial)
+	res, err := sim.RunContext(ctx, cfg, trial, decisions)
+	if err != nil {
+		return nil, err
+	}
+	replayed := fl.Finish(trace.SummaryOf(res), reg.Snapshot())
+	return &ReplayResult{
+		Trace:  replayed,
+		Result: res,
+		Diff:   trace.Diff(rec, replayed, 20),
+	}, nil
+}
+
+// CalibrationStudy records up to maxTrials trials under fc (0 or negative:
+// the spec's full trial count), concatenates their rows, and scores the
+// scheduler's predictions against observed outcomes. The result is also
+// attached to the environment's run report.
+func (e *Env) CalibrationStudy(ctx context.Context, fc FlightConfig, maxTrials int) (*trace.Calibration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx = e.runContext(ctx)
+	n := e.Spec.Trials
+	if maxTrials > 0 && maxTrials < n {
+		n = maxTrials
+	}
+	var rows []trace.Row
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: calibration cancelled at trial %d/%d: %w", i, n, err)
+		}
+		tr, _, err := e.FlightTrace(ctx, fc, i, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, tr.Rows...)
+	}
+	cal, err := trace.CalibrateRows(rows, e.Spec.Workload.BurstLen)
+	if err != nil {
+		return nil, err
+	}
+	e.optMu.Lock()
+	e.calib = cal
+	e.optMu.Unlock()
+	return cal, nil
+}
+
+// CalibrationTable renders a calibration as an ecfig table: the
+// reliability diagram (predicted-ρ bucket → observed on-time rate)
+// followed by the per-(type, P-state, regime) groups, and the headline
+// aggregates. Groups with too few completed tasks are annotated
+// "insufficient data" rather than scored.
+func CalibrationTable(c *trace.Calibration) *Table {
+	t := &Table{
+		Title:  "Calibration: predicted ρ vs observed on-time rate",
+		Header: []string{"group", "n", "pred ρ", "observed", "gap", "p50 cov", "p99 cov"},
+	}
+	for _, b := range c.Buckets {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("ρ∈[%.1f,%.1f)", b.Lo, b.Hi),
+			fmt.Sprintf("%d", b.N),
+			fmt.Sprintf("%.3f", b.MeanPred),
+			fmt.Sprintf("%.3f", b.Observed),
+			fmt.Sprintf("%+.3f", b.Observed-b.MeanPred),
+			"-", "-",
+		})
+	}
+	for _, g := range c.Groups {
+		label := fmt.Sprintf("type=%d %s %s", g.Type, g.PState, g.Regime)
+		if g.Note != "" {
+			t.Rows = append(t.Rows, []string{label, fmt.Sprintf("%d", g.N), g.Note, "-", "-", "-", "-"})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%d", g.N),
+			fmt.Sprintf("%.3f", g.MeanPredRho),
+			fmt.Sprintf("%.3f", g.Observed),
+			fmt.Sprintf("%+.3f", g.Gap),
+			fmt.Sprintf("%.3f", g.P50Cov),
+			fmt.Sprintf("%.3f", g.P99Cov),
+		})
+	}
+	t.Rows = append(t.Rows,
+		[]string{"ECE", fmt.Sprintf("%d", c.Tasks), fmt.Sprintf("%.4f", c.ECE), "-", "-", "-", "-"},
+		[]string{"coverage (ideal .500/.990)", fmt.Sprintf("%d", c.Tasks), "-", "-", "-",
+			fmt.Sprintf("%.3f", c.P50Coverage), fmt.Sprintf("%.3f", c.P99Coverage)},
+	)
+	return t
+}

@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// replayCheck records trial 0 under fc and asserts the replay reproduces
+// the trace bit for bit — fields and bytes.
+func replayCheck(t *testing.T, env *Env, fc FlightConfig) *trace.Trace {
+	t.Helper()
+	rec, _, err := env.FlightTrace(nil, fc, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ReplayTrace(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Diff) != 0 {
+		t.Fatalf("replay diverged:\n%s", strings.Join(rr.Diff, "\n"))
+	}
+	var a, b bytes.Buffer
+	if err := rec.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr.Trace.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("replayed encoding differs from the record at the byte level")
+	}
+	return rec
+}
+
+func TestFlightReplayBitIdentical(t *testing.T) {
+	env := buildEnv(t)
+	rec := replayCheck(t, env, FlightConfig{Heuristic: "LL", Filter: "en+rob"})
+	if len(rec.Rows) != env.Spec.Workload.WindowSize {
+		t.Fatalf("rows %d, want one per trial task (%d)", len(rec.Rows), env.Spec.Workload.WindowSize)
+	}
+	var mapped int
+	for _, r := range rec.Rows {
+		if r.Verdict == "mapped" {
+			if r.PredRho < 0 || r.PredRho > 1 {
+				t.Fatalf("task %d: mapped without a prediction (ρ=%v)", r.ID, r.PredRho)
+			}
+			mapped++
+		}
+	}
+	if mapped == 0 {
+		t.Fatal("no task was mapped; the decision audit never fired")
+	}
+}
+
+func TestFlightReplayFaultsBrownout(t *testing.T) {
+	env := buildEnv(t)
+	fc := FlightConfig{
+		Heuristic:   "MECT",
+		Filter:      "rob",
+		BudgetScale: 0.7,
+		Faults: fault.Spec{
+			Transient:  fault.Process{Enabled: true, Dist: fault.Exponential, MTBF: 2 * env.Model.TAvg()},
+			RepairTime: 0.3 * env.Model.TAvg(),
+			Recovery:   fault.Recovery{Mode: fault.Requeue, MaxRetries: 2, Backoff: 0.05 * env.Model.TAvg()},
+		},
+		Brownout: energy.DefaultBrownoutStages(),
+	}
+	rec := replayCheck(t, env, fc)
+	if len(rec.Events) == 0 {
+		t.Fatal("fault injection left no events in the trace")
+	}
+}
+
+func TestFlightReplayCentralQueue(t *testing.T) {
+	env := buildEnv(t)
+	replayCheck(t, env, FlightConfig{Central: true, RhoThresh: 0.5})
+}
+
+// TestFlightReplayCatchesTampering edits a recorded row and checks the gate
+// actually trips: a different deadline changes the decisions downstream, and
+// the diff must say so rather than pass silently.
+func TestFlightReplayCatchesTampering(t *testing.T) {
+	env := buildEnv(t)
+	rec, _, err := env.FlightTrace(nil, FlightConfig{Heuristic: "LL", Filter: "en+rob"}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := 0
+	for i := range rec.Rows {
+		if rec.Rows[i].Verdict == "mapped" {
+			rec.Rows[i].Deadline *= 0.5
+			tampered++
+			break
+		}
+	}
+	if tampered == 0 {
+		t.Fatal("no mapped row to tamper with")
+	}
+	rr, err := ReplayTrace(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Diff) == 0 {
+		t.Fatal("tampered trace replayed bit-identical; the gate is blind")
+	}
+}
+
+func TestFlightReplayRejections(t *testing.T) {
+	env := buildEnv(t)
+	rec, _, err := env.FlightTrace(nil, FlightConfig{Heuristic: "LL"}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serve := *rec
+	serve.Header.Kind = trace.KindServe
+	if _, err := ReplayTrace(nil, &serve); err == nil || !strings.Contains(err.Error(), "cannot replay") {
+		t.Fatalf("serve trace accepted for replay: %v", err)
+	}
+
+	drifted := *rec
+	drifted.Header.ModelHash = "0000000000000000"
+	if _, err := ReplayTrace(nil, &drifted); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("model-hash drift not refused: %v", err)
+	}
+
+	nospec := *rec
+	nospec.Header.Spec = nil
+	if _, err := ReplayTrace(nil, &nospec); err == nil {
+		t.Fatal("spec-less trace accepted for replay")
+	}
+}
+
+func TestTrialFromRowsErrors(t *testing.T) {
+	if _, err := trialFromRows(nil); err == nil {
+		t.Fatal("empty row set accepted")
+	}
+	if _, err := trialFromRows([]trace.Row{{ID: 0}, {ID: 0}}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := trialFromRows([]trace.Row{{ID: 0}, {ID: 5}}); err == nil {
+		t.Fatal("non-contiguous ids accepted")
+	}
+	if _, err := trialFromRows([]trace.Row{{ID: 0, Arrival: 2}, {ID: 1, Arrival: 1}}); err == nil {
+		t.Fatal("out-of-order arrivals accepted")
+	}
+	tr, err := trialFromRows([]trace.Row{{ID: 0, Arrival: 0, U: 0.5}, {ID: 1, Arrival: 1, U: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tasks[0].Priority != 1 || tr.Tasks[1].Priority != 1 {
+		t.Fatalf("omitted priority must decode as 1, got %v/%v", tr.Tasks[0].Priority, tr.Tasks[1].Priority)
+	}
+}
+
+func TestCalibrationStudy(t *testing.T) {
+	env := buildEnv(t)
+	cal, err := env.CalibrationStudy(nil, FlightConfig{Heuristic: "LL", Filter: "en+rob"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Tasks == 0 {
+		t.Fatal("calibration scored no tasks")
+	}
+	if cal.ECE < 0 || cal.ECE > 1 {
+		t.Fatalf("ECE %v outside [0,1]", cal.ECE)
+	}
+	if cal.P50Coverage < 0 || cal.P50Coverage > 1 || cal.P99Coverage < 0 || cal.P99Coverage > 1 {
+		t.Fatalf("coverage outside [0,1]: p50=%v p99=%v", cal.P50Coverage, cal.P99Coverage)
+	}
+	if got := env.Report().Calibration; got != cal {
+		t.Fatal("calibration not attached to the run report")
+	}
+	out := CalibrationTable(cal).Render()
+	for _, want := range []string{"ECE", "coverage", "ρ∈[0.9,1.0)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("calibration table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/pmf"
+	"repro/internal/trace"
 )
 
 // RunReport is the observability summary of everything an environment has
@@ -45,6 +46,9 @@ type RunReport struct {
 	// Kept separate from Metrics so resumed runs still reproduce the
 	// simulation aggregate bit for bit.
 	Harness *metrics.Snapshot `json:"harness,omitempty"`
+	// Calibration is the observe→predict→calibrate comparison, present
+	// when a CalibrationStudy ran in this environment.
+	Calibration *trace.Calibration `json:"calibration,omitempty"`
 }
 
 // MarkIncomplete flags the report as a partial flush from an interrupted
@@ -84,6 +88,9 @@ func (e *Env) Report() *RunReport {
 		Metrics:  snap,
 		Harness:  e.HarnessSnapshot(),
 	}
+	e.optMu.Lock()
+	r.Calibration = e.calib
+	e.optMu.Unlock()
 	d := &r.Derived
 	d.MappingDecisions = int64(snap.SumByName("sched_decisions_total"))
 	d.CandidatesEnumerated = int64(snap.SumByName("sched_candidates_total"))
@@ -149,6 +156,10 @@ func (r *RunReport) Render() string {
 		r.PMF.Convolutions, r.PMF.BucketedConvolutions, r.PMF.Compactions, r.PMF.ImpulsesCompacted)
 	fmt.Fprintf(&b, "  simulator: %d events processed, heap high-water %d, energy consumed %.4g\n",
 		d.EventsProcessed, d.HeapDepthHighWater, d.EnergyConsumed)
+	if c := r.Calibration; c != nil {
+		fmt.Fprintf(&b, "  calibration: %d tasks, ECE %.4f, p50 coverage %.3f (ideal .500), p99 coverage %.3f (ideal .990), %d groups\n",
+			c.Tasks, c.ECE, c.P50Coverage, c.P99Coverage, len(c.Groups))
+	}
 	if h := r.Harness; h != nil {
 		ran := h.SumByName("experiment_trials_run_total")
 		resumed := h.SumByName("experiment_trials_resumed_total")

@@ -82,6 +82,32 @@ func (c *Candidate) Rho() float64 {
 	return c.rho
 }
 
+// Prediction is the scheduler's forecast for a chosen assignment at
+// decision time: the robustness value ρ and a summary of the predicted
+// completion-time distribution. The flight recorder persists it so the
+// calibration stage can check predictions against observed outcomes.
+type Prediction struct {
+	// Rho is ρ(i,j,k,π,t_l,z): the predicted on-time probability.
+	Rho float64
+	// Mean, P50, and P99 summarize the predicted completion-time PMF
+	// (absolute times, same axis as Arrival/Deadline).
+	Mean, P50, P99 float64
+}
+
+// Predict evaluates the candidate's completion-time forecast: ρ plus the
+// mean/median/p99 of the predicted completion distribution. Like Rho it
+// convolves against the queue snapshot captured at BuildCandidates time, so
+// it must be called before the chosen task is enqueued.
+func (c *Candidate) Predict() Prediction {
+	comp := c.calc.CompletionPMF(c.free(), c.taskType, c.Core.Node, c.PState)
+	return Prediction{
+		Rho:  c.Rho(),
+		Mean: comp.Mean(),
+		P50:  comp.Quantile(0.5),
+		P99:  comp.Quantile(0.99),
+	}
+}
+
 // Context is the information available to heuristics and filters when
 // mapping one task at time-step t_l.
 type Context struct {

@@ -207,7 +207,7 @@ type Config struct {
 	NoShedInfeasible bool
 }
 
-// shedObserver is implemented by observers (trace.Recorder) that want
+// shedObserver is implemented by observers (trace.EventLog) that want
 // serving-mode shed events.
 type shedObserver interface {
 	TaskShed(t float64, task workload.Task, reason string)
@@ -336,6 +336,7 @@ type Engine struct {
 	met      *serverMetrics
 	shedObs  shedObserver
 	fobs     sim.FaultObserver
+	dobs     sim.DecisionObserver
 	st       stats
 	started  time.Time
 }
@@ -548,6 +549,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if fo, ok := e.cfg.Observer.(sim.FaultObserver); ok {
 		e.fobs = fo
+	}
+	if do, ok := e.cfg.Observer.(sim.DecisionObserver); ok {
+		e.dobs = do
 	}
 	go e.loop()
 	return e, nil
@@ -1006,6 +1010,11 @@ func (e *Engine) coreUp(now float64) func(int) bool {
 // place enqueues a mapped task on its core and starts it if the core is
 // free. attempts carries the fault-retry count for requeued tasks.
 func (e *Engine) place(now float64, task workload.Task, chosen *sched.Candidate, attempts int) {
+	// Audit the decision (first mapping or fault retry) before enqueueing:
+	// Predict() convolves against the queue snapshot the mapper saw.
+	if e.dobs != nil {
+		e.dobs.TaskDecision(now, task, chosen.Assignment, chosen.Predict(), chosen.EEC)
+	}
 	actual := e.model.ActualExecTime(task, chosen.Core.Node, chosen.PState)
 	idx := chosen.CoreIdx
 	e.queues[idx] = append(e.queues[idx], queued{task: task, pstate: chosen.PState, actual: actual, attempts: attempts})

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/robustness"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
@@ -169,10 +170,23 @@ func (e *centralEngine) dispatch(now float64) {
 		delete(e.idle, coreIdx)
 
 		exec := e.cfg.Model.ExecPMF(task.Type, node, ps)
-		e.energyLeft -= exec.Mean() * e.cfg.Model.Cluster.Node(e.cores[coreIdx]).Power[ps] /
+		eec := exec.Mean() * e.cfg.Model.Cluster.Node(e.cores[coreIdx]).Power[ps] /
 			e.cfg.Model.Cluster.Node(e.cores[coreIdx]).Efficiency
+		e.energyLeft -= eec
 		e.res.Mapped++
 		e.met.taskMapped()
+		if e.dobs != nil {
+			// The core is idle at dispatch, so the predicted completion
+			// distribution is the execution pmf shifted to now — the same
+			// quantity EDFCheapest evaluates when choosing the P-state.
+			comp := exec.Shift(now)
+			e.dobs.TaskDecision(now, task, e.assignment(coreIdx, ps), sched.Prediction{
+				Rho:  comp.ProbByDeadline(task.Deadline),
+				Mean: comp.Mean(),
+				P50:  comp.Quantile(0.5),
+				P99:  comp.Quantile(0.99),
+			}, eec)
+		}
 		actual := e.cfg.Model.ActualExecTime(task, node, ps)
 		// Central queues hold at most the running task, so no chain ever
 		// spans more than the head: start() below invalidates the free-time

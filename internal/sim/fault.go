@@ -416,6 +416,11 @@ func (e *engine) handleRequeue(now float64, taskID int) {
 	e.res.Mapped++
 	e.met.taskMapped()
 	e.energyLeft -= chosen.EEC
+	// Audit the retry decision before enqueueing, same as arrive(): the
+	// prediction is evaluated against the pre-enqueue queue snapshot.
+	if e.dobs != nil {
+		e.dobs.TaskDecision(now, task, chosen.Assignment, chosen.Predict(), chosen.EEC)
+	}
 	actual := e.cfg.Model.ActualExecTime(task, chosen.Core.Node, chosen.PState)
 	idx := chosen.CoreIdx
 	e.queues[idx] = append(e.queues[idx], queued{task: task, pstate: chosen.PState, actual: actual})

@@ -65,16 +65,27 @@ type BrownoutObserver interface {
 	BrownoutStageChanged(t float64, stage int, frac float64)
 }
 
+// DecisionObserver is an optional Observer extension for the flight
+// recorder: it sees the full mapping decision — the chosen assignment
+// together with the scheduler's prediction (ρ and the completion-time
+// summary) and the expected energy charge — at the instant the decision is
+// made, before the task is enqueued. TaskMapped still fires afterwards for
+// observers that only need the assignment.
+type DecisionObserver interface {
+	TaskDecision(t float64, task workload.Task, a sched.Assignment, pred sched.Prediction, eec float64)
+}
+
 // MultiObserver fans every simulation event out to each member in order,
 // so trace recording and metrics collection (and anything else) attach to
 // one run simultaneously. Members that also implement the EnergyObserver,
 // FaultObserver, or BrownoutObserver extensions receive those events; the
 // fan-out preserves member order for every event type.
 type MultiObserver struct {
-	obs      []Observer
-	energy   []EnergyObserver
-	faults   []FaultObserver
-	brownout []BrownoutObserver
+	obs       []Observer
+	energy    []EnergyObserver
+	faults    []FaultObserver
+	brownout  []BrownoutObserver
+	decisions []DecisionObserver
 }
 
 var (
@@ -82,6 +93,7 @@ var (
 	_ EnergyObserver   = (*MultiObserver)(nil)
 	_ FaultObserver    = (*MultiObserver)(nil)
 	_ BrownoutObserver = (*MultiObserver)(nil)
+	_ DecisionObserver = (*MultiObserver)(nil)
 )
 
 // Multi composes observers into one. Nil members are dropped; with zero
@@ -110,6 +122,9 @@ func Multi(obs ...Observer) Observer {
 		}
 		if bo, ok := o.(BrownoutObserver); ok {
 			m.brownout = append(m.brownout, bo)
+		}
+		if do, ok := o.(DecisionObserver); ok {
+			m.decisions = append(m.decisions, do)
 		}
 	}
 	return m
@@ -197,6 +212,13 @@ func (m *MultiObserver) TaskRequeued(t float64, task workload.Task, attempt int)
 func (m *MultiObserver) BrownoutStageChanged(t float64, stage int, frac float64) {
 	for _, bo := range m.brownout {
 		bo.BrownoutStageChanged(t, stage, frac)
+	}
+}
+
+// TaskDecision implements DecisionObserver.
+func (m *MultiObserver) TaskDecision(t float64, task workload.Task, a sched.Assignment, pred sched.Prediction, eec float64) {
+	for _, do := range m.decisions {
+		do.TaskDecision(t, task, a, pred, eec)
 	}
 }
 

@@ -367,6 +367,7 @@ type engine struct {
 	eobs EnergyObserver // non-nil when the observer wants energy samples
 	fobs FaultObserver  // non-nil when the observer wants fault events
 	bobs BrownoutObserver
+	dobs DecisionObserver // non-nil when the observer audits decisions
 
 	res *Result
 }
@@ -509,6 +510,9 @@ func RunContext(ctx context.Context, cfg Config, trial *workload.Trial, decision
 	}
 	if bo, ok := cfg.Observer.(BrownoutObserver); ok {
 		e.bobs = bo
+	}
+	if do, ok := cfg.Observer.(DecisionObserver); ok {
+		e.dobs = do
 	}
 	if cfg.Metrics != nil {
 		var filters []sched.Filter
@@ -704,6 +708,12 @@ func (e *engine) arrive(now float64, taskIdx int) {
 	e.res.Mapped++
 	e.met.taskMapped()
 	e.energyLeft -= chosen.EEC
+	// Predict() convolves against the queue snapshot captured by
+	// BuildCandidates, so the decision must be audited before the chosen
+	// task is enqueued (which mutates the free-time chain).
+	if e.dobs != nil {
+		e.dobs.TaskDecision(now, task, chosen.Assignment, chosen.Predict(), chosen.EEC)
+	}
 	actual := e.cfg.Model.ActualExecTime(task, chosen.Core.Node, chosen.PState)
 	q := queued{task: task, pstate: chosen.PState, actual: actual}
 	idx := chosen.CoreIdx

@@ -38,13 +38,33 @@ func (c Comparison) String() string {
 		c.MedianA, c.MedianB, c.CLES, c.Z, c.P)
 }
 
-// RankSum runs the Mann–Whitney U test on two samples. It returns an error
-// if either sample has fewer than 2 observations. The normal approximation
-// is accurate for the 50-trial samples this repository produces.
+// InsufficientDataError reports that a comparison or calibration group had
+// too few samples for the requested statistic. The variance formulas below
+// degenerate (zero or negative variance) under n<2, so callers get a typed
+// error they can render as "insufficient data" instead of a bogus number.
+type InsufficientDataError struct {
+	// Op names the statistic that could not be computed.
+	Op string
+	// N is the offending sample size; Need is the minimum required.
+	N, Need int
+}
+
+func (e *InsufficientDataError) Error() string {
+	return fmt.Sprintf("stats: %s needs >= %d samples, got %d", e.Op, e.Need, e.N)
+}
+
+// RankSum runs the Mann–Whitney U test on two samples. It returns an
+// *InsufficientDataError if either sample has fewer than 2 observations.
+// The normal approximation is accurate for the 50-trial samples this
+// repository produces.
 func RankSum(a, b []float64) (Comparison, error) {
 	n1, n2 := len(a), len(b)
 	if n1 < 2 || n2 < 2 {
-		return Comparison{}, fmt.Errorf("stats: RankSum needs >= 2 samples per group, got %d and %d", n1, n2)
+		n := n1
+		if n2 < n {
+			n = n2
+		}
+		return Comparison{}, &InsufficientDataError{Op: "RankSum", N: n, Need: 2}
 	}
 	medA, err := Median(a)
 	if err != nil {

@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Calibration: the observe→predict→calibrate loop closed over a flight
+// trace. At decision time the scheduler committed to a prediction per task
+// — ρ = P(on time) and completion-time quantiles. The trace records what
+// then actually happened, so we can ask the only question that matters
+// about a probabilistic filter: when the mapper said "ρ = 0.8", did 80% of
+// those tasks make their deadlines?
+//
+// Two views are computed:
+//
+//   - A reliability diagram: tasks bucketed by predicted ρ, each bucket's
+//     mean prediction against its observed on-time rate. Their
+//     sample-weighted absolute gap is the expected calibration error (ECE).
+//   - Per-(type, P-state, regime) groups: mean predicted ρ vs observed
+//     on-time rate, plus quantile coverage — the fraction of observed
+//     finishes at or before the predicted p50/p99 (ideal: 0.50/0.99).
+//
+// Only tasks that ran to completion (on time or late) enter: a task that
+// was discarded, shed, lost to a fault, or left unfinished by the energy
+// halt never tested its prediction. Groups with fewer than two such tasks
+// are kept in the table but annotated rather than scored — one sample
+// cannot distinguish a calibrated predictor from a coin.
+
+// CalBuckets is the reliability-diagram resolution.
+const CalBuckets = 10
+
+// CalBucket is one predicted-ρ bin of the reliability diagram.
+type CalBucket struct {
+	// Lo, Hi bound the bin: predictions in [Lo, Hi).
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// N is the number of completed tasks whose prediction fell in the bin.
+	N int `json:"n"`
+	// MeanPred is the mean predicted ρ in the bin.
+	MeanPred float64 `json:"meanPred"`
+	// Observed is the on-time fraction among them.
+	Observed float64 `json:"observed"`
+}
+
+// CalGroup scores one (task type, P-state, load regime) cell.
+type CalGroup struct {
+	Type   int    `json:"type"`
+	PState string `json:"pstate"`
+	// Regime is "burst", "lull", or "all" when the trace carries no
+	// burst-window structure to split on.
+	Regime string `json:"regime"`
+	// N is the number of completed tasks in the cell.
+	N int `json:"n"`
+	// MeanPredRho vs Observed is the cell's calibration gap.
+	MeanPredRho float64 `json:"meanPredRho"`
+	Observed    float64 `json:"observed"`
+	Gap         float64 `json:"gap"`
+	// P50Cov / P99Cov are quantile coverages: fraction of finishes at or
+	// before the predicted quantile (ideal 0.50 / 0.99).
+	P50Cov float64 `json:"p50cov"`
+	P99Cov float64 `json:"p99cov"`
+	// Note is set instead of the scores when the cell has too few samples.
+	Note string `json:"note,omitempty"`
+}
+
+// Calibration is the full observe→predict→calibrate report for a trace.
+type Calibration struct {
+	// Tasks is the number of completed, audited tasks scored.
+	Tasks int `json:"tasks"`
+	// Skipped counts rows excluded (no decision audit, or no completion).
+	Skipped int `json:"skipped"`
+	// Buckets is the reliability diagram; empty bins are omitted.
+	Buckets []CalBucket `json:"buckets"`
+	// ECE is the expected calibration error: Σ (n_b/N)·|observed_b −
+	// meanPred_b| over the buckets.
+	ECE float64 `json:"ece"`
+	// Groups are the per-(type, P-state, regime) cells, sorted.
+	Groups []CalGroup `json:"groups"`
+	// P50Coverage / P99Coverage are the overall quantile coverages.
+	P50Coverage float64 `json:"p50Coverage"`
+	P99Coverage float64 `json:"p99Coverage"`
+}
+
+// calSample is one completed task's prediction/outcome pair.
+type calSample struct {
+	pred   float64
+	onTime bool
+	p50Hit bool
+	p99Hit bool
+}
+
+// insufficientNote renders a stats error for the calibration table;
+// the typed InsufficientDataError becomes the short annotation.
+func insufficientNote(err error) string {
+	var ide *stats.InsufficientDataError
+	if errors.As(err, &ide) {
+		return "insufficient data"
+	}
+	if err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// scoreCell computes a cell's mean prediction and observed rate, or the
+// typed insufficient-data error when fewer than two samples back it.
+func scoreCell(ss []calSample) (meanPred, observed float64, err error) {
+	if len(ss) < 2 {
+		return 0, 0, &stats.InsufficientDataError{Op: "calibration cell", N: len(ss), Need: 2}
+	}
+	var hits int
+	for _, s := range ss {
+		meanPred += s.pred
+		if s.onTime {
+			hits++
+		}
+	}
+	return meanPred / float64(len(ss)), float64(hits) / float64(len(ss)), nil
+}
+
+// Calibrate scores a trace's predictions against its outcomes. burstLen is
+// the workload's burst length in tasks (tasks with ID < burstLen or ID ≥
+// window−burstLen belong to the arrival bursts); pass 0 when unknown and
+// every task lands in regime "all". CalibrateRows is the multi-trial form.
+func Calibrate(t *Trace, burstLen int) (*Calibration, error) {
+	return CalibrateRows(t.Rows, burstLen)
+}
+
+// CalibrateRows scores a row set (possibly concatenated across trials).
+func CalibrateRows(rows []Row, burstLen int) (*Calibration, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: no rows to calibrate")
+	}
+	window := 0
+	for i := range rows {
+		if rows[i].ID+1 > window {
+			window = rows[i].ID + 1
+		}
+	}
+	regimeOf := func(id int) string {
+		if burstLen <= 0 || 2*burstLen >= window {
+			return "all"
+		}
+		if id < burstLen || id >= window-burstLen {
+			return "burst"
+		}
+		return "lull"
+	}
+
+	cal := &Calibration{}
+	var all []calSample
+	cells := map[[3]string][]calSample{}
+	onTimeStr, lateStr := sim.OutcomeOnTime.String(), sim.OutcomeLate.String()
+	for i := range rows {
+		r := &rows[i]
+		completed := r.Outcome == onTimeStr || r.Outcome == lateStr
+		if !completed || r.Verdict != "mapped" || r.PredRho < 0 || r.Finish < 0 {
+			cal.Skipped++
+			continue
+		}
+		s := calSample{
+			pred:   clamp01(r.PredRho),
+			onTime: r.Outcome == onTimeStr,
+			p50Hit: r.Finish <= r.PredP50,
+			p99Hit: r.Finish <= r.PredP99,
+		}
+		all = append(all, s)
+		key := [3]string{fmt.Sprintf("%03d", r.Type), fmt.Sprintf("P%d", r.PState), regimeOf(r.ID)}
+		cells[key] = append(cells[key], s)
+	}
+	cal.Tasks = len(all)
+	if len(all) == 0 {
+		return nil, fmt.Errorf("trace: no completed, audited tasks to calibrate (%d rows skipped)", cal.Skipped)
+	}
+
+	// Reliability diagram + ECE.
+	type acc struct {
+		n    int
+		pred float64
+		hits int
+	}
+	bins := make([]acc, CalBuckets)
+	var p50, p99 int
+	for _, s := range all {
+		b := int(s.pred * CalBuckets)
+		if b >= CalBuckets {
+			b = CalBuckets - 1
+		}
+		bins[b].n++
+		bins[b].pred += s.pred
+		if s.onTime {
+			bins[b].hits++
+		}
+		if s.p50Hit {
+			p50++
+		}
+		if s.p99Hit {
+			p99++
+		}
+	}
+	for b, a := range bins {
+		if a.n == 0 {
+			continue
+		}
+		mean := a.pred / float64(a.n)
+		obs := float64(a.hits) / float64(a.n)
+		cal.Buckets = append(cal.Buckets, CalBucket{
+			Lo: float64(b) / CalBuckets, Hi: float64(b+1) / CalBuckets,
+			N: a.n, MeanPred: mean, Observed: obs,
+		})
+		cal.ECE += float64(a.n) / float64(len(all)) * abs(obs-mean)
+	}
+	cal.P50Coverage = float64(p50) / float64(len(all))
+	cal.P99Coverage = float64(p99) / float64(len(all))
+
+	// Per-(type, P-state, regime) cells.
+	keys := make([][3]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		if keys[i][1] != keys[j][1] {
+			return keys[i][1] < keys[j][1]
+		}
+		return keys[i][2] < keys[j][2]
+	})
+	for _, k := range keys {
+		ss := cells[k]
+		var typ, ps int
+		fmt.Sscanf(k[0], "%d", &typ)
+		fmt.Sscanf(k[1], "P%d", &ps)
+		g := CalGroup{Type: typ, PState: fmt.Sprintf("P%d", ps), Regime: k[2], N: len(ss)}
+		meanPred, observed, err := scoreCell(ss)
+		if err != nil {
+			g.Note = insufficientNote(err)
+		} else {
+			g.MeanPredRho = meanPred
+			g.Observed = observed
+			g.Gap = observed - meanPred
+			var h50, h99 int
+			for _, s := range ss {
+				if s.p50Hit {
+					h50++
+				}
+				if s.p99Hit {
+					h99++
+				}
+			}
+			g.P50Cov = float64(h50) / float64(len(ss))
+			g.P99Cov = float64(h99) / float64(len(ss))
+		}
+		cal.Groups = append(cal.Groups, g)
+	}
+	return cal, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,630 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Flight recorder: a versioned, replayable per-task trace of one run.
+//
+// The event log in this package (EventLog) is a human-facing timeline for
+// figures; the flight trace is the machine-facing counterpart. It captures,
+// per task, everything the scheduler knew at decision time (admission
+// verdict, chosen core and P-state, predicted ρ and completion-time
+// quantiles, expected energy) alongside what actually happened (start,
+// finish, outcome, realized energy, fault retries), plus the run's summary
+// and metric snapshot. A recorded trace is sufficient to re-drive the
+// simulator byte-for-byte — see internal/experiment.ReplayTrace and
+// cmd/ecreplay — and to calibrate the predictor against reality (Calibrate).
+//
+// The on-disk format is line-oriented JSON: one envelope object per line,
+// each carrying exactly one of header (h), row (r), event (e), summary (s),
+// or metrics snapshot (m). The header is always the first line; decoding
+// rejects files that do not start with a FlightFormat header, and tolerates
+// a torn final line (a crash mid-append) the same way the experiment
+// journal does.
+
+// FlightFormat is the format tag of the current flight-trace version.
+// Bump the suffix when the envelope or row schema changes incompatibly.
+const FlightFormat = "ecflight/v1"
+
+// Trace kinds.
+const (
+	// KindSim marks a batch-simulator run (replayable).
+	KindSim = "sim"
+	// KindServe marks an online-server run (calibration input; the replay
+	// gate targets the simulator engines).
+	KindServe = "serve"
+)
+
+// Header identifies a flight trace: what produced it, from which model,
+// and with which knobs. Spec and Knobs are opaque here (the trace package
+// sits below the experiment layer); internal/experiment defines their
+// concrete shapes and uses them to rebuild the run for replay.
+type Header struct {
+	// Format is FlightFormat; decoding rejects other values.
+	Format string `json:"format"`
+	// Kind is KindSim or KindServe.
+	Kind string `json:"kind"`
+	// ModelHash fingerprints the workload model (workload.Model.Hash);
+	// replay refuses to drive a rebuilt model with a different hash.
+	ModelHash string `json:"modelHash"`
+	// Seed and Trial locate the run in the experiment's stream tree: the
+	// decision stream is NewStream(Seed).ChildN("decisions", Trial).
+	Seed  uint64 `json:"seed"`
+	Trial int    `json:"trial"`
+	// Policy names the mapper (immediate mode) or pull policy (central
+	// queue) that made the recorded decisions.
+	Policy string `json:"policy"`
+	// Budget is ζ_max; -1 encodes an unconstrained run (math.Inf does not
+	// survive JSON).
+	Budget float64 `json:"budget"`
+	// Spec is the serialized experiment.Spec that built the model (sim
+	// traces; empty for serve traces).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Knobs is the serialized engine configuration beyond the spec —
+	// filter variant, central-queue flag, fault and brownout settings
+	// (experiment.FlightConfig).
+	Knobs json.RawMessage `json:"knobs,omitempty"`
+}
+
+// Row is the per-task record: identity, decision audit, prediction, and
+// realized outcome. Unset numeric fields hold -1 sentinels so that "never
+// decided" and "never ran" are distinguishable from real zeros.
+type Row struct {
+	ID       int     `json:"id"`
+	Type     int     `json:"type"`
+	Arrival  float64 `json:"arr"`
+	Deadline float64 `json:"dl"`
+	// U is the execution-time quantile draw that fixes the task's actual
+	// duration; replay feeds it back so realized times match exactly.
+	U        float64 `json:"u"`
+	Priority float64 `json:"pri,omitempty"`
+
+	// Verdict is the admission outcome: "mapped", "discarded" (filters
+	// emptied the feasible set), or "shed" (server-side admission refusal);
+	// empty if the task never reached the scheduler (run halted first).
+	Verdict string `json:"verdict,omitempty"`
+	// Shed carries the shed or failure reason, when any.
+	Shed string `json:"shed,omitempty"`
+
+	// Chosen assignment (last decision wins when a fault retry remaps).
+	Node    int    `json:"node"`
+	CoreIdx int    `json:"core"`
+	PState  int    `json:"pstate"`
+	Core    string `json:"coreId,omitempty"`
+	// EEC is the expected energy charge the heuristic booked.
+	EEC float64 `json:"eec,omitempty"`
+
+	// Prediction at decision time: ρ = P(complete by deadline) and the
+	// mean/median/p99 of the predicted completion-time distribution.
+	PredRho  float64 `json:"rho"`
+	PredMean float64 `json:"pmean,omitempty"`
+	PredP50  float64 `json:"p50,omitempty"`
+	PredP99  float64 `json:"p99,omitempty"`
+
+	// Realized execution and energy.
+	Start   float64 `json:"start"`
+	Finish  float64 `json:"finish"`
+	Outcome string  `json:"outcome,omitempty"`
+	// Energy is the task's realized draw at table power: active duration ×
+	// μ(node,π)/η. Under PowerCV the meter draws stochastic power, so this
+	// is the planned-power share, not the metered joules.
+	Energy   float64 `json:"energy,omitempty"`
+	Requeues int     `json:"requeues,omitempty"`
+	Killed   int     `json:"killed,omitempty"`
+}
+
+// Ev is a non-task event worth keeping in the flight trace: faults,
+// repairs, kills, requeues, brownout stage changes, sheds, and the energy
+// halt. High-volume streams (per-sample energy, P-state transitions) are
+// deliberately not recorded.
+type Ev struct {
+	T    float64 `json:"t"`
+	Kind string  `json:"kind"`
+	Core string  `json:"core,omitempty"`
+	Task int     `json:"task"`
+	N    int     `json:"n,omitempty"`
+	X    float64 `json:"x,omitempty"`
+}
+
+// Event kinds.
+const (
+	EvCoreFailed   = "core-failed"
+	EvCoreRepaired = "core-repaired"
+	EvTaskKilled   = "task-killed"
+	EvTaskRequeued = "task-requeued"
+	EvBrownout     = "brownout"
+	EvShed         = "shed"
+	EvExhausted    = "energy-exhausted"
+)
+
+// Summary mirrors the numeric fields of sim.Result that the replay gate
+// compares bit-for-bit.
+type Summary struct {
+	Window             int     `json:"window"`
+	OnTime             int     `json:"onTime"`
+	Missed             int     `json:"missed"`
+	Late               int     `json:"late"`
+	Discarded          int     `json:"discarded"`
+	Cancelled          int     `json:"cancelled,omitempty"`
+	Unfinished         int     `json:"unfinished"`
+	Mapped             int     `json:"mapped"`
+	EnergyConsumed     float64 `json:"energyConsumed"`
+	EnergyExhausted    bool    `json:"energyExhausted,omitempty"`
+	ExhaustedAt        float64 `json:"exhaustedAt,omitempty"`
+	EnergyEstimateLeft float64 `json:"energyEstimateLeft"`
+	Makespan           float64 `json:"makespan"`
+	Faults             int     `json:"faults,omitempty"`
+	TasksKilled        int     `json:"tasksKilled,omitempty"`
+	Retries            int     `json:"retries,omitempty"`
+	LostToFailure      int     `json:"lostToFailure,omitempty"`
+	BrownoutStage      int     `json:"brownoutStage,omitempty"`
+}
+
+// SummaryOf extracts the compared subset of a sim.Result.
+func SummaryOf(r *sim.Result) Summary {
+	return Summary{
+		Window:             r.Window,
+		OnTime:             r.OnTime,
+		Missed:             r.Missed,
+		Late:               r.Late,
+		Discarded:          r.Discarded,
+		Cancelled:          r.Cancelled,
+		Unfinished:         r.Unfinished,
+		Mapped:             r.Mapped,
+		EnergyConsumed:     r.EnergyConsumed,
+		EnergyExhausted:    r.EnergyExhausted,
+		ExhaustedAt:        r.ExhaustedAt,
+		EnergyEstimateLeft: r.EnergyEstimateLeft,
+		Makespan:           r.Makespan,
+		Faults:             r.Faults,
+		TasksKilled:        r.TasksKilled,
+		Retries:            r.Retries,
+		LostToFailure:      r.LostToFailure,
+		BrownoutStage:      r.BrownoutStage,
+	}
+}
+
+// Trace is a fully-assembled flight trace.
+type Trace struct {
+	Header  Header
+	Rows    []Row
+	Events  []Ev
+	Summary *Summary
+	Metrics *metrics.Snapshot
+}
+
+// line is the JSONL envelope: exactly one field set per line.
+type line struct {
+	H *Header           `json:"h,omitempty"`
+	R *Row              `json:"r,omitempty"`
+	E *Ev               `json:"e,omitempty"`
+	S *Summary          `json:"s,omitempty"`
+	M *metrics.Snapshot `json:"m,omitempty"`
+}
+
+// Encode writes the trace in flight-trace format: header first, then
+// events, rows, summary, and metrics snapshot.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(line{H: &t.Header}); err != nil {
+		return err
+	}
+	for i := range t.Events {
+		if err := enc.Encode(line{E: &t.Events[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range t.Rows {
+		if err := enc.Encode(line{R: &t.Rows[i]}); err != nil {
+			return err
+		}
+	}
+	if t.Summary != nil {
+		if err := enc.Encode(line{S: t.Summary}); err != nil {
+			return err
+		}
+	}
+	if t.Metrics != nil {
+		if err := enc.Encode(line{M: t.Metrics}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a flight trace. The first line must be a FlightFormat
+// header. A torn final line — a crash or truncation mid-append — is
+// tolerated, mirroring the experiment journal's loader; corruption
+// anywhere else is an error.
+func Decode(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	t := &Trace{}
+	first := true
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ln line
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			if first {
+				return nil, fmt.Errorf("trace: not a flight trace: %v", err)
+			}
+			if !sc.Scan() {
+				break // torn tail: keep everything before it
+			}
+			return nil, fmt.Errorf("trace: corrupt line mid-file: %v", err)
+		}
+		if first {
+			if ln.H == nil {
+				return nil, fmt.Errorf("trace: first line is not a header")
+			}
+			if ln.H.Format != FlightFormat {
+				return nil, fmt.Errorf("trace: format %q, want %q", ln.H.Format, FlightFormat)
+			}
+			t.Header = *ln.H
+			first = false
+			continue
+		}
+		switch {
+		case ln.H != nil:
+			return nil, fmt.Errorf("trace: duplicate header")
+		case ln.R != nil:
+			t.Rows = append(t.Rows, *ln.R)
+		case ln.E != nil:
+			t.Events = append(t.Events, *ln.E)
+		case ln.S != nil:
+			t.Summary = ln.S
+		case ln.M != nil:
+			t.Metrics = ln.M
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if first {
+		return nil, fmt.Errorf("trace: empty file")
+	}
+	return t, nil
+}
+
+// DecodeBytes decodes an in-memory flight trace (fuzz and test entry).
+func DecodeBytes(b []byte) (*Trace, error) {
+	return Decode(bytes.NewReader(b))
+}
+
+// Diff compares two traces field-for-field and returns human-readable
+// mismatch descriptions (nil means bit-identical in every compared field).
+// At most limit mismatches are reported; limit <= 0 means all.
+func Diff(a, b *Trace, limit int) []string {
+	var out []string
+	add := func(format string, args ...any) bool {
+		out = append(out, fmt.Sprintf(format, args...))
+		return limit > 0 && len(out) >= limit
+	}
+	if a.Header.ModelHash != b.Header.ModelHash {
+		if add("header: modelHash %s vs %s", a.Header.ModelHash, b.Header.ModelHash) {
+			return out
+		}
+	}
+	if a.Header.Seed != b.Header.Seed || a.Header.Trial != b.Header.Trial {
+		if add("header: stream (seed=%d,trial=%d) vs (seed=%d,trial=%d)",
+			a.Header.Seed, a.Header.Trial, b.Header.Seed, b.Header.Trial) {
+			return out
+		}
+	}
+	if a.Header.Policy != b.Header.Policy {
+		if add("header: policy %q vs %q", a.Header.Policy, b.Header.Policy) {
+			return out
+		}
+	}
+	if len(a.Rows) != len(b.Rows) {
+		if add("rows: %d vs %d", len(a.Rows), len(b.Rows)) {
+			return out
+		}
+	}
+	n := min(len(a.Rows), len(b.Rows))
+	for i := 0; i < n; i++ {
+		ja, _ := json.Marshal(a.Rows[i])
+		jb, _ := json.Marshal(b.Rows[i])
+		if string(ja) != string(jb) {
+			if add("row %d: %s vs %s", a.Rows[i].ID, ja, jb) {
+				return out
+			}
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		if add("events: %d vs %d", len(a.Events), len(b.Events)) {
+			return out
+		}
+	}
+	ne := min(len(a.Events), len(b.Events))
+	for i := 0; i < ne; i++ {
+		ja, _ := json.Marshal(a.Events[i])
+		jb, _ := json.Marshal(b.Events[i])
+		if string(ja) != string(jb) {
+			if add("event %d: %s vs %s", i, ja, jb) {
+				return out
+			}
+		}
+	}
+	switch {
+	case (a.Summary == nil) != (b.Summary == nil):
+		add("summary: present=%v vs present=%v", a.Summary != nil, b.Summary != nil)
+	case a.Summary != nil:
+		ja, _ := json.Marshal(a.Summary)
+		jb, _ := json.Marshal(b.Summary)
+		if string(ja) != string(jb) {
+			if add("summary: %s vs %s", ja, jb) {
+				return out
+			}
+		}
+	}
+	switch {
+	case (a.Metrics == nil) != (b.Metrics == nil):
+		add("metrics: present=%v vs present=%v", a.Metrics != nil, b.Metrics != nil)
+	case a.Metrics != nil && !a.Metrics.Equal(b.Metrics):
+		add("metrics: snapshots differ")
+	}
+	return out
+}
+
+// Flight observes one run and assembles its flight trace. It implements
+// the simulator's Observer plus the Decision/Fault/Brownout extensions and
+// the server's shed callback; attach it (alone or via sim.Multi) as the
+// run's Observer. Events stream to the Recorder as they happen; rows are
+// stateful (a fault retry overwrites the decision audit) and flush on
+// Finish. Not safe for concurrent use — like every observer, it rides the
+// single engine goroutine.
+type Flight struct {
+	model *workload.Model
+	hdr   Header
+	rec   Recorder
+
+	rows   map[int]*Row
+	order  []int
+	events []Ev
+	// spans tracks what each core is actively executing, for realized
+	// per-task energy: flat core index → (task, start, power draw).
+	spans map[int]flightSpan
+}
+
+type flightSpan struct {
+	task  int
+	start float64
+	power float64 // μ(node,π)/η, the planned draw
+}
+
+var (
+	_ sim.Observer         = (*Flight)(nil)
+	_ sim.DecisionObserver = (*Flight)(nil)
+	_ sim.FaultObserver    = (*Flight)(nil)
+	_ sim.BrownoutObserver = (*Flight)(nil)
+)
+
+// NewFlight builds a flight recorder for one run of the given model. rec
+// may be nil (assemble in memory only); a non-nil recorder receives the
+// header immediately and events as they occur.
+func NewFlight(model *workload.Model, hdr Header, rec Recorder) *Flight {
+	hdr.Format = FlightFormat
+	if rec == nil {
+		rec = Nop{}
+	}
+	f := &Flight{
+		model: model,
+		hdr:   hdr,
+		rec:   rec,
+		rows:  make(map[int]*Row),
+		spans: make(map[int]flightSpan),
+	}
+	rec.Begin(&f.hdr)
+	return f
+}
+
+// Header returns the trace header (with Format filled in).
+func (f *Flight) Header() Header { return f.hdr }
+
+// SetTasks pre-seeds one row per trial task so that tasks that never reach
+// the scheduler (the run halts on energy exhaustion first) still appear in
+// the trace, as Outcome "unfinished". Batch runs call this before the run;
+// the online server, whose task set is open-ended, does not.
+func (f *Flight) SetTasks(tasks []workload.Task) {
+	for i := range tasks {
+		r := f.row(tasks[i])
+		r.Outcome = sim.OutcomeUnfinished.String()
+	}
+}
+
+// row returns the task's row, creating and seeding it on first touch.
+func (f *Flight) row(task workload.Task) *Row {
+	if r, ok := f.rows[task.ID]; ok {
+		return r
+	}
+	r := &Row{
+		ID:       task.ID,
+		Type:     task.Type,
+		Arrival:  task.Arrival,
+		Deadline: task.Deadline,
+		U:        task.U,
+		Node:     -1,
+		CoreIdx:  -1,
+		PState:   -1,
+		PredRho:  -1,
+		Start:    -1,
+		Finish:   -1,
+	}
+	if task.Priority != 1 {
+		r.Priority = task.Priority
+	}
+	f.rows[task.ID] = r
+	f.order = append(f.order, task.ID)
+	return r
+}
+
+func (f *Flight) event(e Ev) {
+	f.events = append(f.events, e)
+	f.rec.Event(&e)
+}
+
+// TaskDecision audits an admission decision (first mapping or fault
+// retry): the chosen assignment, its expected energy charge, and the
+// prediction the scheduler committed to. A retry overwrites the previous
+// audit — the last decision is the one the realized outcome answers to.
+func (f *Flight) TaskDecision(t float64, task workload.Task, a sched.Assignment, pred sched.Prediction, eec float64) {
+	r := f.row(task)
+	r.Verdict = "mapped"
+	r.Node = a.Core.Node
+	r.CoreIdx = a.CoreIdx
+	r.PState = int(a.PState)
+	r.Core = a.Core.String()
+	r.EEC = eec
+	r.PredRho = pred.Rho
+	r.PredMean = pred.Mean
+	r.PredP50 = pred.P50
+	r.PredP99 = pred.P99
+}
+
+// TaskMapped implements sim.Observer.
+func (f *Flight) TaskMapped(t float64, task workload.Task, a sched.Assignment) {
+	r := f.row(task)
+	if r.Verdict == "" {
+		// No decision audit fired (engine without a DecisionObserver hook);
+		// keep at least the assignment.
+		r.Verdict = "mapped"
+		r.Node = a.Core.Node
+		r.CoreIdx = a.CoreIdx
+		r.PState = int(a.PState)
+		r.Core = a.Core.String()
+	}
+}
+
+// TaskDiscarded implements sim.Observer: filters emptied the feasible set.
+func (f *Flight) TaskDiscarded(t float64, task workload.Task) {
+	r := f.row(task)
+	r.Verdict = "discarded"
+	r.Outcome = sim.OutcomeDiscarded.String()
+}
+
+// TaskShed records a server-side refusal. Before any mapping it is an
+// admission shed; after a mapping it is the fail path (fault loss, halt,
+// or drain timeout) and the row keeps its decision audit.
+func (f *Flight) TaskShed(t float64, task workload.Task, reason string) {
+	r := f.row(task)
+	r.Shed = reason
+	if r.Verdict == "mapped" {
+		r.Outcome = sim.OutcomeFailed.String()
+	} else {
+		r.Verdict = "shed"
+	}
+	f.event(Ev{T: t, Kind: EvShed, Task: task.ID})
+}
+
+// TaskStarted implements sim.Observer and opens the core's active span.
+func (f *Flight) TaskStarted(t float64, task workload.Task, a sched.Assignment) {
+	r := f.row(task)
+	if r.Start < 0 {
+		r.Start = t
+	}
+	node := f.model.Cluster.Node(a.Core)
+	f.spans[a.CoreIdx] = flightSpan{task: task.ID, start: t, power: node.Power[a.PState] / node.Efficiency}
+}
+
+// closeSpan accrues the active span's energy onto its task's row.
+func (f *Flight) closeSpan(coreIdx int, taskID int, t float64) {
+	sp, ok := f.spans[coreIdx]
+	if !ok || sp.task != taskID {
+		return
+	}
+	delete(f.spans, coreIdx)
+	if r, ok := f.rows[taskID]; ok {
+		r.Energy += (t - sp.start) * sp.power
+	}
+}
+
+// TaskFinished implements sim.Observer: closes the span and records the
+// realized outcome.
+func (f *Flight) TaskFinished(t float64, task workload.Task, a sched.Assignment, onTime bool) {
+	f.closeSpan(a.CoreIdx, task.ID, t)
+	r := f.row(task)
+	r.Finish = t
+	if onTime {
+		r.Outcome = sim.OutcomeOnTime.String()
+	} else {
+		r.Outcome = sim.OutcomeLate.String()
+	}
+}
+
+// PStateChanged implements sim.Observer; transitions are not recorded
+// (volume) — per-task draw is fixed at start in this engine.
+func (f *Flight) PStateChanged(t float64, core cluster.CoreID, ps cluster.PState) {}
+
+// EnergyExhausted implements sim.Observer.
+func (f *Flight) EnergyExhausted(t float64) {
+	f.event(Ev{T: t, Kind: EvExhausted, Task: -1})
+}
+
+// CoreFailed implements sim.FaultObserver.
+func (f *Flight) CoreFailed(t float64, core cluster.CoreID, kind fault.Kind, repair float64) {
+	f.event(Ev{T: t, Kind: EvCoreFailed, Core: core.String(), Task: -1, N: int(kind), X: repair})
+}
+
+// CoreRepaired implements sim.FaultObserver.
+func (f *Flight) CoreRepaired(t float64, core cluster.CoreID) {
+	f.event(Ev{T: t, Kind: EvCoreRepaired, Core: core.String(), Task: -1})
+}
+
+// TaskKilled implements sim.FaultObserver: a fault stranded the task. A
+// running task's partial span is charged to it.
+func (f *Flight) TaskKilled(t float64, task workload.Task, core cluster.CoreID) {
+	r := f.row(task)
+	r.Killed++
+	f.closeSpan(f.model.Cluster.CoreIndex(core), task.ID, t)
+	f.event(Ev{T: t, Kind: EvTaskKilled, Core: core.String(), Task: task.ID})
+}
+
+// TaskRequeued implements sim.FaultObserver.
+func (f *Flight) TaskRequeued(t float64, task workload.Task, attempt int) {
+	r := f.row(task)
+	r.Requeues = attempt
+	f.event(Ev{T: t, Kind: EvTaskRequeued, Task: task.ID, N: attempt})
+}
+
+// BrownoutStageChanged implements sim.BrownoutObserver.
+func (f *Flight) BrownoutStageChanged(t float64, stage int, frac float64) {
+	f.event(Ev{T: t, Kind: EvBrownout, Task: -1, N: stage, X: frac})
+}
+
+// Finish assembles the trace, flushes rows and the tail (summary, metric
+// snapshot) to the recorder, and returns the in-memory trace. Call once,
+// after the run; the recorder must still be Closed by its owner.
+func (f *Flight) Finish(s Summary, m *metrics.Snapshot) *Trace {
+	// Deterministic row order: by task ID. First-touch order is already
+	// deterministic on the single engine goroutine, but ID order makes the
+	// file diffable regardless of how the run interleaved.
+	sort.Ints(f.order)
+	rows := make([]Row, 0, len(f.order))
+	for _, id := range f.order {
+		rows = append(rows, *f.rows[id])
+	}
+	t := &Trace{Header: f.hdr, Rows: rows, Events: f.events, Summary: &s, Metrics: m}
+	for i := range t.Rows {
+		f.rec.Row(&t.Rows[i])
+	}
+	f.rec.End(&s, m)
+	return t
+}

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// flightRun drives one small simulation with scripted faults, requeue
+// recovery, and the staged brownout schedule under a tight budget, with a
+// Flight attached as the observer — the busiest trace shape the format has
+// to carry (down-spans, kills, requeues, stage changes, partial energy).
+func flightRun(t *testing.T, rec Recorder) *Trace {
+	t.Helper()
+	s := randx.NewStream(11)
+	c, err := cluster.Generate(s.Child("cluster"), cluster.PaperGenParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.PaperParams()
+	p.TaskTypes = 8
+	p.WindowSize = 80
+	p.BurstLen = 16
+	p.PMFSamples = 300
+	m, err := workload.BuildModel(s.Child("wl"), c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateTrial(randx.NewStream(7), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 0.7 * m.DefaultEnergyBudget()
+	fl := NewFlight(m, Header{
+		Kind:      KindSim,
+		ModelHash: m.Hash(),
+		Seed:      11,
+		Trial:     0,
+		Policy:    "LL",
+		Budget:    budget,
+	}, rec)
+	fl.SetTasks(tr.Tasks)
+	reg := metrics.NewRegistry()
+	cfg := sim.Config{
+		Model:        m,
+		Mapper:       &sched.Mapper{Heuristic: sched.LightestLoad{}},
+		EnergyBudget: budget,
+		Observer:     fl,
+		Metrics:      reg,
+		Faults: fault.Spec{
+			RepairTime: 0.4 * m.TAvg(),
+			Script: []fault.Scripted{
+				{Time: 0.2 * m.TAvg(), Kind: fault.Transient, Core: 0},
+				{Time: 0.3 * m.TAvg(), Kind: fault.Transient, Core: 1},
+				{Time: 0.5 * m.TAvg(), Kind: fault.Transient, Core: 2, Repair: 0.2 * m.TAvg()},
+			},
+			Recovery: fault.Recovery{Mode: fault.Requeue, MaxRetries: 2, Backoff: 0.05 * m.TAvg()},
+		},
+		Brownout: energy.DefaultBrownoutStages(),
+	}
+	res, err := sim.Run(cfg, tr, randx.NewStream(11).ChildN("decisions", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fl.Finish(SummaryOf(res), reg.Snapshot())
+}
+
+func TestFlightRoundTripFaultsBrownout(t *testing.T) {
+	tr := flightRun(t, nil)
+	if len(tr.Rows) != 80 {
+		t.Fatalf("rows = %d, want every trial task (80)", len(tr.Rows))
+	}
+	kinds := map[string]int{}
+	for _, e := range tr.Events {
+		kinds[e.Kind]++
+	}
+	if kinds[EvCoreFailed] != 3 || kinds[EvCoreRepaired] == 0 {
+		t.Fatalf("scripted faults not in event stream: %v", kinds)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(tr, dec, 0); len(d) != 0 {
+		t.Fatalf("round trip not identical:\n%s", strings.Join(d, "\n"))
+	}
+	// Bit identity, not just field identity: re-encoding the decoded trace
+	// must reproduce the original bytes exactly.
+	var buf2 bytes.Buffer
+	if err := dec.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-encoded bytes differ from the original encoding")
+	}
+}
+
+// TestFlightFileMatchesEncode proves the live recorder (header first,
+// events during the run, rows and tail at Finish) lays lines down in
+// exactly the order Trace.Encode does, so a recorded file and a replayed
+// WriteFile are byte-comparable with cmp.
+func TestFlightFileMatchesEncode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	rec, err := NewFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := flightRun(t, rec)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := tr.Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("live-recorded file bytes differ from Trace.Encode")
+	}
+}
+
+func TestFlightDecodeTornTail(t *testing.T) {
+	tr := flightRun(t, nil)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// A crash mid-append tears the final line: decoding keeps everything
+	// before the tear and drops the torn tail without error.
+	torn := full[:len(full)-40]
+	dec, err := DecodeBytes(torn)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if dec.Metrics != nil {
+		t.Fatal("torn metrics line survived decoding")
+	}
+	if len(dec.Rows) != len(tr.Rows) || len(dec.Events) != len(tr.Events) {
+		t.Fatalf("torn tail lost intact lines: rows %d/%d events %d/%d",
+			len(dec.Rows), len(tr.Rows), len(dec.Events), len(tr.Events))
+	}
+
+	// Corruption mid-file (followed by more intact lines) is NOT a torn
+	// tail; that file is damaged and decoding must refuse it.
+	nl := bytes.IndexByte(full, '\n')
+	mid := append([]byte{}, full[:nl+1]...)
+	mid = append(mid, []byte("{\"e\": {\"t\": garbage\n")...)
+	mid = append(mid, full[nl+1:]...)
+	if _, err := DecodeBytes(mid); err == nil || !strings.Contains(err.Error(), "mid-file") {
+		t.Fatalf("mid-file corruption accepted: %v", err)
+	}
+
+	// The first line must be a FlightFormat header.
+	if _, err := DecodeBytes(full[nl+1:]); err == nil {
+		t.Fatal("headerless file accepted")
+	}
+	if _, err := DecodeBytes([]byte("{\"h\": {\"format\": \"ecflight/v999\"}}\n")); err == nil {
+		t.Fatal("unknown format version accepted")
+	}
+
+	// One header per trace.
+	dup := append(append([]byte{}, full[:nl+1]...), full...)
+	if _, err := DecodeBytes(dup); err == nil || !strings.Contains(err.Error(), "duplicate header") {
+		t.Fatalf("duplicate header accepted: %v", err)
+	}
+
+	if _, err := DecodeBytes(nil); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+func FuzzTraceDecode(f *testing.F) {
+	tr := &Trace{
+		Header: Header{Format: FlightFormat, Kind: KindSim, ModelHash: "deadbeef", Seed: 1, Policy: "LL", Budget: -1},
+		Rows: []Row{
+			{ID: 0, Type: 3, Arrival: 0, Deadline: 4.5, U: 0.25, Verdict: "mapped", Node: 1, CoreIdx: 2, PState: 0, PredRho: 0.9, Start: 0, Finish: 3, Outcome: "on-time", Energy: 2.5},
+			{ID: 1, Type: 1, Arrival: 0.5, Deadline: 2, U: 0.75, Verdict: "shed", Shed: "infeasible", Node: -1, CoreIdx: -1, PState: -1, PredRho: -1, Start: -1, Finish: -1},
+		},
+		Events:  []Ev{{T: 1, Kind: EvCoreFailed, Core: "n0c1", Task: -1, X: 0.4}, {T: 2, Kind: EvTaskRequeued, Task: 0, N: 1}},
+		Summary: &Summary{Window: 2, OnTime: 1, EnergyConsumed: 2.5, Makespan: 3},
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)-7])
+	f.Add([]byte("{\"h\": {\"format\": \"ecflight/v1\"}}\n{\"r\": {\"id\": 0}}\n"))
+	f.Add([]byte("{\"r\": {\"id\": 0}}\n"))
+	f.Add([]byte("not json"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must survive an encode/decode cycle
+		// unchanged — the bit-identity contract the replay gate rests on.
+		var rt bytes.Buffer
+		if err := dec.Encode(&rt); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		dec2, err := DecodeBytes(rt.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if d := Diff(dec, dec2, 1); len(d) != 0 {
+			t.Fatalf("encode/decode cycle changed the trace: %s", d[0])
+		}
+	})
+}
+
+// TestFlightBudgetEncoding pins the -1 convention for unconstrained runs:
+// math.Inf does not survive JSON, so +Inf budgets must be encoded by the
+// caller before they reach a header.
+func TestFlightBudgetEncoding(t *testing.T) {
+	h := Header{Format: FlightFormat, Kind: KindSim, Budget: -1}
+	tr := &Trace{Header: h}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Header.Budget != -1 {
+		t.Fatalf("budget = %v, want -1", dec.Header.Budget)
+	}
+	if math.IsInf(dec.Header.Budget, 1) {
+		t.Fatal("+Inf leaked into a decoded header")
+	}
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+)
+
+// Recorder is the sink a Flight writes through. Engines never talk to a
+// recorder directly — they emit observer callbacks, the Flight assembles
+// rows, and the recorder persists them. Implementations must be cheap when
+// idle: the Nop default is what every run without tracing pays.
+//
+// Call order: Begin once (the header), then any interleaving of Event and
+// Row, then End once (summary + metric snapshot), then Close. Recorders
+// are not safe for concurrent use; they ride the engine goroutine.
+type Recorder interface {
+	Begin(h *Header)
+	Row(r *Row)
+	Event(e *Ev)
+	End(s *Summary, m *metrics.Snapshot)
+	// Close finalizes the sink (flush + atomic rename for files). It
+	// reports the first write error encountered anywhere in the stream, so
+	// hot-path writes never have to handle errors.
+	Close() error
+}
+
+// Nop is the default recorder: it discards everything.
+type Nop struct{}
+
+// Begin implements Recorder.
+func (Nop) Begin(*Header) {}
+
+// Row implements Recorder.
+func (Nop) Row(*Row) {}
+
+// Event implements Recorder.
+func (Nop) Event(*Ev) {}
+
+// End implements Recorder.
+func (Nop) End(*Summary, *metrics.Snapshot) {}
+
+// Close implements Recorder.
+func (Nop) Close() error { return nil }
+
+// Mem accumulates the stream into an in-memory Trace (test aid).
+type Mem struct {
+	Trace Trace
+}
+
+// Begin implements Recorder.
+func (m *Mem) Begin(h *Header) { m.Trace.Header = *h }
+
+// Row implements Recorder.
+func (m *Mem) Row(r *Row) { m.Trace.Rows = append(m.Trace.Rows, *r) }
+
+// Event implements Recorder.
+func (m *Mem) Event(e *Ev) { m.Trace.Events = append(m.Trace.Events, *e) }
+
+// End implements Recorder.
+func (m *Mem) End(s *Summary, snap *metrics.Snapshot) {
+	m.Trace.Summary = s
+	m.Trace.Metrics = snap
+}
+
+// Close implements Recorder.
+func (m *Mem) Close() error { return nil }
+
+// File is a buffered flight-trace file writer with atomic close: lines
+// accumulate in a temp file in the target directory and the temp is
+// fsynced and renamed over the destination only on Close, so readers never
+// observe a half-written trace under the final name. (A crash leaves the
+// temp behind; the decode-side torn-tail tolerance covers traces that were
+// copied or tailed mid-write.)
+//
+// Write errors do not interrupt the run: the recorder latches the first
+// error, counts every subsequent line as a drop, and reports the error
+// from Close. The optional metrics registry receives:
+//
+//	trace_rows_recorded_total    rows written
+//	trace_events_recorded_total  events written
+//	trace_record_drops_total     lines dropped after a write error
+//	trace_flushes_total          successful Close flushes
+type File struct {
+	path string
+	tmp  *os.File
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	err  error
+
+	rows, events, drops, flushes *metrics.Counter
+}
+
+var _ Recorder = (*File)(nil)
+
+// NewFile opens a file recorder targeting path. reg may be nil.
+func NewFile(path string, reg *metrics.Registry) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	bw := bufio.NewWriterSize(tmp, 256*1024)
+	return &File{
+		path:    path,
+		tmp:     tmp,
+		bw:      bw,
+		enc:     json.NewEncoder(bw),
+		rows:    reg.Counter("trace_rows_recorded_total"),
+		events:  reg.Counter("trace_events_recorded_total"),
+		drops:   reg.Counter("trace_record_drops_total"),
+		flushes: reg.Counter("trace_flushes_total"),
+	}, nil
+}
+
+func (f *File) write(ln line) bool {
+	if f.err != nil {
+		f.drops.Inc()
+		return false
+	}
+	if err := f.enc.Encode(ln); err != nil {
+		f.err = err
+		f.drops.Inc()
+		return false
+	}
+	return true
+}
+
+// Begin implements Recorder.
+func (f *File) Begin(h *Header) { f.write(line{H: h}) }
+
+// Row implements Recorder.
+func (f *File) Row(r *Row) {
+	if f.write(line{R: r}) {
+		f.rows.Inc()
+	}
+}
+
+// Event implements Recorder.
+func (f *File) Event(e *Ev) {
+	if f.write(line{E: e}) {
+		f.events.Inc()
+	}
+}
+
+// End implements Recorder.
+func (f *File) End(s *Summary, m *metrics.Snapshot) {
+	if s != nil {
+		f.write(line{S: s})
+	}
+	if m != nil {
+		f.write(line{M: m})
+	}
+}
+
+// Close flushes, fsyncs, and renames the temp file into place. On any
+// earlier write error the temp is discarded and the destination is left
+// untouched.
+func (f *File) Close() error {
+	if f.tmp == nil {
+		return f.err
+	}
+	tmp := f.tmp
+	f.tmp = nil
+	if f.err == nil {
+		f.err = f.bw.Flush()
+	}
+	if f.err == nil {
+		f.err = tmp.Sync()
+	}
+	if err := tmp.Close(); f.err == nil {
+		f.err = err
+	}
+	if f.err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("trace: write %s: %w", f.path, f.err)
+	}
+	if err := os.Rename(tmp.Name(), f.path); err != nil {
+		os.Remove(tmp.Name())
+		f.err = err
+		return fmt.Errorf("trace: finalize %s: %w", f.path, err)
+	}
+	f.flushes.Inc()
+	return nil
+}
+
+// WriteFile writes an assembled trace to path with the same atomic
+// temp-and-rename discipline as File.
+func WriteFile(path string, t *Trace) error {
+	f, err := NewFile(path, nil)
+	if err != nil {
+		return err
+	}
+	f.Begin(&t.Header)
+	for i := range t.Events {
+		f.Event(&t.Events[i])
+	}
+	for i := range t.Rows {
+		f.Row(&t.Rows[i])
+	}
+	f.End(t.Summary, t.Metrics)
+	return f.Close()
+}
+
+// ReadFile decodes the flight trace at path.
+func ReadFile(path string) (*Trace, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return Decode(fh)
+}

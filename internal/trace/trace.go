@@ -53,10 +53,10 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// Recorder implements sim.Observer (and sim.EnergyObserver), accumulating
+// EventLog implements sim.Observer (and sim.EnergyObserver), accumulating
 // the event log, the per-core execution spans needed for timeline
 // rendering, and a decimated energy-meter trajectory.
-type Recorder struct {
+type EventLog struct {
 	Events []Event
 
 	spans    map[string][]span // core label -> executed spans
@@ -88,19 +88,19 @@ type span struct {
 	killed     bool
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder {
-	return &Recorder{spans: make(map[string][]span), downs: make(map[string][]span)}
+// NewEventLog returns an empty recorder.
+func NewEventLog() *EventLog {
+	return &EventLog{spans: make(map[string][]span), downs: make(map[string][]span)}
 }
 
 var (
-	_ sim.Observer         = (*Recorder)(nil)
-	_ sim.EnergyObserver   = (*Recorder)(nil)
-	_ sim.FaultObserver    = (*Recorder)(nil)
-	_ sim.BrownoutObserver = (*Recorder)(nil)
+	_ sim.Observer         = (*EventLog)(nil)
+	_ sim.EnergyObserver   = (*EventLog)(nil)
+	_ sim.FaultObserver    = (*EventLog)(nil)
+	_ sim.BrownoutObserver = (*EventLog)(nil)
 )
 
-func (r *Recorder) add(e Event) {
+func (r *EventLog) add(e Event) {
 	r.Events = append(r.Events, e)
 	if e.Time > r.lastTime {
 		r.lastTime = e.Time
@@ -108,13 +108,13 @@ func (r *Recorder) add(e Event) {
 }
 
 // TaskMapped implements sim.Observer.
-func (r *Recorder) TaskMapped(t float64, task workload.Task, a sched.Assignment) {
+func (r *EventLog) TaskMapped(t float64, task workload.Task, a sched.Assignment) {
 	r.add(Event{Time: t, Kind: KindMapped, TaskID: task.ID, Type: task.Type,
 		Core: a.Core.String(), PState: a.PState.String()})
 }
 
 // TaskDiscarded implements sim.Observer.
-func (r *Recorder) TaskDiscarded(t float64, task workload.Task) {
+func (r *EventLog) TaskDiscarded(t float64, task workload.Task) {
 	r.add(Event{Time: t, Kind: KindDiscarded, TaskID: task.ID, Type: task.Type})
 }
 
@@ -122,12 +122,12 @@ func (r *Recorder) TaskDiscarded(t float64, task workload.Task) {
 // before ever reaching the mapper (bounded queue, brownout gate, infeasible
 // deadline, request timeout). Detail carries the shed reason. The batch
 // simulator never emits these; internal/server does.
-func (r *Recorder) TaskShed(t float64, task workload.Task, reason string) {
+func (r *EventLog) TaskShed(t float64, task workload.Task, reason string) {
 	r.add(Event{Time: t, Kind: KindShed, TaskID: task.ID, Type: task.Type, Detail: reason})
 }
 
 // TaskStarted implements sim.Observer.
-func (r *Recorder) TaskStarted(t float64, task workload.Task, a sched.Assignment) {
+func (r *EventLog) TaskStarted(t float64, task workload.Task, a sched.Assignment) {
 	r.add(Event{Time: t, Kind: KindStarted, TaskID: task.ID, Type: task.Type,
 		Core: a.Core.String(), PState: a.PState.String()})
 	key := a.Core.String()
@@ -135,7 +135,7 @@ func (r *Recorder) TaskStarted(t float64, task workload.Task, a sched.Assignment
 }
 
 // TaskFinished implements sim.Observer.
-func (r *Recorder) TaskFinished(t float64, task workload.Task, a sched.Assignment, onTime bool) {
+func (r *EventLog) TaskFinished(t float64, task workload.Task, a sched.Assignment, onTime bool) {
 	ot := onTime
 	r.add(Event{Time: t, Kind: KindFinished, TaskID: task.ID, Type: task.Type,
 		Core: a.Core.String(), PState: a.PState.String(), OnTime: &ot})
@@ -152,12 +152,12 @@ func (r *Recorder) TaskFinished(t float64, task workload.Task, a sched.Assignmen
 }
 
 // PStateChanged implements sim.Observer.
-func (r *Recorder) PStateChanged(t float64, core cluster.CoreID, ps cluster.PState) {
+func (r *EventLog) PStateChanged(t float64, core cluster.CoreID, ps cluster.PState) {
 	r.add(Event{Time: t, Kind: KindPState, Core: core.String(), PState: ps.String()})
 }
 
 // EnergyExhausted implements sim.Observer.
-func (r *Recorder) EnergyExhausted(t float64) {
+func (r *EventLog) EnergyExhausted(t float64) {
 	r.add(Event{Time: t, Kind: KindExhausted})
 	r.exhaust = t
 	r.halted = true
@@ -165,7 +165,7 @@ func (r *Recorder) EnergyExhausted(t float64) {
 
 // CoreFailed implements sim.FaultObserver: the down interval opens and any
 // execution span running on the core is closed by the following TaskKilled.
-func (r *Recorder) CoreFailed(t float64, core cluster.CoreID, kind fault.Kind, _ float64) {
+func (r *EventLog) CoreFailed(t float64, core cluster.CoreID, kind fault.Kind, _ float64) {
 	r.add(Event{Time: t, Kind: KindFault, Core: core.String(), Detail: kind.String()})
 	r.faults++
 	key := core.String()
@@ -173,7 +173,7 @@ func (r *Recorder) CoreFailed(t float64, core cluster.CoreID, kind fault.Kind, _
 }
 
 // CoreRepaired implements sim.FaultObserver: the down interval closes.
-func (r *Recorder) CoreRepaired(t float64, core cluster.CoreID) {
+func (r *EventLog) CoreRepaired(t float64, core cluster.CoreID) {
 	r.add(Event{Time: t, Kind: KindRepair, Core: core.String()})
 	key := core.String()
 	ds := r.downs[key]
@@ -188,7 +188,7 @@ func (r *Recorder) CoreRepaired(t float64, core cluster.CoreID) {
 
 // TaskKilled implements sim.FaultObserver: a running task's execution span
 // is cut at the failure instant and marked killed.
-func (r *Recorder) TaskKilled(t float64, task workload.Task, core cluster.CoreID) {
+func (r *EventLog) TaskKilled(t float64, task workload.Task, core cluster.CoreID) {
 	r.add(Event{Time: t, Kind: KindKilled, TaskID: task.ID, Type: task.Type, Core: core.String()})
 	key := core.String()
 	ss := r.spans[key]
@@ -203,13 +203,13 @@ func (r *Recorder) TaskKilled(t float64, task workload.Task, core cluster.CoreID
 }
 
 // TaskRequeued implements sim.FaultObserver.
-func (r *Recorder) TaskRequeued(t float64, task workload.Task, attempt int) {
+func (r *EventLog) TaskRequeued(t float64, task workload.Task, attempt int) {
 	r.add(Event{Time: t, Kind: KindRequeue, TaskID: task.ID, Type: task.Type,
 		Detail: fmt.Sprintf("attempt %d", attempt)})
 }
 
 // BrownoutStageChanged implements sim.BrownoutObserver.
-func (r *Recorder) BrownoutStageChanged(t float64, stage int, frac float64) {
+func (r *EventLog) BrownoutStageChanged(t float64, stage int, frac float64) {
 	r.add(Event{Time: t, Kind: KindBrownout, Detail: fmt.Sprintf("stage %d (%.1f%% consumed)", stage, 100*frac)})
 	if stage > r.brownout {
 		r.brownout = stage
@@ -218,7 +218,7 @@ func (r *Recorder) BrownoutStageChanged(t float64, stage int, frac float64) {
 
 // EnergySample implements sim.EnergyObserver: the recorder keeps a
 // decimated (time, cumulative energy) trajectory of the meter.
-func (r *Recorder) EnergySample(t, consumed, _ float64) {
+func (r *EventLog) EnergySample(t, consumed, _ float64) {
 	if r.eStride == 0 {
 		r.eStride = 1
 	}
@@ -245,21 +245,21 @@ func (r *Recorder) EnergySample(t, consumed, _ float64) {
 // EnergySeries returns the recorded (time, cumulative energy) trajectory.
 // Empty unless the recorder was attached to a run as its observer (energy
 // samples flow through the sim.EnergyObserver extension).
-func (r *Recorder) EnergySeries() (times, consumed []float64) {
+func (r *EventLog) EnergySeries() (times, consumed []float64) {
 	return r.energyT, r.energyE
 }
 
 // Len returns the number of recorded events.
-func (r *Recorder) Len() int { return len(r.Events) }
+func (r *EventLog) Len() int { return len(r.Events) }
 
 // End returns the time of the last recorded event.
-func (r *Recorder) End() float64 { return r.lastTime }
+func (r *EventLog) End() float64 { return r.lastTime }
 
 // Halted reports whether the run ended by energy exhaustion, and when.
-func (r *Recorder) Halted() (float64, bool) { return r.exhaust, r.halted }
+func (r *EventLog) Halted() (float64, bool) { return r.exhaust, r.halted }
 
 // WriteJSON streams the event log as one JSON object per line (JSONL).
-func (r *Recorder) WriteJSON(w io.Writer) error {
+func (r *EventLog) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for i := range r.Events {
 		if err := enc.Encode(&r.Events[i]); err != nil {
@@ -270,7 +270,7 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV writes the event log as CSV with a header row.
-func (r *Recorder) WriteCSV(w io.Writer) error {
+func (r *EventLog) WriteCSV(w io.Writer) error {
 	if _, err := io.WriteString(w, "t,kind,task,type,core,pstate,onTime,detail\n"); err != nil {
 		return err
 	}
@@ -294,7 +294,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 // instant. Cores with no activity are included (all idle) when their label
 // is passed explicitly; by default only active cores render, sorted by
 // label.
-func (r *Recorder) Timeline(width int) string {
+func (r *EventLog) Timeline(width int) string {
 	if width < 20 {
 		width = 20
 	}
@@ -379,7 +379,7 @@ func (r *Recorder) Timeline(width int) string {
 // InSystemSeries returns (times, counts): the number of tasks in the
 // system (mapped, not finished) after each change point. Useful for
 // plotting the burst backlog.
-func (r *Recorder) InSystemSeries() (times []float64, counts []int) {
+func (r *EventLog) InSystemSeries() (times []float64, counts []int) {
 	n := 0
 	for i := range r.Events {
 		e := &r.Events[i]
@@ -399,7 +399,7 @@ func (r *Recorder) InSystemSeries() (times []float64, counts []int) {
 
 // PStateOccupancy returns, per P-state, the total core-time spent
 // executing tasks in that state — the run's DVFS usage profile.
-func (r *Recorder) PStateOccupancy() [cluster.NumPStates]float64 {
+func (r *EventLog) PStateOccupancy() [cluster.NumPStates]float64 {
 	var occ [cluster.NumPStates]float64
 	for _, ss := range r.spans {
 		for _, s := range ss {
@@ -414,7 +414,7 @@ func (r *Recorder) PStateOccupancy() [cluster.NumPStates]float64 {
 }
 
 // Summary renders headline counts of the recorded run.
-func (r *Recorder) Summary() string {
+func (r *EventLog) Summary() string {
 	var mapped, discarded, finished, missed int
 	for i := range r.Events {
 		switch r.Events[i].Kind {

@@ -17,7 +17,7 @@ import (
 	"repro/internal/workload"
 )
 
-func recordRun(t *testing.T, budgetScale float64) (*Recorder, *sim.Result) {
+func recordRun(t *testing.T, budgetScale float64) (*EventLog, *sim.Result) {
 	t.Helper()
 	s := randx.NewStream(4)
 	c, err := cluster.Generate(s.Child("cluster"), cluster.PaperGenParams())
@@ -37,7 +37,7 @@ func recordRun(t *testing.T, budgetScale float64) (*Recorder, *sim.Result) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := NewRecorder()
+	rec := NewEventLog()
 	budget := math.Inf(1)
 	if budgetScale > 0 {
 		budget = budgetScale * m.DefaultEnergyBudget()
@@ -174,7 +174,7 @@ func TestTimeline(t *testing.T) {
 	if !strings.Contains(out, "digits = executing") {
 		t.Fatal("timeline missing legend")
 	}
-	empty := NewRecorder()
+	empty := NewEventLog()
 	if empty.Timeline(40) != "(empty trace)\n" {
 		t.Fatal("empty timeline wrong")
 	}
@@ -240,7 +240,7 @@ func TestSummary(t *testing.T) {
 // recordFaultRun drives a run with aggressive stochastic transient faults,
 // requeue recovery, and a staged brownout, so every fault-path marker has a
 // chance to appear in the trace.
-func recordFaultRun(t *testing.T) (*Recorder, *sim.Result) {
+func recordFaultRun(t *testing.T) (*EventLog, *sim.Result) {
 	t.Helper()
 	s := randx.NewStream(4)
 	c, err := cluster.Generate(s.Child("cluster"), cluster.PaperGenParams())
@@ -260,7 +260,7 @@ func recordFaultRun(t *testing.T) (*Recorder, *sim.Result) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec := NewRecorder()
+	rec := NewEventLog()
 	cfg := sim.Config{
 		Model:        m,
 		Mapper:       &sched.Mapper{Heuristic: sched.MinExpectedCompletionTime{}},

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -42,6 +44,22 @@ func (m *Model) WriteJSON(w io.Writer) error {
 		return fmt.Errorf("workload: encode model: %w", err)
 	}
 	return nil
+}
+
+// Hash fingerprints the model: a short hex digest over its serialized
+// form (cluster, parameters, and the full pmf table). Two models with the
+// same hash produce identical schedules; the flight recorder stamps it
+// into trace headers so replay can refuse a mismatched rebuild. Map keys
+// are sorted by encoding/json, so the digest is deterministic.
+func (m *Model) Hash() string {
+	h := sha256.New()
+	if err := m.WriteJSON(h); err != nil {
+		// WriteJSON to a hash cannot fail on I/O; an encode failure means
+		// an unserializable model, which the constructors never build.
+		return "unhashable"
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
 }
 
 // ReadModelJSON deserializes and validates a model. The pmf table must be

@@ -67,6 +67,20 @@ if [ "$tier" -ge 2 ]; then
     go test -fuzz=FuzzFaultParseSpec -fuzztime=10s ./internal/fault
     echo "== tier 2: go fuzz (server DecodeTask, 10s)"
     go test -fuzz=FuzzServerDecodeTask -fuzztime=10s ./internal/server
+    echo "== tier 2: go fuzz (trace Decode, 10s)"
+    go test -fuzz=FuzzTraceDecode -fuzztime=10s ./internal/trace
+    # Flight-recorder gate: record one run, replay it from the trace alone,
+    # and require the replayed file to be byte-identical to the record —
+    # cmp, not a field comparison, so nothing can hide in encoding drift.
+    echo "== tier 2: flight trace record/replay bit-identity"
+    flighttmp="$(mktemp -d)"
+    trap 'rm -rf "$flighttmp"' EXIT
+    go build -o "$flighttmp" ./cmd/ecsim ./cmd/ecreplay
+    "$flighttmp/ecsim" -heuristic LL -filters en+rob -trials 1 -window 200 \
+        -trace-out "$flighttmp/flight.jsonl" >/dev/null
+    "$flighttmp/ecreplay" -out "$flighttmp/replayed.jsonl" "$flighttmp/flight.jsonl" >/dev/null
+    cmp "$flighttmp/flight.jsonl" "$flighttmp/replayed.jsonl"
+    echo "   record and replay are byte-identical"
     # End-to-end soak: race-built ecserve under bursty 2x overload with
     # fault injection, then a SIGTERM drain that must orphan nothing.
     echo "== tier 2: soak (ecserve + ecload, race-instrumented)"
