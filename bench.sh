@@ -27,7 +27,9 @@ fi
 raw="${stem}.txt"
 out="${stem}.json"
 
-go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
+# The root package holds the figure/table and hot-path benches;
+# internal/server adds the durability ones (WAL append/commit, recovery).
+go test -run '^$' -bench "$pattern" -benchmem . ./internal/server | tee "$raw"
 
 # Parse "BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op  [W unit]..."
 # into a JSON array; custom metrics (e.g. med_missed) ride along.

@@ -600,3 +600,47 @@ func BenchmarkServeAdmit(b *testing.B) {
 		clk.Advance(dt)
 	}
 }
+
+// BenchmarkServeAdmitWAL is BenchmarkServeAdmit with durability armed: every
+// admission is logged to the write-ahead log and group-committed (fsync)
+// before its decision returns. The acceptance bar for the durable path is
+// staying under 2× the WAL-off admit figure — on this path each Submit pays
+// one worst-case single-record commit, since the manual clock serializes the
+// benchmark to one decision per group.
+func BenchmarkServeAdmitWAL(b *testing.B) {
+	s := randx.NewStream(99)
+	c, err := cluster.Generate(s.Child("cluster"), cluster.PaperGenParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := workload.PaperParams()
+	p.TaskTypes = 10
+	p.PMFSamples = 300
+	m, err := workload.BuildModel(s.Child("wl"), c, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	clk := server.NewManualClock()
+	eng, err := server.New(server.Config{
+		Model:          m,
+		Mapper:         &sched.Mapper{Heuristic: sched.LightestLoad{}, Filters: sched.EnergyAndRobustness.Filters()},
+		Clock:          clk,
+		Seed:           7,
+		WALPath:        dir + "/wal",
+		CheckpointPath: dir + "/ckpt",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	dt := m.TAvg() / float64(m.Cluster.TotalCores())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Submit(server.TaskRequest{Type: i % p.TaskTypes}); err != nil {
+			b.Fatal(err)
+		}
+		clk.Advance(dt)
+	}
+}

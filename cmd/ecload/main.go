@@ -14,6 +14,13 @@
 // The exit status is 0 when every request received an HTTP response (any
 // status — 429/503 are the server working as designed) and 1 on transport
 // errors or a missing server.
+//
+// With -retry-for set, a transport error does not burn the request:
+// ecload reconnects with capped exponential backoff (100ms doubling to 2s)
+// and resends until the window expires, so the seeded arrival stream
+// resumes from exactly the requests the server never acknowledged. This is
+// how the chaos harness rides through an ecserve kill-9 + -recover restart:
+// acked requests stay acked, unacked ones retry into the recovered server.
 package main
 
 import (
@@ -61,14 +68,15 @@ const (
 
 func run() error {
 	var (
-		addr    = flag.String("addr", "localhost:9090", "ecserve address (host:port)")
-		n       = flag.Int("n", 10000, "number of tasks to submit")
-		mult    = flag.Float64("mult", 2, "arrival-rate multiplier relative to the sustainable rate λ_eq")
-		seed    = flag.Uint64("seed", 1, "generator seed (arrivals, task types)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout (includes waiting for a pooled connection)")
-		conns   = flag.Int("conns", 512, "connection-pool bound; requests past it queue client-side")
-		quiet   = flag.Bool("q", false, "suppress the progress line")
-		logPath = flag.String("log", "", "record the generated arrival stream (seed, per-request virtual send time, type, deadline) as JSONL to this file")
+		addr     = flag.String("addr", "localhost:9090", "ecserve address (host:port)")
+		n        = flag.Int("n", 10000, "number of tasks to submit")
+		mult     = flag.Float64("mult", 2, "arrival-rate multiplier relative to the sustainable rate λ_eq")
+		seed     = flag.Uint64("seed", 1, "generator seed (arrivals, task types)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout (includes waiting for a pooled connection)")
+		conns    = flag.Int("conns", 512, "connection-pool bound; requests past it queue client-side")
+		quiet    = flag.Bool("q", false, "suppress the progress line")
+		logPath  = flag.String("log", "", "record the generated arrival stream (seed, per-request virtual send time, type, deadline) as JSONL to this file")
+		retryFor = flag.Duration("retry-for", 0, "on transport errors, reconnect with capped exponential backoff and resend the unacked request for up to this long (0 = fail immediately)")
 	)
 	flag.Parse()
 	if *n < 1 {
@@ -135,12 +143,13 @@ func run() error {
 		*n, *mult, base, info.Policy, info.Cores, info.TimeScale)
 
 	var (
-		wg       sync.WaitGroup
-		codes    sync.Map // int -> *atomic.Int64
-		netErrs  atomic.Int64
-		done     atomic.Int64
-		start    = time.Now()
-		countFor = func(code int) *atomic.Int64 {
+		wg         sync.WaitGroup
+		codes      sync.Map // int -> *atomic.Int64
+		netErrs    atomic.Int64
+		reconnects atomic.Int64
+		done       atomic.Int64
+		start      = time.Now()
+		countFor   = func(code int) *atomic.Int64 {
 			if c, ok := codes.Load(code); ok {
 				return c.(*atomic.Int64)
 			}
@@ -148,6 +157,31 @@ func run() error {
 			return c.(*atomic.Int64)
 		}
 	)
+	// submit fires one request, reconnecting with capped exponential backoff
+	// for up to -retry-for on transport errors. Only an unacknowledged
+	// request retries: once any HTTP status comes back the server has seen
+	// (and durably logged, when running with a WAL) the submission.
+	submit := func(body []byte) {
+		backoff := 100 * time.Millisecond
+		giveUp := time.Now().Add(*retryFor)
+		for {
+			resp, err := client.Post(base+"/v1/tasks", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+				countFor(resp.StatusCode).Add(1)
+				return
+			}
+			if *retryFor <= 0 || time.Now().After(giveUp) {
+				netErrs.Add(1)
+				return
+			}
+			reconnects.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+		}
+	}
 	for i := 0; i < *n; i++ {
 		body, _ := json.Marshal(map[string]int{"type": taskTypes[i]})
 		at := start.Add(time.Duration(arrivals[i] / info.TimeScale * float64(time.Second)))
@@ -155,13 +189,7 @@ func run() error {
 		go func(body []byte, at time.Time) {
 			defer wg.Done()
 			time.Sleep(time.Until(at)) // negative is a no-op: fire immediately
-			resp, err := client.Post(base+"/v1/tasks", "application/json", bytes.NewReader(body))
-			if err != nil {
-				netErrs.Add(1)
-			} else {
-				resp.Body.Close()
-				countFor(resp.StatusCode).Add(1)
-			}
+			submit(body)
 			done.Add(1)
 		}(body, at)
 	}
@@ -192,6 +220,9 @@ func run() error {
 	for _, k := range keys {
 		c, _ := codes.Load(k)
 		fmt.Printf("  %d %-12s %6d\n", k, codeLabel(k), c.(*atomic.Int64).Load())
+	}
+	if rc := reconnects.Load(); rc > 0 {
+		fmt.Printf("  reconnect attempts %6d\n", rc)
 	}
 	if ne := netErrs.Load(); ne > 0 {
 		fmt.Printf("  transport errors %6d\n", ne)

@@ -67,6 +67,11 @@ func run() error {
 		grace      = flag.Duration("drain-grace", 10*time.Second, "wall-clock bound on the shutdown drain")
 		report     = flag.String("report", "", "write the final drain report JSON to this file ('-' = stdout)")
 		flight     = flag.String("flight", "", "record a per-task flight trace (decision audit + predictions + outcomes) to this file; calibrate with ecreplay -calibrate")
+		walBase    = flag.String("wal", "", "write-ahead admission log base path (files are <wal>.<incarnation>); enables durable serving")
+		ckptPath   = flag.String("checkpoint", "", "engine checkpoint path (default <wal>.ckpt when -wal is set)")
+		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Second, "wall-clock period between automatic checkpoints")
+		doRecover  = flag.Bool("recover", false, "recover from the checkpoint + WAL before serving (requires -wal)")
+		drainNow   = flag.Bool("drain-now", false, "with -recover: recover, drain deterministically without serving, print the report, exit")
 	)
 	flag.Parse()
 
@@ -137,7 +142,7 @@ func run() error {
 	if fli != nil {
 		obs = fli
 	}
-	eng, err := server.New(server.Config{
+	cfg := server.Config{
 		Model:          model,
 		Mapper:         mapper,
 		Budget:         zeta,
@@ -152,14 +157,59 @@ func run() error {
 		Seed:           spec.Seed,
 		DrainGrace:     *grace,
 		ExactRho:       *exactRho,
-	})
+	}
+	if *drainNow && !*doRecover {
+		return fmt.Errorf("-drain-now requires -recover")
+	}
+	if *doRecover && *walBase == "" {
+		return fmt.Errorf("-recover requires -wal")
+	}
+	if *walBase != "" {
+		cfg.WALPath = *walBase
+		cfg.CheckpointPath = *ckptPath
+		if cfg.CheckpointPath == "" {
+			cfg.CheckpointPath = *walBase + ".ckpt"
+		}
+		cfg.CheckpointEvery = *ckptEvery
+	}
+
+	// Boot order under recovery: Prepare (engine exists, reports itself
+	// recovering), bind the API (readyz answers 503 "recovering"), replay
+	// the log, then Start. A client probing readyz sees the truth the whole
+	// way through.
+	eng, err := server.Prepare(cfg)
 	if err != nil {
 		return err
+	}
+
+	if *drainNow {
+		// Deterministic offline recovery: replay, drain inline with no live
+		// clock or listener in the path, report, exit. Running this twice on
+		// the same WAL + checkpoint must produce bit-identical reports.
+		rrep, rerr := eng.RecoverFrom()
+		if rerr != nil {
+			return rerr
+		}
+		printRecovery(rrep)
+		if derr := eng.DrainNow(); derr != nil {
+			fmt.Fprintln(os.Stderr, "ecserve:", derr)
+		}
+		return finish(eng, fli, fliRec, reg, *flight, *report)
 	}
 
 	api := server.NewServer(eng)
 	apiAddr, shutdownAPI, err := api.ListenAndServe(*addr)
 	if err != nil {
+		return err
+	}
+	if *doRecover {
+		rrep, rerr := eng.RecoverFrom()
+		if rerr != nil {
+			return rerr
+		}
+		printRecovery(rrep)
+	}
+	if err := eng.Start(); err != nil {
 		return err
 	}
 	fmt.Printf("ecserve: %s+%s on http://%s/v1/tasks (seed %d, scale %gx", *heuristic, tag, apiAddr, spec.Seed, *scale)
@@ -176,6 +226,9 @@ func run() error {
 	}
 	if *faults != "" {
 		fmt.Printf("ecserve: fault injection live: %s\n", *faults)
+	}
+	if *walBase != "" {
+		fmt.Printf("ecserve: durable: wal %s.* checkpoint %s every %s\n", *walBase, cfg.CheckpointPath, *ckptEvery)
 	}
 
 	if *listen != "" {
@@ -201,6 +254,12 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "ecserve:", derr)
 	}
 
+	return finish(eng, fli, fliRec, reg, *flight, *report)
+}
+
+// finish prints the drain report, flushes the flight trace, writes the
+// report file, and turns any orphaned task into a non-zero exit.
+func finish(eng *server.Engine, fli *trace.Flight, fliRec *trace.File, reg *metrics.Registry, flightPath, reportPath string) error {
 	rep := eng.FinalReport()
 	fmt.Print(rep.Render())
 	if fli != nil {
@@ -220,10 +279,10 @@ func run() error {
 		if err := fliRec.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("ecserve: flight trace written to %s\n", *flight)
+		fmt.Printf("ecserve: flight trace written to %s\n", flightPath)
 	}
-	if *report != "" {
-		if err := writeReport(rep, *report); err != nil {
+	if reportPath != "" {
+		if err := writeReport(rep, reportPath); err != nil {
 			return err
 		}
 	}
@@ -231,6 +290,19 @@ func run() error {
 		return fmt.Errorf("drain left %d orphaned task(s) (balanced=%v)", rep.Orphaned, rep.Balanced)
 	}
 	return nil
+}
+
+// printRecovery narrates one RecoverFrom pass on stderr.
+func printRecovery(r *server.RecoveryReport) {
+	src := "genesis WAL"
+	if r.FromCheckpoint {
+		src = fmt.Sprintf("checkpoint (%d records) + WAL suffix", r.CheckpointRecords)
+	}
+	fmt.Fprintf(os.Stderr, "ecserve: recovered from %s: replayed %d, re-decided %d, danglers %d, vt %.1f, incarnation %d\n",
+		src, r.ReplayedRecords, r.ReDecided, r.Danglers, r.VirtualNow, r.Incarnation)
+	if r.TornTail {
+		fmt.Fprintf(os.Stderr, "ecserve: torn WAL tail dropped at byte offset %d\n", r.TornOffset)
+	}
 }
 
 func writeReport(rep *server.FinalReport, path string) error {

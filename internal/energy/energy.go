@@ -136,12 +136,74 @@ func NewMeter(c *cluster.Cluster, initial cluster.PState, budget float64, record
 		node := c.Node(id)
 		m.eff[idx] = node.Efficiency
 		m.state[idx] = initial
-		m.rate += node.Power[initial] / node.Efficiency
 		if record {
 			m.lists[idx] = []Transition{{Time: 0, To: initial}}
 		}
 	}
+	m.recompute()
 	return m, nil
+}
+
+// recompute rebuilds the wall rate as a fresh sum over cores in index
+// order. Keeping rate a pure function of (state, override) — instead of
+// maintaining it incrementally — means a meter restored from a checkpoint
+// integrates future advances bit-identically to the uninterrupted meter:
+// there is no accumulated ulp drift to reproduce.
+func (m *Meter) recompute() {
+	rate := 0.0
+	for idx := range m.state {
+		rate += m.coreDraw(idx)
+	}
+	m.rate = rate
+}
+
+// MeterState is a serializable snapshot of the meter's accounting: the
+// integration point (now, used) plus each core's P-state and power
+// override. Restore rebuilds an identical meter — same rate bits, same
+// future integration — on a fresh instance over the same cluster.
+type MeterState struct {
+	Now      float64          `json:"now"`
+	Used     float64          `json:"used"`
+	States   []cluster.PState `json:"states"`
+	Override []float64        `json:"override"`
+}
+
+// State captures the meter for a checkpoint.
+func (m *Meter) State() MeterState {
+	st := MeterState{
+		Now:      m.now,
+		Used:     m.used,
+		States:   append([]cluster.PState(nil), m.state...),
+		Override: append([]float64(nil), m.override...),
+	}
+	return st
+}
+
+// Restore rewinds the meter to a captured state. The meter must have been
+// constructed over the same cluster (same core count); recording stops, as
+// transition lists cannot be reconstructed across a restore.
+func (m *Meter) Restore(st MeterState) error {
+	if len(st.States) != len(m.state) || len(st.Override) != len(m.override) {
+		return fmt.Errorf("energy: restore state for %d/%d cores into meter with %d",
+			len(st.States), len(st.Override), len(m.state))
+	}
+	if st.Now < 0 || math.IsNaN(st.Now) || st.Used < 0 || math.IsNaN(st.Used) || st.Used > m.budget {
+		return fmt.Errorf("energy: restore with invalid now=%v used=%v (budget %v)", st.Now, st.Used, m.budget)
+	}
+	for i, p := range st.States {
+		if !p.Valid() {
+			return fmt.Errorf("energy: restore with invalid P-state %d for core %d", p, i)
+		}
+	}
+	m.now = st.Now
+	m.used = st.Used
+	copy(m.state, st.States)
+	copy(m.override, st.Override)
+	m.record = false
+	m.lists = nil
+	m.recompute()
+	m.consumed.Set(m.used)
+	return nil
 }
 
 // Instrument attaches counters for Advance calls and real P-state
@@ -226,10 +288,9 @@ func (m *Meter) SetPState(coreIdx int, p cluster.PState) {
 	if m.state[coreIdx] == p && m.override[coreIdx] < 0 {
 		return
 	}
-	m.rate -= m.coreDraw(coreIdx)
 	m.state[coreIdx] = p
 	m.override[coreIdx] = -1
-	m.rate += m.coreDraw(coreIdx)
+	m.recompute()
 	m.transitions.Inc()
 	if m.record {
 		m.lists[coreIdx] = append(m.lists[coreIdx], Transition{Time: m.now, To: p})
@@ -246,9 +307,8 @@ func (m *Meter) SetPower(coreIdx int, watts float64) {
 	if watts < 0 || math.IsNaN(watts) || math.IsInf(watts, 0) {
 		panic(fmt.Sprintf("energy: invalid power override %v", watts))
 	}
-	m.rate -= m.coreDraw(coreIdx)
 	m.override[coreIdx] = watts
-	m.rate += m.coreDraw(coreIdx)
+	m.recompute()
 	m.record = false // transition replay can no longer reproduce the run
 }
 
@@ -258,9 +318,8 @@ func (m *Meter) ClearPower(coreIdx int) {
 	if m.override[coreIdx] < 0 {
 		return
 	}
-	m.rate -= m.coreDraw(coreIdx)
 	m.override[coreIdx] = -1
-	m.rate += m.coreDraw(coreIdx)
+	m.recompute()
 }
 
 // Transitions returns the recorded per-core transition lists (nil unless

@@ -282,3 +282,72 @@ func TestMeterBudgetAccessor(t *testing.T) {
 		t.Fatal("Budget accessor wrong")
 	}
 }
+
+func TestMeterStateRestoreBitIdentical(t *testing.T) {
+	c := testCluster(t, 1)
+	mk := func() *Meter {
+		m, err := NewMeter(c, cluster.P4, 1e9, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	// Drive one meter through a mixed history, snapshot mid-way, and demand
+	// that a restored meter integrates the identical suffix bit-for-bit.
+	drive := func(m *Meter) {
+		m.Advance(10)
+		m.SetPState(0, cluster.P0)
+		m.Advance(17.25)
+		m.SetPower(1, 0)
+		m.Advance(31.5)
+	}
+	orig := mk()
+	drive(orig)
+	st := orig.State()
+
+	suffix := func(m *Meter) (float64, float64, float64) {
+		m.Advance(40.125)
+		m.ClearPower(1)
+		m.SetPState(0, cluster.P2)
+		m.Advance(55.75)
+		return m.Now(), m.Consumed(), m.Rate()
+	}
+	wn, wu, wr := suffix(orig)
+
+	rest := mk()
+	if err := rest.Restore(st); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if rest.Now() != st.Now || rest.Consumed() != st.Used {
+		t.Fatalf("restore point: now=%v used=%v, want %v/%v", rest.Now(), rest.Consumed(), st.Now, st.Used)
+	}
+	gn, gu, gr := suffix(rest)
+	if gn != wn || gu != wu || gr != wr {
+		t.Fatalf("restored suffix diverged: now %v vs %v, used %v vs %v, rate %v vs %v", gn, wn, gu, wu, gr, wr)
+	}
+}
+
+func TestMeterRestoreRejectsBadState(t *testing.T) {
+	c := testCluster(t, 1)
+	m, err := NewMeter(c, cluster.P4, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := m.State()
+	bad := good
+	bad.States = good.States[:1]
+	if err := m.Restore(bad); err == nil {
+		t.Fatal("Restore accepted truncated state")
+	}
+	bad = good
+	bad.Used = 101 // past the budget
+	if err := m.Restore(bad); err == nil {
+		t.Fatal("Restore accepted used > budget")
+	}
+	bad = good
+	bad.States = append([]cluster.PState(nil), good.States...)
+	bad.States[0] = cluster.PState(99)
+	if err := m.Restore(bad); err == nil {
+		t.Fatal("Restore accepted invalid P-state")
+	}
+}

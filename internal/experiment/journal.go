@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -66,7 +67,8 @@ type trialKey struct {
 // directory, fsync, rename), so a crash at any instant leaves either the
 // previous or the new journal on disk — never a torn file. Loading
 // tolerates a truncated final line (the one failure mode of a crash during
-// a non-atomic write by an older tool or a copy) by dropping it.
+// a non-atomic write by an older tool or a copy) by dropping it — loudly:
+// the drop is logged with its byte offset and counted, never silent.
 //
 // Records are idempotent by key: appending a key that is already present
 // is a no-op, so interleaved writers replaying the same spec cannot bloat
@@ -76,6 +78,9 @@ type Journal struct {
 	path  string
 	recs  []TrialRecord
 	index map[trialKey]int
+
+	tornOffset int64
+	torn       bool
 }
 
 // OpenJournal loads (or creates) the journal at path. A missing file is an
@@ -83,6 +88,13 @@ type Journal struct {
 // kept. Corrupt data *before* valid records is an error — that is not a
 // torn tail but a damaged file.
 func OpenJournal(path string) (*Journal, error) {
+	return OpenJournalWith(path, nil)
+}
+
+// OpenJournalWith is OpenJournal with instrumentation: a dropped torn tail
+// increments journal_torn_tail_total in reg (nil disables the counter; the
+// stderr diagnostic with the byte offset is always emitted).
+func OpenJournalWith(path string, reg *metrics.Registry) (*Journal, error) {
 	j := &Journal{path: path, index: make(map[trialKey]int)}
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -92,30 +104,39 @@ func OpenJournal(path string) (*Journal, error) {
 		return nil, fmt.Errorf("experiment: open journal: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
+	dec := trace.NewLineDecoder(f)
+	for {
 		var rec TrialRecord
-		if err := json.Unmarshal(raw, &rec); err != nil {
-			// A torn tail can only be the final line; anything after it
-			// would have been written by a later (complete) append.
-			if !sc.Scan() {
-				break
-			}
-			return nil, fmt.Errorf("experiment: journal %s: corrupt record at line %d: %v", path, line, err)
+		ok, err := dec.Next(&rec)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: journal %s: %v", path, err)
+		}
+		if !ok {
+			break
 		}
 		j.add(rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("experiment: read journal: %w", err)
+	if dec.Torn() {
+		// A torn tail can only be the final line; anything after it would
+		// have been written by a later (complete) append. Dropping it is
+		// safe — the record never counted as done — but must be visible.
+		line, off := dec.TornAt()
+		j.torn, j.tornOffset = true, off
+		fmt.Fprintf(os.Stderr, "experiment: journal %s: dropped torn final line %d at byte offset %d (crash mid-write; the trial will be re-run)\n",
+			path, line, off)
+		if reg != nil {
+			reg.Counter("journal_torn_tail_total").Inc()
+		}
 	}
 	return j, nil
+}
+
+// TornTail reports whether loading dropped a torn final line, and at which
+// byte offset the tear began.
+func (j *Journal) TornTail() (offset int64, torn bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tornOffset, j.torn
 }
 
 // add indexes one record in memory, keeping the first copy of a key.

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// TestJournalTornTailOffsets cuts a journal mid-record at several byte
+// positions and checks that the load (a) keeps every record before the
+// tear, (b) reports the tear's byte offset, and (c) bumps the
+// journal_torn_tail_total counter — a torn tail is tolerated, not silent.
+func TestJournalTornTailOffsets(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.wal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(TrialRecord{SpecHash: "h", Variant: "v", Trial: i, Result: &sim.Result{Window: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line start offsets, for cutting inside chosen records.
+	var starts []int
+	starts = append(starts, 0)
+	for i, b := range data {
+		if b == '\n' && i+1 < len(data) {
+			starts = append(starts, i+1)
+		}
+	}
+	if len(starts) != 3 {
+		t.Fatalf("expected 3 journal lines, found %d", len(starts))
+	}
+
+	cases := []struct {
+		name       string
+		cut        int // byte length to keep
+		wantLen    int
+		wantTorn   bool
+		wantOffset int64
+	}{
+		{"mid-last-record", starts[2] + 10, 2, true, int64(starts[2])},
+		{"one-byte-into-last", starts[2] + 1, 2, true, int64(starts[2])},
+		{"mid-second-record", starts[1] + 7, 1, true, int64(starts[1])},
+		{"clean-line-boundary", starts[2], 2, false, 0},
+		{"intact", len(data), 3, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, tc.name+".wal")
+			if err := os.WriteFile(p, data[:tc.cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			reg := metrics.NewRegistry()
+			j2, err := OpenJournalWith(p, reg)
+			if err != nil {
+				t.Fatalf("torn tail must be tolerated: %v", err)
+			}
+			if j2.Len() != tc.wantLen {
+				t.Fatalf("kept %d records, want %d", j2.Len(), tc.wantLen)
+			}
+			off, torn := j2.TornTail()
+			if torn != tc.wantTorn || off != tc.wantOffset {
+				t.Fatalf("TornTail() = (%d, %v), want (%d, %v)", off, torn, tc.wantOffset, tc.wantTorn)
+			}
+			want := int64(0)
+			if tc.wantTorn {
+				want = 1
+			}
+			if got := reg.Counter("journal_torn_tail_total").Value(); got != want {
+				t.Fatalf("journal_torn_tail_total = %d, want %d", got, want)
+			}
+		})
+	}
+
+	// A cut that leaves valid JSON followed by more records is damage, not
+	// a torn tail, regardless of offset bookkeeping.
+	damaged := append([]byte{}, data[:starts[1]+5]...)
+	damaged = append(damaged, '\n')
+	damaged = append(damaged, data[starts[2]:]...)
+	p := filepath.Join(dir, "damaged.wal")
+	if err := os.WriteFile(p, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(p); err == nil || !bytes.Contains([]byte(err.Error()), []byte("mid-file")) {
+		t.Fatalf("mid-file damage accepted: %v", err)
+	}
+}

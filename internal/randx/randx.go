@@ -22,8 +22,16 @@ import (
 // by the simulation models.
 type Stream struct {
 	rng *rand.Rand
+	// src is the underlying PCG source, retained so the stream position can
+	// be checkpointed and restored (State/SetState).
+	src *rand.PCG
 	// seed material retained so children can be derived reproducibly.
 	hi, lo uint64
+}
+
+func newStream(hi, lo uint64) *Stream {
+	src := rand.NewPCG(hi, lo)
+	return &Stream{rng: rand.New(src), src: src, hi: hi, lo: lo}
 }
 
 // NewStream returns a root stream for the given seed. Two streams with the
@@ -31,7 +39,7 @@ type Stream struct {
 func NewStream(seed uint64) *Stream {
 	hi := splitmix64(seed)
 	lo := splitmix64(hi ^ 0x9e3779b97f4a7c15)
-	return &Stream{rng: rand.New(rand.NewPCG(hi, lo)), hi: hi, lo: lo}
+	return newStream(hi, lo)
 }
 
 // Child derives an independent stream identified by label. Deriving the same
@@ -43,7 +51,7 @@ func (s *Stream) Child(label string) *Stream {
 	d := h.Sum64()
 	hi := splitmix64(s.hi ^ d)
 	lo := splitmix64(s.lo ^ bitReverse64(d))
-	return &Stream{rng: rand.New(rand.NewPCG(hi, lo)), hi: hi, lo: lo}
+	return newStream(hi, lo)
 }
 
 // ChildN derives an independent stream identified by an integer index, for
@@ -60,7 +68,26 @@ func (s *Stream) ChildN(label string, n int) *Stream {
 	d := h.Sum64()
 	hi := splitmix64(s.hi ^ d)
 	lo := splitmix64(s.lo ^ bitReverse64(d))
-	return &Stream{rng: rand.New(rand.NewPCG(hi, lo)), hi: hi, lo: lo}
+	return newStream(hi, lo)
+}
+
+// State serializes the stream's current position (the PCG internal state)
+// so a checkpointed consumer can resume drawing the exact same sequence
+// after SetState. The identity (hi, lo) is not included; restore a state
+// only into a stream derived from the same seed and label path.
+func (s *Stream) State() []byte {
+	b, err := s.src.MarshalBinary()
+	if err != nil {
+		// PCG's MarshalBinary cannot fail; guard against a future change.
+		panic("randx: PCG state marshal: " + err.Error())
+	}
+	return b
+}
+
+// SetState restores a position previously captured with State. The stream's
+// subsequent draws continue exactly where the captured stream left off.
+func (s *Stream) SetState(b []byte) error {
+	return s.src.UnmarshalBinary(b)
 }
 
 func splitmix64(x uint64) uint64 {

@@ -311,3 +311,31 @@ func TestWeibullPanicsOnBadParams(t *testing.T) {
 		}()
 	}
 }
+
+func TestStreamStateRoundTrip(t *testing.T) {
+	s := NewStream(7).Child("quantiles")
+	for i := 0; i < 37; i++ {
+		s.Float64() // advance to an arbitrary position
+	}
+	st := s.State()
+	var want []float64
+	for i := 0; i < 50; i++ {
+		want = append(want, s.Float64())
+	}
+	fresh := NewStream(7).Child("quantiles")
+	if err := fresh.SetState(st); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	for i, w := range want {
+		if g := fresh.Float64(); g != w {
+			t.Fatalf("draw %d after restore: %v != %v", i, g, w)
+		}
+	}
+}
+
+func TestStreamSetStateRejectsGarbage(t *testing.T) {
+	s := NewStream(1)
+	if err := s.SetState([]byte("not a pcg state")); err == nil {
+		t.Fatal("SetState accepted garbage")
+	}
+}

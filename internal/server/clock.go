@@ -21,21 +21,31 @@ type Clock interface {
 }
 
 // RealClock advances virtual time at Scale units per wall second, starting
-// from zero at construction.
+// from a fixed virtual origin at construction (zero for a fresh service).
 type RealClock struct {
-	start time.Time
-	scale float64
+	start  time.Time
+	origin float64
+	scale  float64
 }
 
 // NewRealClock returns a clock running at scale virtual units per wall
 // second; scale must be positive.
 func NewRealClock(scale float64) *RealClock {
-	return &RealClock{start: time.Now(), scale: scale}
+	return NewRealClockAt(0, scale)
+}
+
+// NewRealClockAt returns a clock that reads origin now and advances at
+// scale virtual units per wall second — the recovery path's clock, so a
+// restarted engine resumes at the virtual time it recovered rather than
+// stalling behind the monotone clamp until the wall catches up. Virtual
+// time is frozen while the process is down.
+func NewRealClockAt(origin, scale float64) *RealClock {
+	return &RealClock{start: time.Now(), origin: origin, scale: scale}
 }
 
 // Now implements Clock.
 func (c *RealClock) Now() float64 {
-	return time.Since(c.start).Seconds() * c.scale
+	return c.origin + time.Since(c.start).Seconds()*c.scale
 }
 
 // WaitUntil implements Clock.

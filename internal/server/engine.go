@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -145,8 +147,9 @@ func (e *ErrRejected) Error() string { return "server: rejected: " + e.Reason }
 
 // Rejection reasons (pre-admission).
 const (
-	RejectQueueFull = "queue-full"
-	RejectDraining  = "draining"
+	RejectQueueFull  = "queue-full"
+	RejectDraining   = "draining"
+	RejectRecovering = "recovering"
 )
 
 // Config configures an Engine.
@@ -205,6 +208,18 @@ type Config struct {
 	// NoShedInfeasible disables deadline-aware admission shedding (tasks
 	// with hopeless deadlines then run the full filter chain instead).
 	NoShedInfeasible bool
+	// WALPath enables the write-ahead admission log: every state transition
+	// is appended to `<WALPath>.<incarnation>` and made durable (group
+	// commit: flush+fsync) before the client sees the decision. Empty
+	// disables durability. See wal.go and DESIGN.md §11.
+	WALPath string
+	// CheckpointPath is where engine checkpoints land (atomic
+	// tmp+fsync+rename). Recovery is checkpoint + WAL-suffix replay; with
+	// no checkpoint the whole WAL incarnation is replayed from genesis.
+	CheckpointPath string
+	// CheckpointEvery is the wall-clock period between automatic
+	// checkpoints; 0 disables the timer (CheckpointNow still works).
+	CheckpointEvery time.Duration
 }
 
 // shedObserver is implemented by observers (trace.EventLog) that want
@@ -275,6 +290,14 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 type requeueEntry struct {
 	task     workload.Task
 	attempts int
+	fireAt   float64 // absolute virtual dispatch time (for checkpoints)
+}
+
+// ackPair is one decided request whose reply is held back until the
+// decision's WAL records are durable (group commit).
+type ackPair struct {
+	p *pending
+	d Decision
 }
 
 // Engine is the live allocation core: one goroutine owns the cluster
@@ -311,6 +334,27 @@ type Engine struct {
 	requeues map[int]requeueEntry
 	reqSeq   int
 
+	// Fault-process schedule, mirrored out of the event heap so checkpoints
+	// can rebuild it: absolute next firing per stochastic source (0 = none)
+	// and which scripted entries have already fired.
+	repairAt      []float64 // absolute repair event time per core (0 = none)
+	nextTransient float64
+	nextPermanent float64
+	scriptFired   []bool
+
+	// Durability (zero-valued when Config.WALPath is unset).
+	wal          *wal
+	walDead      bool // engine goroutine: commit failed, durability disabled
+	incarnation  uint64
+	decided      int64 // decide() outcomes == admit records written (cumulative)
+	rejectedBase int64 // rejected count carried over from prior incarnations
+	acks         []ackPair
+	brkScratch   []brkSnapshot
+	lastEnergyEN float64 // consumed at the last periodic wkEnergy record
+	lastCkpt     time.Time
+	ckptCh       chan chan error
+	needSchedule bool // Start must seed the fault processes (fresh boot)
+
 	admit   chan *pending
 	drainCh chan chan error
 	syncCh  chan chan struct{}
@@ -318,12 +362,13 @@ type Engine struct {
 	doneCh  chan struct{}
 
 	// Handler-visible state (read outside the engine goroutine).
-	draining  atomic.Bool
-	halted    atomic.Bool
-	shedGate  atomic.Bool // brownout stage with ShedAdmission active
-	stage     atomic.Int32
-	virtualAt atomic.Uint64 // last processed virtual time (float bits)
-	consumed  atomic.Uint64 // energy consumed (float bits); the meter itself
+	recovering atomic.Bool // true from Prepare until Start: replay in progress
+	draining   atomic.Bool
+	halted     atomic.Bool
+	shedGate   atomic.Bool // brownout stage with ShedAdmission active
+	stage      atomic.Int32
+	virtualAt  atomic.Uint64 // last processed virtual time (float bits)
+	consumed   atomic.Uint64 // energy consumed (float bits); the meter itself
 	// is confined to the engine goroutine, so Stats reads this mirror
 
 	avail float64 // steady-state availability estimate for the rel filter
@@ -417,6 +462,23 @@ func (s Stats) Balanced() bool {
 // New validates the configuration, builds the engine, and starts its
 // goroutine. Callers must eventually Drain (graceful) or Close (abrupt).
 func New(cfg Config) (*Engine, error) {
+	e, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Start(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Prepare validates the configuration and builds the engine without
+// starting it: no fault processes are seeded, no WAL is created, and the
+// engine goroutine does not run. Until Start, the engine reports itself as
+// recovering — Submit rejects, readyz answers 503 — which lets a server
+// bind its API before RecoverFrom replays the log. Follow with RecoverFrom
+// (optional) and then Start.
+func Prepare(cfg Config) (*Engine, error) {
 	if cfg.Model == nil {
 		return nil, errors.New("server: Config.Model is nil")
 	}
@@ -504,6 +566,7 @@ func New(cfg Config) (*Engine, error) {
 		admit:        make(chan *pending, cfg.QueueCap),
 		drainCh:      make(chan chan error, 1),
 		syncCh:       make(chan chan struct{}),
+		ckptCh:       make(chan chan error),
 		stopCh:       make(chan struct{}),
 		doneCh:       make(chan struct{}),
 		avail:        cfg.Faults.Availability(),
@@ -517,6 +580,8 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.runGen = make([]int, len(e.cores))
 	e.down = make([]bool, len(e.cores))
+	e.repairAt = make([]float64, len(e.cores))
+	e.scriptFired = make([]bool, len(cfg.Faults.Script))
 	e.alive = make([]bool, cfg.Model.Cluster.N())
 	for i := range e.alive {
 		e.alive[i] = true
@@ -539,7 +604,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if faultsOn {
 		e.brk = newBreakers(cfg.Breaker, cfg.Model.Cluster.N(), cfg.Faults.RepairTime, cfg.Model.TAvg())
-		e.scheduleFaults()
+		e.needSchedule = true
 	}
 	if cfg.Observer == nil {
 		e.cfg.Observer = sim.NopObserver{}
@@ -553,8 +618,59 @@ func New(cfg Config) (*Engine, error) {
 	if do, ok := e.cfg.Observer.(sim.DecisionObserver); ok {
 		e.dobs = do
 	}
-	go e.loop()
+	e.recovering.Store(true)
 	return e, nil
+}
+
+// Start seeds the fault processes (fresh boot only — RecoverFrom restores
+// the schedule instead), opens the WAL when configured, clears the
+// recovering flag, and launches the engine goroutine.
+func (e *Engine) Start() error {
+	if e.needSchedule {
+		e.scheduleFaults()
+		e.needSchedule = false
+	}
+	if e.cfg.WALPath != "" && e.wal == nil {
+		// Fresh boot with durability: this service's history starts now.
+		// A stale checkpoint or WAL incarnation left by a previous process
+		// must not survive to confuse a later -recover, so both are cleared.
+		if e.cfg.CheckpointPath != "" {
+			if err := os.Remove(e.cfg.CheckpointPath); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("server: clear stale checkpoint: %w", err)
+			}
+		}
+		if old, err := filepath.Glob(e.cfg.WALPath + ".*"); err == nil {
+			for _, p := range old {
+				_ = os.Remove(p)
+			}
+		}
+		e.incarnation = 1
+		w, err := createWAL(e.cfg.WALPath, e.walHeader())
+		if err != nil {
+			return err
+		}
+		e.wal = w
+	}
+	e.lastCkpt = time.Now()
+	e.recovering.Store(false)
+	go e.loop()
+	return nil
+}
+
+// walHeader builds the header for this engine's current incarnation.
+func (e *Engine) walHeader() walHeader {
+	budget := e.meter.Budget()
+	if math.IsInf(budget, 1) {
+		budget = -1
+	}
+	return walHeader{
+		Format:      walFormat,
+		ModelHash:   e.model.Hash(),
+		Seed:        e.cfg.Seed,
+		Policy:      e.cfg.Mapper.Name(),
+		Budget:      budget,
+		Incarnation: e.incarnation,
+	}
 }
 
 // bestCaseEET precomputes, per task type, the smallest expected execution
@@ -630,8 +746,12 @@ func (e *Engine) QueueCap() int { return e.cfg.QueueCap }
 
 // Accepting reports whether new submissions can currently be admitted.
 func (e *Engine) Accepting() bool {
-	return !e.draining.Load() && !e.halted.Load() && !e.shedGate.Load()
+	return !e.recovering.Load() && !e.draining.Load() && !e.halted.Load() && !e.shedGate.Load()
 }
+
+// Recovering reports whether the engine is still replaying its log
+// (between Prepare and Start).
+func (e *Engine) Recovering() bool { return e.recovering.Load() }
 
 // Submit runs one task request through the admission pipeline and blocks
 // until the engine decides (mapped, shed, or timed out). Pre-admission
@@ -640,19 +760,30 @@ func (e *Engine) Accepting() bool {
 func (e *Engine) Submit(req TaskRequest) (Decision, error) {
 	e.st.received.Add(1)
 	e.met.requests.Inc()
+	if e.recovering.Load() {
+		// Replay in progress: the engine's state is mid-reconstruction and
+		// the WAL may be mid-rotation, so nothing is logged here — these
+		// rejections live only in this process's counters.
+		e.st.rejected.Add(1)
+		e.met.rejectedRecovering.Inc()
+		return Decision{}, &ErrRejected{Reason: RejectRecovering, RetryAfter: time.Second}
+	}
 	if e.draining.Load() {
 		e.st.rejected.Add(1)
 		e.met.rejectedDraining.Inc()
+		e.walReject(RejectDraining)
 		return Decision{}, &ErrRejected{Reason: RejectDraining}
 	}
 	if e.halted.Load() {
 		e.st.rejected.Add(1)
 		e.met.rejectedHalted.Inc()
+		e.walReject(ShedHalted)
 		return Decision{}, &ErrRejected{Reason: ShedHalted}
 	}
 	if e.shedGate.Load() {
 		e.st.rejected.Add(1)
 		e.met.rejectedBrownout.Inc()
+		e.walReject(ShedBrownout)
 		return Decision{}, &ErrRejected{Reason: ShedBrownout, RetryAfter: 5 * time.Second}
 	}
 	p := &pending{req: req, wallAt: time.Now(), resp: make(chan Decision, 1)}
@@ -661,6 +792,7 @@ func (e *Engine) Submit(req TaskRequest) (Decision, error) {
 	default:
 		e.st.rejected.Add(1)
 		e.met.rejectedQueueFull.Inc()
+		e.walReject(RejectQueueFull)
 		return Decision{}, &ErrRejected{Reason: RejectQueueFull, RetryAfter: time.Second}
 	}
 	e.st.admitted.Add(1)
@@ -721,11 +853,22 @@ func (e *Engine) now() float64 {
 	return t
 }
 
-// loop is the engine goroutine: admission decisions and timed events.
+// loop is the engine goroutine: admission decisions and timed events. Every
+// iteration ends in commit(): the iteration's WAL records become durable in
+// one flush+fsync and only then are the deferred Decision replies released
+// — the group-commit discipline that makes "acked means durable" hold.
 func (e *Engine) loop() {
-	defer close(e.doneCh)
+	defer func() {
+		e.commit()
+		if e.wal != nil {
+			_ = e.wal.close()
+		}
+		close(e.doneCh)
+	}()
 	for {
 		e.runDue(e.now())
+		e.commit()
+		e.maybeCheckpoint()
 		var timer <-chan struct{}
 		if len(e.events) > 0 {
 			timer = e.clock.WaitUntil(e.events[0].time)
@@ -733,11 +876,28 @@ func (e *Engine) loop() {
 		select {
 		case p := <-e.admit:
 			e.decide(p)
+			// Group commit: decide everything else already queued, so one
+			// fsync covers the whole burst.
+		batch:
+			for i := 1; i < e.cfg.QueueCap; i++ {
+				select {
+				case q := <-e.admit:
+					e.decide(q)
+				default:
+					break batch
+				}
+			}
+			e.commit()
 		case <-timer:
 			// Loop back around; runDue processes everything now due.
 		case ch := <-e.syncCh:
 			e.runDue(e.now())
+			e.commit()
 			ch <- struct{}{}
+		case ch := <-e.ckptCh:
+			e.runDue(e.now())
+			e.commit()
+			ch <- e.writeCheckpointNow()
 		case done := <-e.drainCh:
 			done <- e.drain()
 			return
@@ -746,6 +906,82 @@ func (e *Engine) loop() {
 			return
 		}
 	}
+}
+
+// reply releases one decision to its waiting handler — immediately when no
+// WAL is armed, or deferred into the current commit batch when one is: the
+// client must not observe a decision the log has not made durable.
+func (e *Engine) reply(p *pending, d Decision) {
+	if !e.walOn() {
+		p.resp <- d
+		return
+	}
+	e.acks = append(e.acks, ackPair{p: p, d: d})
+}
+
+// commit makes the iteration's WAL records durable and releases the
+// deferred replies. On a WAL write/sync failure durability is disabled —
+// loudly, once — and the engine keeps serving: the operator chose -wal for
+// crash recovery, not for turning disk failures into an outage.
+func (e *Engine) commit() {
+	if e.walOn() {
+		if err := e.wal.commit(); err != nil {
+			fmt.Fprintf(os.Stderr, "server: WAL disabled, recovery will lose this incarnation's tail: %v\n", err)
+			e.met.walErrors.Inc()
+			e.walDead = true
+		} else {
+			e.met.walCommits.Inc()
+		}
+	}
+	for i := range e.acks {
+		e.acks[i].p.resp <- e.acks[i].d
+	}
+	e.acks = e.acks[:0]
+}
+
+// maybeCheckpoint writes a periodic checkpoint when one is due.
+func (e *Engine) maybeCheckpoint() {
+	if !e.walOn() || e.cfg.CheckpointPath == "" || e.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	if time.Since(e.lastCkpt) < e.cfg.CheckpointEvery {
+		return
+	}
+	if err := e.writeCheckpointNow(); err != nil {
+		fmt.Fprintln(os.Stderr, "server: checkpoint failed:", err)
+	}
+}
+
+// writeCheckpointNow snapshots the engine and persists the checkpoint
+// atomically. Engine goroutine only.
+func (e *Engine) writeCheckpointNow() error {
+	if !e.walOn() || e.cfg.CheckpointPath == "" {
+		return errors.New("server: checkpointing requires an armed WAL and a checkpoint path")
+	}
+	// Pin the stream to the snapshot's exact meter coordinates first: the
+	// meter may have advanced silently since the last record (quiet
+	// stretches emit energy records only at budget/1024 granularity), and
+	// the checkpoint must not know more than the WAL prefix it names — or
+	// checkpoint+suffix replay and pure-WAL replay of the same records
+	// would reconstruct different meters.
+	e.walAppend(&walRecord{K: wkEnergy, T: e.meter.Now()})
+	e.lastEnergyEN = e.meter.Consumed()
+	e.commit()
+	cut, rejects := e.wal.cut()
+	if err := writeCheckpoint(e.cfg.CheckpointPath, e.snapshotCheckpoint(cut, rejects)); err != nil {
+		return err
+	}
+	e.lastCkpt = time.Now()
+	e.met.checkpoints.Inc()
+	return nil
+}
+
+// CheckpointNow forces a checkpoint from outside the engine goroutine and
+// returns once it is durable. It must not be called after Drain/Close.
+func (e *Engine) CheckpointNow() error {
+	ch := make(chan error, 1)
+	e.ckptCh <- ch
+	return <-ch
 }
 
 // runDue processes every heap event with time <= vt, advancing the meter
@@ -774,6 +1010,17 @@ func (e *Engine) advance(t float64) {
 		e.halt(at)
 		return
 	}
+	// Periodic energy-debit record: every record carries absolute meter
+	// coordinates, but a long quiet stretch (no admissions, no events) would
+	// otherwise leave the durable consumed-energy reading arbitrarily stale.
+	// ~budget/1024 granularity bounds the post-crash energy regression to
+	// <0.1% of ζ_max without flooding the log.
+	if e.walOn() && !math.IsInf(e.meter.Budget(), 1) {
+		if en := e.meter.Consumed(); en-e.lastEnergyEN >= e.meter.Budget()/1024 {
+			e.lastEnergyEN = en
+			e.walAppend(&walRecord{K: wkEnergy, T: at})
+		}
+	}
 	if e.bro != nil && !math.IsInf(e.meter.Budget(), 1) {
 		stage, changed := e.bro.Update(e.meter.Consumed() / e.meter.Budget())
 		if changed {
@@ -781,6 +1028,7 @@ func (e *Engine) advance(t float64) {
 			e.met.stage.Set(float64(stage))
 			cur := e.bro.Current()
 			e.shedGate.Store(cur != nil && cur.ShedAdmission)
+			e.walAppend(&walRecord{K: wkBrownout, T: at, Stage: stage, Gate: cur != nil && cur.ShedAdmission})
 			if bo, ok := e.cfg.Observer.(sim.BrownoutObserver); ok {
 				bo.BrownoutStageChanged(at, stage, e.meter.Consumed()/e.meter.Budget())
 			}
@@ -793,20 +1041,27 @@ func (e *Engine) advance(t float64) {
 func (e *Engine) halt(at float64) {
 	e.halted.Store(true)
 	e.cfg.Observer.EnergyExhausted(at)
+	failed := 0
 	for idx := range e.queues {
 		for _, q := range e.queues[idx] {
 			e.fail(q.task, FailHalted)
+			failed++
 		}
 		e.queues[idx] = nil
 		e.ftc.Invalidate(idx)
 	}
 	for _, r := range e.requeues {
 		e.fail(r.task, FailHalted)
+		failed++
 	}
 	e.requeues = make(map[int]requeueEntry)
 	e.inSystem = 0
 	e.updInflight()
 	e.events = nil
+	// One atomic record for the wholesale clear: replay fails N tasks and
+	// empties every structure in a single step, so a torn tail can never
+	// leave the counters half-applied.
+	e.walAppend(&walRecord{K: wkHalt, T: at, N: failed})
 }
 
 // pendingWork counts tasks mapped but not yet terminal: occupying core
@@ -846,7 +1101,10 @@ func (e *Engine) push(ev event) {
 	heap.Push(&e.events, ev)
 }
 
-// decide runs one admitted request through the decision stages.
+// decide runs one admitted request through the decision stages. The admit
+// record — full task identity plus the post-draw quantile stream state —
+// goes to the WAL before any outcome, so a crash that loses the outcome
+// still lets recovery re-decide the task from its admit record alone.
 func (e *Engine) decide(p *pending) {
 	wait := time.Since(p.wallAt)
 	e.met.queueWait.Observe(wait.Seconds())
@@ -855,51 +1113,61 @@ func (e *Engine) decide(p *pending) {
 	now = math.Max(now, math.Float64frombits(e.virtualAt.Load()))
 
 	task := e.buildTask(now, p.req)
+	e.decided++
+	e.walAdmit(now, task, p.req.MaxEnergy)
+	e.reply(p, e.decideTask(now, task, p.req.MaxEnergy, wait, true))
+}
+
+// decideTask is the admission pipeline shared by live decisions and
+// recovery re-decides (which skip the wall-clock request timeout — the
+// request was already durably admitted; there is no client left to answer).
+func (e *Engine) decideTask(now float64, task workload.Task, maxEnergy *float64, wait time.Duration, timeoutEligible bool) Decision {
 	if e.halted.Load() {
-		p.resp <- e.shed(now, task, ShedHalted, wait)
-		return
+		return e.shed(now, task, ShedHalted, wait)
 	}
-	if e.cfg.RequestTimeout > 0 && wait > e.cfg.RequestTimeout {
+	if timeoutEligible && e.cfg.RequestTimeout > 0 && wait > e.cfg.RequestTimeout {
 		e.st.timedout.Add(1)
 		e.met.timedout.Inc()
+		e.walAppend(&walRecord{K: wkTimeout, T: now, ID: task.ID})
 		if e.shedObs != nil {
 			e.shedObs.TaskShed(now, task, "request-timeout")
 		}
-		p.resp <- Decision{Status: StatusTimedOut, TaskID: task.ID, Arrival: task.Arrival,
+		return Decision{Status: StatusTimedOut, TaskID: task.ID, Arrival: task.Arrival,
 			Deadline: task.Deadline, QueueWait: wait}
-		return
 	}
 	if cur := e.currentStage(); cur != nil && cur.ShedAdmission {
-		p.resp <- e.shed(now, task, ShedBrownout, wait)
-		return
+		return e.shed(now, task, ShedBrownout, wait)
 	}
 	if !e.cfg.NoShedInfeasible && task.Deadline < now+e.minEET[task.Type] {
-		p.resp <- e.shed(now, task, ShedInfeasible, wait)
-		return
+		return e.shed(now, task, ShedInfeasible, wait)
 	}
 	start := time.Now()
-	chosen := e.mapTask(now, task, p.req.MaxEnergy)
+	snap := e.brkSnap()
+	chosen := e.mapTask(now, task, maxEnergy)
 	e.met.decideTime.Observe(time.Since(start).Seconds())
+	var d Decision
 	if chosen == nil {
-		p.resp <- e.shed(now, task, ShedFiltered, wait)
-		return
+		d = e.shed(now, task, ShedFiltered, wait)
+	} else {
+		e.place(now, task, chosen, 0)
+		e.st.mapped.Add(1)
+		e.met.mapped.Inc()
+		d = Decision{
+			Status:   StatusMapped,
+			TaskID:   task.ID,
+			Arrival:  task.Arrival,
+			Deadline: task.Deadline,
+			Assignment: &AssignmentView{
+				Node:   chosen.Core.Node,
+				Core:   chosen.Core.String(),
+				PState: chosen.PState.String(),
+				ETA:    chosen.ECT(),
+			},
+			QueueWait: wait,
+		}
 	}
-	e.place(now, task, chosen, 0)
-	e.st.mapped.Add(1)
-	e.met.mapped.Inc()
-	p.resp <- Decision{
-		Status:   StatusMapped,
-		TaskID:   task.ID,
-		Arrival:  task.Arrival,
-		Deadline: task.Deadline,
-		Assignment: &AssignmentView{
-			Node:   chosen.Core.Node,
-			Core:   chosen.Core.String(),
-			PState: chosen.PState.String(),
-			ETA:    chosen.ECT(),
-		},
-		QueueWait: wait,
-	}
+	e.walBreakerDiff(now, snap)
+	return d
 }
 
 // buildTask materializes the workload.Task for a request arriving now.
@@ -939,6 +1207,7 @@ func (e *Engine) shed(now float64, task workload.Task, reason string, wait time.
 	e.st.shed.Add(1)
 	e.st.shedByRsn[shedIdx(reason)].Add(1)
 	e.met.shedBy(reason).Inc()
+	e.walShed(now, task.ID, reason)
 	if e.shedObs != nil {
 		e.shedObs.TaskShed(now, task, reason)
 	} else {
@@ -1017,6 +1286,7 @@ func (e *Engine) place(now float64, task workload.Task, chosen *sched.Candidate,
 	}
 	actual := e.model.ActualExecTime(task, chosen.Core.Node, chosen.PState)
 	idx := chosen.CoreIdx
+	e.walMap(now, task, idx, chosen.PState, actual, attempts)
 	e.queues[idx] = append(e.queues[idx], queued{task: task, pstate: chosen.PState, actual: actual, attempts: attempts})
 	e.ftc.OnEnqueue(idx, chosen.Core.Node, task.Type, chosen.PState, len(e.queues[idx]))
 	e.inSystem++
@@ -1038,6 +1308,7 @@ func (e *Engine) start(now float64, coreIdx int) {
 	e.setPState(now, coreIdx, head.pstate)
 	head.started = true
 	head.startAt = now
+	e.walAppend(&walRecord{K: wkStart, T: now, ID: head.task.ID, Core: coreIdx, PS: int(head.pstate)})
 	e.cfg.Observer.TaskStarted(now, head.task, e.assignment(coreIdx, head.pstate))
 	e.push(event{time: now + head.actual, kind: evCompletion, idx: coreIdx, gen: e.runGen[coreIdx]})
 }
@@ -1075,8 +1346,11 @@ func (e *Engine) complete(now float64, coreIdx int) {
 		e.st.late.Add(1)
 		e.met.completedLate.Inc()
 	}
+	e.walAppend(&walRecord{K: wkFinish, T: now, ID: head.task.ID, Core: coreIdx, OK: onTime})
 	if e.brk != nil {
+		snap := e.brkSnap()
 		e.brk.onSuccess(e.cores[coreIdx].Node)
+		e.walBreakerDiff(now, snap)
 	}
 	e.cfg.Observer.TaskFinished(now, head.task, e.assignment(coreIdx, head.pstate), onTime)
 	if len(e.queues[coreIdx]) > 0 {
@@ -1127,6 +1401,7 @@ func (e *Engine) drain() error {
 		}
 	}
 flush:
+	e.commit() // phase-1 decisions become durable before fast-forwarding
 	// Phase 2: fast-forward in-flight work. Virtual time jumps straight
 	// to each event; the wall-clock grace bounds the loop.
 	deadline := time.Now().Add(e.cfg.DrainGrace)
@@ -1161,9 +1436,12 @@ flush:
 		err = fmt.Errorf("server: drain grace %v expired with %d task(s) in flight (failed, not orphaned)", e.cfg.DrainGrace, n)
 		e.inSystem = 0
 		e.updInflight()
+		// Like halt: one atomic record for the wholesale clear.
+		e.walAppend(&walRecord{K: wkFlush, T: e.now(), Rsn: FailDrainTimeout, N: n})
 	}
 	// Any request that raced into the queue between the draining flag and
 	// the channel drain above still gets an answer.
 	e.abortPending()
+	e.commit()
 	return err
 }

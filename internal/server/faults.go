@@ -42,14 +42,17 @@ func (e *Engine) Queue(idx int) robustness.CoreQueue {
 }
 
 // scheduleFaults seeds the event heap with the first firing of each
-// enabled stochastic process and every scripted entry.
+// enabled stochastic process and every scripted entry, mirroring the
+// absolute firing times into the checkpointable schedule fields.
 func (e *Engine) scheduleFaults() {
 	spec := &e.cfg.Faults
 	if spec.Transient.Enabled {
-		e.push(event{time: spec.Transient.Sample(e.transientRng), kind: evFault, idx: srcTransient})
+		e.nextTransient = spec.Transient.Sample(e.transientRng)
+		e.push(event{time: e.nextTransient, kind: evFault, idx: srcTransient})
 	}
 	if spec.Permanent.Enabled {
-		e.push(event{time: spec.Permanent.Sample(e.permanentRng), kind: evFault, idx: srcPermanent})
+		e.nextPermanent = spec.Permanent.Sample(e.permanentRng)
+		e.push(event{time: e.nextPermanent, kind: evFault, idx: srcPermanent})
 	}
 	for i, sf := range spec.Script {
 		e.push(event{time: sf.Time, kind: evFault, idx: srcScript + i})
@@ -58,6 +61,8 @@ func (e *Engine) scheduleFaults() {
 
 // handleFault fires one failure source at virtual time now: picks the
 // victim (stochastic sources), injects it, and reschedules the process.
+// The closing fsched record carries the post-draw process stream states and
+// the absolute next firing, so replay reschedules without re-drawing.
 func (e *Engine) handleFault(now float64, src int) {
 	spec := &e.cfg.Faults
 	switch src {
@@ -65,18 +70,31 @@ func (e *Engine) handleFault(now float64, src int) {
 		if idx, ok := e.pickUpCore(); ok {
 			e.injectFault(now, fault.Transient, idx, -1, spec.RepairTime)
 		}
+		e.nextTransient = 0
 		if !e.allNodesDead() {
-			e.push(event{time: now + spec.Transient.Sample(e.transientRng), kind: evFault, idx: srcTransient})
+			e.nextTransient = now + spec.Transient.Sample(e.transientRng)
+			e.push(event{time: e.nextTransient, kind: evFault, idx: srcTransient})
+		}
+		if e.walOn() {
+			e.walAppend(&walRecord{K: wkFsched, T: now, Src: "transient", NX: e.nextTransient,
+				TRS: hexState(e.transientRng.State()), TGS: hexState(e.targetRng.State())})
 		}
 	case srcPermanent:
 		if node, ok := e.pickAliveNode(); ok {
 			e.injectFault(now, fault.Permanent, -1, node, 0)
 		}
+		e.nextPermanent = 0
 		if !e.allNodesDead() {
-			e.push(event{time: now + spec.Permanent.Sample(e.permanentRng), kind: evFault, idx: srcPermanent})
+			e.nextPermanent = now + spec.Permanent.Sample(e.permanentRng)
+			e.push(event{time: e.nextPermanent, kind: evFault, idx: srcPermanent})
+		}
+		if e.walOn() {
+			e.walAppend(&walRecord{K: wkFsched, T: now, Src: "permanent", NX: e.nextPermanent,
+				PRS: hexState(e.permanentRng.State()), TGS: hexState(e.targetRng.State())})
 		}
 	default:
-		sf := spec.Script[src-srcScript]
+		i := src - srcScript
+		sf := spec.Script[i]
 		if sf.Kind == fault.Permanent {
 			e.injectFault(now, fault.Permanent, -1, sf.Node, 0)
 		} else {
@@ -86,6 +104,8 @@ func (e *Engine) handleFault(now float64, src int) {
 			}
 			e.injectFault(now, fault.Transient, sf.Core, -1, repair)
 		}
+		e.scriptFired[i] = true
+		e.walAppend(&walRecord{K: wkFsched, T: now, Src: "script", SI: i})
 	}
 }
 
@@ -147,12 +167,21 @@ func (e *Engine) allNodesDead() bool {
 	return true
 }
 
-// injectFault applies one failure and feeds the circuit breaker.
+// injectFault applies one failure and feeds the circuit breaker. The fault
+// record goes to the WAL before any mutation — with the applied flag, the
+// absolute repair time, and the post-draw target stream state — so replay
+// applies the same strike to the same victim without re-drawing.
 func (e *Engine) injectFault(now float64, kind fault.Kind, coreIdx, node int, repair float64) {
 	e.st.faults.Add(1)
 	e.met.faults.Inc()
 	if kind == fault.Permanent {
-		if !e.alive[node] {
+		applied := e.alive[node]
+		if e.walOn() {
+			e.walAppend(&walRecord{K: wkFault, T: now, Src: "permanent", Core: -1, Node: node,
+				AP: applied, TGS: hexState(e.targetRng.State())})
+		}
+		if !applied {
+			// A scripted strike on an already-dead node: counted, no effect.
 			return
 		}
 		e.alive[node] = false
@@ -164,21 +193,33 @@ func (e *Engine) injectFault(now float64, kind fault.Kind, coreIdx, node int, re
 		}
 		return
 	}
+	applied := !e.down[coreIdx]
+	rp := 0.0
+	if applied {
+		rp = now + repair
+	}
+	if e.walOn() {
+		e.walAppend(&walRecord{K: wkFault, T: now, Src: "transient", Core: coreIdx,
+			Node: e.cores[coreIdx].Node, AP: applied, RP: rp, TGS: hexState(e.targetRng.State())})
+	}
 	e.tripBreaker(e.cores[coreIdx].Node, now, false)
 	e.downCore(now, kind, coreIdx, repair)
 }
 
-// tripBreaker records a strike and publishes any open transition.
+// tripBreaker records a strike, publishes any open transition, and logs the
+// automaton's new state.
 func (e *Engine) tripBreaker(node int, now float64, permanent bool) {
 	if e.brk == nil {
 		return
 	}
+	snap := e.brkSnap()
 	before := e.brk.opens
 	e.brk.onFault(node, now, permanent)
 	if d := e.brk.opens - before; d > 0 {
 		e.st.brkOpens.Add(int64(d))
 		e.met.breakerOpens.Inc()
 	}
+	e.walBreakerDiff(now, snap)
 }
 
 // downCore takes one core down: kills its queue, hands stranded tasks to
@@ -201,12 +242,14 @@ func (e *Engine) downCore(now float64, kind fault.Kind, coreIdx int, repair floa
 			if e.fobs != nil {
 				e.fobs.TaskKilled(now, q[i].task, e.cores[coreIdx])
 			}
+			e.walAppend(&walRecord{K: wkKill, T: now, ID: q[i].task.ID, Core: coreIdx, Att: q[i].attempts})
 			e.recoverTask(now, q[i].task, q[i].attempts)
 		}
 		e.updInflight()
 	}
 	e.meter.SetPower(coreIdx, 0)
 	if kind == fault.Transient {
+		e.repairAt[coreIdx] = now + repair
 		e.push(event{time: now + repair, kind: evRepair, idx: coreIdx})
 	}
 }
@@ -219,26 +262,34 @@ func (e *Engine) handleRepair(now float64, coreIdx int) {
 	if !e.alive[e.cores[coreIdx].Node] {
 		// The node died permanently while this core's repair was pending;
 		// the repair must not resurrect it.
+		e.repairAt[coreIdx] = 0
+		e.walAppend(&walRecord{K: wkRepair, T: now, Core: coreIdx, AP: false})
 		return
 	}
+	e.repairAt[coreIdx] = 0
 	e.down[coreIdx] = false
 	e.meter.ClearPower(coreIdx)
 	e.setPState(now, coreIdx, e.cfg.IdlePState)
+	e.walAppend(&walRecord{K: wkRepair, T: now, Core: coreIdx, AP: true})
 	if e.fobs != nil {
 		e.fobs.CoreRepaired(now, e.cores[coreIdx])
 	}
 }
 
 // recoverTask routes one stranded task through the recovery policy. used
-// is the retry count the task has already consumed.
+// is the retry count the task has already consumed. Deterministic given
+// (now, task, used): no randomness is consumed, which is what lets recovery
+// re-run it for dangling kills whose disposition was lost to a torn tail.
 func (e *Engine) recoverTask(now float64, task workload.Task, used int) {
 	rec := e.cfg.Faults.Recovery
 	if rec.Mode != fault.Requeue || used >= rec.MaxRetries {
+		e.walFailRec(now, task.ID, FailFault)
 		e.fail(task, FailFault)
 		return
 	}
 	if rec.DeadlineAware && task.Deadline <= now {
 		// Already late: a retry can only burn energy on a missed deadline.
+		e.walFailRec(now, task.ID, FailFault)
 		e.fail(task, FailFault)
 		return
 	}
@@ -253,8 +304,26 @@ func (e *Engine) recoverTask(now float64, task workload.Task, used int) {
 	}
 	slot := e.reqSeq
 	e.reqSeq++
-	e.requeues[slot] = requeueEntry{task: task, attempts: used + 1}
-	e.push(event{time: now + delay, kind: evRequeue, idx: slot})
+	fireAt := now + delay
+	e.requeues[slot] = requeueEntry{task: task, attempts: used + 1, fireAt: fireAt}
+	if e.walOn() {
+		e.walAppend(&walRecord{K: wkRequeue, T: now,
+			ID: task.ID, Ty: task.Type, Arr: task.Arrival, DL: task.Deadline,
+			U: task.U, Pri: task.Priority,
+			Slot: slot, Att: used + 1, FT: fireAt,
+			DS: hexState(e.rand.State())})
+	}
+	e.push(event{time: fireAt, kind: evRequeue, idx: slot})
+}
+
+// walFailRec logs one stranded task lost for good. The decision stream
+// state rides along because the fail may follow a remap attempt that
+// consumed heuristic draws without producing a map record.
+func (e *Engine) walFailRec(now float64, id int, reason string) {
+	if !e.walOn() {
+		return
+	}
+	e.walAppend(&walRecord{K: wkFail, T: now, ID: id, Rsn: reason, DS: hexState(e.rand.State())})
 }
 
 // handleRequeue re-dispatches a previously-stranded task through the full
@@ -268,11 +337,15 @@ func (e *Engine) handleRequeue(now float64, slot int) {
 	delete(e.requeues, slot)
 	e.st.retries.Add(1)
 	e.met.retries.Inc()
+	e.walAppend(&walRecord{K: wkRetry, T: now, Slot: slot, ID: entry.task.ID})
+	snap := e.brkSnap()
 	chosen := e.mapTask(now, entry.task, nil)
 	if chosen == nil {
 		e.recoverTask(now, entry.task, entry.attempts)
+		e.walBreakerDiff(now, snap)
 		e.updInflight()
 		return
 	}
 	e.place(now, entry.task, chosen, entry.attempts)
+	e.walBreakerDiff(now, snap)
 }

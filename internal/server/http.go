@@ -99,9 +99,10 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"draining": s.eng.draining.Load(),
-		"halted":   s.eng.halted.Load(),
+		"status":     "ok",
+		"draining":   s.eng.draining.Load(),
+		"halted":     s.eng.halted.Load(),
+		"recovering": s.eng.Recovering(),
 	})
 }
 
@@ -109,6 +110,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.eng.Accepting() {
 		reason := RejectDraining
 		switch {
+		case s.eng.Recovering():
+			reason = RejectRecovering
 		case s.eng.halted.Load():
 			reason = ShedHalted
 		case s.eng.shedGate.Load():
@@ -178,6 +181,7 @@ func (e *Engine) recordBadRequest() {
 	e.st.rejected.Add(1)
 	e.met.requests.Inc()
 	e.met.rejectedBadReq.Inc()
+	e.walReject("bad-request")
 }
 
 // FinalReport is the document ecserve flushes after a graceful drain: the

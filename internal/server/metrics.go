@@ -9,11 +9,12 @@ type serverMetrics struct {
 	requests *metrics.Counter
 	admitted *metrics.Counter
 
-	rejectedQueueFull *metrics.Counter
-	rejectedDraining  *metrics.Counter
-	rejectedBrownout  *metrics.Counter
-	rejectedHalted    *metrics.Counter
-	rejectedBadReq    *metrics.Counter
+	rejectedQueueFull  *metrics.Counter
+	rejectedDraining   *metrics.Counter
+	rejectedBrownout   *metrics.Counter
+	rejectedHalted     *metrics.Counter
+	rejectedBadReq     *metrics.Counter
+	rejectedRecovering *metrics.Counter
 
 	mapped        *metrics.Counter
 	shed          map[string]*metrics.Counter
@@ -25,6 +26,13 @@ type serverMetrics struct {
 	faults       *metrics.Counter
 	retries      *metrics.Counter
 	breakerOpens *metrics.Counter
+
+	walRecords        *metrics.Counter
+	walCommits        *metrics.Counter
+	walErrors         *metrics.Counter
+	checkpoints       *metrics.Counter
+	recoveryReplayed  *metrics.Counter
+	recoveryRedecided *metrics.Counter
 
 	queueWait  *metrics.Histogram
 	decideTime *metrics.Histogram
@@ -40,27 +48,34 @@ var latencyBounds = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	m := &serverMetrics{
-		requests:          r.Counter("server_requests_total"),
-		admitted:          r.Counter("server_admitted_total"),
-		rejectedQueueFull: r.Counter("server_rejected_total", metrics.L("reason", "queue-full")),
-		rejectedDraining:  r.Counter("server_rejected_total", metrics.L("reason", "draining")),
-		rejectedBrownout:  r.Counter("server_rejected_total", metrics.L("reason", "brownout")),
-		rejectedHalted:    r.Counter("server_rejected_total", metrics.L("reason", "energy-exhausted")),
-		rejectedBadReq:    r.Counter("server_rejected_total", metrics.L("reason", "bad-request")),
-		mapped:            r.Counter("server_decisions_total", metrics.L("decision", "mapped")),
-		timedout:          r.Counter("server_decisions_total", metrics.L("decision", "timed-out")),
-		completedOn:       r.Counter("server_completed_total", metrics.L("result", "on-time")),
-		completedLate:     r.Counter("server_completed_total", metrics.L("result", "late")),
-		failed:            r.Counter("server_failed_total"),
-		faults:            r.Counter("server_faults_total"),
-		retries:           r.Counter("server_retries_total"),
-		breakerOpens:      r.Counter("server_breaker_open_total"),
-		queueWait:         r.Histogram("server_queue_wait_seconds", latencyBounds),
-		decideTime:        r.Histogram("server_decision_seconds", latencyBounds),
-		queueHigh:         r.Max("server_queue_depth_high_water"),
-		inflight:          r.Gauge("server_inflight_tasks"),
-		stage:             r.Gauge("server_brownout_stage"),
-		consumed:          r.Gauge("server_energy_consumed"),
+		requests:           r.Counter("server_requests_total"),
+		admitted:           r.Counter("server_admitted_total"),
+		rejectedQueueFull:  r.Counter("server_rejected_total", metrics.L("reason", "queue-full")),
+		rejectedDraining:   r.Counter("server_rejected_total", metrics.L("reason", "draining")),
+		rejectedBrownout:   r.Counter("server_rejected_total", metrics.L("reason", "brownout")),
+		rejectedHalted:     r.Counter("server_rejected_total", metrics.L("reason", "energy-exhausted")),
+		rejectedBadReq:     r.Counter("server_rejected_total", metrics.L("reason", "bad-request")),
+		rejectedRecovering: r.Counter("server_rejected_total", metrics.L("reason", "recovering")),
+		walRecords:         r.Counter("server_wal_records_total"),
+		walCommits:         r.Counter("server_wal_commits_total"),
+		walErrors:          r.Counter("server_wal_errors_total"),
+		checkpoints:        r.Counter("server_checkpoints_total"),
+		recoveryReplayed:   r.Counter("server_recovery_replayed_total"),
+		recoveryRedecided:  r.Counter("server_recovery_redecided_total"),
+		mapped:             r.Counter("server_decisions_total", metrics.L("decision", "mapped")),
+		timedout:           r.Counter("server_decisions_total", metrics.L("decision", "timed-out")),
+		completedOn:        r.Counter("server_completed_total", metrics.L("result", "on-time")),
+		completedLate:      r.Counter("server_completed_total", metrics.L("result", "late")),
+		failed:             r.Counter("server_failed_total"),
+		faults:             r.Counter("server_faults_total"),
+		retries:            r.Counter("server_retries_total"),
+		breakerOpens:       r.Counter("server_breaker_open_total"),
+		queueWait:          r.Histogram("server_queue_wait_seconds", latencyBounds),
+		decideTime:         r.Histogram("server_decision_seconds", latencyBounds),
+		queueHigh:          r.Max("server_queue_depth_high_water"),
+		inflight:           r.Gauge("server_inflight_tasks"),
+		stage:              r.Gauge("server_brownout_stage"),
+		consumed:           r.Gauge("server_energy_consumed"),
 	}
 	m.shed = map[string]*metrics.Counter{}
 	for _, reason := range []string{ShedFiltered, ShedInfeasible, ShedBrownout, ShedHalted} {

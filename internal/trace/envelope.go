@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Shared JSONL envelope codec: the on-disk discipline introduced by the
+// flight recorder (ecflight/v1) and reused by the server's write-ahead
+// admission log (ecwal/v1). One JSON object per line, a header as the first
+// line, a 16MB line cap, and exactly one tolerated failure mode — a torn
+// final line, the signature of a crash mid-append. Corruption anywhere
+// before the final line is a damaged file and an error.
+
+// MaxLine is the shared line cap. A single envelope line larger than this
+// is treated as corruption, not data.
+const MaxLine = 16 * 1024 * 1024
+
+// rawLine is one scanned line with its provenance, for torn-tail reporting.
+type rawLine struct {
+	b      []byte
+	line   int
+	offset int64
+}
+
+// LineDecoder streams a header-first JSONL file line by line with the
+// envelope discipline above. Use Next to decode successive lines; after it
+// returns false, Torn reports whether the file ended in a torn final line
+// (and TornAt says where), which callers may log but must tolerate.
+type LineDecoder struct {
+	sc       *bufio.Scanner
+	queued   *rawLine
+	line     int
+	off      int64
+	torn     bool
+	tornLine int
+	tornOff  int64
+	err      error
+}
+
+// NewLineDecoder wraps r with the shared scanner configuration.
+func NewLineDecoder(r io.Reader) *LineDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLine)
+	return &LineDecoder{sc: sc}
+}
+
+// read returns the next non-empty line, serving a queued lookahead first.
+// Offsets assume \n line endings, which every writer of these files uses.
+func (d *LineDecoder) read() *rawLine {
+	if q := d.queued; q != nil {
+		d.queued = nil
+		return q
+	}
+	for d.sc.Scan() {
+		raw := d.sc.Bytes()
+		off := d.off
+		d.line++
+		d.off += int64(len(raw)) + 1
+		if len(raw) == 0 {
+			continue
+		}
+		// Copy: the scanner reuses its buffer, and a lookahead line must
+		// survive the next Scan.
+		b := make([]byte, len(raw))
+		copy(b, raw)
+		return &rawLine{b: b, line: d.line, offset: off}
+	}
+	return nil
+}
+
+// Next decodes the next line into v and returns true, or returns false at
+// end of input — either genuine EOF or a torn final line (check Torn). A
+// line that fails to decode with at least one line after it is mid-file
+// corruption and returns an error, as does an underlying read failure.
+func (d *LineDecoder) Next(v any) (bool, error) {
+	if d.err != nil {
+		return false, d.err
+	}
+	ln := d.read()
+	if ln == nil {
+		if err := d.sc.Err(); err != nil {
+			d.err = fmt.Errorf("read: %w", err)
+			return false, d.err
+		}
+		return false, nil
+	}
+	if err := json.Unmarshal(ln.b, v); err != nil {
+		if d.queued = d.read(); d.queued == nil && d.sc.Err() == nil {
+			d.torn, d.tornLine, d.tornOff = true, ln.line, ln.offset
+			return false, nil
+		}
+		d.err = fmt.Errorf("corrupt line %d mid-file: %w", ln.line, err)
+		return false, d.err
+	}
+	return true, nil
+}
+
+// Torn reports whether decoding stopped at a torn final line.
+func (d *LineDecoder) Torn() bool { return d.torn }
+
+// TornAt returns the 1-based line number and byte offset of the torn final
+// line; both are zero when the file was not torn.
+func (d *LineDecoder) TornAt() (line int, offset int64) { return d.tornLine, d.tornOff }
+
+// Lines returns how many non-empty lines have been successfully decoded or
+// skipped so far (the torn line, if any, is not counted).
+func (d *LineDecoder) Lines() int {
+	n := d.line
+	if d.queued != nil {
+		n--
+	}
+	if d.torn {
+		n--
+	}
+	return n
+}

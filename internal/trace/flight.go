@@ -249,26 +249,27 @@ func (t *Trace) Encode(w io.Writer) error {
 // Decode reads a flight trace. The first line must be a FlightFormat
 // header. A torn final line — a crash or truncation mid-append — is
 // tolerated, mirroring the experiment journal's loader; corruption
-// anywhere else is an error.
+// anywhere else is an error. The scanning and torn-tail rules live in the
+// shared envelope codec (LineDecoder), which the server's write-ahead log
+// uses too.
 func Decode(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	dec := NewLineDecoder(r)
 	t := &Trace{}
 	first := true
-	for sc.Scan() {
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
+	for {
 		var ln line
-		if err := json.Unmarshal(raw, &ln); err != nil {
+		ok, err := dec.Next(&ln)
+		if err != nil {
 			if first {
 				return nil, fmt.Errorf("trace: not a flight trace: %v", err)
 			}
-			if !sc.Scan() {
-				break // torn tail: keep everything before it
+			return nil, fmt.Errorf("trace: %v", err)
+		}
+		if !ok {
+			if first && dec.Torn() {
+				return nil, fmt.Errorf("trace: not a flight trace: torn first line")
 			}
-			return nil, fmt.Errorf("trace: corrupt line mid-file: %v", err)
+			break // EOF, or a torn tail: keep everything before it
 		}
 		if first {
 			if ln.H == nil {
@@ -293,9 +294,6 @@ func Decode(r io.Reader) (*Trace, error) {
 		case ln.M != nil:
 			t.Metrics = ln.M
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read: %w", err)
 	}
 	if first {
 		return nil, fmt.Errorf("trace: empty file")

@@ -14,9 +14,16 @@
 #   - the race detector stays silent in both processes (exit code 66 trips)
 #   - the energy meter never drifts past the budget in the final report
 #
+#   5. chaos stage: a second durable (-wal) server is SIGKILLed mid-burst
+#      while ecload rides through with -retry-for, restarted with -recover
+#      on the same address, drained — and the recovered accounting must be
+#      clean (zero orphans), within budget, and the consumed-energy meter
+#      must be monotone across the kill (no lost or double-debited joules).
+#
 # Tunables (env): SOAK_TASKS (default 10000), SOAK_MULT (2), SOAK_SCALE
 # (4000 virtual units per wall second), SOAK_BUDGET (3 x ζ_max — idle draw
-# alone empties 1 x in ~11.5s wall at this scale, so give the run headroom).
+# alone empties 1 x in ~11.5s wall at this scale, so give the run headroom),
+# CHAOS_TASKS (3000 — the kill-9 stage's burst).
 set -eu
 cd "$(dirname "$0")"
 
@@ -24,6 +31,7 @@ N="${SOAK_TASKS:-10000}"
 MULT="${SOAK_MULT:-2}"
 SCALE="${SOAK_SCALE:-4000}"
 BUDGET="${SOAK_BUDGET:-3}"
+CHAOS_N="${CHAOS_TASKS:-3000}"
 
 tmp="$(mktemp -d)"
 srv=""
@@ -32,6 +40,28 @@ cleanup() {
     rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
+
+# wait_addr <logfile>: the banner is printed only after the listener is
+# bound, so the address appearing in the log doubles as the readiness
+# signal. Sets $addr; dies if the server process exits first.
+wait_addr() {
+    addr=""
+    i=0
+    while [ "$i" -lt 100 ]; do
+        addr="$(sed -n 's#.*on http://\([^/]*\)/v1/tasks.*#\1#p' "$1")"
+        [ -n "$addr" ] && return 0
+        kill -0 "$srv" 2>/dev/null || {
+            echo "soak: ecserve died during startup:" >&2
+            cat "$1" >&2
+            exit 1
+        }
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "soak: ecserve never reported its address" >&2
+    cat "$1" >&2
+    exit 1
+}
 
 echo "soak: building race-instrumented ecserve + ecload"
 go build -race -o "$tmp/ecserve" ./cmd/ecserve
@@ -42,26 +72,7 @@ go build -race -o "$tmp/ecload" ./cmd/ecload
     -rel -report "$tmp/report.json" >"$tmp/ecserve.log" 2>&1 &
 srv=$!
 
-# The banner is printed only after the listener is bound, so the address
-# appearing in the log doubles as the readiness signal.
-addr=""
-i=0
-while [ "$i" -lt 100 ]; do
-    addr="$(sed -n 's#.*on http://\([^/]*\)/v1/tasks.*#\1#p' "$tmp/ecserve.log")"
-    [ -n "$addr" ] && break
-    kill -0 "$srv" 2>/dev/null || {
-        echo "soak: ecserve died during startup:" >&2
-        cat "$tmp/ecserve.log" >&2
-        exit 1
-    }
-    i=$((i + 1))
-    sleep 0.1
-done
-if [ -z "$addr" ]; then
-    echo "soak: ecserve never reported its address" >&2
-    cat "$tmp/ecserve.log" >&2
-    exit 1
-fi
+wait_addr "$tmp/ecserve.log"
 echo "soak: ecserve up on $addr (budget ${BUDGET}x, scale ${SCALE}x, faults live)"
 
 "$tmp/ecload" -addr "$addr" -n "$N" -mult "$MULT" -seed 1 -q
@@ -91,4 +102,102 @@ awk '
     }
 ' "$tmp/report.json"
 
-echo "soak: OK ($N tasks at ${MULT}x, clean drain, race-clean)"
+echo "soak: stage 1 OK ($N tasks at ${MULT}x, clean drain, race-clean)"
+
+# ---------------------------------------------------------------------------
+# Stage 2: kill-9 chaos. A durable server takes a burst, is SIGKILLed in the
+# middle of it, and is restarted with -recover on the same address while
+# ecload keeps retrying its unacknowledged requests. Nothing the first
+# incarnation acked may be lost, the drained accounting must balance, and
+# the energy meter must resume from (never below, never double-counting)
+# the last durably logged consumption.
+# ---------------------------------------------------------------------------
+echo "soak: stage 2 — kill -9 mid-burst, -recover restart"
+FAULTS="mtbf=4000,repair=300,recovery=requeue,retries=2,backoff=60,deadline-aware"
+"$tmp/ecserve" -addr 127.0.0.1:0 -scale "$SCALE" -budget "$BUDGET" -brownout \
+    -faults "$FAULTS" -rel -wal "$tmp/wal" -checkpoint-every 500ms \
+    >"$tmp/chaos1.log" 2>&1 &
+srv=$!
+wait_addr "$tmp/chaos1.log"
+echo "soak: durable ecserve up on $addr (wal + 500ms checkpoints)"
+
+"$tmp/ecload" -addr "$addr" -n "$CHAOS_N" -mult "$MULT" -seed 2 -q \
+    -retry-for 60s >"$tmp/ecload2.log" 2>&1 &
+load=$!
+
+# Kill once the WAL shows the burst is genuinely in flight: enough durable
+# records to guarantee admitted, mapped, and started tasks die with the
+# process. Polling the log keeps the kill mid-burst at any machine speed.
+i=0
+while :; do
+    lines="$(wc -l <"$tmp/wal.1" 2>/dev/null || echo 0)"
+    [ "$lines" -ge 200 ] && break
+    kill -0 "$load" 2>/dev/null || {
+        echo "soak: FAIL — ecload finished before the kill; chaos stage never engaged" >&2
+        exit 1
+    }
+    i=$((i + 1))
+    if [ "$i" -ge 300 ]; then
+        echo "soak: FAIL — WAL never reached kill threshold" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -9 "$srv" 2>/dev/null
+wait "$srv" 2>/dev/null || true
+srv=""
+echo "soak: SIGKILL delivered with $lines WAL lines durable; ecload retrying"
+
+# The last durable consumed-energy coordinate (reject records carry no
+# meter state, so they are excluded): the recovered run must never report
+# less than this, and must never re-charge what is already logged.
+E1="$(grep -v '"k":"reject"' "$tmp/wal.1" | grep -o '"en":[0-9.eE+-]*' | tail -1 | cut -d: -f2)"
+if [ -z "$E1" ]; then
+    echo "soak: FAIL — no durable energy coordinate in the WAL" >&2
+    exit 1
+fi
+
+"$tmp/ecserve" -addr "$addr" -scale "$SCALE" -budget "$BUDGET" -brownout \
+    -faults "$FAULTS" -rel -wal "$tmp/wal" -checkpoint-every 500ms \
+    -recover -report "$tmp/report2.json" >"$tmp/chaos2.log" 2>&1 &
+srv=$!
+wait_addr "$tmp/chaos2.log"
+grep "recovered from" "$tmp/chaos2.log" >&2 || true
+
+rc=0
+wait "$load" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "soak: FAIL — ecload did not ride through the kill (exit $rc):" >&2
+    tail -5 "$tmp/ecload2.log" >&2
+    exit 1
+fi
+
+echo "soak: SIGTERM -> drain (recovered incarnation)"
+kill -TERM "$srv"
+rc=0
+wait "$srv" || rc=$?
+srv=""
+cat "$tmp/chaos2.log"
+if [ "$rc" -ne 0 ]; then
+    echo "soak: FAIL — recovered ecserve exited $rc (orphans, imbalance, or a data race)" >&2
+    exit 1
+fi
+
+awk -v e1="$E1" '
+    /"energyConsumed"/ { gsub(/[",]/, ""); consumed = $2 }
+    /"energyBudget"/   { gsub(/[",]/, ""); budget = $2 }
+    END {
+        if (budget == "" || consumed == "") { print "soak: chaos report missing energy fields"; exit 1 }
+        if (consumed + 0 > budget + 1e-9) {
+            printf "soak: FAIL — recovered meter drifted past the budget: %s > %s\n", consumed, budget
+            exit 1
+        }
+        if (consumed + 1e-6 < e1 + 0) {
+            printf "soak: FAIL — consumed energy regressed across the kill: %s < %s (lost debits)\n", consumed, e1
+            exit 1
+        }
+        printf "soak: energy monotone across kill (%s durable -> %s drained, budget %s)\n", e1, consumed, budget
+    }
+' "$tmp/report2.json"
+
+echo "soak: OK ($N tasks at ${MULT}x + $CHAOS_N through kill-9, clean drains, race-clean)"

@@ -74,15 +74,78 @@ if [ "$tier" -ge 2 ]; then
     # cmp, not a field comparison, so nothing can hide in encoding drift.
     echo "== tier 2: flight trace record/replay bit-identity"
     flighttmp="$(mktemp -d)"
-    trap 'rm -rf "$flighttmp"' EXIT
+    csrv=""
+    cld=""
+    trap 'kill $csrv $cld 2>/dev/null || true; rm -rf "$flighttmp"' EXIT
     go build -o "$flighttmp" ./cmd/ecsim ./cmd/ecreplay
     "$flighttmp/ecsim" -heuristic LL -filters en+rob -trials 1 -window 200 \
         -trace-out "$flighttmp/flight.jsonl" >/dev/null
     "$flighttmp/ecreplay" -out "$flighttmp/replayed.jsonl" "$flighttmp/flight.jsonl" >/dev/null
     cmp "$flighttmp/flight.jsonl" "$flighttmp/replayed.jsonl"
     echo "   record and replay are byte-identical"
+    # Crash-recovery gate: SIGKILL a durable ecserve mid-burst, then recover
+    # the orphaned WAL + checkpoint twice (-recover -drain-now) on separate
+    # copies. Both runs must exit 0 (zero orphans, balanced accounting) and
+    # their flight traces must be byte-identical — recovery is a function of
+    # the durable state alone, with no wall-clock or ordering leakage. Only
+    # the metrics-snapshot line is excluded from the comparison: it holds
+    # wall-latency histograms, which are real time, not recovered state.
+    echo "== tier 2: kill-9 crash recovery determinism"
+    go build -o "$flighttmp" ./cmd/ecserve ./cmd/ecload
+    chaos="$flighttmp/chaos"
+    mkdir -p "$chaos/a" "$chaos/b"
+    CHAOS_FLAGS='-scale 2000 -budget 3 -faults mtbf=2000,repair=300,recovery=requeue,retries=2,backoff=60'
+    csrv=""
+    "$flighttmp/ecserve" -addr 127.0.0.1:0 $CHAOS_FLAGS \
+        -wal "$chaos/wal" -checkpoint-every 300ms >"$chaos/ecserve.log" 2>&1 &
+    csrv=$!
+    addr=""
+    i=0
+    while [ "$i" -lt 100 ]; do
+        addr="$(sed -n 's#.*on http://\([^/]*\)/v1/tasks.*#\1#p' "$chaos/ecserve.log")"
+        [ -n "$addr" ] && break
+        kill -0 "$csrv" 2>/dev/null || { cat "$chaos/ecserve.log" >&2; exit 1; }
+        i=$((i + 1))
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "chaos: ecserve never came up" >&2; exit 1; }
+    "$flighttmp/ecload" -addr "$addr" -n 1500 -mult 2 -seed 3 -q >"$chaos/ecload.log" 2>&1 &
+    cld=$!
+    i=0
+    while :; do
+        lines="$(wc -l <"$chaos/wal.1" 2>/dev/null || echo 0)"
+        [ "$lines" -ge 200 ] && break
+        i=$((i + 1))
+        [ "$i" -ge 150 ] || kill -0 "$cld" 2>/dev/null || {
+            echo "chaos: burst ended before the kill threshold" >&2
+            exit 1
+        }
+        [ "$i" -ge 150 ] && { echo "chaos: WAL never reached kill threshold" >&2; exit 1; }
+        sleep 0.1
+    done
+    kill -9 "$csrv" 2>/dev/null
+    wait "$csrv" 2>/dev/null || true
+    csrv=""
+    kill "$cld" 2>/dev/null || true
+    wait "$cld" 2>/dev/null || true # transport errors after the kill are the point
+    for side in a b; do
+        cp "$chaos/wal.1" "$chaos/$side/wal.1"
+        [ -e "$chaos/wal.ckpt" ] && cp "$chaos/wal.ckpt" "$chaos/$side/ckpt"
+        "$flighttmp/ecserve" $CHAOS_FLAGS -wal "$chaos/$side/wal" -checkpoint "$chaos/$side/ckpt" \
+            -recover -drain-now -flight "$chaos/$side/flight.jsonl" \
+            -report "$chaos/$side/report.json" >"$chaos/$side/out.log" 2>&1 || {
+            echo "chaos: recovery drain $side failed (orphans or imbalance):" >&2
+            cat "$chaos/$side/out.log" >&2
+            exit 1
+        }
+        grep -v '^{"m":' "$chaos/$side/flight.jsonl" >"$chaos/$side/flight.cmp"
+    done
+    cmp "$chaos/a/flight.cmp" "$chaos/b/flight.cmp"
+    echo "   $lines WAL lines at SIGKILL; both recoveries drained clean, flight traces byte-identical"
     # End-to-end soak: race-built ecserve under bursty 2x overload with
-    # fault injection, then a SIGTERM drain that must orphan nothing.
+    # fault injection, then a SIGTERM drain that must orphan nothing,
+    # followed by the kill-9 chaos stage (SIGKILL mid-burst, -recover,
+    # monotone energy across the crash).
     echo "== tier 2: soak (ecserve + ecload, race-instrumented)"
     ./soak.sh
 fi
