@@ -11,6 +11,7 @@
 //	ecfig -table zmul|rthresh|budget|arrivals|priority   # ablations
 //	ecfig -table parking|powercv|cancel                  # §VIII extension studies
 //	ecfig -table mtbf|brownout                           # resilience studies
+//	ecfig -table fairness -trace run.trace               # per-tenant fairness from a flight trace
 //	ecfig -fig 2 -csv fig2.csv        # also write per-trial samples
 //	ecfig -trials 10                  # reduced trial count for quick looks
 //	ecfig -all -journal figs.wal      # crash-safe: journal every trial
@@ -45,7 +46,7 @@ func main() {
 func run() error {
 	var (
 		fig          = flag.Int("fig", 0, "figure number to regenerate (2-6)")
-		table        = flag.String("table", "", "table to regenerate: summary, significance, zmul, rthresh, budget, arrivals, priority, parking, powercv, cancel, central, classes, mtbf, brownout, calibration")
+		table        = flag.String("table", "", "table to regenerate: summary, significance, zmul, rthresh, budget, arrivals, priority, parking, powercv, cancel, central, classes, mtbf, brownout, calibration, fairness")
 		all          = flag.Bool("all", false, "regenerate figures 2-6 and the summary table")
 		trials       = flag.Int("trials", 50, "number of simulation trials")
 		seed         = flag.Uint64("seed", 0, "experiment seed (0 = paper default)")
@@ -56,11 +57,18 @@ func run() error {
 		journal      = flag.String("journal", "", "write-ahead journal file: persist each completed trial before counting it done")
 		resume       = flag.Bool("resume", false, "with -journal: replay trials already journaled instead of re-running them")
 		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial wall-clock limit; a trial exceeding it is quarantined (0 = none)")
+		traceFile    = flag.String("trace", "", "flight-trace file for -table fairness")
 	)
 	flag.Parse()
 
 	if *resume && *journal == "" {
 		return fmt.Errorf("-resume requires -journal")
+	}
+
+	// The fairness table summarizes a recorded flight trace per tenant; it
+	// needs no simulation sweep, so handle it before the System boots.
+	if *table == "fairness" {
+		return printFairness(*traceFile)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -183,6 +191,23 @@ func printFigure(sys *core.System, n, width int, csvPath string) error {
 		}
 		fmt.Printf("wrote %s\n", csvPath)
 	}
+	return nil
+}
+
+func printFairness(path string) error {
+	if path == "" {
+		return fmt.Errorf("-table fairness requires -trace FILE (a flight trace from ecserve -trace or the batch recorder)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		return fmt.Errorf("decoding %s: %w", path, err)
+	}
+	fmt.Println(experiment.FairnessTable(tr).Render())
 	return nil
 }
 

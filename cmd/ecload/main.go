@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/randx"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -75,8 +77,9 @@ func run() error {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout (includes waiting for a pooled connection)")
 		conns    = flag.Int("conns", 512, "connection-pool bound; requests past it queue client-side")
 		quiet    = flag.Bool("q", false, "suppress the progress line")
-		logPath  = flag.String("log", "", "record the generated arrival stream (seed, per-request virtual send time, type, deadline) as JSONL to this file")
+		logPath  = flag.String("log", "", "record the generated arrival stream (seed, per-request virtual send time, type, tenant, SLO class, deadline) as JSONL to this file")
 		retryFor = flag.Duration("retry-for", 0, "on transport errors, reconnect with capped exponential backoff and resend the unacked request for up to this long (0 = fail immediately)")
+		tenants  = flag.String("tenants", "", "tenant-spec JSON file (multi-tenant mode): compose per-tenant arrival processes from the spec's profiles instead of the single -mult stream; -n splits across tenants proportional to their mult")
 	)
 	flag.Parse()
 	if *n < 1 {
@@ -111,36 +114,40 @@ func run() error {
 	}
 
 	// Arrival times are drawn on the virtual axis (where λ_eq lives), then
-	// divided by the server's time scale to get wall offsets.
+	// divided by the server's time scale to get wall offsets. Everything —
+	// arrivals, types, per-tenant splits — is drawn up front so the stream is
+	// fully determined before the first request fires; the -log file then
+	// describes exactly what will be sent, independent of response timing.
 	root := randx.NewStream(*seed)
-	rate := *mult * info.EquilibriumRate
-	burst := *n / 5
-	phases := []randx.RatePhase{
-		{Rate: rate * fastFactor, Count: burst},
-		{Rate: rate * slowFactor, Count: *n - 2*burst},
-		{Rate: rate * fastFactor, Count: burst},
+	var reqs []genReq
+	if *tenants != "" {
+		data, rerr := os.ReadFile(*tenants)
+		if rerr != nil {
+			return rerr
+		}
+		spec, serr := workload.ParseTenantSpec(data)
+		if serr != nil {
+			return serr
+		}
+		if reqs, err = tenantRequests(root, spec, *n, info); err != nil {
+			return err
+		}
+		fmt.Printf("ecload: %d tasks across %d tenant(s) against %s (%s, %d cores, scale %g)\n",
+			len(reqs), len(spec.Tenants), base, info.Policy, info.Cores, info.TimeScale)
+	} else {
+		if reqs, err = singleRequests(root, *n, *mult, info); err != nil {
+			return err
+		}
+		fmt.Printf("ecload: %d tasks at %.2fx λ_eq against %s (%s, %d cores, scale %g)\n",
+			len(reqs), *mult, base, info.Policy, info.Cores, info.TimeScale)
 	}
-	arrivals, err := randx.PoissonArrivals(root.Child("arrivals"), phases)
-	if err != nil {
-		return err
-	}
-	types := root.Child("types")
-	// Draw every type up front so the stream is fully determined before the
-	// first request fires — the -log file then describes exactly what will
-	// be sent, independent of response timing.
-	taskTypes := make([]int, *n)
-	for i := range taskTypes {
-		taskTypes[i] = types.IntN(info.TaskTypes)
-	}
+	total := len(reqs)
 	if *logPath != "" {
-		if err := writeStreamLog(*logPath, *seed, *mult, info, arrivals, taskTypes); err != nil {
+		if err := writeStreamLog(*logPath, *seed, *mult, info, reqs); err != nil {
 			return err
 		}
 		fmt.Printf("ecload: arrival stream logged to %s\n", *logPath)
 	}
-
-	fmt.Printf("ecload: %d tasks at %.2fx λ_eq against %s (%s, %d cores, scale %g)\n",
-		*n, *mult, base, info.Policy, info.Cores, info.TimeScale)
 
 	var (
 		wg         sync.WaitGroup
@@ -182,9 +189,9 @@ func run() error {
 			}
 		}
 	}
-	for i := 0; i < *n; i++ {
-		body, _ := json.Marshal(map[string]int{"type": taskTypes[i]})
-		at := start.Add(time.Duration(arrivals[i] / info.TimeScale * float64(time.Second)))
+	for i := range reqs {
+		body := reqs[i].body()
+		at := start.Add(time.Duration(reqs[i].at / info.TimeScale * float64(time.Second)))
 		wg.Add(1)
 		go func(body []byte, at time.Time) {
 			defer wg.Done()
@@ -201,9 +208,9 @@ func run() error {
 			for {
 				select {
 				case <-t.C:
-					fmt.Fprintf(os.Stderr, "\r%d/%d", done.Load(), *n)
+					fmt.Fprintf(os.Stderr, "\r%d/%d", done.Load(), total)
 				case <-stopProg:
-					fmt.Fprintf(os.Stderr, "\r%d/%d\n", done.Load(), *n)
+					fmt.Fprintf(os.Stderr, "\r%d/%d\n", done.Load(), total)
 					return
 				}
 			}
@@ -216,7 +223,7 @@ func run() error {
 	var keys []int
 	codes.Range(func(k, _ any) bool { keys = append(keys, k.(int)); return true })
 	sort.Ints(keys)
-	fmt.Printf("ecload: %d tasks in %.1fs (%.1f req/s offered)\n", *n, elapsed.Seconds(), float64(*n)/elapsed.Seconds())
+	fmt.Printf("ecload: %d tasks in %.1fs (%.1f req/s offered)\n", total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
 	for _, k := range keys {
 		c, _ := codes.Load(k)
 		fmt.Printf("  %d %-12s %6d\n", k, codeLabel(k), c.(*atomic.Int64).Load())
@@ -229,6 +236,109 @@ func run() error {
 		return fmt.Errorf("%d request(s) failed at the transport layer", ne)
 	}
 	return nil
+}
+
+// genReq is one scheduled submission, fully drawn before the first request
+// fires: the virtual send instant plus every payload field.
+type genReq struct {
+	at     float64
+	typ    int
+	tenant string
+	slo    string
+	// slack, when set, is sent with the request (the deadline-flood profile
+	// sends zero slack: well-formed, immediately infeasible).
+	slack *float64
+}
+
+// body marshals the submission payload.
+func (g *genReq) body() []byte {
+	doc := map[string]any{"type": g.typ}
+	if g.tenant != "" {
+		doc["tenant"] = g.tenant
+		doc["slo"] = g.slo
+	}
+	if g.slack != nil {
+		doc["slack"] = *g.slack
+	}
+	b, _ := json.Marshal(doc)
+	return b
+}
+
+// singleRequests draws the pre-tenancy stream: the paper's fast/slow/fast
+// burst shape at mult·λ_eq, anonymous submissions.
+func singleRequests(root *randx.Stream, n int, mult float64, info *modelInfo) ([]genReq, error) {
+	rate := mult * info.EquilibriumRate
+	burst := n / 5
+	arrivals, err := randx.PoissonArrivals(root.Child("arrivals"), []randx.RatePhase{
+		{Rate: rate * fastFactor, Count: burst},
+		{Rate: rate * slowFactor, Count: n - 2*burst},
+		{Rate: rate * fastFactor, Count: burst},
+	})
+	if err != nil {
+		return nil, err
+	}
+	types := root.Child("types")
+	reqs := make([]genReq, n)
+	for i := range reqs {
+		reqs[i] = genReq{at: arrivals[i], typ: types.IntN(info.TaskTypes)}
+	}
+	return reqs, nil
+}
+
+// tenantRequests composes one merged schedule from per-tenant arrival
+// processes. Each tenant draws from its own child stream — an adversarial
+// tenant's draws cannot shift a compliant tenant's schedule by even one
+// instant, which is what lets the soak harness compare a gold tenant's
+// attack run against its attack-free baseline request for request. n splits
+// across tenants proportional to their mult (largest-remainder rounding, so
+// the split always sums to n).
+func tenantRequests(root *randx.Stream, spec *workload.TenantSpec, n int, info *modelInfo) ([]genReq, error) {
+	var active []workload.TenantProfile
+	sum := 0.0
+	for _, t := range spec.Tenants {
+		if t.Mult > 0 {
+			active = append(active, t)
+			sum += t.Mult
+		}
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("tenant spec has no tenant with mult > 0; nothing to send")
+	}
+	counts := make([]int, len(active))
+	assigned := 0
+	for i, t := range active {
+		counts[i] = int(math.Floor(float64(n) * t.Mult / sum))
+		assigned += counts[i]
+	}
+	for i := 0; assigned < n; i = (i + 1) % len(active) {
+		counts[i]++
+		assigned++
+	}
+	var reqs []genReq
+	for i, t := range active {
+		if counts[i] == 0 {
+			continue
+		}
+		s := root.Child("tenant:" + t.ID)
+		arrivals, err := t.Arrivals(s.Child("arrivals"), counts[i], info.EquilibriumRate)
+		if err != nil {
+			return nil, err
+		}
+		types := s.Child("types")
+		slo := t.Class().String()
+		var slack *float64
+		if t.Profile == workload.ProfileDeadlineFlood {
+			slack = new(float64) // zero slack: every deadline already passed
+		}
+		for _, at := range arrivals {
+			reqs = append(reqs, genReq{at: at, typ: types.IntN(info.TaskTypes),
+				tenant: t.ID, slo: slo, slack: slack})
+		}
+	}
+	// Merge by send time; ties keep spec order (stable), so the schedule is a
+	// pure function of (seed, spec, n).
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].at < reqs[j].at })
+	return reqs, nil
 }
 
 // streamLogHeader is the first line of the -log file: everything needed to
@@ -248,23 +358,27 @@ type streamLogHeader struct {
 // same axis ecserve and the offline trials use); Deadline is -1 because the
 // deadline is assigned server-side at admission — the flight trace recorded
 // by ecserve -flight carries the assigned value for each admitted task.
+// Tenant/SLO tag multi-tenant submissions (omitempty: single-tenant logs are
+// byte-identical to the pre-tenancy format).
 type streamLogRow struct {
 	I        int     `json:"i"`
 	T        float64 `json:"t"`
 	Type     int     `json:"type"`
+	Tenant   string  `json:"tenant,omitempty"`
+	SLO      string  `json:"slo,omitempty"`
 	Deadline float64 `json:"dl"`
 }
 
 // writeStreamLog records the fully-drawn arrival stream as JSONL before the
 // first request fires, via a temp-file rename so a crash mid-run never
 // leaves a torn log behind.
-func writeStreamLog(path string, seed uint64, mult float64, info *modelInfo, arrivals []float64, taskTypes []int) error {
+func writeStreamLog(path string, seed uint64, mult float64, info *modelInfo, reqs []genReq) error {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(streamLogHeader{
 		Format:    "ecload/v1",
 		Seed:      seed,
-		N:         len(arrivals),
+		N:         len(reqs),
 		Mult:      mult,
 		TaskTypes: info.TaskTypes,
 		TimeScale: info.TimeScale,
@@ -272,8 +386,11 @@ func writeStreamLog(path string, seed uint64, mult float64, info *modelInfo, arr
 	}); err != nil {
 		return err
 	}
-	for i := range arrivals {
-		if err := enc.Encode(streamLogRow{I: i, T: arrivals[i], Type: taskTypes[i], Deadline: -1}); err != nil {
+	for i := range reqs {
+		if err := enc.Encode(streamLogRow{
+			I: i, T: reqs[i].at, Type: reqs[i].typ,
+			Tenant: reqs[i].tenant, SLO: reqs[i].slo, Deadline: -1,
+		}); err != nil {
 			return err
 		}
 	}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -72,6 +73,7 @@ func run() error {
 		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Second, "wall-clock period between automatic checkpoints")
 		doRecover  = flag.Bool("recover", false, "recover from the checkpoint + WAL before serving (requires -wal)")
 		drainNow   = flag.Bool("drain-now", false, "with -recover: recover, drain deterministically without serving, print the report, exit")
+		tenantSpec = flag.String("tenants", "", "tenant-spec JSON file: arm multi-tenant admission control (per-tenant token buckets, queue shares, SLO-weighted shedding, abuse quarantine) from the same file ecload generates traffic from")
 	)
 	flag.Parse()
 
@@ -172,6 +174,17 @@ func run() error {
 		}
 		cfg.CheckpointEvery = *ckptEvery
 	}
+	if *tenantSpec != "" {
+		data, rerr := os.ReadFile(*tenantSpec)
+		if rerr != nil {
+			return rerr
+		}
+		tsp, terr := workload.ParseTenantSpec(data)
+		if terr != nil {
+			return terr
+		}
+		cfg.Tenants = &server.TenantConfig{Quotas: server.QuotasFromSpec(tsp, model.EquilibriumRate())}
+	}
 
 	// Boot order under recovery: Prepare (engine exists, reports itself
 	// recovering), bind the API (readyz answers 503 "recovering"), replay
@@ -229,6 +242,9 @@ func run() error {
 	}
 	if *walBase != "" {
 		fmt.Printf("ecserve: durable: wal %s.* checkpoint %s every %s\n", *walBase, cfg.CheckpointPath, *ckptEvery)
+	}
+	if cfg.Tenants != nil {
+		fmt.Printf("ecserve: multi-tenant admission control armed for %d tenant(s)\n", len(cfg.Tenants.Quotas))
 	}
 
 	if *listen != "" {

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// tenantAgg accumulates one tenant's rows while scanning a flight trace.
+type tenantAgg struct {
+	id       string
+	slo      string
+	tasks    int
+	onTime   int
+	late     int
+	shed     int
+	shedInf  int
+	failed   int
+	lateness []float64 // max(0, finish-deadline) per completed task
+}
+
+// FairnessTable summarizes a flight trace per tenant: goodput (on-time
+// completions per unit virtual time over the trace horizon), shed counts
+// (total and infeasible-deadline), and the p99 of completion lateness.
+// Rows without a tenant tag are grouped under "-" so single-tenant traces
+// still render. The horizon is the latest finish or arrival in the trace,
+// shared across tenants so goodput figures are directly comparable.
+func FairnessTable(tr *trace.Trace) *Table {
+	aggs := map[string]*tenantAgg{}
+	horizon := 0.0
+	for i := range tr.Rows {
+		r := &tr.Rows[i]
+		horizon = math.Max(horizon, r.Arrival)
+		if r.Finish >= 0 {
+			horizon = math.Max(horizon, r.Finish)
+		}
+		id := r.Tenant
+		if id == "" {
+			id = "-"
+		}
+		a := aggs[id]
+		if a == nil {
+			a = &tenantAgg{id: id, slo: r.SLO}
+			if a.slo == "" {
+				a.slo = "-"
+			}
+			aggs[id] = a
+		}
+		a.tasks++
+		switch r.Outcome {
+		case "on-time":
+			a.onTime++
+			a.lateness = append(a.lateness, 0)
+		case "late":
+			a.late++
+			a.lateness = append(a.lateness, math.Max(0, r.Finish-r.Deadline))
+		case "failed":
+			a.failed++
+		}
+		if r.Verdict == "shed" {
+			a.shed++
+			if r.Shed == "infeasible-deadline" {
+				a.shedInf++
+			}
+		}
+	}
+
+	ids := make([]string, 0, len(aggs))
+	for id := range aggs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	tab := &Table{
+		Title:  "per-tenant fairness (flight trace)",
+		Header: []string{"tenant", "slo", "tasks", "on-time", "late", "shed", "infeasible", "failed", "goodput/s", "p99 lateness"},
+	}
+	for _, id := range ids {
+		a := aggs[id]
+		goodput := 0.0
+		if horizon > 0 {
+			goodput = float64(a.onTime) / horizon
+		}
+		tab.Rows = append(tab.Rows, []string{
+			a.id, a.slo,
+			fmt.Sprintf("%d", a.tasks),
+			fmt.Sprintf("%d", a.onTime),
+			fmt.Sprintf("%d", a.late),
+			fmt.Sprintf("%d", a.shed),
+			fmt.Sprintf("%d", a.shedInf),
+			fmt.Sprintf("%d", a.failed),
+			fmt.Sprintf("%.4f", goodput),
+			fmt.Sprintf("%.4f", p99(a.lateness)),
+		})
+	}
+	return tab
+}
+
+// p99 returns the 99th-percentile of xs (nearest-rank), 0 for empty input.
+func p99(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(0.99*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}

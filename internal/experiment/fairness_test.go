@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestFairnessTable(t *testing.T) {
+	tr := &trace.Trace{Rows: []trace.Row{
+		{ID: 0, Tenant: "gold-a", SLO: "gold", Arrival: 0, Deadline: 5, Finish: 4, Verdict: "mapped", Outcome: "on-time"},
+		{ID: 1, Tenant: "gold-a", SLO: "gold", Arrival: 1, Deadline: 5, Finish: 8, Verdict: "mapped", Outcome: "late"},
+		{ID: 2, Tenant: "flood", SLO: "bronze", Arrival: 1, Deadline: 1, Finish: -1, Verdict: "shed", Shed: "infeasible-deadline"},
+		{ID: 3, Tenant: "flood", SLO: "bronze", Arrival: 2, Deadline: 2, Finish: -1, Verdict: "shed", Shed: "brownout"},
+		{ID: 4, Arrival: 3, Deadline: 9, Finish: 6, Verdict: "mapped", Outcome: "on-time"},
+	}}
+	tab := FairnessTable(tr)
+	if len(tab.Rows) != 3 { // gold-a, flood, untagged "-"
+		t.Fatalf("%d rows, want 3", len(tab.Rows))
+	}
+	out := tab.Render()
+	for _, want := range []string{"gold-a", "flood", "goodput/s", "p99 lateness"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fairness table missing %q:\n%s", want, out)
+		}
+	}
+	byID := map[string][]string{}
+	for _, r := range tab.Rows {
+		byID[r[0]] = r
+	}
+	// Horizon is max(arrival, finish) = 8. gold-a: 1 on-time, 1 late,
+	// lateness p99 = 8-5 = 3.
+	g := byID["gold-a"]
+	if g[2] != "2" || g[3] != "1" || g[4] != "1" {
+		t.Fatalf("gold-a counts wrong: %v", g)
+	}
+	if g[8] != "0.1250" {
+		t.Fatalf("gold-a goodput = %s, want 0.1250", g[8])
+	}
+	if g[9] != "3.0000" {
+		t.Fatalf("gold-a p99 lateness = %s, want 3.0000", g[9])
+	}
+	f := byID["flood"]
+	if f[5] != "2" || f[6] != "1" {
+		t.Fatalf("flood shed counts wrong: %v", f)
+	}
+	if u := byID["-"]; u[1] != "-" || u[3] != "1" {
+		t.Fatalf("untagged row wrong: %v", u)
+	}
+}
+
+func TestP99(t *testing.T) {
+	if got := p99(nil); got != 0 {
+		t.Fatalf("p99(nil) = %v", got)
+	}
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	if got := p99(xs); got != 99 {
+		t.Fatalf("p99(1..100) = %v, want 99", got)
+	}
+}

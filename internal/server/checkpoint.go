@@ -35,7 +35,9 @@ import (
 // ckptFormat is the checkpoint format tag.
 const ckptFormat = "eccheck/v1"
 
-// ckptTask is a serialized workload.Task.
+// ckptTask is a serialized workload.Task. Tn/Cls are omitempty: a
+// pre-tenancy checkpoint decodes them to their zero values (untagged,
+// bronze), the same incarnation-compatibility rule as the WAL grammar.
 type ckptTask struct {
 	ID  int     `json:"id"`
 	Ty  int     `json:"ty"`
@@ -43,14 +45,18 @@ type ckptTask struct {
 	DL  float64 `json:"dl"`
 	U   float64 `json:"u"`
 	Pri float64 `json:"pr"`
+	Tn  string  `json:"tn,omitempty"`
+	Cls int     `json:"cls,omitempty"`
 }
 
 func toCkptTask(t workload.Task) ckptTask {
-	return ckptTask{ID: t.ID, Ty: t.Type, Arr: t.Arrival, DL: t.Deadline, U: t.U, Pri: t.Priority}
+	return ckptTask{ID: t.ID, Ty: t.Type, Arr: t.Arrival, DL: t.Deadline, U: t.U, Pri: t.Priority,
+		Tn: t.Tenant, Cls: int(t.Class)}
 }
 
 func (c ckptTask) task() workload.Task {
-	return workload.Task{ID: c.ID, Type: c.Ty, Arrival: c.Arr, Deadline: c.DL, U: c.U, Priority: c.Pri}
+	return workload.Task{ID: c.ID, Type: c.Ty, Arrival: c.Arr, Deadline: c.DL, U: c.U, Priority: c.Pri,
+		Tenant: c.Tn, Class: workload.SLOClass(c.Cls)}
 }
 
 // ckptQueued is one core-queue entry.
@@ -98,6 +104,41 @@ type ckptCounters struct {
 	ShedByReason [4]int64 `json:"shedByReason"`
 }
 
+// ckptTenant is one tracked tenant's slice of the snapshot: terminal
+// counters, the abuse-detector window, the quarantine automaton, and the
+// token bucket. Admitted is the *decided* count (mapped+shed+timedout at
+// the cut) for the same reason the global admitted counter restores from
+// Decided: submissions still in the admission channel die unacknowledged
+// with the process and must not be in the ledger. Rejected comes from the
+// WAL's per-tenant reject ledger at the cut, so checkpoint+suffix replay
+// is exact per tenant too. The probing flag is deliberately absent: an
+// in-flight half-open probe dies with the process, and restoring
+// probing=false lets the recovered tenant re-probe.
+type ckptTenant struct {
+	ID       string `json:"id"`
+	Cls      int    `json:"cls"`
+	Other    bool   `json:"other,omitempty"` // the shared overflow bucket
+	Admitted int64  `json:"admitted"`
+	Rejected int64  `json:"rejected"`
+	Mapped   int64  `json:"mapped"`
+	Shed     int64  `json:"shed"`
+	ShedInf  int64  `json:"shedInfeasible"`
+	TimedOut int64  `json:"timedOut"`
+	OnTime   int64  `json:"onTime"`
+	Late     int64  `json:"late"`
+	Failed   int64  `json:"failed"`
+	Quars    int64  `json:"quarantines"`
+
+	WinBits   uint64  `json:"winBits,omitempty"`
+	WinPos    int     `json:"winPos,omitempty"`
+	WinN      int     `json:"winN,omitempty"`
+	WinBad    int     `json:"winBad,omitempty"`
+	QuarUntil float64 `json:"quarUntil,omitempty"`
+
+	Tokens     float64 `json:"tokens"`
+	LastRefill float64 `json:"lastRefill"`
+}
+
 // checkpoint is the eccheck/v1 document.
 type checkpoint struct {
 	Format      string `json:"format"`
@@ -129,6 +170,10 @@ type checkpoint struct {
 	Breakers     []ckptBreaker `json:"breakers,omitempty"`
 	BreakerOpens int           `json:"breakerTrips"`
 
+	// Tenants is the multi-tenant slice of the snapshot; absent for
+	// single-tenant serving, so pre-tenancy checkpoints load unchanged.
+	Tenants []ckptTenant `json:"tenants,omitempty"`
+
 	Halted bool `json:"halted"`
 
 	// Fault-process schedule: absolute next firing per stochastic source
@@ -147,8 +192,9 @@ type checkpoint struct {
 
 // snapshotCheckpoint captures the engine's state. Runs on the engine
 // goroutine (or pre-Start during recovery); cut is the WAL record count the
-// snapshot covers and rejects the reject-record count at that cut.
-func (e *Engine) snapshotCheckpoint(cut, rejects uint64) *checkpoint {
+// snapshot covers, rejects the reject-record count at that cut, and
+// tnRejects the per-tenant slice of those reject records.
+func (e *Engine) snapshotCheckpoint(cut, rejects uint64, tnRejects map[string]uint64) *checkpoint {
 	ck := &checkpoint{
 		Format:      ckptFormat,
 		ModelHash:   e.model.Hash(),
@@ -220,7 +266,65 @@ func (e *Engine) snapshotCheckpoint(cut, rejects uint64) *checkpoint {
 		}
 		ck.BreakerOpens = e.brk.opens
 	}
+	ck.Tenants = e.snapshotTenants(tnRejects)
 	return ck
+}
+
+// snapshotTenants serializes every tracked tenant (plus the overflow bucket
+// when it saw traffic). The per-tenant reject base folds in tnRejects — ids
+// past the cardinality cap are not in the tenant table and coalesce into
+// the overflow row, mirroring where their live counters went.
+func (e *Engine) snapshotTenants(tnRejects map[string]uint64) []ckptTenant {
+	states := e.tenants.states()
+	if len(states) == 0 {
+		return nil
+	}
+	tracked := make(map[string]bool, len(states))
+	for _, ts := range states {
+		if ts != e.tenants.other {
+			tracked[ts.id] = true
+		}
+	}
+	var overflowRejects int64
+	for id, n := range tnRejects {
+		if !tracked[id] {
+			overflowRejects += int64(n)
+		}
+	}
+	out := make([]ckptTenant, 0, len(states))
+	for _, ts := range states {
+		row := ckptTenant{
+			ID:       ts.id,
+			Cls:      int(ts.class),
+			Other:    ts == e.tenants.other,
+			Admitted: ts.mapped.Load() + ts.shed.Load() + ts.timedout.Load(),
+			Rejected: ts.rejectedBase,
+			Mapped:   ts.mapped.Load(),
+			Shed:     ts.shed.Load(),
+			ShedInf:  ts.shedInfeasible.Load(),
+			TimedOut: ts.timedout.Load(),
+			OnTime:   ts.onTime.Load(),
+			Late:     ts.late.Load(),
+			Failed:   ts.failed.Load(),
+			Quars:    ts.quarantines.Load(),
+
+			WinBits:   ts.winBits,
+			WinPos:    ts.winPos,
+			WinN:      ts.winN,
+			WinBad:    ts.winBad,
+			QuarUntil: math.Float64frombits(ts.quarUntil.Load()),
+		}
+		if ts == e.tenants.other {
+			row.Rejected += overflowRejects
+		} else {
+			row.Rejected += int64(tnRejects[ts.id])
+		}
+		ts.mu.Lock()
+		row.Tokens, row.LastRefill = ts.tokens, ts.lastRefill
+		ts.mu.Unlock()
+		out = append(out, row)
+	}
+	return out
 }
 
 // sortRequeues orders slots ascending for a deterministic document.

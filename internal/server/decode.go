@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"repro/internal/workload"
 )
 
 // TaskRequest is the decoded body of POST /v1/tasks. Only Type is
@@ -30,6 +32,23 @@ type TaskRequest struct {
 	// U, when set, pins the task's execution quantile in (0,1) — replay
 	// and test hook; defaults to a draw from the server's seeded stream.
 	U *float64 `json:"u,omitempty"`
+	// Tenant identifies the submitting tenant for multi-tenant admission
+	// control (quotas, weighted shedding, abuse quarantine). Empty opts out
+	// of tenancy entirely — the pre-tenancy behavior, bit for bit.
+	Tenant string `json:"tenant,omitempty"`
+	// SLO names the tenant's class ("gold"/"silver"/"bronze"); requires
+	// Tenant. Absent defaults to bronze.
+	SLO *string `json:"slo,omitempty"`
+}
+
+// Class returns the request's parsed SLO class (bronze when absent; the
+// request must have passed Validate).
+func (req *TaskRequest) Class() workload.SLOClass {
+	if req.SLO == nil {
+		return workload.SLOBronze
+	}
+	c, _ := workload.ParseSLOClass(*req.SLO)
+	return c
 }
 
 // maxTaskBody bounds the request body: a valid submission is a handful of
@@ -82,6 +101,19 @@ func (req *TaskRequest) Validate(types int) error {
 	}
 	if req.U != nil && !(*req.U > 0 && *req.U < 1) {
 		return fmt.Errorf("server: u %v outside (0,1)", *req.U)
+	}
+	if req.Tenant != "" {
+		if err := workload.ValidTenantID(req.Tenant); err != nil {
+			return fmt.Errorf("server: %v", err)
+		}
+	}
+	if req.SLO != nil {
+		if req.Tenant == "" {
+			return errors.New("server: slo requires a tenant id")
+		}
+		if _, err := workload.ParseSLOClass(*req.SLO); err != nil {
+			return fmt.Errorf("server: %v", err)
+		}
 	}
 	return nil
 }

@@ -220,6 +220,12 @@ type Config struct {
 	// CheckpointEvery is the wall-clock period between automatic
 	// checkpoints; 0 disables the timer (CheckpointNow still works).
 	CheckpointEvery time.Duration
+	// Tenants tunes multi-tenant admission control: per-tenant token-bucket
+	// rate limits, bounded queue shares, and the abuse detector. nil runs
+	// tenancy with pure defaults — tagged requests are still tracked,
+	// class-weighted brownout shedding and abuse quarantine still apply, but
+	// no tenant has a quota. Untagged requests bypass tenancy entirely.
+	Tenants *TenantConfig
 }
 
 // shedObserver is implemented by observers (trace.EventLog) that want
@@ -233,6 +239,8 @@ type pending struct {
 	req    TaskRequest
 	wallAt time.Time
 	resp   chan Decision // buffered(1); the engine always answers exactly once
+	ts     *tenantState  // queue-share slot to release on decision (nil untagged)
+	probe  bool          // this request is a half-open quarantine probe
 }
 
 // queued is one task occupying a core.
@@ -319,6 +327,8 @@ type Engine struct {
 	permanentRng *randx.Stream
 	targetRng    *randx.Stream
 	quantRn      *randx.Stream
+
+	tenants *tenancy
 
 	cores  []cluster.CoreID
 	queues [][]queued
@@ -533,6 +543,11 @@ func Prepare(cfg Config) (*Engine, error) {
 			return nil, errors.New("server: brownout requires a finite energy budget")
 		}
 	}
+	if cfg.Tenants != nil {
+		if err := cfg.Tenants.validate(); err != nil {
+			return nil, err
+		}
+	}
 	faultsOn := cfg.Faults.Enabled()
 	if faultsOn {
 		if err := cfg.Faults.Validate(cfg.Model.Cluster.TotalCores(), cfg.Model.Cluster.N()); err != nil {
@@ -587,6 +602,7 @@ func Prepare(cfg Config) (*Engine, error) {
 		e.alive[i] = true
 	}
 	e.minEET = bestCaseEET(cfg.Model)
+	e.tenants = newTenancy(cfg.Tenants, cfg.QueueCap, cfg.Model.TAvg(), cfg.Metrics)
 	e.idleWindow = math.Inf(1)
 	if !math.IsInf(budget, 1) && meter.Rate() > 0 {
 		e.idleWindow = budget / meter.Rate()
@@ -768,35 +784,63 @@ func (e *Engine) Submit(req TaskRequest) (Decision, error) {
 		e.met.rejectedRecovering.Inc()
 		return Decision{}, &ErrRejected{Reason: RejectRecovering, RetryAfter: time.Second}
 	}
-	if e.draining.Load() {
+	var ts *tenantState
+	if req.Tenant != "" {
+		ts = e.tenants.state(req.Tenant)
+	}
+	reject := func(rej *ErrRejected, met *metrics.Counter) (Decision, error) {
 		e.st.rejected.Add(1)
-		e.met.rejectedDraining.Inc()
-		e.walReject(RejectDraining)
-		return Decision{}, &ErrRejected{Reason: RejectDraining}
+		met.Inc()
+		if ts != nil {
+			ts.rejected.Add(1)
+			ts.rejectedC.Inc()
+		}
+		e.walReject(rej.Reason, req.Tenant)
+		return Decision{}, rej
+	}
+	if e.draining.Load() {
+		return reject(&ErrRejected{Reason: RejectDraining}, e.met.rejectedDraining)
 	}
 	if e.halted.Load() {
-		e.st.rejected.Add(1)
-		e.met.rejectedHalted.Inc()
-		e.walReject(ShedHalted)
-		return Decision{}, &ErrRejected{Reason: ShedHalted}
+		return reject(&ErrRejected{Reason: ShedHalted}, e.met.rejectedHalted)
 	}
 	if e.shedGate.Load() {
-		e.st.rejected.Add(1)
-		e.met.rejectedBrownout.Inc()
-		e.walReject(ShedBrownout)
-		return Decision{}, &ErrRejected{Reason: ShedBrownout, RetryAfter: 5 * time.Second}
+		return reject(&ErrRejected{Reason: ShedBrownout, RetryAfter: 5 * time.Second}, e.met.rejectedBrownout)
 	}
-	p := &pending{req: req, wallAt: time.Now(), resp: make(chan Decision, 1)}
+	probe := false
+	if ts != nil {
+		ts.setClass(req.Class())
+		// Weighted brownout gate: at stage s, classes ranked below s are
+		// turned away before they can occupy a queue slot — bronze at
+		// stage >= 1, silver at >= 2, gold at >= 3. Untagged traffic is
+		// untouched here; only the legacy ShedAdmission gate above sees it.
+		if stg := int(e.stage.Load()); stg > int(req.Class()) {
+			return reject(&ErrRejected{Reason: ShedBrownout, RetryAfter: 5 * time.Second}, e.met.rejectedBrownout)
+		}
+		var rej *ErrRejected
+		probe, rej = ts.admitGate(e.now(), e.cfg.TimeScale)
+		if rej != nil {
+			return reject(rej, e.met.rejectedTenantBy(rej.Reason))
+		}
+	}
+	p := &pending{req: req, wallAt: time.Now(), resp: make(chan Decision, 1), ts: ts, probe: probe}
 	select {
 	case e.admit <- p:
 	default:
-		e.st.rejected.Add(1)
-		e.met.rejectedQueueFull.Inc()
-		e.walReject(RejectQueueFull)
-		return Decision{}, &ErrRejected{Reason: RejectQueueFull, RetryAfter: time.Second}
+		if ts != nil {
+			ts.release()
+			if probe {
+				ts.probing.Store(false)
+			}
+		}
+		return reject(&ErrRejected{Reason: RejectQueueFull, RetryAfter: time.Second}, e.met.rejectedQueueFull)
 	}
 	e.st.admitted.Add(1)
 	e.met.admitted.Inc()
+	if ts != nil {
+		ts.admitted.Add(1)
+		ts.admittedC.Inc()
+	}
 	e.met.queueHigh.Observe(float64(len(e.admit)))
 	d := <-p.resp
 	return d, nil
@@ -967,8 +1011,8 @@ func (e *Engine) writeCheckpointNow() error {
 	e.walAppend(&walRecord{K: wkEnergy, T: e.meter.Now()})
 	e.lastEnergyEN = e.meter.Consumed()
 	e.commit()
-	cut, rejects := e.wal.cut()
-	if err := writeCheckpoint(e.cfg.CheckpointPath, e.snapshotCheckpoint(cut, rejects)); err != nil {
+	cut, rejects, tnRejects := e.wal.cut()
+	if err := writeCheckpoint(e.cfg.CheckpointPath, e.snapshotCheckpoint(cut, rejects, tnRejects)); err != nil {
 		return err
 	}
 	e.lastCkpt = time.Now()
@@ -1106,6 +1150,9 @@ func (e *Engine) push(ev event) {
 // goes to the WAL before any outcome, so a crash that loses the outcome
 // still lets recovery re-decide the task from its admit record alone.
 func (e *Engine) decide(p *pending) {
+	if p.ts != nil {
+		p.ts.release() // the request's queue-share slot frees as it leaves the queue
+	}
 	wait := time.Since(p.wallAt)
 	e.met.queueWait.Observe(wait.Seconds())
 	now := e.now()
@@ -1122,13 +1169,22 @@ func (e *Engine) decide(p *pending) {
 // recovery re-decides (which skip the wall-clock request timeout — the
 // request was already durably admitted; there is no client left to answer).
 func (e *Engine) decideTask(now float64, task workload.Task, maxEnergy *float64, wait time.Duration, timeoutEligible bool) Decision {
+	d := e.admitPipeline(now, task, maxEnergy, wait, timeoutEligible)
+	e.tenantOutcome(now, task, d)
+	return d
+}
+
+// admitPipeline is the decision pipeline proper; decideTask wraps it with
+// the per-tenant accounting and abuse-detector feed so live decisions and
+// recovery re-decides drive tenancy identically.
+func (e *Engine) admitPipeline(now float64, task workload.Task, maxEnergy *float64, wait time.Duration, timeoutEligible bool) Decision {
 	if e.halted.Load() {
 		return e.shed(now, task, ShedHalted, wait)
 	}
 	if timeoutEligible && e.cfg.RequestTimeout > 0 && wait > e.cfg.RequestTimeout {
 		e.st.timedout.Add(1)
 		e.met.timedout.Inc()
-		e.walAppend(&walRecord{K: wkTimeout, T: now, ID: task.ID})
+		e.walAppend(&walRecord{K: wkTimeout, T: now, ID: task.ID, TN: task.Tenant})
 		if e.shedObs != nil {
 			e.shedObs.TaskShed(now, task, "request-timeout")
 		}
@@ -1136,6 +1192,14 @@ func (e *Engine) decideTask(now float64, task workload.Task, maxEnergy *float64,
 			Deadline: task.Deadline, QueueWait: wait}
 	}
 	if cur := e.currentStage(); cur != nil && cur.ShedAdmission {
+		return e.shed(now, task, ShedBrownout, wait)
+	}
+	// Weighted shedding: deeper brownout stages drop lower SLO classes
+	// first — bronze at stage >= 1, silver at >= 2, gold at >= 3. Purely
+	// additive on top of the legacy uniform ShedAdmission gate, and a pure
+	// function of restored engine state (stage) plus the task's own class,
+	// so recovery re-decides reproduce it bit-identically.
+	if task.Tenant != "" && int(e.stage.Load()) > int(task.Class) {
 		return e.shed(now, task, ShedBrownout, wait)
 	}
 	if !e.cfg.NoShedInfeasible && task.Deadline < now+e.minEET[task.Type] {
@@ -1181,17 +1245,27 @@ func (e *Engine) buildTask(now float64, req TaskRequest) workload.Task {
 	if req.U != nil {
 		u = *req.U
 	}
+	cls := req.Class()
 	deadline := now + e.model.TypeMeanExec(req.Type) + e.model.Params.LoadFactorMult*e.model.TAvg()
-	if req.Deadline != nil {
+	switch {
+	case req.Deadline != nil:
 		deadline = *req.Deadline
-	} else if req.Slack != nil {
+	case req.Slack != nil:
 		deadline = now + *req.Slack
+	case req.SLO != nil:
+		// Class-tiered deadline tightness, only when the request opted in by
+		// naming its class and left the deadline to the server: gold buys
+		// tighter deadlines, bronze gets looser ones. Untagged requests keep
+		// the paper's formula bit-for-bit.
+		deadline = now + e.model.TypeMeanExec(req.Type) +
+			e.model.Params.LoadFactorMult*e.model.TAvg()*cls.SlackMult()
 	}
 	priority := 1.0
 	if req.Priority != nil {
 		priority = *req.Priority
 	}
-	return workload.Task{ID: id, Type: req.Type, Arrival: now, Deadline: deadline, U: u, Priority: priority}
+	return workload.Task{ID: id, Type: req.Type, Arrival: now, Deadline: deadline, U: u,
+		Priority: priority, Tenant: req.Tenant, Class: cls}
 }
 
 // currentStage returns the active brownout stage's measures (nil nominal).
@@ -1207,7 +1281,7 @@ func (e *Engine) shed(now float64, task workload.Task, reason string, wait time.
 	e.st.shed.Add(1)
 	e.st.shedByRsn[shedIdx(reason)].Add(1)
 	e.met.shedBy(reason).Inc()
-	e.walShed(now, task.ID, reason)
+	e.walShed(now, task.ID, reason, task.Tenant)
 	if e.shedObs != nil {
 		e.shedObs.TaskShed(now, task, reason)
 	} else {
@@ -1346,6 +1420,7 @@ func (e *Engine) complete(now float64, coreIdx int) {
 		e.st.late.Add(1)
 		e.met.completedLate.Inc()
 	}
+	e.tenantCompleted(head.task, onTime)
 	e.walAppend(&walRecord{K: wkFinish, T: now, ID: head.task.ID, Core: coreIdx, OK: onTime})
 	if e.brk != nil {
 		snap := e.brkSnap()
@@ -1364,6 +1439,7 @@ func (e *Engine) complete(now float64, coreIdx int) {
 func (e *Engine) fail(task workload.Task, reason string) {
 	e.st.failed.Add(1)
 	e.met.failed.Inc()
+	e.tenantFailed(task)
 	if e.shedObs != nil {
 		e.shedObs.TaskShed(math.Float64frombits(e.virtualAt.Load()), task, reason)
 	}
@@ -1374,6 +1450,10 @@ func (e *Engine) abortPending() {
 	for {
 		select {
 		case p := <-e.admit:
+			if p.ts != nil {
+				p.ts.release()
+				p.ts.timedout.Add(1)
+			}
 			e.st.timedout.Add(1)
 			e.met.timedout.Inc()
 			p.resp <- Decision{Status: StatusTimedOut}

@@ -75,7 +75,8 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &rej) {
 			code := http.StatusServiceUnavailable
 			switch rej.Reason {
-			case RejectQueueFull, ShedBrownout:
+			case RejectQueueFull, ShedBrownout,
+				RejectTenantQuarantined, RejectTenantRateLimit, RejectTenantQueueShare:
 				code = http.StatusTooManyRequests
 			}
 			if rej.RetryAfter > 0 {
@@ -127,14 +128,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.statsDoc())
 }
 
-// statsDoc augments the engine snapshot with queue occupancy.
+// statsDoc augments the engine snapshot with queue occupancy and the
+// per-tenant accounting (absent for single-tenant traffic).
 func (s *Server) statsDoc() map[string]any {
-	return map[string]any{
+	doc := map[string]any{
 		"stats":      s.eng.Stats(),
 		"queueDepth": s.eng.QueueDepth(),
 		"queueCap":   s.eng.QueueCap(),
 		"policy":     s.eng.cfg.Mapper.Name(),
 	}
+	if tr := s.eng.TenantReports(); len(tr) > 0 {
+		doc["tenants"] = tr
+	}
+	return doc
 }
 
 // ModelInfo is the GET /v1/model document: everything a client or load
@@ -181,7 +187,7 @@ func (e *Engine) recordBadRequest() {
 	e.st.rejected.Add(1)
 	e.met.requests.Inc()
 	e.met.rejectedBadReq.Inc()
-	e.walReject("bad-request")
+	e.walReject("bad-request", "")
 }
 
 // FinalReport is the document ecserve flushes after a graceful drain: the
@@ -194,9 +200,12 @@ type FinalReport struct {
 	Stats         Stats   `json:"stats"`
 	// Orphaned counts admitted tasks that never reached a terminal state;
 	// a clean drain reports 0.
-	Orphaned int64             `json:"orphaned"`
-	Balanced bool              `json:"balanced"`
-	Metrics  *metrics.Snapshot `json:"metrics,omitempty"`
+	Orphaned int64 `json:"orphaned"`
+	Balanced bool  `json:"balanced"`
+	// Tenants is the per-tenant accounting, sorted by id (absent for
+	// single-tenant traffic).
+	Tenants []TenantReport    `json:"tenants,omitempty"`
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // FinalReport assembles the post-drain document. Call it after Drain (or
@@ -212,6 +221,7 @@ func (e *Engine) FinalReport() *FinalReport {
 		Stats:         st,
 		Orphaned:      orphaned,
 		Balanced:      st.Balanced() && st.InFlight == 0,
+		Tenants:       e.TenantReports(),
 	}
 	if e.cfg.Metrics != nil {
 		r.Metrics = e.cfg.Metrics.Snapshot()
@@ -237,6 +247,13 @@ func (r *FinalReport) Render() string {
 		s += fmt.Sprintf(" / budget %.4g (%.1f%%)", st.EnergyBudget, 100*st.EnergyConsumed/st.EnergyBudget)
 	}
 	s += fmt.Sprintf("\n  orphaned %d  balanced %v\n", r.Orphaned, r.Balanced)
+	// One stable key=value line per tenant: the adversarial soak harness
+	// greps these to prove gold SLOs survived a bronze attack.
+	for _, t := range r.Tenants {
+		s += fmt.Sprintf("  tenant %s: class=%s admitted=%d rejected=%d mapped=%d shed=%d infeasible=%d timedout=%d ontime=%d late=%d failed=%d quarantines=%d\n",
+			t.ID, t.Class, t.Admitted, t.Rejected, t.Mapped, t.Shed, t.ShedInfeasible,
+			t.TimedOut, t.OnTime, t.Late, t.Failed, t.Quarantines)
+	}
 	return s
 }
 

@@ -15,6 +15,7 @@ type serverMetrics struct {
 	rejectedHalted     *metrics.Counter
 	rejectedBadReq     *metrics.Counter
 	rejectedRecovering *metrics.Counter
+	rejectedTenant     map[string]*metrics.Counter
 
 	mapped        *metrics.Counter
 	shed          map[string]*metrics.Counter
@@ -81,7 +82,19 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	for _, reason := range []string{ShedFiltered, ShedInfeasible, ShedBrownout, ShedHalted} {
 		m.shed[reason] = r.Counter("server_shed_total", metrics.L("reason", reason))
 	}
+	m.rejectedTenant = map[string]*metrics.Counter{}
+	for _, reason := range []string{RejectTenantQuarantined, RejectTenantRateLimit, RejectTenantQueueShare} {
+		m.rejectedTenant[reason] = r.Counter("server_rejected_total", metrics.L("reason", reason))
+	}
 	return m
+}
+
+// rejectedTenantBy resolves the labeled tenant-rejection counter.
+func (m *serverMetrics) rejectedTenantBy(reason string) *metrics.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.rejectedTenant[reason]
 }
 
 // shedBy resolves the labeled shed counter (nil when the reason is unknown,

@@ -108,9 +108,12 @@ func dropEntry(s []limboEntry, id int) []limboEntry {
 	return s
 }
 
-// recTask materializes the task identity a record carries.
+// recTask materializes the task identity a record carries. TN/Cls decode to
+// their zero values on pre-tenancy records, so old incarnations rebuild
+// untagged tasks unchanged.
 func recTask(r *walRecord) workload.Task {
-	return workload.Task{ID: r.ID, Type: r.Ty, Arrival: r.Arr, Deadline: r.DL, U: r.U, Priority: r.Pri}
+	return workload.Task{ID: r.ID, Type: r.Ty, Arrival: r.Arr, Deadline: r.DL, U: r.U, Priority: r.Pri,
+		Tenant: r.TN, Class: workload.SLOClass(r.Cls)}
 }
 
 // setHexState installs a recorded RNG stream state.
@@ -302,8 +305,8 @@ func (e *Engine) RecoverFrom() (*RecoveryReport, error) {
 
 	e.commit()
 	if e.cfg.CheckpointPath != "" && e.walOn() {
-		cut2, rej2 := e.wal.cut()
-		if err := writeCheckpoint(e.cfg.CheckpointPath, e.snapshotCheckpoint(cut2, rej2)); err != nil {
+		cut2, rej2, tnRej2 := e.wal.cut()
+		if err := writeCheckpoint(e.cfg.CheckpointPath, e.snapshotCheckpoint(cut2, rej2, tnRej2)); err != nil {
 			return nil, err
 		}
 		e.met.checkpoints.Inc()
@@ -396,6 +399,34 @@ func (e *Engine) restoreCheckpoint(ck *checkpoint) error {
 		}
 		e.brk.opens = ck.BreakerOpens
 	}
+	for i := range ck.Tenants {
+		row := &ck.Tenants[i]
+		var ts *tenantState
+		if row.Other {
+			ts = e.tenants.other
+		} else if ts = e.tenants.state(row.ID); ts != nil {
+			ts.setClass(workload.SLOClass(row.Cls))
+		}
+		if ts == nil {
+			continue
+		}
+		ts.rejectedBase = row.Rejected
+		ts.admitted.Store(row.Admitted)
+		ts.rejected.Store(row.Rejected)
+		ts.mapped.Store(row.Mapped)
+		ts.shed.Store(row.Shed)
+		ts.shedInfeasible.Store(row.ShedInf)
+		ts.timedout.Store(row.TimedOut)
+		ts.onTime.Store(row.OnTime)
+		ts.late.Store(row.Late)
+		ts.failed.Store(row.Failed)
+		ts.quarantines.Store(row.Quars)
+		ts.winBits, ts.winPos, ts.winN, ts.winBad = row.WinBits, row.WinPos, row.WinN, row.WinBad
+		ts.quarUntil.Store(math.Float64bits(row.QuarUntil))
+		ts.mu.Lock()
+		ts.tokens, ts.lastRefill = row.Tokens, row.LastRefill
+		ts.mu.Unlock()
+	}
 	e.halted.Store(ck.Halted)
 	e.nextTransient = ck.NextTransient
 	e.nextPermanent = ck.NextPermanent
@@ -449,6 +480,16 @@ func (e *Engine) apply(r *walRecord, rs *replayState) error {
 	case wkReject:
 		rs.rejects++
 		e.st.rejected.Add(1)
+		if r.TN != "" {
+			if ts := e.tenants.lookup(r.TN); ts != nil {
+				// rejectedBase too: replayed suffix rejects are durable but
+				// absent from the new incarnation's ledger, so the next
+				// snapshot's base must carry them — the per-tenant mirror of
+				// e.rejectedBase = checkpoint + suffix.
+				ts.rejected.Add(1)
+				ts.rejectedBase++
+			}
+		}
 	case wkAdmit:
 		if err := setHexState(e.quantRn, r.QS); err != nil {
 			return err
@@ -459,6 +500,12 @@ func (e *Engine) apply(r *walRecord, rs *replayState) error {
 		e.decided++
 		rs.admits++
 		rs.openAdmits = append(rs.openAdmits, openAdmit{task: recTask(r), me: r.ME, at: r.T})
+		if r.TN != "" {
+			if ts := e.tenants.lookup(r.TN); ts != nil {
+				ts.setClass(workload.SLOClass(r.Cls))
+				ts.admitted.Add(1)
+			}
+		}
 	case wkShed:
 		if err := setHexState(e.rand, r.DS); err != nil {
 			return err
@@ -466,9 +513,27 @@ func (e *Engine) apply(r *walRecord, rs *replayState) error {
 		e.st.shed.Add(1)
 		e.st.shedByRsn[shedIdx(r.Rsn)].Add(1)
 		rs.closeAdmit(r.ID)
+		// Per-tenant effects mirror tenantOutcome exactly, abuse detector
+		// included: the quarantine automaton is a deterministic function of
+		// the decision stream, and replay drives it through the same code.
+		if r.TN != "" {
+			if ts := e.tenants.lookup(r.TN); ts != nil {
+				ts.shed.Add(1)
+				if r.Rsn == ShedInfeasible {
+					ts.shedInfeasible.Add(1)
+				}
+				e.feedOutcome(ts, r.T, r.Rsn == ShedInfeasible)
+			}
+		}
 	case wkTimeout:
 		e.st.timedout.Add(1)
 		rs.closeAdmit(r.ID)
+		if r.TN != "" {
+			if ts := e.tenants.lookup(r.TN); ts != nil {
+				ts.timedout.Add(1)
+				e.feedOutcome(ts, r.T, false)
+			}
+		}
 	case wkMap:
 		if err := setHexState(e.rand, r.DS); err != nil {
 			return err
@@ -483,6 +548,12 @@ func (e *Engine) apply(r *walRecord, rs *replayState) error {
 		if r.New {
 			e.st.mapped.Add(1)
 			rs.closeAdmit(r.ID)
+			if r.TN != "" {
+				if ts := e.tenants.lookup(r.TN); ts != nil {
+					ts.mapped.Add(1)
+					e.feedOutcome(ts, r.T, false)
+				}
+			}
 		} else {
 			rs.retries = dropEntry(rs.retries, r.ID)
 		}
@@ -498,6 +569,7 @@ func (e *Engine) apply(r *walRecord, rs *replayState) error {
 		if len(q) == 0 || q[0].task.ID != r.ID {
 			return fmt.Errorf("finish for task %d does not match core %d queue head", r.ID, r.Core)
 		}
+		e.tenantCompleted(q[0].task, r.OK)
 		e.queues[r.Core] = q[1:]
 		if r.OK {
 			e.st.onTime.Add(1)
@@ -527,6 +599,7 @@ func (e *Engine) apply(r *walRecord, rs *replayState) error {
 			return err
 		}
 		e.st.failed.Add(1)
+		rs.failTenant(e, r.ID)
 		rs.limbo = dropEntry(rs.limbo, r.ID)
 		rs.retries = dropEntry(rs.retries, r.ID)
 	case wkFault:
@@ -639,10 +712,32 @@ func (rs *replayState) strand(e *Engine, idx int, at float64) {
 	e.queues[idx] = nil
 }
 
-// clearInFlight mirrors the wholesale clears (halt, drain flush).
+// failTenant credits the per-tenant failure of a replayed fail record: the
+// fail record carries only the task id, but the full task identity lives in
+// the limbo/retry entry the record is about to drop.
+func (rs *replayState) failTenant(e *Engine, id int) {
+	for _, s := range [][]limboEntry{rs.limbo, rs.retries} {
+		for i := range s {
+			if s[i].task.ID == id {
+				e.tenantFailed(s[i].task)
+				return
+			}
+		}
+	}
+}
+
+// clearInFlight mirrors the wholesale clears (halt, drain flush), per-tenant
+// failure credits included — the live path fails each cleared task through
+// fail(), which feeds tenantFailed.
 func (rs *replayState) clearInFlight(e *Engine) {
 	for idx := range e.queues {
+		for _, q := range e.queues[idx] {
+			e.tenantFailed(q.task)
+		}
 		e.queues[idx] = nil
+	}
+	for _, r := range e.requeues {
+		e.tenantFailed(r.task)
 	}
 	e.requeues = make(map[int]requeueEntry)
 	rs.limbo = nil

@@ -1,0 +1,556 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Tenant rejection reasons (pre-admission, all answered 429 + Retry-After).
+const (
+	// RejectTenantQuarantined: the abuse detector has the tenant in
+	// quarantine (or half-open with the probe slot taken).
+	RejectTenantQuarantined = "tenant-quarantined"
+	// RejectTenantRateLimit: the tenant's token bucket is empty.
+	RejectTenantRateLimit = "tenant-rate-limit"
+	// RejectTenantQueueShare: the tenant's backlog already occupies its full
+	// share of the bounded admission queue.
+	RejectTenantQueueShare = "tenant-queue-share"
+)
+
+// TenantQuota is one tenant's server-side quota row.
+type TenantQuota struct {
+	// ID is the tenant's wire identity.
+	ID string
+	// Class is the tenant's SLO class (deadline tightness + shed weight).
+	Class workload.SLOClass
+	// Rate is the token-bucket refill in tokens per virtual time unit;
+	// 0 disables the bucket for this tenant.
+	Rate float64
+	// Burst is the bucket capacity in tokens; 0 defaults to 16.
+	Burst float64
+	// QueueShare bounds the fraction of the admission queue this tenant's
+	// backlog may occupy, in (0,1]; 0 means unlimited.
+	QueueShare float64
+}
+
+// TenantConfig arms multi-tenant admission control. The zero value of every
+// field picks a sane default, so &TenantConfig{} enables tenancy with
+// abuse detection and no quotas.
+type TenantConfig struct {
+	// Quotas lists the statically known tenants. Unknown tenants register
+	// dynamically (quota-less) up to MaxTenants; past the cap they coalesce
+	// into one shared "other" bucket with counters but no quota state.
+	Quotas []TenantQuota
+	// AbuseWindow is the per-tenant ring of recent admission outcomes the
+	// abuse detector inspects; in [1,64] (bit-packed), default 64.
+	AbuseWindow int
+	// AbuseMinSamples is how many outcomes the window must hold before the
+	// detector may trip; default 32.
+	AbuseMinSamples int
+	// AbuseThreshold trips quarantine when the fraction of
+	// infeasible-deadline sheds in the window reaches it; (0,1], default 0.75.
+	AbuseThreshold float64
+	// Quarantine is how long (virtual time units) a tripped tenant stays
+	// quarantined before the half-open probe; default 4·t_avg.
+	Quarantine float64
+	// MaxTenants caps tracked-tenant cardinality (state, metrics labels,
+	// report rows); default 64.
+	MaxTenants int
+}
+
+// QuotasFromSpec converts a parsed tenant-spec file into server quota rows:
+// the spec's rateLimit multiples of λ_eq become absolute token rates.
+func QuotasFromSpec(spec *workload.TenantSpec, eqRate float64) []TenantQuota {
+	out := make([]TenantQuota, 0, len(spec.Tenants))
+	for _, t := range spec.Tenants {
+		out = append(out, TenantQuota{
+			ID:         t.ID,
+			Class:      t.Class(),
+			Rate:       t.RateLimit * eqRate,
+			Burst:      t.Burst,
+			QueueShare: t.QueueShare,
+		})
+	}
+	return out
+}
+
+// validate checks a tenant configuration at Prepare time.
+func (c *TenantConfig) validate() error {
+	if c.AbuseWindow < 0 || c.AbuseWindow > 64 {
+		return fmt.Errorf("server: AbuseWindow %d outside [0,64]", c.AbuseWindow)
+	}
+	if c.AbuseMinSamples < 0 {
+		return fmt.Errorf("server: AbuseMinSamples %d must be >= 0", c.AbuseMinSamples)
+	}
+	if c.AbuseThreshold < 0 || c.AbuseThreshold > 1 || math.IsNaN(c.AbuseThreshold) {
+		return fmt.Errorf("server: AbuseThreshold %v outside [0,1]", c.AbuseThreshold)
+	}
+	if !(c.Quarantine >= 0) || math.IsInf(c.Quarantine, 0) {
+		return fmt.Errorf("server: Quarantine %v must be >= 0 and finite", c.Quarantine)
+	}
+	if c.MaxTenants < 0 {
+		return fmt.Errorf("server: MaxTenants %d must be >= 0", c.MaxTenants)
+	}
+	seen := make(map[string]bool, len(c.Quotas))
+	for _, q := range c.Quotas {
+		if err := workload.ValidTenantID(q.ID); err != nil {
+			return fmt.Errorf("server: tenant quota: %v", err)
+		}
+		if seen[q.ID] {
+			return fmt.Errorf("server: tenant quota: duplicate tenant id %q", q.ID)
+		}
+		seen[q.ID] = true
+		switch {
+		case !(q.Rate >= 0) || math.IsInf(q.Rate, 0):
+			return fmt.Errorf("server: tenant %q: rate %v must be >= 0 and finite", q.ID, q.Rate)
+		case !(q.Burst >= 0) || math.IsInf(q.Burst, 0):
+			return fmt.Errorf("server: tenant %q: burst %v must be >= 0 and finite", q.ID, q.Burst)
+		case !(q.QueueShare >= 0) || q.QueueShare > 1:
+			return fmt.Errorf("server: tenant %q: queueShare %v outside [0,1]", q.ID, q.QueueShare)
+		}
+	}
+	return nil
+}
+
+// tenantState is one tracked tenant. Quota gating runs on handler
+// goroutines (token bucket under mu, queue-share occupancy atomic,
+// quarantine state in atomics); the abuse window and its transitions are
+// engine-goroutine-only, fed from decision outcomes — live decisions and
+// WAL replay drive the same code, so recovery reconstructs the detector
+// deterministically.
+type tenantState struct {
+	id    string
+	class workload.SLOClass
+	// quarantinable is false only for the shared overflow bucket: punishing
+	// every uncounted tenant for one abuser would be collective punishment.
+	quarantinable bool
+
+	// Token bucket (handler goroutines; refilled on virtual time).
+	mu         sync.Mutex
+	rate       float64
+	burst      float64
+	tokens     float64
+	lastRefill float64
+
+	// Queue share: reserved slots in the bounded admission queue.
+	shareCap  int64 // 0 = unlimited
+	occupancy atomic.Int64
+
+	// Quarantine automaton (breaker-style): quarUntil == 0 is closed;
+	// vnow < quarUntil is open; vnow >= quarUntil > 0 is half-open — one
+	// probe passes (the probing CAS), and the probe's outcome either closes
+	// the quarantine or re-opens it for another period.
+	quarUntil   atomic.Uint64 // float bits; 0 = not quarantined
+	probing     atomic.Bool
+	quarantines atomic.Int64
+
+	// Abuse window: bit-packed ring of recent admission outcomes
+	// (1 = infeasible-deadline shed). Engine goroutine only.
+	winLen  int
+	winBits uint64
+	winPos  int
+	winN    int
+	winBad  int
+
+	// Accounting (atomics: written on engine or handler goroutines, read
+	// by Stats/reports). rejectedBase is the checkpoint-restored rejection
+	// count (set before Start, read at the next snapshot); the live rejected
+	// atomic includes it.
+	rejectedBase   int64
+	admitted       atomic.Int64
+	rejected       atomic.Int64
+	mapped         atomic.Int64
+	shed           atomic.Int64
+	shedInfeasible atomic.Int64
+	timedout       atomic.Int64
+	onTime         atomic.Int64
+	late           atomic.Int64
+	failed         atomic.Int64
+
+	// Labeled metrics (nil-safe).
+	admittedC, rejectedC, shedC, quarantinesC *metrics.Counter
+}
+
+// tenancy is the engine's tenant table plus the detector tuning.
+type tenancy struct {
+	mu    sync.RWMutex
+	byID  map[string]*tenantState
+	other *tenantState
+
+	max        int
+	window     int
+	minSamples int
+	threshold  float64
+	quarFor    float64
+	queueCap   int
+	reg        *metrics.Registry
+}
+
+// newTenancy builds the tenant table. cfg may be nil: tenancy then runs
+// with pure defaults (no quotas, abuse detection armed), so a tagged
+// request is always tracked even on an unconfigured server.
+func newTenancy(cfg *TenantConfig, queueCap int, tAvg float64, reg *metrics.Registry) *tenancy {
+	if cfg == nil {
+		cfg = &TenantConfig{}
+	}
+	tn := &tenancy{
+		byID:       make(map[string]*tenantState),
+		max:        cfg.MaxTenants,
+		window:     cfg.AbuseWindow,
+		minSamples: cfg.AbuseMinSamples,
+		threshold:  cfg.AbuseThreshold,
+		quarFor:    cfg.Quarantine,
+		queueCap:   queueCap,
+		reg:        reg,
+	}
+	if tn.max == 0 {
+		tn.max = 64
+	}
+	if tn.window == 0 {
+		tn.window = 64
+	}
+	if tn.minSamples == 0 {
+		tn.minSamples = 32
+	}
+	if tn.threshold == 0 {
+		tn.threshold = 0.75
+	}
+	if tn.quarFor == 0 {
+		tn.quarFor = 4 * tAvg
+	}
+	for _, q := range cfg.Quotas {
+		tn.byID[q.ID] = tn.newState(q)
+	}
+	tn.other = &tenantState{id: "other", winLen: tn.window}
+	return tn
+}
+
+// newState materializes one tracked tenant's state.
+func (tn *tenancy) newState(q TenantQuota) *tenantState {
+	burst := q.Burst
+	if burst == 0 {
+		burst = 16
+	}
+	ts := &tenantState{
+		id:            q.ID,
+		class:         q.Class,
+		quarantinable: true,
+		rate:          q.Rate,
+		burst:         burst,
+		tokens:        burst,
+		winLen:        tn.window,
+	}
+	if q.QueueShare > 0 {
+		ts.shareCap = int64(math.Ceil(q.QueueShare * float64(tn.queueCap)))
+		if ts.shareCap < 1 {
+			ts.shareCap = 1
+		}
+	}
+	if tn.reg != nil {
+		ts.admittedC = tn.reg.Counter("server_tenant_admitted_total", metrics.L("tenant", q.ID))
+		ts.rejectedC = tn.reg.Counter("server_tenant_rejected_total", metrics.L("tenant", q.ID))
+		ts.shedC = tn.reg.Counter("server_tenant_shed_total", metrics.L("tenant", q.ID))
+		ts.quarantinesC = tn.reg.Counter("server_tenant_quarantines_total", metrics.L("tenant", q.ID))
+	}
+	return ts
+}
+
+// state returns (registering if needed) the tracked state for a tenant id.
+// Past the cardinality cap the shared overflow bucket is returned: counters
+// still move, but no quota or quarantine state is kept — the cap bounds
+// memory and metric cardinality, not correctness.
+func (tn *tenancy) state(id string) *tenantState {
+	if id == "" {
+		return nil
+	}
+	tn.mu.RLock()
+	ts := tn.byID[id]
+	tn.mu.RUnlock()
+	if ts != nil {
+		return ts
+	}
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	if ts := tn.byID[id]; ts != nil {
+		return ts
+	}
+	if len(tn.byID) >= tn.max {
+		return tn.other
+	}
+	// Class for a dynamically registered tenant rides in on its first
+	// request; the state's class is refreshed on admission (setClass).
+	ts = tn.newState(TenantQuota{ID: id})
+	tn.byID[id] = ts
+	return ts
+}
+
+// lookup is the read-only variant (decision outcomes, replay): it registers
+// too, because replayed WAL records may name tenants the restored
+// checkpoint has not seen.
+func (tn *tenancy) lookup(id string) *tenantState { return tn.state(id) }
+
+// setClass refreshes a dynamically registered tenant's class from its
+// latest request (statically configured tenants keep their quota row class).
+func (ts *tenantState) setClass(c workload.SLOClass) {
+	if ts.class != c {
+		ts.class = c
+	}
+}
+
+// states snapshots the tracked tenants sorted by id, the overflow bucket
+// last (only when it saw traffic).
+func (tn *tenancy) states() []*tenantState {
+	tn.mu.RLock()
+	out := make([]*tenantState, 0, len(tn.byID)+1)
+	for _, ts := range tn.byID {
+		out = append(out, ts)
+	}
+	tn.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	if tn.other.admitted.Load() > 0 || tn.other.rejected.Load() > 0 {
+		out = append(out, tn.other)
+	}
+	return out
+}
+
+// vtWall converts a virtual-time duration to wall time at the engine's
+// time scale, clamped to at least one second so Retry-After stays useful.
+func vtWall(vt, scale float64) time.Duration {
+	d := time.Duration(vt / scale * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// admitGate runs the handler-side tenant gates in order — quarantine,
+// token bucket, queue share — and reserves one queue-share slot on success.
+// probe reports that this request is the half-open quarantine probe (it
+// bypasses the bucket and the share cap: it is the single request the
+// detector readmits to test the tenant).
+func (ts *tenantState) admitGate(vnow, scale float64) (probe bool, rej *ErrRejected) {
+	if qu := math.Float64frombits(ts.quarUntil.Load()); qu > 0 {
+		if vnow < qu {
+			return false, &ErrRejected{Reason: RejectTenantQuarantined, RetryAfter: vtWall(qu-vnow, scale)}
+		}
+		// Half-open: exactly one probe through; everyone else keeps waiting.
+		if !ts.probing.CompareAndSwap(false, true) {
+			return false, &ErrRejected{Reason: RejectTenantQuarantined, RetryAfter: time.Second}
+		}
+		ts.occupancy.Add(1)
+		return true, nil
+	}
+	if ts.rate > 0 {
+		ts.mu.Lock()
+		if vnow > ts.lastRefill {
+			ts.tokens = math.Min(ts.burst, ts.tokens+(vnow-ts.lastRefill)*ts.rate)
+			ts.lastRefill = vnow
+		}
+		ok := ts.tokens >= 1
+		if ok {
+			ts.tokens--
+		}
+		short := 1 - ts.tokens
+		ts.mu.Unlock()
+		if !ok {
+			return false, &ErrRejected{Reason: RejectTenantRateLimit, RetryAfter: vtWall(short/ts.rate, scale)}
+		}
+	}
+	if ts.shareCap > 0 && ts.occupancy.Add(1) > ts.shareCap {
+		ts.occupancy.Add(-1)
+		return false, &ErrRejected{Reason: RejectTenantQueueShare, RetryAfter: time.Second}
+	}
+	if ts.shareCap == 0 {
+		ts.occupancy.Add(1)
+	}
+	return false, nil
+}
+
+// release returns one reserved queue-share slot (the request left the
+// admission queue, by decision or abort).
+func (ts *tenantState) release() { ts.occupancy.Add(-1) }
+
+// quarantine opens (or re-opens) the tenant's quarantine at now.
+func (ts *tenantState) quarantine(now, quarFor float64) {
+	ts.quarUntil.Store(math.Float64bits(now + quarFor))
+	ts.quarantines.Add(1)
+	ts.quarantinesC.Inc()
+	ts.winReset()
+}
+
+// clearQuarantine closes the quarantine after a benign probe.
+func (ts *tenantState) clearQuarantine() {
+	ts.quarUntil.Store(0)
+	ts.winReset()
+}
+
+func (ts *tenantState) winReset() {
+	ts.winBits, ts.winPos, ts.winN, ts.winBad = 0, 0, 0, 0
+}
+
+// winPush records one admission outcome in the ring (bad = the admission
+// was shed for an infeasible deadline).
+func (ts *tenantState) winPush(bad bool) {
+	bit := uint64(1) << uint(ts.winPos)
+	if ts.winN == ts.winLen {
+		if ts.winBits&bit != 0 {
+			ts.winBad--
+		}
+	} else {
+		ts.winN++
+	}
+	if bad {
+		ts.winBits |= bit
+		ts.winBad++
+	} else {
+		ts.winBits &^= bit
+	}
+	ts.winPos = (ts.winPos + 1) % ts.winLen
+}
+
+// feedOutcome drives the abuse detector with one decision outcome for this
+// tenant, at virtual time now. Engine goroutine only; live decisions,
+// recovery re-decides, and WAL replay all come through here, which is what
+// makes the quarantine state a deterministic function of the durable log.
+func (e *Engine) feedOutcome(ts *tenantState, now float64, bad bool) {
+	if ts == nil || !ts.quarantinable {
+		return
+	}
+	if qu := math.Float64frombits(ts.quarUntil.Load()); qu > 0 {
+		if now < qu {
+			// Decided while the quarantine is open (admitted before it
+			// tripped): not a probe, and the window is already reset.
+			return
+		}
+		// The half-open probe's verdict.
+		ts.probing.Store(false)
+		if bad {
+			ts.quarantine(now, e.tenants.quarFor)
+		} else {
+			ts.clearQuarantine()
+		}
+		return
+	}
+	ts.winPush(bad)
+	if ts.winN >= e.tenants.minSamples && float64(ts.winBad) >= e.tenants.threshold*float64(ts.winN) {
+		ts.quarantine(now, e.tenants.quarFor)
+	}
+}
+
+// tenantOutcome applies a decision's per-tenant accounting and feeds the
+// abuse detector. Engine goroutine only.
+func (e *Engine) tenantOutcome(now float64, task workload.Task, d Decision) {
+	if task.Tenant == "" {
+		return
+	}
+	ts := e.tenants.lookup(task.Tenant)
+	if ts == nil {
+		return
+	}
+	bad := false
+	switch d.Status {
+	case StatusMapped:
+		ts.mapped.Add(1)
+	case StatusShed:
+		ts.shed.Add(1)
+		ts.shedC.Inc()
+		if d.Reason == ShedInfeasible {
+			ts.shedInfeasible.Add(1)
+			bad = true
+		}
+	case StatusTimedOut:
+		ts.timedout.Add(1)
+	}
+	e.feedOutcome(ts, now, bad)
+}
+
+// tenantCompleted / tenantFailed credit terminal execution outcomes.
+func (e *Engine) tenantCompleted(task workload.Task, onTime bool) {
+	if task.Tenant == "" {
+		return
+	}
+	if ts := e.tenants.lookup(task.Tenant); ts != nil {
+		if onTime {
+			ts.onTime.Add(1)
+		} else {
+			ts.late.Add(1)
+		}
+	}
+}
+
+func (e *Engine) tenantFailed(task workload.Task) {
+	if task.Tenant == "" {
+		return
+	}
+	if ts := e.tenants.lookup(task.Tenant); ts != nil {
+		ts.failed.Add(1)
+	}
+}
+
+// Quarantined reports whether the tenant is currently quarantined at
+// virtual time vnow (tests and handlers).
+func (e *Engine) Quarantined(id string) bool {
+	e.tenants.mu.RLock()
+	ts := e.tenants.byID[id]
+	e.tenants.mu.RUnlock()
+	if ts == nil {
+		return false
+	}
+	qu := math.Float64frombits(ts.quarUntil.Load())
+	return qu > 0 && e.now() < qu
+}
+
+// TenantReport is one tenant's slice of the final accounting.
+type TenantReport struct {
+	ID             string `json:"id"`
+	Class          string `json:"class"`
+	Admitted       int64  `json:"admitted"`
+	Rejected       int64  `json:"rejected"`
+	Mapped         int64  `json:"mapped"`
+	Shed           int64  `json:"shed"`
+	ShedInfeasible int64  `json:"shedInfeasible"`
+	TimedOut       int64  `json:"timedOut"`
+	OnTime         int64  `json:"onTime"`
+	Late           int64  `json:"late"`
+	Failed         int64  `json:"failed"`
+	Quarantines    int64  `json:"quarantines"`
+}
+
+// Balanced mirrors the global invariant per tenant: every admitted task
+// reached exactly one decision.
+func (r TenantReport) Balanced() bool {
+	return r.Admitted == r.Mapped+r.Shed+r.TimedOut
+}
+
+// TenantReports snapshots the per-tenant accounting, sorted by id.
+func (e *Engine) TenantReports() []TenantReport {
+	states := e.tenants.states()
+	if len(states) == 0 {
+		return nil
+	}
+	out := make([]TenantReport, 0, len(states))
+	for _, ts := range states {
+		out = append(out, TenantReport{
+			ID:             ts.id,
+			Class:          ts.class.String(),
+			Admitted:       ts.admitted.Load(),
+			Rejected:       ts.rejected.Load(),
+			Mapped:         ts.mapped.Load(),
+			Shed:           ts.shed.Load(),
+			ShedInfeasible: ts.shedInfeasible.Load(),
+			TimedOut:       ts.timedout.Load(),
+			OnTime:         ts.onTime.Load(),
+			Late:           ts.late.Load(),
+			Failed:         ts.failed.Load(),
+			Quarantines:    ts.quarantines.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,472 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func sloPtr(s string) *string { return &s }
+
+// tenantTestQuotas is the three-class quota table the weighted-shed tests
+// share: one tenant per class, no rate or share limits.
+func tenantTestQuotas() *TenantConfig {
+	return &TenantConfig{Quotas: []TenantQuota{
+		{ID: "g", Class: workload.SLOGold},
+		{ID: "s", Class: workload.SLOSilver},
+		{ID: "b", Class: workload.SLOBronze},
+	}}
+}
+
+// queueTagged parks the engine, submits one tagged request per (tenant,
+// class) pair in tenants concurrently so they all sit in the admission
+// queue, then flips the brownout stage and releases the engine — the
+// decide-side weighted shed path, not the pre-queue gate, judges them.
+func queueTagged(t *testing.T, eng *Engine, tenants map[string]string, perTenant int, stage int32) {
+	t.Helper()
+	release := blockEngine(eng)
+	var wg sync.WaitGroup
+	want := 0
+	for id, slo := range tenants {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			want++
+			go func(id, slo string, ty int) {
+				defer wg.Done()
+				if _, err := eng.Submit(TaskRequest{Type: ty, Tenant: id, SLO: sloPtr(slo)}); err != nil {
+					t.Errorf("tenant %s submit: %v", id, err)
+				}
+			}(id, slo, i%eng.cfg.Model.Params.TaskTypes)
+		}
+	}
+	for eng.QueueDepth() < want {
+		time.Sleep(time.Millisecond)
+	}
+	eng.stage.Store(stage)
+	release()
+	wg.Wait()
+}
+
+// TestTenantWeightedShedKeepsBalance drives tagged traffic into the queue
+// at successive brownout stages: stage 1 sheds bronze, stage 2 adds silver,
+// stage 3 adds gold — and after every round the per-tenant accounting and
+// the global accounting both satisfy admitted == mapped + shed + timedout.
+// Run under -race this also proves the stage flip, the handler-side gates,
+// and the engine-side shed never race on shared tenant state.
+func TestTenantWeightedShedKeepsBalance(t *testing.T) {
+	m := buildModel(t, 11)
+	eng, _ := newTestEngine(t, m, func(c *Config) {
+		c.QueueCap = 16
+		c.Tenants = tenantTestQuotas()
+	})
+
+	checkBalance := func(round string) map[string]TenantReport {
+		t.Helper()
+		byID := map[string]TenantReport{}
+		for _, r := range eng.TenantReports() {
+			if !r.Balanced() {
+				t.Fatalf("%s: tenant %s unbalanced: %+v", round, r.ID, r)
+			}
+			byID[r.ID] = r
+		}
+		if st := eng.Stats(); !st.Balanced() {
+			t.Fatalf("%s: global stats unbalanced: %+v", round, st)
+		}
+		return byID
+	}
+
+	// Round 1: all three classes queued, stage flips to 1 — bronze sheds,
+	// silver and gold map.
+	queueTagged(t, eng, map[string]string{"g": "gold", "s": "silver", "b": "bronze"}, 4, 1)
+	rep := checkBalance("round 1")
+	if b := rep["b"]; b.Shed != 4 || b.Mapped != 0 {
+		t.Fatalf("round 1 bronze: %+v", b)
+	}
+	if g, s := rep["g"], rep["s"]; g.Mapped != 4 || s.Mapped != 4 {
+		t.Fatalf("round 1 gold/silver: %+v / %+v", g, s)
+	}
+
+	// At stage 1 the pre-queue gate turns bronze away before it can occupy
+	// a slot: a 429-style rejection, not an admitted-then-shed decision.
+	if _, err := eng.Submit(TaskRequest{Type: 0, Tenant: "b", SLO: sloPtr("bronze")}); err == nil {
+		t.Fatal("bronze admitted through the stage-1 gate")
+	} else if rej, ok := err.(*ErrRejected); !ok || rej.Reason != ShedBrownout {
+		t.Fatalf("bronze gate rejection: %v", err)
+	}
+
+	// Round 2: gold and silver pass the stage-1 gate, then the stage flips
+	// to 2 while they wait — silver sheds, gold maps.
+	queueTagged(t, eng, map[string]string{"g": "gold", "s": "silver"}, 4, 2)
+	rep = checkBalance("round 2")
+	if s := rep["s"]; s.Shed != 4 || s.Mapped != 4 {
+		t.Fatalf("round 2 silver: %+v", s)
+	}
+	if g := rep["g"]; g.Mapped != 8 {
+		t.Fatalf("round 2 gold: %+v", g)
+	}
+
+	// Round 3: even gold sheds at stage 3.
+	queueTagged(t, eng, map[string]string{"g": "gold"}, 4, 3)
+	rep = checkBalance("round 3")
+	if g := rep["g"]; g.Shed != 4 || g.Mapped != 8 || g.Admitted != 12 {
+		t.Fatalf("round 3 gold: %+v", g)
+	}
+	if st := eng.Stats(); st.Admitted != 24 || st.Mapped != 12 || st.Shed != 12 {
+		t.Fatalf("final global stats: %+v", st)
+	}
+}
+
+func TestTenantRateLimitBucket(t *testing.T) {
+	m := buildModel(t, 12)
+	eng, clk := newTestEngine(t, m, func(c *Config) {
+		c.Tenants = &TenantConfig{Quotas: []TenantQuota{
+			{ID: "r", Class: workload.SLOSilver, Rate: 1, Burst: 2},
+		}}
+	})
+	submit := func() error {
+		_, err := eng.Submit(TaskRequest{Type: 0, Tenant: "r", SLO: sloPtr("silver")})
+		return err
+	}
+	// Burst of 2 drains the bucket; the third is rejected with a refill hint.
+	for i := 0; i < 2; i++ {
+		if err := submit(); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	err := submit()
+	rej, ok := err.(*ErrRejected)
+	if !ok || rej.Reason != RejectTenantRateLimit {
+		t.Fatalf("over-rate submit: %v, want %s", err, RejectTenantRateLimit)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Fatal("rate-limit rejection carries no Retry-After")
+	}
+	// Virtual time refills the bucket.
+	clk.Advance(1.5)
+	eng.Sync()
+	if err := submit(); err != nil {
+		t.Fatalf("post-refill submit: %v", err)
+	}
+	rep := eng.TenantReports()
+	if len(rep) != 1 || rep[0].Rejected != 1 || rep[0].Admitted != 3 || !rep[0].Balanced() {
+		t.Fatalf("tenant report: %+v", rep)
+	}
+	if st := eng.Stats(); st.Rejected != 1 || !st.Balanced() {
+		t.Fatalf("global stats: %+v", st)
+	}
+}
+
+func TestTenantQueueShareCap(t *testing.T) {
+	m := buildModel(t, 13)
+	eng, _ := newTestEngine(t, m, func(c *Config) {
+		c.QueueCap = 8
+		c.Tenants = &TenantConfig{Quotas: []TenantQuota{
+			{ID: "q", Class: workload.SLOBronze, QueueShare: 0.25}, // 2 of 8 slots
+		}}
+	})
+	release := blockEngine(eng)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Submit(TaskRequest{Type: 0, Tenant: "q"}); err != nil {
+				t.Errorf("share submit: %v", err)
+			}
+		}()
+	}
+	for eng.QueueDepth() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	_, err := eng.Submit(TaskRequest{Type: 0, Tenant: "q"})
+	rej, ok := err.(*ErrRejected)
+	if !ok || rej.Reason != RejectTenantQueueShare {
+		t.Fatalf("over-share submit: %v, want %s", err, RejectTenantQueueShare)
+	}
+	// A different tenant still has the rest of the queue: the share bounds
+	// one tenant's backlog, not the queue.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := eng.Submit(TaskRequest{Type: 0, Tenant: "free"}); err != nil {
+			t.Errorf("other-tenant submit: %v", err)
+		}
+	}()
+	for eng.QueueDepth() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	wg.Wait()
+	if st := eng.Stats(); st.Admitted != 3 || st.Rejected != 1 || !st.Balanced() {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestTenantAbuseQuarantineIsolation is the adversarial-survival contract as
+// a -race engine test: a bronze tenant flooding infeasible deadlines gets
+// quarantined (429 + Retry-After) while a compliant gold tenant's mapped
+// throughput stays within 5% of an attack-free baseline; the half-open probe
+// re-opens the quarantine on a bad probe and closes it on a good one.
+func TestTenantAbuseQuarantineIsolation(t *testing.T) {
+	m := buildModel(t, 14)
+	tAvg := m.TAvg()
+	cfg := func(c *Config) {
+		c.Tenants = &TenantConfig{
+			Quotas: []TenantQuota{
+				{ID: "gold-a", Class: workload.SLOGold},
+				{ID: "flood", Class: workload.SLOBronze},
+			},
+			AbuseWindow:     16,
+			AbuseMinSamples: 8,
+			AbuseThreshold:  0.75,
+			Quarantine:      10 * tAvg,
+		}
+	}
+	const goldN = 40
+	driveGold := func(eng *Engine, clk *ManualClock, attack bool) (goldMapped int64) {
+		t.Helper()
+		zero := 0.0
+		for i := 0; i < goldN; i++ {
+			if attack {
+				// Two flood submissions per gold one; rejections once the
+				// quarantine trips are the expected steady state.
+				for j := 0; j < 2; j++ {
+					_, err := eng.Submit(TaskRequest{Type: (i + j) % m.Params.TaskTypes, Tenant: "flood", Slack: &zero})
+					if err != nil {
+						rej, ok := err.(*ErrRejected)
+						if !ok || rej.Reason != RejectTenantQuarantined || rej.RetryAfter <= 0 {
+							t.Fatalf("flood submit %d: %v", i, err)
+						}
+					}
+				}
+			}
+			if _, err := eng.Submit(TaskRequest{Type: i % m.Params.TaskTypes, Tenant: "gold-a", SLO: sloPtr("gold")}); err != nil {
+				t.Fatalf("gold submit %d: %v", i, err)
+			}
+			clk.Advance(tAvg / 2)
+			eng.Sync()
+		}
+		for _, r := range eng.TenantReports() {
+			if !r.Balanced() {
+				t.Fatalf("tenant %s unbalanced: %+v", r.ID, r)
+			}
+			if r.ID == "gold-a" {
+				goldMapped = r.Mapped
+			}
+		}
+		if st := eng.Stats(); !st.Balanced() {
+			t.Fatalf("global stats unbalanced: %+v", st)
+		}
+		return goldMapped
+	}
+
+	// Attack-free baseline.
+	base, baseClk := newTestEngine(t, buildModel(t, 14), cfg)
+	baseMapped := driveGold(base, baseClk, false)
+	if baseMapped == 0 {
+		t.Fatal("baseline mapped nothing; scenario is vacuous")
+	}
+
+	// Under attack.
+	eng, clk := newTestEngine(t, m, cfg)
+	attackMapped := driveGold(eng, clk, true)
+	if !eng.Quarantined("flood") {
+		t.Fatal("flooding tenant never quarantined")
+	}
+	var flood TenantReport
+	for _, r := range eng.TenantReports() {
+		if r.ID == "flood" {
+			flood = r
+		}
+	}
+	if flood.Quarantines < 1 || flood.ShedInfeasible < 8 {
+		t.Fatalf("flood report: %+v", flood)
+	}
+	if flood.Rejected == 0 {
+		t.Fatal("quarantine never turned a flood request away")
+	}
+	if float64(attackMapped) < 0.95*float64(baseMapped) {
+		t.Fatalf("gold throughput under attack %d < 95%% of baseline %d", attackMapped, baseMapped)
+	}
+
+	// Half-open: a bad probe re-opens the quarantine for another period.
+	clk.Advance(20 * tAvg)
+	eng.Sync()
+	zero := 0.0
+	if _, err := eng.Submit(TaskRequest{Type: 0, Tenant: "flood", Slack: &zero}); err != nil {
+		t.Fatalf("bad probe submit: %v", err)
+	}
+	if !eng.Quarantined("flood") {
+		t.Fatal("bad probe did not re-open the quarantine")
+	}
+	// A good probe closes it and traffic flows again.
+	clk.Advance(20 * tAvg)
+	eng.Sync()
+	if _, err := eng.Submit(TaskRequest{Type: 0, Tenant: "flood"}); err != nil {
+		t.Fatalf("good probe submit: %v", err)
+	}
+	if eng.Quarantined("flood") {
+		t.Fatal("good probe did not close the quarantine")
+	}
+	if _, err := eng.Submit(TaskRequest{Type: 1, Tenant: "flood"}); err != nil {
+		t.Fatalf("post-probe submit: %v", err)
+	}
+}
+
+// driveTenantScenario is the durable multi-tenant history: compliant gold
+// traffic interleaved with an infeasible-deadline flood that trips the
+// quarantine, a mid-stream checkpoint, the quarantine expiring, a bad
+// half-open probe, and a final gold burst.
+func driveTenantScenario(t testing.TB, eng *Engine, clk *ManualClock, m *workload.Model) {
+	t.Helper()
+	tAvg := m.TAvg()
+	zero := 0.0
+	flood := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := eng.Submit(TaskRequest{Type: i % m.Params.TaskTypes, Tenant: "flood", Slack: &zero}); err != nil {
+				if _, ok := err.(*ErrRejected); !ok {
+					t.Fatalf("flood submit: %v", err)
+				}
+			}
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := eng.Submit(TaskRequest{Type: i % m.Params.TaskTypes, Tenant: "gold-a", SLO: sloPtr("gold")}); err != nil {
+			t.Fatalf("gold submit %d: %v", i, err)
+		}
+		flood(2)
+		clk.Advance(tAvg / 4)
+		eng.Sync()
+	}
+	if err := eng.CheckpointNow(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	mid, err := os.ReadFile(eng.cfg.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(eng.cfg.CheckpointPath+".mid", mid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Quarantine rejections while open, then the expiry and a bad probe.
+	flood(3)
+	clk.Advance(4 * tAvg)
+	eng.Sync()
+	flood(2)
+	for i := 0; i < 4; i++ {
+		if _, err := eng.Submit(TaskRequest{Type: (i + 3) % m.Params.TaskTypes, Tenant: "gold-a", SLO: sloPtr("gold")}); err != nil {
+			t.Fatalf("late gold submit %d: %v", i, err)
+		}
+	}
+	clk.Advance(2 * tAvg)
+	eng.Sync()
+	if err := eng.CheckpointNow(); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+}
+
+// TestTenantRecoveryBitIdentity extends the recovery contract to the tenant
+// fields: a multi-tenant history with a quarantine trip recovers from the
+// WAL alone, and from checkpoint + suffix, to the same per-tenant report as
+// the uninterrupted run — including quarantine counts, which are never
+// logged directly but re-derived by replaying decision outcomes through the
+// abuse detector.
+func TestTenantRecoveryBitIdentity(t *testing.T) {
+	m := buildModel(t, 32)
+	tAvg := m.TAvg()
+	tenantize := func(c *Config) {
+		c.Tenants = &TenantConfig{
+			Quotas: []TenantQuota{
+				{ID: "gold-a", Class: workload.SLOGold},
+				{ID: "flood", Class: workload.SLOBronze},
+			},
+			AbuseWindow:     16,
+			AbuseMinSamples: 8,
+			AbuseThreshold:  0.75,
+			Quarantine:      2 * tAvg,
+		}
+	}
+
+	// Uninterrupted reference.
+	refDir := t.TempDir()
+	refClk := NewManualClock()
+	refCfg := durableCfg(t, m, refDir, refClk)
+	tenantize(&refCfg)
+	refEng, err := New(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveTenantScenario(t, refEng, refClk, m)
+	if err := refEng.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	refRep := refEng.FinalReport()
+	refRep.UptimeSeconds = 0
+	var refFlood TenantReport
+	for _, r := range refRep.Tenants {
+		if r.ID == "flood" {
+			refFlood = r
+		}
+	}
+	if refFlood.Quarantines < 1 || refFlood.ShedInfeasible < 8 || refFlood.Rejected == 0 {
+		t.Fatalf("scenario too tame (no quarantine exercised): %+v", refFlood)
+	}
+
+	// Crash run: same history, abrupt stop.
+	crashDir := t.TempDir()
+	crashClk := NewManualClock()
+	crashCfg := durableCfg(t, m, crashDir, crashClk)
+	tenantize(&crashCfg)
+	crashEng, err := New(crashCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveTenantScenario(t, crashEng, crashClk, m)
+	crashEng.Close()
+
+	recoverTenant := func(dir string) *FinalReport {
+		t.Helper()
+		cfg := durableCfg(t, m, dir, NewManualClock())
+		tenantize(&cfg)
+		eng, perr := Prepare(cfg)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if _, rerr := eng.RecoverFrom(); rerr != nil {
+			t.Fatalf("recover from %s: %v", dir, rerr)
+		}
+		_ = eng.DrainNow()
+		rep := eng.FinalReport()
+		rep.UptimeSeconds = 0
+		return rep
+	}
+
+	// Genesis replay of the full WAL.
+	header, records := walLines(t, filepath.Join(crashDir, "wal.1"))
+	dirA := t.TempDir()
+	writeTruncatedWAL(t, header, records, len(records), filepath.Join(dirA, "wal.1"))
+	finA := recoverTenant(dirA)
+	if !reflect.DeepEqual(finA, refRep) {
+		t.Errorf("genesis recovery diverged from the uninterrupted run:\n recovered: %+v\n reference: %+v", finA.Tenants, refRep.Tenants)
+	}
+
+	// Checkpoint + suffix replay.
+	dirB := t.TempDir()
+	writeTruncatedWAL(t, header, records, len(records), filepath.Join(dirB, "wal.1"))
+	cp, err := os.ReadFile(filepath.Join(crashDir, "ckpt.mid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirB, "ckpt"), cp, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	finB := recoverTenant(dirB)
+	if !reflect.DeepEqual(finA, finB) {
+		t.Errorf("checkpoint+suffix diverged from genesis:\n genesis: %+v\n ckpt: %+v", finA.Tenants, finB.Tenants)
+	}
+}

@@ -101,6 +101,12 @@ type walRecord struct {
 	Pri float64 `json:"pr,omitempty"`
 	// ME is the request's per-task energy cap (admit only; nil = none).
 	ME *float64 `json:"me,omitempty"`
+	// TN/Cls are the task's tenant id and SLO class ordinal (admit, map,
+	// shed, timeout, reject). Absent for untagged traffic; by the omitempty
+	// rule above, a pre-tenancy WAL decodes both to their zero values, so
+	// old incarnations replay unchanged.
+	TN  string `json:"tn,omitempty"`
+	Cls int    `json:"cls,omitempty"`
 
 	// Placement (map, start, finish, kill, fault, repair).
 	Core int     `json:"c,omitempty"`  // flat core index (-1 = none on fault)
@@ -168,14 +174,15 @@ func walPath(base string, incarnation uint64) string {
 // once through commit, and the engine drops to WAL-less operation rather
 // than acking requests it can no longer make durable claims about.
 type wal struct {
-	mu      sync.Mutex
-	f       *os.File
-	bw      *bufio.Writer
-	hdr     walHeader
-	n       uint64 // records appended (header excluded)
-	rejects uint64 // reject records appended (subset of n)
-	dirty   bool
-	err     error
+	mu        sync.Mutex
+	f         *os.File
+	bw        *bufio.Writer
+	hdr       walHeader
+	n         uint64 // records appended (header excluded)
+	rejects   uint64 // reject records appended (subset of n)
+	tnRejects map[string]uint64 // reject records per tenant id (subset of rejects)
+	dirty     bool
+	err       error
 }
 
 // createWAL creates (truncating) the WAL file for one incarnation and makes
@@ -226,6 +233,12 @@ func (w *wal) append(rec *walRecord) {
 	w.n++
 	if rec.K == wkReject {
 		w.rejects++
+		if rec.TN != "" {
+			if w.tnRejects == nil {
+				w.tnRejects = make(map[string]uint64)
+			}
+			w.tnRejects[rec.TN]++
+		}
 	}
 	w.dirty = true
 }
@@ -254,14 +267,21 @@ func (w *wal) commit() error {
 	return nil
 }
 
-// cut atomically reads (records, rejects) for a checkpoint. Taking both
-// under the append mutex is what makes checkpoint accounting exact: a
-// concurrent reject record is either ≤ the cut (inside the checkpoint's
-// counters) or > it (replayed from the suffix) — never both, never neither.
-func (w *wal) cut() (records, rejects uint64) {
+// cut atomically reads (records, rejects, per-tenant rejects) for a
+// checkpoint. Taking all of them under the append mutex is what makes
+// checkpoint accounting exact: a concurrent reject record is either ≤ the
+// cut (inside the checkpoint's counters) or > it (replayed from the suffix)
+// — never both, never neither. The same holds per tenant, which is why the
+// per-tenant reject base comes from this ledger and not from the live
+// handler-side atomics.
+func (w *wal) cut() (records, rejects uint64, tnRejects map[string]uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.n, w.rejects
+	tn := make(map[string]uint64, len(w.tnRejects))
+	for id, n := range w.tnRejects {
+		tn[id] = n
+	}
+	return w.n, w.rejects, tn
 }
 
 // close flushes, fsyncs, and closes the file.

@@ -36,7 +36,7 @@ func (e *Engine) walAppend(rec *walRecord) {
 // next group commit — the 429/503 response does not wait for the fsync:
 // rejects only move counters, so a bounded tail loss is acceptable where an
 // fsync stall on the overload path is not.
-func (e *Engine) walReject(reason string) {
+func (e *Engine) walReject(reason, tenant string) {
 	if e.recovering.Load() || e.wal == nil {
 		return
 	}
@@ -44,6 +44,7 @@ func (e *Engine) walReject(reason string) {
 		K:   wkReject,
 		T:   math.Float64frombits(e.virtualAt.Load()),
 		Rsn: reason,
+		TN:  tenant,
 	})
 	e.met.walRecords.Inc()
 }
@@ -59,18 +60,19 @@ func (e *Engine) walAdmit(now float64, task workload.Task, maxEnergy *float64) {
 		K: wkAdmit, T: now,
 		ID: task.ID, Ty: task.Type, Arr: task.Arrival, DL: task.Deadline,
 		U: task.U, Pri: task.Priority, ME: maxEnergy,
+		TN: task.Tenant, Cls: int(task.Class),
 		QS: hexState(e.quantRn.State()),
 	})
 }
 
 // walShed logs one admission-pipeline rejection. The decision stream state
 // is captured because a filtered shed may have consumed heuristic draws.
-func (e *Engine) walShed(now float64, id int, reason string) {
+func (e *Engine) walShed(now float64, id int, reason, tenant string) {
 	if !e.walOn() {
 		return
 	}
 	e.walAppend(&walRecord{
-		K: wkShed, T: now, ID: id, Rsn: reason,
+		K: wkShed, T: now, ID: id, Rsn: reason, TN: tenant,
 		DS: hexState(e.rand.State()),
 	})
 }
@@ -87,6 +89,7 @@ func (e *Engine) walMap(now float64, task workload.Task, coreIdx int, ps cluster
 		K: wkMap, T: now,
 		ID: task.ID, Ty: task.Type, Arr: task.Arrival, DL: task.Deadline,
 		U: task.U, Pri: task.Priority,
+		TN: task.Tenant, Cls: int(task.Class),
 		Core: coreIdx, PS: int(ps), Act: actual, Att: attempts,
 		New: attempts == 0,
 		DS:  hexState(e.rand.State()),

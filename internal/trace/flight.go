@@ -91,6 +91,11 @@ type Row struct {
 	// duration; replay feeds it back so realized times match exactly.
 	U        float64 `json:"u"`
 	Priority float64 `json:"pri,omitempty"`
+	// Tenant and SLO identify the submitting tenant in multi-tenant serving
+	// mode. Both omitempty: single-tenant traces stay byte-identical to the
+	// pre-tenancy format.
+	Tenant string `json:"tn,omitempty"`
+	SLO    string `json:"slo,omitempty"`
 
 	// Verdict is the admission outcome: "mapped", "discarded" (filters
 	// emptied the feasible set), or "shed" (server-side admission refusal);
@@ -468,6 +473,10 @@ func (f *Flight) row(task workload.Task) *Row {
 	}
 	if task.Priority != 1 {
 		r.Priority = task.Priority
+	}
+	if task.Tenant != "" {
+		r.Tenant = task.Tenant
+		r.SLO = task.Class.String()
 	}
 	f.rows[task.ID] = r
 	f.order = append(f.order, task.ID)

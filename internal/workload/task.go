@@ -27,6 +27,12 @@ type Task struct {
 	// Priority is the task's weight for the priority extension (§VIII
 	// future work). The paper's experiments use 1 for every task.
 	Priority float64
+	// Tenant identifies the submitting tenant in multi-tenant serving mode.
+	// Empty for single-tenant workloads (every pre-tenancy trial).
+	Tenant string
+	// Class is the tenant's SLO class. The zero value is SLOBronze, so
+	// untagged legacy tasks decode as the lowest class by construction.
+	Class SLOClass
 }
 
 // String renders a compact description for logs and traces.

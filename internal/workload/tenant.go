@@ -1,0 +1,314 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/randx"
+)
+
+// SLOClass orders tenants by service level. The zero value is SLOBronze so
+// untagged legacy traffic lands in the lowest class without any migration:
+// a request that never mentions tenancy sheds first, exactly as if the
+// feature did not exist.
+type SLOClass int
+
+const (
+	// SLOBronze is best-effort traffic: shed first under brownout.
+	SLOBronze SLOClass = iota
+	// SLOSilver is standard traffic: shed at deeper brownout stages.
+	SLOSilver
+	// SLOGold is premium traffic: tightest deadlines, shed last.
+	SLOGold
+)
+
+// String renders the class name used on the wire ("bronze"/"silver"/"gold").
+func (c SLOClass) String() string {
+	switch c {
+	case SLOBronze:
+		return "bronze"
+	case SLOSilver:
+		return "silver"
+	case SLOGold:
+		return "gold"
+	}
+	return fmt.Sprintf("SLOClass(%d)", int(c))
+}
+
+// ParseSLOClass maps a wire name to its class. The empty string is bronze —
+// the absent-field default, matching the zero value.
+func ParseSLOClass(s string) (SLOClass, error) {
+	switch s {
+	case "", "bronze":
+		return SLOBronze, nil
+	case "silver":
+		return SLOSilver, nil
+	case "gold":
+		return SLOGold, nil
+	}
+	return SLOBronze, fmt.Errorf("workload: unknown SLO class %q (want gold, silver, or bronze)", s)
+}
+
+// SlackMult is the class's deadline-tightness multiplier on the standard
+// load-factor slack: gold buys tighter deadlines (0.75×), bronze gets looser
+// ones (1.5×), silver is the paper's baseline (1×). Applied only when a
+// request opts into tenancy by naming its class.
+func (c SLOClass) SlackMult() float64 {
+	switch c {
+	case SLOGold:
+		return 0.75
+	case SLOSilver:
+		return 1
+	}
+	return 1.5
+}
+
+// Tenant client/arrival profiles. "compliant" is the paper's fast/slow/fast
+// burst shape; "diurnal" is a time-varying sinusoidal rate; the remaining two
+// are adversarial: "deadline-flood" submits a steady stream of tasks whose
+// deadlines are impossible, and "burst-abuse" alternates silence with
+// synchronized bursts that slam the admission queue.
+const (
+	ProfileCompliant     = "compliant"
+	ProfileDiurnal       = "diurnal"
+	ProfileDeadlineFlood = "deadline-flood"
+	ProfileBurstAbuse    = "burst-abuse"
+)
+
+// TenantProfile is one tenant's row in the spec file: its identity and SLO
+// class, its client-side arrival shape, and its server-side quota knobs.
+type TenantProfile struct {
+	// ID names the tenant on the wire. Required, at most 64 bytes,
+	// printable ASCII without spaces.
+	ID string `json:"id"`
+	// SLO is the class name ("gold"/"silver"/"bronze"); empty is bronze.
+	SLO string `json:"slo,omitempty"`
+	// Profile is the arrival shape; empty is "compliant".
+	Profile string `json:"profile,omitempty"`
+	// Mult is the tenant's offered-load multiplier relative to λ_eq. It
+	// sizes both the tenant's share of a generated stream and its arrival
+	// rate. Zero means the tenant submits nothing (server-side quotas only).
+	Mult float64 `json:"mult,omitempty"`
+	// RateLimit is the server-side token-bucket refill rate as a multiple
+	// of λ_eq. Zero means unlimited (no bucket for this tenant).
+	RateLimit float64 `json:"rateLimit,omitempty"`
+	// Burst is the token-bucket capacity in tokens; zero defaults to 16.
+	Burst float64 `json:"burst,omitempty"`
+	// QueueShare bounds the fraction of the bounded admission queue this
+	// tenant's backlog may occupy, in (0,1]. Zero means unlimited.
+	QueueShare float64 `json:"queueShare,omitempty"`
+	// Period is the diurnal/burst cycle length in virtual time units; zero
+	// picks a default relative to the generation horizon.
+	Period float64 `json:"period,omitempty"`
+	// Swing is the diurnal amplitude in [0,1): rate(t) = base·(1+Swing·sin).
+	// Zero defaults to 0.5 for the diurnal profile.
+	Swing float64 `json:"swing,omitempty"`
+}
+
+// Class returns the parsed SLO class (the spec is validated, so this cannot
+// fail after ParseTenantSpec).
+func (p TenantProfile) Class() SLOClass {
+	c, _ := ParseSLOClass(p.SLO)
+	return c
+}
+
+// TenantSpec is the parsed tenant-spec file: an ordered set of tenants with
+// unique ids. The same file drives both sides of the experiment — ecload
+// composes the client arrival processes from it, ecserve configures
+// per-tenant quotas and quarantine from it.
+type TenantSpec struct {
+	Tenants []TenantProfile `json:"tenants"`
+}
+
+// maxTenantID bounds the wire id so tenant ids stay usable as metric labels
+// and WAL fields without unbounded cardinality in any single field.
+const maxTenantID = 64
+
+// ParseTenantSpec decodes and validates a tenant-spec JSON document.
+// Unknown fields, trailing data, non-finite or negative numeric knobs, and
+// duplicate tenant ids (the error echoes the offending id) are all rejected,
+// so a spec that parses is safe to hand to both the generator and the
+// server. This is the surface FuzzTenantSpec exercises.
+func ParseTenantSpec(data []byte) (*TenantSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec TenantSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("workload: tenant spec: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("workload: tenant spec: trailing data after document")
+	}
+	if len(spec.Tenants) == 0 {
+		return nil, fmt.Errorf("workload: tenant spec: no tenants")
+	}
+	seen := make(map[string]bool, len(spec.Tenants))
+	for i, t := range spec.Tenants {
+		if err := t.validate(); err != nil {
+			return nil, fmt.Errorf("workload: tenant spec [%d]: %w", i, err)
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("workload: tenant spec: duplicate tenant id %q", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return &spec, nil
+}
+
+// ValidTenantID reports whether an id is usable on the wire: non-empty,
+// bounded, printable ASCII with no spaces (ids appear in JSON fields, metric
+// labels, and report lines parsed by shell harnesses).
+func ValidTenantID(id string) error {
+	if id == "" {
+		return fmt.Errorf("tenant id must be non-empty")
+	}
+	if len(id) > maxTenantID {
+		return fmt.Errorf("tenant id %q exceeds %d bytes", id[:maxTenantID]+"...", maxTenantID)
+	}
+	for _, r := range id {
+		if r <= ' ' || r > '~' || r == '"' {
+			return fmt.Errorf("tenant id %q contains non-printable or reserved characters", id)
+		}
+	}
+	return nil
+}
+
+// validate checks one profile. Numeric comparisons are phrased !(x >= 0) so
+// NaN — which fails every ordering — is rejected rather than slipping
+// through as "not negative".
+func (p TenantProfile) validate() error {
+	if err := ValidTenantID(p.ID); err != nil {
+		return err
+	}
+	if _, err := ParseSLOClass(p.SLO); err != nil {
+		return err
+	}
+	switch p.Profile {
+	case "", ProfileCompliant, ProfileDiurnal, ProfileDeadlineFlood, ProfileBurstAbuse:
+	default:
+		return fmt.Errorf("tenant %q: unknown profile %q", p.ID, p.Profile)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"mult", p.Mult},
+		{"rateLimit", p.RateLimit},
+		{"burst", p.Burst},
+		{"queueShare", p.QueueShare},
+		{"period", p.Period},
+		{"swing", p.Swing},
+	} {
+		if !(f.v >= 0) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("tenant %q: %s %v must be >= 0 and finite", p.ID, f.name, f.v)
+		}
+	}
+	if p.QueueShare > 1 {
+		return fmt.Errorf("tenant %q: queueShare %v must be <= 1", p.ID, p.QueueShare)
+	}
+	if p.Swing >= 1 {
+		return fmt.Errorf("tenant %q: swing %v must be < 1", p.ID, p.Swing)
+	}
+	return nil
+}
+
+// Adversarial reports whether the profile is one of the attack shapes.
+func (p TenantProfile) Adversarial() bool {
+	return p.Profile == ProfileDeadlineFlood || p.Profile == ProfileBurstAbuse
+}
+
+// The compliant profile reuses the paper's burst ratios (§VI): leading and
+// trailing fifths at (28/8)·rate, the middle three fifths at (28/48)·rate.
+const (
+	tenantFastFactor = 28.0 / 8
+	tenantSlowFactor = 28.0 / 48
+)
+
+// Arrivals draws n arrival instants on the virtual axis for this tenant's
+// profile at base rate Mult·eqRate. Each tenant draws from its own stream
+// (callers pass root.Child(id)), so one tenant's draws never perturb
+// another's — an adversarial tenant cannot shift a compliant tenant's
+// schedule by existing.
+func (p TenantProfile) Arrivals(s *randx.Stream, n int, eqRate float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	base := p.Mult * eqRate
+	if !(base > 0) {
+		return nil, fmt.Errorf("workload: tenant %q: rate %v must be > 0 to generate arrivals", p.ID, base)
+	}
+	switch p.Profile {
+	case "", ProfileCompliant:
+		burst := n / 5
+		return randx.PoissonArrivals(s, []randx.RatePhase{
+			{Rate: base * tenantFastFactor, Count: burst},
+			{Rate: base * tenantSlowFactor, Count: n - 2*burst},
+			{Rate: base * tenantFastFactor, Count: burst},
+		})
+	case ProfileDiurnal:
+		return p.diurnalArrivals(s, n, base)
+	case ProfileDeadlineFlood:
+		// A steady flood: constant rate, no lull for the abuse detector's
+		// window to drain out of.
+		return randx.PoissonArrivals(s, []randx.RatePhase{{Rate: base, Count: n}})
+	case ProfileBurstAbuse:
+		return p.burstAbuseArrivals(s, n, base)
+	}
+	return nil, fmt.Errorf("workload: tenant %q: unknown profile %q", p.ID, p.Profile)
+}
+
+// diurnalArrivals draws a nonhomogeneous Poisson process by thinning: draw
+// candidates at the peak rate base·(1+swing), accept each at probability
+// rate(t)/peak with rate(t) = base·(1 + swing·sin(2πt/period)). Thinning is
+// exact for rate functions bounded by the candidate rate, which this one is
+// by construction.
+func (p TenantProfile) diurnalArrivals(s *randx.Stream, n int, base float64) ([]float64, error) {
+	swing := p.Swing
+	if swing == 0 {
+		swing = 0.5
+	}
+	period := p.Period
+	if period == 0 {
+		// Default: two full cycles across the expected generation horizon
+		// n/base, so a run always sees both the peak and the trough.
+		period = float64(n) / base / 2
+	}
+	peak := base * (1 + swing)
+	arr := make([]float64, 0, n)
+	t := 0.0
+	for len(arr) < n {
+		t += s.Exponential(peak)
+		rate := base * (1 + swing*math.Sin(2*math.Pi*t/period))
+		if s.Float64()*peak <= rate {
+			arr = append(arr, t)
+		}
+	}
+	return arr, nil
+}
+
+// burstAbuseArrivals alternates silence with synchronized bursts: each cycle
+// fires a tightly packed volley (spacing drawn at 100× the base rate) at the
+// cycle boundary, then goes quiet — the worst case for a bounded admission
+// queue sized for smooth traffic.
+func (p TenantProfile) burstAbuseArrivals(s *randx.Stream, n int, base float64) ([]float64, error) {
+	period := p.Period
+	if period == 0 {
+		period = float64(n) / base / 8
+	}
+	volley := n / 8
+	if volley < 1 {
+		volley = 1
+	}
+	arr := make([]float64, 0, n)
+	for cycle := 0; len(arr) < n; cycle++ {
+		t := float64(cycle) * period
+		for i := 0; i < volley && len(arr) < n; i++ {
+			t += s.Exponential(base * 100)
+			arr = append(arr, t)
+		}
+	}
+	return arr, nil
+}

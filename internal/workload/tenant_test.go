@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestParseSLOClass(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SLOClass
+		ok   bool
+	}{
+		{"", SLOBronze, true},
+		{"bronze", SLOBronze, true},
+		{"silver", SLOSilver, true},
+		{"gold", SLOGold, true},
+		{"platinum", SLOBronze, false},
+		{"Gold", SLOBronze, false},
+	} {
+		got, err := ParseSLOClass(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseSLOClass(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if SLOGold.SlackMult() >= SLOSilver.SlackMult() || SLOSilver.SlackMult() >= SLOBronze.SlackMult() {
+		t.Fatal("slack multipliers must tighten with class")
+	}
+}
+
+func TestParseTenantSpec(t *testing.T) {
+	spec, err := ParseTenantSpec([]byte(`{"tenants":[
+		{"id":"gold-a","slo":"gold","mult":1,"rateLimit":2,"queueShare":0.5},
+		{"id":"flood","profile":"deadline-flood","mult":4}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Tenants) != 2 || spec.Tenants[0].Class() != SLOGold {
+		t.Fatalf("spec wrong: %+v", spec)
+	}
+	if !spec.Tenants[1].Adversarial() || spec.Tenants[0].Adversarial() {
+		t.Fatal("Adversarial() misclassifies")
+	}
+
+	for _, tc := range []struct {
+		name, in, wantErr string
+	}{
+		{"empty", `{}`, "no tenants"},
+		{"dup id echoes key", `{"tenants":[{"id":"x"},{"id":"x"}]}`, `duplicate tenant id "x"`},
+		{"negative mult", `{"tenants":[{"id":"x","mult":-1}]}`, "must be >= 0"},
+		{"bad class", `{"tenants":[{"id":"x","slo":"platinum"}]}`, "unknown SLO class"},
+		{"bad profile", `{"tenants":[{"id":"x","profile":"ddos"}]}`, "unknown profile"},
+		{"share > 1", `{"tenants":[{"id":"x","queueShare":1.5}]}`, "must be <= 1"},
+		{"swing >= 1", `{"tenants":[{"id":"x","swing":1}]}`, "must be < 1"},
+		{"unknown field", `{"tenants":[{"id":"x","boost":9}]}`, "unknown field"},
+		{"trailing data", `{"tenants":[{"id":"x"}]}{}`, "trailing data"},
+		{"bad id", `{"tenants":[{"id":"a b"}]}`, "non-printable or reserved"},
+		{"empty id", `{"tenants":[{"id":""}]}`, "non-empty"},
+	} {
+		_, err := ParseTenantSpec([]byte(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// JSON cannot carry NaN, so the NaN guard is only reachable through direct
+// construction — which ecserve/ecload never do, but validate() is exported
+// behavior via ParseTenantSpec and must hold on its own.
+func TestTenantValidateRejectsNaN(t *testing.T) {
+	p := TenantProfile{ID: "x", Mult: math.NaN()}
+	if err := p.validate(); err == nil || !strings.Contains(err.Error(), "mult") {
+		t.Fatalf("NaN mult accepted: %v", err)
+	}
+	p = TenantProfile{ID: "x", RateLimit: math.Inf(1)}
+	if err := p.validate(); err == nil {
+		t.Fatal("Inf rateLimit accepted")
+	}
+}
+
+func TestTenantArrivals(t *testing.T) {
+	root := randx.NewStream(7)
+	for _, profile := range []string{ProfileCompliant, ProfileDiurnal, ProfileDeadlineFlood, ProfileBurstAbuse} {
+		p := TenantProfile{ID: "t", Profile: profile, Mult: 2}
+		arr, err := p.Arrivals(root.Child("tenant:"+profile), 200, 1.4)
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		if len(arr) != 200 {
+			t.Fatalf("%s: %d arrivals", profile, len(arr))
+		}
+		for i, a := range arr {
+			if !(a >= 0) || math.IsInf(a, 0) {
+				t.Fatalf("%s: arrival[%d] = %v", profile, i, a)
+			}
+			if i > 0 && a < arr[i-1] {
+				t.Fatalf("%s: arrivals not monotone at %d: %v < %v", profile, i, a, arr[i-1])
+			}
+		}
+	}
+	// Zero offered load cannot generate arrivals.
+	p := TenantProfile{ID: "t", Mult: 0}
+	if _, err := p.Arrivals(root.Child("z"), 10, 1.4); err == nil {
+		t.Fatal("zero-rate arrivals accepted")
+	}
+	// Draws are stream-isolated: the same child seed yields the same arrivals
+	// regardless of what other children consumed.
+	a1, _ := TenantProfile{ID: "g", Mult: 1}.Arrivals(randx.NewStream(9).Child("tenant:g"), 50, 1.4)
+	other := randx.NewStream(9)
+	other.Child("tenant:attacker").Float64()
+	a2, _ := TenantProfile{ID: "g", Mult: 1}.Arrivals(other.Child("tenant:g"), 50, 1.4)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("arrival streams not isolated at %d: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+}
+
+// FuzzTenantSpec feeds arbitrary bytes to the tenant-spec loader. Contract:
+// ParseTenantSpec never panics, and every spec it accepts is safe for both
+// sides of the harness — tenant ids are unique, wire-safe, and bounded;
+// every numeric knob is finite and non-negative (NaN and negative rates are
+// rejected); classes and profiles parse; and duplicate ids were rejected
+// with an error echoing the offending key.
+func FuzzTenantSpec(f *testing.F) {
+	f.Add([]byte(`{"tenants":[{"id":"gold-a","slo":"gold","mult":1}]}`))
+	f.Add([]byte(`{"tenants":[{"id":"flood","profile":"deadline-flood","mult":4,"rateLimit":0.5}]}`))
+	f.Add([]byte(`{"tenants":[{"id":"d","profile":"diurnal","period":40,"swing":0.9}]}`))
+	f.Add([]byte(`{"tenants":[{"id":"x"},{"id":"x"}]}`))
+	f.Add([]byte(`{"tenants":[{"id":"x","mult":-1}]}`))
+	f.Add([]byte(`{"tenants":[{"id":"x","queueShare":2}]}`))
+	f.Add([]byte(`{"tenants":[]}`))
+	f.Add([]byte(`{"tenants":[{"id":"a b c"}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"tenants":[{"id":"x"}]}trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseTenantSpec(data)
+		if err != nil {
+			return // rejected input: the only requirement is "no panic"
+		}
+		if len(spec.Tenants) == 0 {
+			t.Fatalf("accepted spec with no tenants: %q", data)
+		}
+		seen := map[string]bool{}
+		for _, p := range spec.Tenants {
+			if verr := ValidTenantID(p.ID); verr != nil {
+				t.Fatalf("accepted invalid id %q: %v (input %q)", p.ID, verr, data)
+			}
+			if seen[p.ID] {
+				t.Fatalf("accepted duplicate id %q: %q", p.ID, data)
+			}
+			seen[p.ID] = true
+			if _, cerr := ParseSLOClass(p.SLO); cerr != nil {
+				t.Fatalf("accepted bad class %q: %q", p.SLO, data)
+			}
+			for _, v := range []float64{p.Mult, p.RateLimit, p.Burst, p.QueueShare, p.Period, p.Swing} {
+				if !(v >= 0) || math.IsInf(v, 0) {
+					t.Fatalf("accepted non-finite/negative knob %v: %q", v, data)
+				}
+			}
+			if p.QueueShare > 1 || p.Swing >= 1 {
+				t.Fatalf("accepted out-of-range share/swing: %+v (input %q)", p, data)
+			}
+		}
+	})
+}

@@ -47,7 +47,9 @@ trap cleanup EXIT INT TERM
 wait_addr() {
     addr=""
     i=0
-    while [ "$i" -lt 100 ]; do
+    # 30s: a race-instrumented -recover incarnation replays its WAL before
+    # printing the banner, which can take well over 10s on a loaded machine.
+    while [ "$i" -lt 300 ]; do
         addr="$(sed -n 's#.*on http://\([^/]*\)/v1/tasks.*#\1#p' "$1")"
         [ -n "$addr" ] && return 0
         kill -0 "$srv" 2>/dev/null || {
@@ -200,4 +202,113 @@ awk -v e1="$E1" '
     }
 ' "$tmp/report2.json"
 
-echo "soak: OK ($N tasks at ${MULT}x + $CHAOS_N through kill-9, clean drains, race-clean)"
+# ---------------------------------------------------------------------------
+# Stage 3: adversarial multi-tenant soak. Two compliant gold tenants at a
+# combined 2x run once alone (the attack-free baseline) and once alongside a
+# bronze tenant flooding impossible deadlines at 4x. Identical seeds and
+# per-tenant child streams make the gold arrival schedules bit-identical
+# across the two runs, so the comparison isolates the attack's effect:
+#   - gold on-time completions under attack >= 95% of the baseline
+#   - the flooding tenant is quarantined at least once
+#   - both drains exit 0 (zero orphans, balanced accounting, race-clean)
+#   - energy stays within budget
+# ---------------------------------------------------------------------------
+echo "soak: stage 3 — adversarial multi-tenant (bronze flood vs gold SLOs)"
+TEN_N="${TENANT_TASKS:-600}"
+# Stage 3 runs at a gentler time scale than the overload stages: the gold
+# baseline must sit below the race-instrumented decide loop's capacity, or
+# the 95% comparison would measure CPU contention instead of isolation.
+SCALE3="${TENANT_SCALE:-1500}"
+
+# The flood tenant is armed with the quotas under test: a 1x token bucket
+# (its 4x offered rate never reaches the queue) and a bounded queue share
+# (its decide-time backlog cannot crowd gold out of the admission queue).
+# The abuse detector then quarantines what the quotas let through.
+cat >"$tmp/spec-base.json" <<'EOF'
+{"tenants":[
+  {"id":"gold-a","slo":"gold","mult":1},
+  {"id":"gold-b","slo":"gold","mult":1}
+]}
+EOF
+cat >"$tmp/spec-attack.json" <<'EOF'
+{"tenants":[
+  {"id":"gold-a","slo":"gold","mult":1},
+  {"id":"gold-b","slo":"gold","mult":1},
+  {"id":"flood","slo":"bronze","profile":"deadline-flood","mult":4,"rateLimit":1,"burst":8,"queueShare":0.25}
+]}
+EOF
+
+# gold_ontime <logfile>: summed on-time completions across the gold tenants
+# from the drained server's per-tenant report lines.
+gold_ontime() {
+    awk '/^  tenant gold-/ {
+        for (i = 1; i <= NF; i++) if ($i ~ /^ontime=/) { split($i, a, "="); s += a[2] }
+    } END { print s + 0 }' "$1"
+}
+
+# Both incarnations run the identical server config — the attack spec arms
+# quotas for all three tenants; the baseline run simply never uses flood's.
+for side in base attack; do
+    "$tmp/ecserve" -addr 127.0.0.1:0 -scale "$SCALE3" -budget "$BUDGET" -brownout \
+        -tenants "$tmp/spec-attack.json" -report "$tmp/report-$side.json" \
+        >"$tmp/tenant-$side.log" 2>&1 &
+    srv=$!
+    wait_addr "$tmp/tenant-$side.log"
+    if [ "$side" = base ]; then
+        n="$TEN_N"
+        spec="$tmp/spec-base.json"
+    else
+        n=$((TEN_N * 3)) # mults 1+1+4: gold volume stays $TEN_N, flood gets 2x that
+        spec="$tmp/spec-attack.json"
+    fi
+    echo "soak: $side run up on $addr ($n requests from $spec)"
+    "$tmp/ecload" -addr "$addr" -n "$n" -seed 11 -q -tenants "$spec"
+    kill -TERM "$srv"
+    rc=0
+    wait "$srv" || rc=$?
+    srv=""
+    if [ "$rc" -ne 0 ]; then
+        echo "soak: FAIL — $side-run ecserve exited $rc (orphans, imbalance, or a data race):" >&2
+        tail -20 "$tmp/tenant-$side.log" >&2
+        exit 1
+    fi
+done
+
+grep '^  tenant ' "$tmp/tenant-attack.log"
+
+BASE_GOLD="$(gold_ontime "$tmp/tenant-base.log")"
+ATK_GOLD="$(gold_ontime "$tmp/tenant-attack.log")"
+QUARS="$(awk '/^  tenant flood:/ {
+    for (i = 1; i <= NF; i++) if ($i ~ /^quarantines=/) { split($i, a, "="); print a[2]; exit }
+}' "$tmp/tenant-attack.log")"
+
+[ "${BASE_GOLD:-0}" -gt 0 ] || {
+    echo "soak: FAIL — baseline run completed no gold tasks on time; comparison is vacuous" >&2
+    exit 1
+}
+[ "${QUARS:-0}" -ge 1 ] || {
+    echo "soak: FAIL — flooding tenant was never quarantined (quarantines=${QUARS:-missing})" >&2
+    exit 1
+}
+awk -v base="$BASE_GOLD" -v atk="$ATK_GOLD" 'BEGIN {
+    if (atk + 0 < 0.95 * base) {
+        printf "soak: FAIL — gold on-time completions under attack %d < 95%% of baseline %d\n", atk, base
+        exit 1
+    }
+    printf "soak: gold SLOs survived the flood: %d on-time under attack vs %d baseline (flood quarantined)\n", atk, base
+}'
+
+awk '
+    /"energyConsumed"/ { gsub(/[",]/, ""); consumed = $2 }
+    /"energyBudget"/   { gsub(/[",]/, ""); budget = $2 }
+    END {
+        if (budget == "" || consumed == "") { print "soak: attack report missing energy fields"; exit 1 }
+        if (consumed + 0 > budget + 1e-9) {
+            printf "soak: FAIL — attack-run meter drifted past the budget: %s > %s\n", consumed, budget
+            exit 1
+        }
+        printf "soak: energy %s / %s — within budget under attack\n", consumed, budget
+    }
+' "$tmp/report-attack.json"
+
+echo "soak: OK ($N tasks at ${MULT}x + $CHAOS_N through kill-9 + adversarial multi-tenant, clean drains, race-clean)"

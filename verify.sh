@@ -69,6 +69,8 @@ if [ "$tier" -ge 2 ]; then
     go test -fuzz=FuzzServerDecodeTask -fuzztime=10s ./internal/server
     echo "== tier 2: go fuzz (trace Decode, 10s)"
     go test -fuzz=FuzzTraceDecode -fuzztime=10s ./internal/trace
+    echo "== tier 2: go fuzz (workload TenantSpec, 10s)"
+    go test -fuzz=FuzzTenantSpec -fuzztime=10s ./internal/workload
     # Flight-recorder gate: record one run, replay it from the trace alone,
     # and require the replayed file to be byte-identical to the record —
     # cmp, not a field comparison, so nothing can hide in encoding drift.
