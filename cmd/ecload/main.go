@@ -16,8 +16,9 @@
 // errors or a missing server.
 //
 // With -retry-for set, a transport error does not burn the request:
-// ecload reconnects with capped exponential backoff (100ms doubling to 2s)
-// and resends until the window expires, so the seeded arrival stream
+// ecload reconnects with capped exponential backoff (100ms doubling to 2s,
+// each sleep jittered to a seeded 50–100% fraction of the step so the herd
+// desynchronizes) and resends until the window expires, so the seeded stream
 // resumes from exactly the requests the server never acknowledged. This is
 // how the chaos harness rides through an ecserve kill-9 + -recover restart:
 // acked requests stay acked, unacked ones retry into the recovered server.
@@ -168,9 +169,19 @@ func run() error {
 	// for up to -retry-for on transport errors. Only an unacknowledged
 	// request retries: once any HTTP status comes back the server has seen
 	// (and durably logged, when running with a WAL) the submission.
-	submit := func(body []byte) {
+	//
+	// Each sleep is jittered to a seeded uniform fraction of the backoff
+	// step (50–100%): thousands of goroutines cut off by the same server
+	// death would otherwise march through identical 100/200/400ms ladders
+	// and reconnect as one thundering herd, re-overflowing the listen
+	// backlog of the restarted (or surviving-shard) server in lockstep. The
+	// jitter streams are children of the generator seed, so the retry
+	// schedule is as reproducible as the arrival stream itself.
+	jitterRoot := root.Child("retry-jitter")
+	submit := func(body []byte, idx int) {
 		backoff := 100 * time.Millisecond
 		giveUp := time.Now().Add(*retryFor)
+		var jrn *randx.Stream
 		for {
 			resp, err := client.Post(base+"/v1/tasks", "application/json", bytes.NewReader(body))
 			if err == nil {
@@ -183,7 +194,10 @@ func run() error {
 				return
 			}
 			reconnects.Add(1)
-			time.Sleep(backoff)
+			if jrn == nil {
+				jrn = jitterRoot.ChildN("req", idx)
+			}
+			time.Sleep(time.Duration((0.5 + 0.5*jrn.Float64()) * float64(backoff)))
 			if backoff *= 2; backoff > 2*time.Second {
 				backoff = 2 * time.Second
 			}
@@ -193,12 +207,12 @@ func run() error {
 		body := reqs[i].body()
 		at := start.Add(time.Duration(reqs[i].at / info.TimeScale * float64(time.Second)))
 		wg.Add(1)
-		go func(body []byte, at time.Time) {
+		go func(body []byte, at time.Time, idx int) {
 			defer wg.Done()
 			time.Sleep(time.Until(at)) // negative is a no-op: fire immediately
-			submit(body)
+			submit(body, idx)
 			done.Add(1)
-		}(body, at)
+		}(body, at, i)
 	}
 	if !*quiet {
 		stopProg := make(chan struct{})

@@ -74,6 +74,11 @@ func run() error {
 		doRecover  = flag.Bool("recover", false, "recover from the checkpoint + WAL before serving (requires -wal)")
 		drainNow   = flag.Bool("drain-now", false, "with -recover: recover, drain deterministically without serving, print the report, exit")
 		tenantSpec = flag.String("tenants", "", "tenant-spec JSON file: arm multi-tenant admission control (per-tenant token buckets, queue shares, SLO-weighted shedding, abuse quarantine) from the same file ecload generates traffic from")
+		shards     = flag.Int("shards", 0, "split serving into N engine shards behind the router tier (0 = classic single-engine path; 1 = one-shard router, bit-identical to 0 on the same seed)")
+		placement  = flag.String("placement", "round-robin", "shard placement policy: round-robin, least-loaded, robustness")
+		chaos      = flag.Bool("chaos", false, "with -shards: expose POST /v1/chaos/kill?shard=N, the shard kill switch for chaos testing")
+		probeEvery = flag.Duration("probe-every", 500*time.Millisecond, "with -shards: shard health-probe period (0 disables the prober)")
+		rebalEvery = flag.Duration("rebalance-every", 5*time.Second, "with -shards: energy sub-budget rebalance period (0 disables; death-time reclamation always runs)")
 	)
 	flag.Parse()
 
@@ -120,7 +125,7 @@ func run() error {
 	mapper := &sched.Mapper{Heuristic: h, Filters: fl}
 	var fliRec *trace.File
 	var fli *trace.Flight
-	if *flight != "" {
+	if *flight != "" && *shards == 0 {
 		// The recorder's counters live in the server registry on purpose:
 		// rows/drops/flushes are part of this process's observability. Serve
 		// traces feed the calibration stage, not the bit-identity replay
@@ -184,6 +189,38 @@ func run() error {
 			return terr
 		}
 		cfg.Tenants = &server.TenantConfig{Quotas: server.QuotasFromSpec(tsp, model.EquilibriumRate())}
+	}
+	if len(fspec.ShardKills) > 0 && *shards == 0 {
+		return fmt.Errorf("faults: shard-kill requires -shards")
+	}
+	if *chaos && *shards == 0 {
+		return fmt.Errorf("-chaos requires -shards")
+	}
+
+	if *shards > 0 {
+		return runSharded(ctx, shardedRun{
+			cfg:        cfg,
+			n:          *shards,
+			placement:  *placement,
+			chaos:      *chaos,
+			probeEvery: *probeEvery,
+			rebalEvery: *rebalEvery,
+			addr:       *addr,
+			listen:     *listen,
+			flight:     *flight,
+			report:     *report,
+			doRecover:  *doRecover,
+			drainNow:   *drainNow,
+			grace:      *grace,
+			reg:        reg,
+			zeta:       zeta,
+			scale:      *scale,
+			heuristic:  *heuristic,
+			tag:        tag,
+			faults:     *faults,
+			walBase:    *walBase,
+			ckptEvery:  *ckptEvery,
+		})
 	}
 
 	// Boot order under recovery: Prepare (engine exists, reports itself
@@ -271,6 +308,197 @@ func run() error {
 	}
 
 	return finish(eng, fli, fliRec, reg, *flight, *report)
+}
+
+// shardedRun carries the flag surface into the router-tier serving path.
+type shardedRun struct {
+	cfg                    server.Config
+	n                      int
+	placement              string
+	chaos                  bool
+	probeEvery, rebalEvery time.Duration
+	addr, listen           string
+	flight, report         string
+	doRecover, drainNow    bool
+	grace                  time.Duration
+	reg                    *metrics.Registry
+	zeta, scale            float64
+	heuristic, tag, faults string
+	walBase                string
+	ckptEvery              time.Duration
+}
+
+// runSharded serves through the router tier: N engine shards with disjoint
+// node slices, energy sub-budgets carved from ζ_max, per-shard WAL
+// incarnations (<wal>.s<i>), and — with -flight — per-shard flight traces
+// (<flight>.s<i>; the plain path at -shards 1, so the one-shard router run
+// is file-for-file comparable to the single-engine path).
+func runSharded(ctx context.Context, o shardedRun) error {
+	place, err := server.PlacementByName(o.placement)
+	if err != nil {
+		return err
+	}
+	flights := make([]*trace.Flight, o.n)
+	fliRecs := make([]*trace.File, o.n)
+	fliPaths := make([]string, o.n)
+	var shapeErr error
+	rcfg := server.RouterConfig{
+		Placement:      place,
+		ProbeEvery:     o.probeEvery,
+		RebalanceEvery: o.rebalEvery,
+		Metrics:        o.reg,
+		Shape: func(id int, cfg *server.Config) {
+			if o.flight == "" || shapeErr != nil {
+				return
+			}
+			path := o.flight
+			if o.n > 1 {
+				path = fmt.Sprintf("%s.s%d", o.flight, id)
+			}
+			rec, ferr := trace.NewFile(path, o.reg)
+			if ferr != nil {
+				shapeErr = ferr
+				return
+			}
+			zenc := cfg.Budget
+			if zenc == 0 || math.IsInf(zenc, 1) {
+				zenc = -1
+			}
+			fl := trace.NewFlight(cfg.Model, trace.Header{
+				Kind:      trace.KindServe,
+				ModelHash: cfg.Model.Hash(),
+				Seed:      cfg.Seed,
+				Policy:    cfg.Mapper.Name(),
+				Budget:    zenc,
+			}, rec)
+			cfg.Observer = fl
+			flights[id], fliRecs[id], fliPaths[id] = fl, rec, path
+		},
+	}
+	rt, err := server.NewSharded(o.cfg, o.n, rcfg)
+	if err != nil {
+		return err
+	}
+	if shapeErr != nil {
+		return shapeErr
+	}
+
+	if o.drainNow {
+		// Deterministic offline recovery across every shard, then the
+		// shared-clock orchestrated drain. Running this twice on the same
+		// WAL set must produce bit-identical per-shard traces and reports.
+		reps, rerr := rt.RecoverAll()
+		for _, r := range reps {
+			printRecovery(r)
+		}
+		if rerr != nil {
+			return rerr
+		}
+		if derr := rt.DrainAllNow(); derr != nil {
+			fmt.Fprintln(os.Stderr, "ecserve:", derr)
+		}
+		return finishRouter(rt, flights, fliRecs, fliPaths, o.reg, o.report)
+	}
+
+	api := server.NewRouterServer(rt, o.chaos)
+	apiAddr, shutdownAPI, err := api.ListenAndServe(o.addr)
+	if err != nil {
+		return err
+	}
+	if o.doRecover {
+		reps, rerr := rt.RecoverAll()
+		for _, r := range reps {
+			printRecovery(r)
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	if err := rt.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("ecserve: %s+%s on http://%s/v1/tasks (seed %d, scale %gx, %d shard(s), placement %s",
+		o.heuristic, o.tag, apiAddr, o.cfg.Seed, o.scale, o.n, rt.Placement())
+	if !math.IsInf(o.zeta, 1) {
+		fmt.Printf(", ζ_max %.4g", o.zeta)
+	}
+	fmt.Println(")")
+	for _, st := range rt.ShardStatuses() {
+		line := fmt.Sprintf("ecserve: shard %d: nodes %v (%d cores)", st.ID, st.Nodes, st.Cores)
+		if st.Budget > 0 {
+			line += fmt.Sprintf(", sub-budget %.4g", st.Budget)
+		}
+		fmt.Println(line)
+	}
+	if o.faults != "" {
+		fmt.Printf("ecserve: fault injection live: %s\n", o.faults)
+	}
+	if o.walBase != "" {
+		fmt.Printf("ecserve: durable: per-shard wal %s.s<i>.* checkpoints every %s\n", o.walBase, o.ckptEvery)
+	}
+	if o.chaos {
+		fmt.Printf("ecserve: chaos kill switch armed: POST http://%s/v1/chaos/kill?shard=N\n", apiAddr)
+	}
+
+	if o.listen != "" {
+		msrv, merr := metrics.Serve(o.listen, o.reg.Snapshot)
+		if merr != nil {
+			return merr
+		}
+		defer msrv.Close()
+		fmt.Printf("ecserve: metrics on http://%s/metrics (pprof under /debug/pprof)\n", msrv.Addr)
+	}
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "\necserve: draining (new requests get 503)...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.grace+5*time.Second)
+	defer cancel()
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- rt.Drain(drainCtx) }()
+	_ = shutdownAPI(drainCtx)
+	if derr := <-drainErr; derr != nil {
+		fmt.Fprintln(os.Stderr, "ecserve:", derr)
+	}
+	return finishRouter(rt, flights, fliRecs, fliPaths, o.reg, o.report)
+}
+
+// finishRouter prints the aggregated drain report, flushes every per-shard
+// flight trace with that shard's own summary, writes the report file, and
+// turns any orphaned task into a non-zero exit.
+func finishRouter(rt *server.Router, flights []*trace.Flight, recs []*trace.File, paths []string, reg *metrics.Registry, reportPath string) error {
+	rep := rt.FinalReport()
+	fmt.Print(rep.Render())
+	for i, sh := range rt.Shards() {
+		if flights[i] == nil {
+			continue
+		}
+		st := sh.Engine().Stats()
+		flights[i].Finish(trace.Summary{
+			Window:         int(st.Admitted),
+			OnTime:         int(st.OnTime),
+			Late:           int(st.Late),
+			Mapped:         int(st.Mapped),
+			EnergyConsumed: st.EnergyConsumed,
+			Makespan:       st.VirtualNow,
+			Faults:         int(st.Faults),
+			Retries:        int(st.Retries),
+			LostToFailure:  int(st.Failed),
+			BrownoutStage:  st.BrownoutStage,
+		}, reg.Snapshot())
+		if err := recs[i].Close(); err != nil {
+			return err
+		}
+		fmt.Printf("ecserve: flight trace written to %s\n", paths[i])
+	}
+	if reportPath != "" {
+		if err := writeReport(rep, reportPath); err != nil {
+			return err
+		}
+	}
+	if rep.Orphaned != 0 || !rep.Balanced {
+		return fmt.Errorf("drain left %d orphaned task(s) (balanced=%v)", rep.Orphaned, rep.Balanced)
+	}
+	return nil
 }
 
 // finish prints the drain report, flushes the flight trace, writes the

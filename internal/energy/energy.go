@@ -166,6 +166,10 @@ type MeterState struct {
 	Used     float64          `json:"used"`
 	States   []cluster.PState `json:"states"`
 	Override []float64        `json:"override"`
+	// Budget is the meter's budget at capture time. Zero means "keep the
+	// meter's constructed budget" — states written before budgets became
+	// adjustable omit the field, and those meters were never adjusted.
+	Budget float64 `json:"budget,omitempty"`
 }
 
 // State captures the meter for a checkpoint.
@@ -175,6 +179,11 @@ func (m *Meter) State() MeterState {
 		Used:     m.used,
 		States:   append([]cluster.PState(nil), m.state...),
 		Override: append([]float64(nil), m.override...),
+	}
+	if !math.IsInf(m.budget, 1) {
+		// +Inf (unconstrained) is not JSON-encodable; leave the field zero
+		// and let Restore keep the constructed budget.
+		st.Budget = m.budget
 	}
 	return st
 }
@@ -187,8 +196,18 @@ func (m *Meter) Restore(st MeterState) error {
 		return fmt.Errorf("energy: restore state for %d/%d cores into meter with %d",
 			len(st.States), len(st.Override), len(m.state))
 	}
-	if st.Now < 0 || math.IsNaN(st.Now) || st.Used < 0 || math.IsNaN(st.Used) || st.Used > m.budget {
-		return fmt.Errorf("energy: restore with invalid now=%v used=%v (budget %v)", st.Now, st.Used, m.budget)
+	budget := m.budget
+	if st.Budget != 0 {
+		// A captured budget overrides the constructed one: sub-budgets are
+		// adjustable at runtime (SetBudget), so the checkpointed value — not
+		// the boot-time carve — is the one Used must validate against.
+		if st.Budget < 0 || math.IsNaN(st.Budget) || math.IsInf(st.Budget, 0) {
+			return fmt.Errorf("energy: restore with invalid budget %v", st.Budget)
+		}
+		budget = st.Budget
+	}
+	if st.Now < 0 || math.IsNaN(st.Now) || st.Used < 0 || math.IsNaN(st.Used) || st.Used > budget {
+		return fmt.Errorf("energy: restore with invalid now=%v used=%v (budget %v)", st.Now, st.Used, budget)
 	}
 	for i, p := range st.States {
 		if !p.Valid() {
@@ -197,6 +216,7 @@ func (m *Meter) Restore(st MeterState) error {
 	}
 	m.now = st.Now
 	m.used = st.Used
+	m.budget = budget
 	copy(m.state, st.States)
 	copy(m.override, st.Override)
 	m.record = false
@@ -226,6 +246,23 @@ func (m *Meter) Remaining() float64 { return math.Max(0, m.budget-m.used) }
 
 // Budget returns ζ_max.
 func (m *Meter) Budget() float64 { return m.budget }
+
+// SetBudget replaces the meter's budget, effective immediately. The new
+// budget must be positive, finite, and at least the energy already
+// consumed — a budget controller may reclaim unspent headroom or grant
+// more, but it can never un-consume energy. Exhaustion semantics are
+// unchanged: a later Advance stops at the instant used reaches the new
+// budget.
+func (m *Meter) SetBudget(b float64) error {
+	if !(b > 0) || math.IsInf(b, 0) {
+		return fmt.Errorf("energy: budget %v must be positive and finite", b)
+	}
+	if b < m.used {
+		return fmt.Errorf("energy: budget %v below consumed %v", b, m.used)
+	}
+	m.budget = b
+	return nil
+}
 
 // Rate returns the current total cluster draw at the wall in watts.
 func (m *Meter) Rate() float64 { return m.rate }

@@ -63,6 +63,8 @@ const (
 	FailHalted = "energy-exhausted"
 	// FailDrainTimeout: still in flight when the drain grace expired.
 	FailDrainTimeout = "drain-timeout"
+	// FailShardKilled: in flight when the owning shard fail-stopped.
+	FailShardKilled = "shard-killed"
 )
 
 // DecisionStatus classifies the outcome of one admitted task request.
@@ -150,7 +152,20 @@ const (
 	RejectQueueFull  = "queue-full"
 	RejectDraining   = "draining"
 	RejectRecovering = "recovering"
+	// RejectShardDown: the engine shard that would have decided this request
+	// fail-stopped. The router retries survivors before surfacing this.
+	RejectShardDown = "shard-down"
+	// RejectNoShard: every shard was down or without headroom (router-level).
+	RejectNoShard = "no-shard"
 )
+
+// statusShardKilled is the internal sentinel a fail-stopping engine uses to
+// answer queued-but-undecided requests: Submit converts it back into an
+// *ErrRejected{RejectShardDown} and unwinds the admission accounting, so the
+// router can re-route the task to a surviving shard with the dead shard's
+// admitted = mapped + shed + timed-out ledger still balanced. Never
+// serialized; never escapes Submit.
+const statusShardKilled DecisionStatus = -1
 
 // Config configures an Engine.
 type Config struct {
@@ -365,21 +380,26 @@ type Engine struct {
 	ckptCh       chan chan error
 	needSchedule bool // Start must seed the fault processes (fresh boot)
 
-	admit   chan *pending
-	drainCh chan chan error
-	syncCh  chan chan struct{}
-	stopCh  chan struct{}
-	doneCh  chan struct{}
+	admit    chan *pending
+	drainCh  chan chan error
+	syncCh   chan chan struct{}
+	budgetCh chan budgetReq
+	killCh   chan struct{}
+	stopCh   chan struct{}
+	doneCh   chan struct{}
 
 	// Handler-visible state (read outside the engine goroutine).
 	recovering atomic.Bool // true from Prepare until Start: replay in progress
 	draining   atomic.Bool
 	halted     atomic.Bool
+	killed     atomic.Bool // fail-stopped via Kill (chaos or router verdict)
 	shedGate   atomic.Bool // brownout stage with ShedAdmission active
 	stage      atomic.Int32
 	virtualAt  atomic.Uint64 // last processed virtual time (float bits)
 	consumed   atomic.Uint64 // energy consumed (float bits); the meter itself
 	// is confined to the engine goroutine, so Stats reads this mirror
+	budgetBits atomic.Uint64 // meter budget (float bits); mirrors the meter
+	// because AdjustBudget makes the budget mutable at runtime
 
 	avail float64 // steady-state availability estimate for the rel filter
 	// idleWindow is how long (virtual time) the idle cluster draw alone
@@ -582,6 +602,8 @@ func Prepare(cfg Config) (*Engine, error) {
 		drainCh:      make(chan chan error, 1),
 		syncCh:       make(chan chan struct{}),
 		ckptCh:       make(chan chan error),
+		budgetCh:     make(chan budgetReq),
+		killCh:       make(chan struct{}),
 		stopCh:       make(chan struct{}),
 		doneCh:       make(chan struct{}),
 		avail:        cfg.Faults.Availability(),
@@ -602,6 +624,7 @@ func Prepare(cfg Config) (*Engine, error) {
 		e.alive[i] = true
 	}
 	e.minEET = bestCaseEET(cfg.Model)
+	e.budgetBits.Store(math.Float64bits(budget))
 	e.tenants = newTenancy(cfg.Tenants, cfg.QueueCap, cfg.Model.TAvg(), cfg.Metrics)
 	e.idleWindow = math.Inf(1)
 	if !math.IsInf(budget, 1) && meter.Rate() > 0 {
@@ -736,8 +759,8 @@ func (e *Engine) Stats() Stats {
 		Draining:       e.draining.Load(),
 		Halted:         e.halted.Load(),
 	}
-	if !math.IsInf(e.meter.Budget(), 1) {
-		s.EnergyBudget = e.meter.Budget()
+	if b := e.Budget(); !math.IsInf(b, 1) {
+		s.EnergyBudget = b
 	}
 	if e.brk != nil {
 		s.Breakers = make([]string, len(e.brk.nodes))
@@ -747,6 +770,20 @@ func (e *Engine) Stats() Stats {
 	}
 	return s
 }
+
+// Budget returns the engine's current energy budget — the boot-time carve,
+// or the controller's latest AdjustBudget. Safe off the engine goroutine:
+// it reads the atomic mirror, not the meter.
+func (e *Engine) Budget() float64 { return math.Float64frombits(e.budgetBits.Load()) }
+
+// EnergyConsumed returns the energy consumed so far (atomic mirror).
+func (e *Engine) EnergyConsumed() float64 { return math.Float64frombits(e.consumed.Load()) }
+
+// VirtualNow returns the last processed virtual time (atomic mirror).
+func (e *Engine) VirtualNow() float64 { return math.Float64frombits(e.virtualAt.Load()) }
+
+// Killed reports whether the engine fail-stopped via Kill.
+func (e *Engine) Killed() bool { return e.killed.Load() }
 
 // IdleEnergyWindow returns the virtual time the idle cluster draw alone
 // takes to exhaust ζ_max — an upper bound on the service's lifetime, and
@@ -783,6 +820,15 @@ func (e *Engine) Submit(req TaskRequest) (Decision, error) {
 		e.st.rejected.Add(1)
 		e.met.rejectedRecovering.Inc()
 		return Decision{}, &ErrRejected{Reason: RejectRecovering, RetryAfter: time.Second}
+	}
+	if e.killed.Load() {
+		// Fail-stopped shard: the WAL is closed or closing, so like the
+		// recovering path this rejection lives only in this process's
+		// counters. The router routes around dead shards; this is the
+		// belt-and-suspenders answer for requests that raced the verdict.
+		e.st.rejected.Add(1)
+		e.met.rejectedShardDown.Inc()
+		return Decision{}, &ErrRejected{Reason: RejectShardDown, RetryAfter: time.Second}
 	}
 	var ts *tenantState
 	if req.Tenant != "" {
@@ -843,6 +889,21 @@ func (e *Engine) Submit(req TaskRequest) (Decision, error) {
 	}
 	e.met.queueHigh.Observe(float64(len(e.admit)))
 	d := <-p.resp
+	if d.Status == statusShardKilled {
+		// The shard fail-stopped with this request still queued-undecided.
+		// Nothing durable claims the task (admit records are written at
+		// decision time), so unwind the admission accounting and surface a
+		// retryable rejection — the router re-routes it to a survivor.
+		e.st.admitted.Add(-1)
+		e.st.rejected.Add(1)
+		e.met.rejectedShardDown.Inc()
+		if ts != nil {
+			ts.admitted.Add(-1)
+			ts.rejected.Add(1)
+			ts.rejectedC.Inc()
+		}
+		return Decision{}, &ErrRejected{Reason: RejectShardDown, RetryAfter: time.Second}
+	}
 	return d, nil
 }
 
@@ -884,6 +945,102 @@ func (e *Engine) Close() {
 	}
 	close(e.stopCh)
 	<-e.doneCh
+}
+
+// budgetReq asks the engine loop to reset the meter's budget.
+type budgetReq struct {
+	budget float64
+	resp   chan error
+}
+
+// AdjustBudget resets the engine's energy budget from outside the engine
+// goroutine — the router's budget controller reclaiming a dead shard's
+// headroom or rebalancing sub-budgets toward observed consumption. The new
+// budget must be at least the energy already consumed (enforced by the
+// meter); the change is WAL-logged (wkBudget) so recovery restores the
+// adjusted budget, not the boot-time carve. Fails once the engine has
+// stopped.
+func (e *Engine) AdjustBudget(b float64) error {
+	req := budgetReq{budget: b, resp: make(chan error, 1)}
+	select {
+	case e.budgetCh <- req:
+		return <-req.resp
+	case <-e.doneCh:
+		return errors.New("server: engine is not running")
+	}
+}
+
+// applyBudget installs a new budget on the engine goroutine: meter, atomic
+// mirror, WAL record, and a brownout re-evaluation (the stage is a function
+// of consumed/budget, so moving the denominator can cross a threshold).
+func (e *Engine) applyBudget(b float64) error {
+	if err := e.meter.SetBudget(b); err != nil {
+		return err
+	}
+	e.budgetBits.Store(math.Float64bits(b))
+	e.walAppend(&walRecord{K: wkBudget, T: e.meter.Now(), BG: b})
+	e.updateBrownout(e.meter.Now())
+	return nil
+}
+
+// Kill fail-stops the engine: in-flight work fails as FailShardKilled,
+// queued-but-undecided requests are bounced back for re-routing, the WAL is
+// flushed and closed, and the loop exits. The chaos kill switch and the
+// router's dead-shard verdict both land here. Idempotent; safe alongside
+// Drain/Close (first caller wins).
+func (e *Engine) Kill() {
+	e.killed.Store(true)
+	if e.draining.Swap(true) {
+		<-e.doneCh
+		return
+	}
+	close(e.killCh)
+	<-e.doneCh
+}
+
+// failStop is Kill's engine-goroutine half: the orderly fail-stop.
+func (e *Engine) failStop() {
+	at := math.Float64frombits(e.virtualAt.Load())
+	n := 0
+	for idx := range e.queues {
+		for _, q := range e.queues[idx] {
+			e.fail(q.task, FailShardKilled)
+			n++
+		}
+		e.queues[idx] = nil
+		e.ftc.Invalidate(idx)
+	}
+	for _, r := range e.requeues {
+		e.fail(r.task, FailShardKilled)
+		n++
+	}
+	e.requeues = make(map[int]requeueEntry)
+	e.inSystem = 0
+	e.updInflight()
+	e.events = nil
+	if n > 0 {
+		// One atomic record for the wholesale clear, like halt and the
+		// drain flush: replay fails N tasks in a single step.
+		e.walAppend(&walRecord{K: wkFlush, T: at, Rsn: FailShardKilled, N: n})
+	}
+	// Queued-but-undecided requests have no admit record yet (walAdmit
+	// happens at decision time), so bouncing them is WAL-consistent: the
+	// durable stream never heard of them, and Submit unwinds the in-memory
+	// admission counts when it sees the sentinel.
+	for {
+		select {
+		case p := <-e.admit:
+			if p.ts != nil {
+				p.ts.release()
+				if p.probe {
+					p.ts.probing.Store(false)
+				}
+			}
+			p.resp <- Decision{Status: statusShardKilled}
+		default:
+			return
+		}
+	}
 }
 
 // now reads the clock, clamped monotone against the last processed event
@@ -942,8 +1099,15 @@ func (e *Engine) loop() {
 			e.runDue(e.now())
 			e.commit()
 			ch <- e.writeCheckpointNow()
+		case req := <-e.budgetCh:
+			e.runDue(e.now())
+			req.resp <- e.applyBudget(req.budget)
+			e.commit()
 		case done := <-e.drainCh:
 			done <- e.drain()
+			return
+		case <-e.killCh:
+			e.failStop()
 			return
 		case <-e.stopCh:
 			e.abortPending()
@@ -1028,15 +1192,40 @@ func (e *Engine) CheckpointNow() error {
 	return <-ch
 }
 
+// HasPendingEvents reports whether any timed event is waiting in the heap.
+// Engine-goroutine only while the loop runs; the multi-shard orchestrator
+// calls it on stopped (recovered, loop-less) engines to find the shard with
+// the earliest event.
+func (e *Engine) HasPendingEvents() bool { return len(e.events) > 0 }
+
+// PeekNextEventTime returns the virtual time of the earliest pending event,
+// or +Inf when the heap is empty. Same confinement rules as
+// HasPendingEvents.
+func (e *Engine) PeekNextEventTime() float64 {
+	if len(e.events) == 0 {
+		return math.Inf(1)
+	}
+	return e.events[0].time
+}
+
+// ProcessNextEvent pops and handles exactly one event — the unit step the
+// engine loop, the drain fast-forward, and the shared-clock multi-shard
+// orchestrator are all built from. While draining, fault events are
+// consumed without effect (no new failures strike work that is being
+// flushed). Must not be called on an empty heap.
+func (e *Engine) ProcessNextEvent() {
+	ev := heap.Pop(&e.events).(event)
+	if ev.kind == evFault && e.draining.Load() {
+		return
+	}
+	e.handle(ev)
+}
+
 // runDue processes every heap event with time <= vt, advancing the meter
 // exactly to each event instant.
 func (e *Engine) runDue(vt float64) {
-	for len(e.events) > 0 && e.events[0].time <= vt {
-		ev := heap.Pop(&e.events).(event)
-		e.handle(ev)
-		if e.halted.Load() {
-			return
-		}
+	for e.HasPendingEvents() && e.PeekNextEventTime() <= vt && !e.halted.Load() {
+		e.ProcessNextEvent()
 	}
 	e.advance(vt)
 }
@@ -1065,17 +1254,25 @@ func (e *Engine) advance(t float64) {
 			e.walAppend(&walRecord{K: wkEnergy, T: at})
 		}
 	}
-	if e.bro != nil && !math.IsInf(e.meter.Budget(), 1) {
-		stage, changed := e.bro.Update(e.meter.Consumed() / e.meter.Budget())
-		if changed {
-			e.stage.Store(int32(stage))
-			e.met.stage.Set(float64(stage))
-			cur := e.bro.Current()
-			e.shedGate.Store(cur != nil && cur.ShedAdmission)
-			e.walAppend(&walRecord{K: wkBrownout, T: at, Stage: stage, Gate: cur != nil && cur.ShedAdmission})
-			if bo, ok := e.cfg.Observer.(sim.BrownoutObserver); ok {
-				bo.BrownoutStageChanged(at, stage, e.meter.Consumed()/e.meter.Budget())
-			}
+	e.updateBrownout(at)
+}
+
+// updateBrownout re-evaluates the brownout automaton against the current
+// consumed/budget ratio — on every meter advance, and after a budget
+// adjustment moves the denominator.
+func (e *Engine) updateBrownout(at float64) {
+	if e.bro == nil || math.IsInf(e.meter.Budget(), 1) {
+		return
+	}
+	stage, changed := e.bro.Update(e.meter.Consumed() / e.meter.Budget())
+	if changed {
+		e.stage.Store(int32(stage))
+		e.met.stage.Set(float64(stage))
+		cur := e.bro.Current()
+		e.shedGate.Store(cur != nil && cur.ShedAdmission)
+		e.walAppend(&walRecord{K: wkBrownout, T: at, Stage: stage, Gate: cur != nil && cur.ShedAdmission})
+		if bo, ok := e.cfg.Observer.(sim.BrownoutObserver); ok {
+			bo.BrownoutStageChanged(at, stage, e.meter.Consumed()/e.meter.Budget())
 		}
 	}
 }
@@ -1483,10 +1680,11 @@ func (e *Engine) drain() error {
 flush:
 	e.commit() // phase-1 decisions become durable before fast-forwarding
 	// Phase 2: fast-forward in-flight work. Virtual time jumps straight
-	// to each event; the wall-clock grace bounds the loop.
+	// to each event; the wall-clock grace bounds the loop. Fault events
+	// are consumed without effect (ProcessNextEvent, draining).
 	deadline := time.Now().Add(e.cfg.DrainGrace)
 	for e.pendingWork() > 0 && !e.halted.Load() {
-		if len(e.events) == 0 {
+		if !e.HasPendingEvents() {
 			// No completion can ever fire for the remaining tasks — a
 			// bug guard, not an expected path.
 			break
@@ -1494,12 +1692,15 @@ flush:
 		if time.Now().After(deadline) {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
-		if ev.kind == evFault {
-			continue // no new failures while draining
-		}
-		e.handle(ev)
+		e.ProcessNextEvent()
 	}
+	return e.drainFinish()
+}
+
+// drainFinish is the drain epilogue: fail stragglers that outlived the
+// grace, answer every still-queued request, and commit. Shared by the
+// single-engine drain and the router's multi-shard orchestrated drain.
+func (e *Engine) drainFinish() error {
 	var err error
 	if n := e.pendingWork(); n > 0 && !e.halted.Load() {
 		for idx := range e.queues {

@@ -29,19 +29,49 @@ import (
 // Retry-After), 503 not accepting (draining or energy exhausted), 504
 // timed out waiting in the admission queue.
 type Server struct {
+	// eng is the single engine, or — in router mode — shard 0's engine,
+	// which anchors the shared pieces (task-type count for decode, the
+	// metrics registry, bad-request accounting).
 	eng *Engine
+	// rt is non-nil in sharded mode; Submit and the introspection endpoints
+	// then go through the router.
+	rt  *Router
 	mux *http.ServeMux
 }
 
 // NewServer wraps the engine with the HTTP API.
 func NewServer(eng *Engine) *Server {
 	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// NewRouterServer wraps a sharded router with the HTTP API. When
+// enableChaos is set, POST /v1/chaos/kill?shard=N is additionally exposed —
+// the kill switch the chaos harness uses to fail-stop one shard mid-burst.
+func NewRouterServer(rt *Router, enableChaos bool) *Server {
+	s := &Server{eng: rt.shards[0].eng, rt: rt, mux: http.NewServeMux()}
+	s.routes()
+	if enableChaos {
+		s.mux.HandleFunc("POST /v1/chaos/kill", s.handleChaosKill)
+	}
+	return s
+}
+
+func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/tasks", s.handleTask)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/model", s.handleModel)
-	return s
+}
+
+// submit routes one decoded request to the engine or the router tier.
+func (s *Server) submit(req TaskRequest) (Decision, error) {
+	if s.rt != nil {
+		return s.rt.Submit(req)
+	}
+	return s.eng.Submit(req)
 }
 
 // ServeHTTP implements http.Handler.
@@ -69,7 +99,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Reason: "bad-request"})
 		return
 	}
-	d, err := s.eng.Submit(req)
+	d, err := s.submit(req)
 	if err != nil {
 		var rej *ErrRejected
 		if errors.As(err, &rej) {
@@ -99,6 +129,17 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.rt != nil {
+		st := s.rt.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":     "ok",
+			"draining":   st.Draining,
+			"halted":     st.Halted,
+			"recovering": s.rt.Recovering(),
+			"shards":     len(s.rt.shards),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"draining":   s.eng.draining.Load(),
@@ -108,6 +149,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.rt != nil {
+		// Sharded readiness: the per-shard health rows
+		// (healthy/suspect/dead/recovering) plus the router-level bit —
+		// 200 only while at least one shard admits work.
+		doc := map[string]any{"ready": s.rt.Admitting(), "shards": s.rt.ShardStatuses()}
+		code := http.StatusOK
+		if !s.rt.Admitting() {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, doc)
+		return
+	}
 	if !s.eng.Accepting() {
 		reason := RejectDraining
 		switch {
@@ -124,13 +177,49 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
+// handleChaosKill fail-stops one shard (router mode with -chaos only):
+// POST /v1/chaos/kill?shard=N. The response carries the post-kill shard
+// table so the chaos harness can assert the verdict landed.
+func (s *Server) handleChaosKill(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "chaos: shard must be an integer", Reason: "bad-request"})
+		return
+	}
+	if err := s.rt.KillShard(id); err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error(), Reason: "no-shard"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"killed": id, "shards": s.rt.ShardStatuses()})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.statsDoc())
 }
 
 // statsDoc augments the engine snapshot with queue occupancy and the
-// per-tenant accounting (absent for single-tenant traffic).
+// per-tenant accounting (absent for single-tenant traffic). In router mode
+// the stats aggregate across shards and the per-shard rows ride along.
 func (s *Server) statsDoc() map[string]any {
+	if s.rt != nil {
+		depth, capSum := 0, 0
+		for _, sh := range s.rt.shards {
+			depth += sh.eng.QueueDepth()
+			capSum += sh.eng.QueueCap()
+		}
+		doc := map[string]any{
+			"stats":      s.rt.Stats(),
+			"queueDepth": depth,
+			"queueCap":   capSum,
+			"policy":     s.eng.cfg.Mapper.Name(),
+			"placement":  s.rt.Placement(),
+			"shards":     s.rt.ShardStatuses(),
+		}
+		if tr := s.rt.mergedTenants(); len(tr) > 0 {
+			doc["tenants"] = tr
+		}
+		return doc
+	}
 	doc := map[string]any{
 		"stats":      s.eng.Stats(),
 		"queueDepth": s.eng.QueueDepth(),
@@ -162,7 +251,14 @@ type ModelInfo struct {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
-	m := s.eng.model
+	// Router mode serves the full (unsliced) cluster document and the global
+	// ζ_max — load generators size against the whole service, not one shard.
+	m, seed := s.eng.model, s.eng.cfg.Seed
+	budget, window, vnow := s.eng.Budget(), s.eng.IdleEnergyWindow(), s.eng.VirtualNow()
+	if s.rt != nil {
+		m, seed = s.rt.baseModel, s.rt.baseSeed
+		budget, window, vnow = s.rt.total, s.rt.idleWindow, s.rt.Stats().VirtualNow
+	}
 	info := ModelInfo{
 		TaskTypes:       m.Params.TaskTypes,
 		Nodes:           m.Cluster.N(),
@@ -170,13 +266,13 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 		TAvg:            m.TAvg(),
 		EquilibriumRate: m.EquilibriumRate(),
 		TimeScale:       s.eng.cfg.TimeScale,
-		VirtualNow:      s.eng.Stats().VirtualNow,
+		VirtualNow:      vnow,
 		Policy:          s.eng.cfg.Mapper.Name(),
-		Seed:            s.eng.cfg.Seed,
+		Seed:            seed,
 	}
-	if !math.IsInf(s.eng.meter.Budget(), 1) {
-		info.EnergyBudget = s.eng.meter.Budget()
-		info.EnergyWindow = s.eng.IdleEnergyWindow()
+	if !math.IsInf(budget, 1) {
+		info.EnergyBudget = budget
+		info.EnergyWindow = window
 	}
 	writeJSON(w, http.StatusOK, info)
 }
@@ -204,7 +300,10 @@ type FinalReport struct {
 	Balanced bool  `json:"balanced"`
 	// Tenants is the per-tenant accounting, sorted by id (absent for
 	// single-tenant traffic).
-	Tenants []TenantReport    `json:"tenants,omitempty"`
+	Tenants []TenantReport `json:"tenants,omitempty"`
+	// Shards is the per-shard readiness/topology snapshot (sharded runs
+	// only; the router's FinalReport fills it).
+	Shards  []ShardStatus     `json:"shards,omitempty"`
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 

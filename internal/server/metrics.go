@@ -15,6 +15,7 @@ type serverMetrics struct {
 	rejectedHalted     *metrics.Counter
 	rejectedBadReq     *metrics.Counter
 	rejectedRecovering *metrics.Counter
+	rejectedShardDown  *metrics.Counter
 	rejectedTenant     map[string]*metrics.Counter
 
 	mapped        *metrics.Counter
@@ -57,6 +58,7 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		rejectedHalted:     r.Counter("server_rejected_total", metrics.L("reason", "energy-exhausted")),
 		rejectedBadReq:     r.Counter("server_rejected_total", metrics.L("reason", "bad-request")),
 		rejectedRecovering: r.Counter("server_rejected_total", metrics.L("reason", "recovering")),
+		rejectedShardDown:  r.Counter("server_rejected_total", metrics.L("reason", RejectShardDown)),
 		walRecords:         r.Counter("server_wal_records_total"),
 		walCommits:         r.Counter("server_wal_commits_total"),
 		walErrors:          r.Counter("server_wal_errors_total"),

@@ -83,6 +83,7 @@ type openAdmit struct {
 type replayState struct {
 	lastMT, lastEN float64 // meter coordinates of the last engine record
 	vt             float64 // highest virtual time seen
+	budget         float64 // last adjusted budget (0 = never adjusted)
 	admits         int64
 	rejects        int64
 	openAdmits     []openAdmit
@@ -203,7 +204,7 @@ func (e *Engine) RecoverFrom() (*RecoveryReport, error) {
 	// mapped P-state; a down core draws zero; everything else idles).
 	recoveredVT := rs.vt
 	e.virtualAt.Store(math.Float64bits(recoveredVT))
-	ms := energy.MeterState{Now: rs.lastMT, Used: rs.lastEN}
+	ms := energy.MeterState{Now: rs.lastMT, Used: rs.lastEN, Budget: rs.budget}
 	if len(suffix) == 0 && ck != nil {
 		ms = ck.Meter
 	} else {
@@ -223,6 +224,7 @@ func (e *Engine) RecoverFrom() (*RecoveryReport, error) {
 	if err := e.meter.Restore(ms); err != nil {
 		return nil, err
 	}
+	e.budgetBits.Store(math.Float64bits(e.meter.Budget()))
 	e.consumed.Store(math.Float64bits(e.meter.Consumed()))
 	e.met.consumed.Set(e.meter.Consumed())
 	e.lastEnergyEN = e.meter.Consumed()
@@ -456,6 +458,7 @@ func (e *Engine) replay(recs []walRecord, base *checkpoint) (*replayState, error
 	if base != nil {
 		rs.lastMT, rs.lastEN = base.Meter.Now, base.Meter.Used
 		rs.vt = base.VirtualNow
+		rs.budget = base.Meter.Budget
 	}
 	for i := range recs {
 		r := &recs[i]
@@ -684,6 +687,9 @@ func (e *Engine) apply(r *walRecord, rs *replayState) error {
 	case wkBrownout, wkEnergy:
 		// Brownout stage is re-derived from the restored meter; energy
 		// records exist for their meter coordinates, consumed generically.
+	case wkBudget:
+		// The meter restore below installs the final adjusted budget.
+		rs.budget = r.BG
 	case wkHalt:
 		e.halted.Store(true)
 		e.st.failed.Add(int64(r.N))
@@ -790,19 +796,30 @@ func (e *Engine) rebuildEvents() {
 // drain, report, with no live clock in the path. The engine is finished
 // afterwards (Start must not be called).
 func (e *Engine) DrainNow() error {
-	// Freeze the clock at the recovered virtual instant. RecoverFrom installs
-	// a wall-driven clock for the serving path; here the drain's fast-forward
-	// owns the virtual axis, and a ticking clock would leak wall jitter into
-	// VirtualNow (and through it, the drained report and flight summary),
-	// breaking the run-twice byte-identity the chaos gate asserts.
+	e.beginInlineDrain()
+	err := e.drain()
+	e.finishInlineDrain()
+	return err
+}
+
+// beginInlineDrain freezes the clock at the recovered virtual instant and
+// flips the draining flag. RecoverFrom installs a wall-driven clock for the
+// serving path; here the drain's fast-forward owns the virtual axis, and a
+// ticking clock would leak wall jitter into VirtualNow (and through it, the
+// drained report and flight summary), breaking the run-twice byte-identity
+// the chaos gate asserts.
+func (e *Engine) beginInlineDrain() {
 	frozen := NewManualClock()
 	frozen.Advance(math.Float64frombits(e.virtualAt.Load()))
 	e.clock = frozen
 	e.draining.Store(true)
-	err := e.drain()
+}
+
+// finishInlineDrain closes the WAL and marks the engine finished after an
+// inline (loop-less) drain.
+func (e *Engine) finishInlineDrain() {
 	if e.wal != nil {
 		_ = e.wal.close()
 	}
 	close(e.doneCh)
-	return err
 }

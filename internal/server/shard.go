@@ -1,0 +1,235 @@
+package server
+
+// Sharded serving: a Shard wraps one Engine that owns a disjoint node slice
+// of the cluster and an energy sub-budget carved from ζ_max. The Router
+// (router.go) fans requests across shards through a pluggable Placement
+// policy, mirroring the sched.Heuristic pattern — a small Choose interface
+// over a candidate slice, deterministic tie-breaks, resolvable by name.
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// ShardHealth is the router's liveness verdict on one shard, driven by the
+// health prober's loop-liveness probes: healthy shards answer a probe within
+// the timeout, suspect shards have missed at least SuspectAfter consecutive
+// probes (they are routed to only when no healthy shard can take the task),
+// and dead shards have been fail-stopped — the router never routes to them
+// and their unspent sub-budget has been reclaimed.
+type ShardHealth int32
+
+const (
+	ShardHealthy ShardHealth = iota
+	ShardSuspect
+	ShardDead
+)
+
+// String returns the readiness vocabulary used by /v1/readyz.
+func (h ShardHealth) String() string {
+	switch h {
+	case ShardHealthy:
+		return "healthy"
+	case ShardSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Shard is one engine plus its routing identity: the global node indices it
+// owns, its core count (the budget-carve weight), and the router's health
+// verdict.
+type Shard struct {
+	// ID is the shard index, also the WAL suffix (<base>.s<ID>) and the
+	// seed-stride multiplier.
+	ID int
+	// Nodes are the global node indices this shard's sub-cluster owns.
+	Nodes []int
+	// Cores is the total core count of the slice.
+	Cores int
+
+	eng    *Engine
+	health atomic.Int32
+
+	// misses counts consecutive failed liveness probes. Prober goroutine
+	// only.
+	misses int
+
+	// budget is the router's sub-budget ledger entry for this shard — the
+	// authoritative carve of ζ_max (the engine's meter mirrors it
+	// best-effort via AdjustBudget). Guarded by the Router's budget mutex.
+	budget float64
+}
+
+// Engine returns the wrapped engine.
+func (s *Shard) Engine() *Engine { return s.eng }
+
+// Health returns the router's current liveness verdict.
+func (s *Shard) Health() ShardHealth { return ShardHealth(s.health.Load()) }
+
+// HealthString returns the shard's readiness word for /v1/readyz:
+// healthy, suspect, dead, or recovering (log replay in progress).
+func (s *Shard) HealthString() string {
+	if s.Health() != ShardDead && s.eng.Recovering() {
+		return "recovering"
+	}
+	return s.Health().String()
+}
+
+// admitting reports whether the router may place new work here.
+func (s *Shard) admitting() bool {
+	return s.Health() != ShardDead && !s.eng.Killed() && s.eng.Accepting()
+}
+
+// probeLiveness checks that the engine loop is alive: it offers a sync
+// barrier and waits for the loop to answer, bounded by timeout. A stalled,
+// killed, or stopped loop misses the probe. The reply channel is buffered so
+// an abandoned probe (loop answers after we gave up) can never wedge the
+// loop. Recovering engines have no loop yet and report false; the prober
+// skips them instead of counting misses.
+func (e *Engine) probeLiveness(timeout time.Duration) bool {
+	if e.killed.Load() || e.recovering.Load() {
+		return false
+	}
+	ch := make(chan struct{}, 1)
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case e.syncCh <- ch:
+	case <-e.doneCh:
+		return false
+	case <-t.C:
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	case <-e.doneCh:
+		return false
+	case <-t.C:
+		return false
+	}
+}
+
+// ShardCandidate is one admitting shard offered to a Placement policy,
+// with the load and energy signals the policies rank by. Candidates are
+// always presented in ascending shard-ID order, so a policy that scans with
+// strict comparisons gets deterministic lowest-ID tie-breaks for free.
+type ShardCandidate struct {
+	Shard *Shard
+	// QueueLen is the admission-queue occupancy; QueueCap its bound.
+	QueueLen int
+	QueueCap int
+	// InFlight is the number of mapped tasks not yet completed.
+	InFlight int64
+	// Consumed and Budget are the shard's energy coordinates; Budget is
+	// +Inf when the service is unconstrained.
+	Consumed float64
+	Budget   float64
+}
+
+// Load is the per-core backlog: (queued + in-flight) / cores. Normalizing
+// by core count keeps heterogeneous slices comparable.
+func (c *ShardCandidate) Load() float64 {
+	return float64(int64(c.QueueLen)+c.InFlight) / float64(c.Shard.Cores)
+}
+
+// HeadroomFrac is the unspent fraction of the shard's sub-budget, in [0,1];
+// 1 when unconstrained.
+func (c *ShardCandidate) HeadroomFrac() float64 {
+	if math.IsInf(c.Budget, 1) {
+		return 1
+	}
+	if c.Budget <= 0 {
+		return 0
+	}
+	f := (c.Budget - c.Consumed) / c.Budget
+	return math.Max(0, math.Min(1, f))
+}
+
+// Placement picks the shard for one request, mirroring sched.Heuristic:
+// Choose never sees an empty slice and must be deterministic given the
+// candidate signals. Stateful policies (round-robin) are confined to the
+// router's placement mutex.
+type Placement interface {
+	// Name identifies the policy (-placement flag, logs).
+	Name() string
+	// Choose picks one candidate; cands is non-empty, ascending shard ID.
+	Choose(cands []*ShardCandidate) *ShardCandidate
+}
+
+// RoundRobinPlacement cycles through the admitting shards — the baseline
+// policy, and the cheapest: no signal reads beyond candidate assembly.
+type RoundRobinPlacement struct{ next int }
+
+// Name returns "round-robin".
+func (*RoundRobinPlacement) Name() string { return "round-robin" }
+
+// Choose returns the next admitting shard in rotation.
+func (p *RoundRobinPlacement) Choose(cands []*ShardCandidate) *ShardCandidate {
+	c := cands[p.next%len(cands)]
+	p.next++
+	return c
+}
+
+// LeastLoadedPlacement picks the shard with the smallest per-core backlog.
+// Exact load ties keep the lowest shard ID (strict < over ascending-ID
+// candidates).
+type LeastLoadedPlacement struct{}
+
+// Name returns "least-loaded".
+func (LeastLoadedPlacement) Name() string { return "least-loaded" }
+
+// Choose picks the minimum-Load candidate.
+func (LeastLoadedPlacement) Choose(cands []*ShardCandidate) *ShardCandidate {
+	best := cands[0]
+	bestL := best.Load()
+	for _, c := range cands[1:] {
+		if l := c.Load(); l < bestL {
+			best, bestL = c, l
+		}
+	}
+	return best
+}
+
+// RobustnessAwarePlacement balances load against energy headroom: score =
+// headroom-fraction / (1 + load), so a lightly-loaded shard about to exhaust
+// its sub-budget loses to a busier one with energy to spare — the serving
+// analogue of the paper's load quantity, which trades completion probability
+// against energy. Ties keep the lowest shard ID.
+type RobustnessAwarePlacement struct{}
+
+// Name returns "robustness".
+func (RobustnessAwarePlacement) Name() string { return "robustness" }
+
+// Choose picks the maximum-score candidate.
+func (RobustnessAwarePlacement) Choose(cands []*ShardCandidate) *ShardCandidate {
+	best := cands[0]
+	bestS := best.HeadroomFrac() / (1 + best.Load())
+	for _, c := range cands[1:] {
+		if s := c.HeadroomFrac() / (1 + c.Load()); s > bestS {
+			best, bestS = c, s
+		}
+	}
+	return best
+}
+
+// PlacementNames lists the registered placement policies.
+func PlacementNames() []string { return []string{"round-robin", "least-loaded", "robustness"} }
+
+// PlacementByName resolves a placement policy, returning a fresh instance
+// (round-robin carries a cursor).
+func PlacementByName(name string) (Placement, error) {
+	switch name {
+	case "round-robin":
+		return &RoundRobinPlacement{}, nil
+	case "least-loaded":
+		return LeastLoadedPlacement{}, nil
+	case "robustness":
+		return RobustnessAwarePlacement{}, nil
+	}
+	return nil, fmt.Errorf("server: unknown placement %q (have %v)", name, PlacementNames())
+}

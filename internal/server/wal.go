@@ -77,6 +77,7 @@ const (
 	wkEnergy   = "energy"   // advance: periodic energy debit record
 	wkHalt     = "halt"     // halt: budget exhausted, cluster down
 	wkFlush    = "flush"    // drain: grace expired, stragglers failed wholesale
+	wkBudget   = "budget"   // AdjustBudget: sub-budget reset by the router's controller
 )
 
 // walRecord is one transition. Fields are shared across kinds (keyed by K);
@@ -142,6 +143,10 @@ type walRecord struct {
 	// Brownout (brownout).
 	Stage int  `json:"stg,omitempty"`
 	Gate  bool `json:"gate,omitempty"` // ShedAdmission active
+
+	// Budget adjustment (budget): the meter's new ζ budget after the
+	// router's controller reclaimed or granted headroom.
+	BG float64 `json:"bg,omitempty"`
 
 	// Wholesale clears (flush): number of in-flight tasks failed.
 	N int `json:"nn,omitempty"`

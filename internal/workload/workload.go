@@ -263,6 +263,51 @@ func (m *Model) TypeMeanExec(taskType int) float64 { return m.typeMean[taskType]
 // nodes, and P-states (§VI; ≈1353 in the paper's instance).
 func (m *Model) TAvg() float64 { return m.tAvg }
 
+// Slice builds a sub-model owning only the given node indices: the cluster
+// shrinks to those nodes and the pmf table keeps only their columns, while
+// the per-type deadline offsets, t_avg, and arrival rates stay those of the
+// parent. Deadlines and calibration are global properties of the workload —
+// a task is no easier because it landed on a smaller shard — so a set of
+// slices partitioning the parent admits the same tasks under the same
+// deadlines as the parent itself. Node indices must be distinct, in-range,
+// and non-empty; they need not be contiguous. The slice shares the parent's
+// pmf rows (pmfs are immutable after build), and its Hash() differs from
+// the parent's because the serialized cluster and table differ.
+func (m *Model) Slice(nodes []int) (*Model, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("workload: Slice: empty node set")
+	}
+	seen := make(map[int]bool, len(nodes))
+	sub := &Model{
+		Params:   m.Params,
+		Cluster:  &cluster.Cluster{Nodes: make([]cluster.Node, len(nodes))},
+		table:    make([][][]pmf.PMF, len(m.table)),
+		typeMean: m.typeMean,
+		tAvg:     m.tAvg,
+		fastRate: m.fastRate,
+		slowRate: m.slowRate,
+		classOf:  m.classOf,
+	}
+	for j, ni := range nodes {
+		if ni < 0 || ni >= m.Cluster.N() {
+			return nil, fmt.Errorf("workload: Slice: node %d out of range [0,%d)", ni, m.Cluster.N())
+		}
+		if seen[ni] {
+			return nil, fmt.Errorf("workload: Slice: duplicate node %d", ni)
+		}
+		seen[ni] = true
+		sub.Cluster.Nodes[j] = m.Cluster.Nodes[ni]
+	}
+	for ti := range m.table {
+		row := make([][]pmf.PMF, len(nodes))
+		for j, ni := range nodes {
+			row[j] = m.table[ti][ni]
+		}
+		sub.table[ti] = row
+	}
+	return sub, nil
+}
+
 // DefaultEnergyBudget returns ζ_max = t_avg × p_avg × WindowSize (§VI): the
 // energy needed to run an average task at average power once per window
 // task. By construction it is insufficient to run the whole window at high

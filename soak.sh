@@ -54,14 +54,14 @@ wait_addr() {
         [ -n "$addr" ] && return 0
         kill -0 "$srv" 2>/dev/null || {
             echo "soak: ecserve died during startup:" >&2
-            cat "$1" >&2
+            tail -50 "$1" >&2
             exit 1
         }
         i=$((i + 1))
         sleep 0.1
     done
     echo "soak: ecserve never reported its address" >&2
-    cat "$1" >&2
+    tail -50 "$1" >&2
     exit 1
 }
 
@@ -311,4 +311,131 @@ awk '
     }
 ' "$tmp/report-attack.json"
 
-echo "soak: OK ($N tasks at ${MULT}x + $CHAOS_N through kill-9 + adversarial multi-tenant, clean drains, race-clean)"
+# ---------------------------------------------------------------------------
+# Stage 4: shard-kill chaos. A three-shard router takes a gold-tenant burst
+# twice with identical seeds: once undisturbed (the no-kill baseline) and
+# once with one shard killed mid-burst through the chaos endpoint. The
+# router must route around the corpse — failover for racing requests,
+# re-routed queued work, reclaimed sub-budget for the survivors:
+#   - gold on-time completions with the kill >= 90% of the no-kill baseline
+#   - /v1/readyz reports the victim dead while the router keeps admitting
+#   - both drains exit 0 (zero orphans, balanced merged ledgers, race-clean)
+#   - global energy stays within ζ_max across the reclamation
+# ---------------------------------------------------------------------------
+echo "soak: stage 4 — shard-kill chaos (3 shards, kill 1 mid-burst)"
+SHARD_N="${SHARD_TASKS:-600}"
+SCALE4="${SHARD_SCALE:-1500}"
+
+# The offered load (0.5x combined) is sized to fit the two surviving
+# shards (~2/3 of the cores, so ~0.75x utilization after the kill): this
+# stage measures failover robustness — re-routed work, reclaimed budget,
+# lost in-flight tasks — not the arithmetic fact that 2x overload minus a
+# third of the capacity completes fewer tasks.
+cat >"$tmp/spec-shard.json" <<'EOF'
+{"tenants":[
+  {"id":"gold-a","slo":"gold","mult":0.25},
+  {"id":"gold-b","slo":"gold","mult":0.25}
+]}
+EOF
+
+for side in nokill kill; do
+    "$tmp/ecserve" -addr 127.0.0.1:0 -scale "$SCALE4" -budget "$BUDGET" -brownout \
+        -shards 3 -chaos -tenants "$tmp/spec-shard.json" \
+        -report "$tmp/report-$side.json" >"$tmp/shard-$side.log" 2>&1 &
+    srv=$!
+    wait_addr "$tmp/shard-$side.log"
+    echo "soak: $side run up on $addr (3 shards, chaos endpoint armed)"
+    "$tmp/ecload" -addr "$addr" -n "$SHARD_N" -seed 21 -q \
+        -tenants "$tmp/spec-shard.json" -retry-for 30s >"$tmp/shardload-$side.log" 2>&1 &
+    load=$!
+    if [ "$side" = kill ]; then
+        # Kill shard 1 once the burst is genuinely in flight: poll the
+        # stats document until the router has seen a meaningful slice of
+        # the load, so the victim dies with queued and running work.
+        i=0
+        while :; do
+            recv="$(curl -fsS "http://$addr/v1/stats" 2>/dev/null |
+                grep -o '"received":[0-9]*' | head -1 | cut -d: -f2)"
+            [ "${recv:-0}" -ge $((SHARD_N / 4)) ] && break
+            kill -0 "$load" 2>/dev/null || {
+                echo "soak: FAIL — ecload finished before the shard kill engaged" >&2
+                exit 1
+            }
+            i=$((i + 1))
+            if [ "$i" -ge 300 ]; then
+                echo "soak: FAIL — router never reached the shard-kill threshold" >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+        curl -fsS -X POST "http://$addr/v1/chaos/kill?shard=1" >"$tmp/chaoskill.json" || {
+            echo "soak: FAIL — chaos kill endpoint refused" >&2
+            exit 1
+        }
+        grep -q '"killed":1' "$tmp/chaoskill.json" || {
+            echo "soak: FAIL — chaos kill did not acknowledge shard 1" >&2
+            exit 1
+        }
+        curl -fsS "http://$addr/v1/readyz" >"$tmp/readyz.json" || {
+            echo "soak: FAIL — router stopped admitting after a single shard death" >&2
+            exit 1
+        }
+        grep -Eq '"health": ?"dead"' "$tmp/readyz.json" || {
+            echo "soak: FAIL — readyz does not report the killed shard dead" >&2
+            exit 1
+        }
+        echo "soak: shard 1 killed at received=$recv; router still ready"
+    fi
+    rc=0
+    wait "$load" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "soak: FAIL — ecload did not ride through the $side run (exit $rc):" >&2
+        tail -5 "$tmp/shardload-$side.log" >&2
+        exit 1
+    fi
+    kill -TERM "$srv"
+    rc=0
+    wait "$srv" || rc=$?
+    srv=""
+    if [ "$rc" -ne 0 ]; then
+        echo "soak: FAIL — $side-run ecserve exited $rc (orphans, imbalance, or a data race):" >&2
+        tail -20 "$tmp/shard-$side.log" >&2
+        exit 1
+    fi
+done
+
+grep '^  tenant ' "$tmp/shard-kill.log" || true
+
+BASE_GOLD="$(gold_ontime "$tmp/shard-nokill.log")"
+KILL_GOLD="$(gold_ontime "$tmp/shard-kill.log")"
+[ "${BASE_GOLD:-0}" -gt 0 ] || {
+    echo "soak: FAIL — no-kill baseline completed no gold tasks on time; comparison is vacuous" >&2
+    exit 1
+}
+awk -v base="$BASE_GOLD" -v kl="$KILL_GOLD" 'BEGIN {
+    if (kl + 0 < 0.90 * base) {
+        printf "soak: FAIL — gold on-time with a shard killed %d < 90%% of no-kill baseline %d\n", kl, base
+        exit 1
+    }
+    printf "soak: failover held gold SLOs: %d on-time with 1/3 shards killed vs %d baseline\n", kl, base
+}'
+
+grep -Eq '"health": ?"dead"' "$tmp/report-kill.json" || {
+    echo "soak: FAIL — drained report does not record the dead shard" >&2
+    exit 1
+}
+
+awk '
+    /"energyConsumed"/ && !c { gsub(/[",]/, ""); consumed = $2; c = 1 }
+    /"energyBudget"/ && !b   { gsub(/[",]/, ""); budget = $2; b = 1 }
+    END {
+        if (budget == "" || consumed == "") { print "soak: shard-kill report missing energy fields"; exit 1 }
+        if (consumed + 0 > budget + 1e-9) {
+            printf "soak: FAIL — reclaimed budgets let the meter drift past ζ_max: %s > %s\n", consumed, budget
+            exit 1
+        }
+        printf "soak: global energy %s / %s — within ζ_max across shard death and reclamation\n", consumed, budget
+    }
+' "$tmp/report-kill.json"
+
+echo "soak: OK ($N tasks at ${MULT}x + $CHAOS_N through kill-9 + adversarial multi-tenant + shard-kill failover, clean drains, race-clean)"

@@ -15,6 +15,29 @@ case "$tier" in
     ;;
 esac
 
+# wait_addr <logfile> <pid>: ecserve prints its bound address in the
+# startup banner, so the address appearing in the log doubles as the
+# readiness signal. Sets $addr; dies (with a log tail) if the server
+# process exits first or the banner never shows.
+wait_addr() {
+    addr=""
+    i=0
+    while [ "$i" -lt 300 ]; do
+        addr="$(sed -n 's#.*on http://\([^/]*\)/v1/tasks.*#\1#p' "$1")"
+        [ -n "$addr" ] && return 0
+        kill -0 "$2" 2>/dev/null || {
+            echo "verify: ecserve died during startup:" >&2
+            tail -50 "$1" >&2
+            exit 1
+        }
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "verify: ecserve never reported its address" >&2
+    tail -50 "$1" >&2
+    exit 1
+}
+
 echo "== tier 1: go build ./..."
 go build ./...
 echo "== tier 1: go test ./..."
@@ -101,16 +124,7 @@ if [ "$tier" -ge 2 ]; then
     "$flighttmp/ecserve" -addr 127.0.0.1:0 $CHAOS_FLAGS \
         -wal "$chaos/wal" -checkpoint-every 300ms >"$chaos/ecserve.log" 2>&1 &
     csrv=$!
-    addr=""
-    i=0
-    while [ "$i" -lt 100 ]; do
-        addr="$(sed -n 's#.*on http://\([^/]*\)/v1/tasks.*#\1#p' "$chaos/ecserve.log")"
-        [ -n "$addr" ] && break
-        kill -0 "$csrv" 2>/dev/null || { cat "$chaos/ecserve.log" >&2; exit 1; }
-        i=$((i + 1))
-        sleep 0.1
-    done
-    [ -n "$addr" ] || { echo "chaos: ecserve never came up" >&2; exit 1; }
+    wait_addr "$chaos/ecserve.log" "$csrv"
     "$flighttmp/ecload" -addr "$addr" -n 1500 -mult 2 -seed 3 -q >"$chaos/ecload.log" 2>&1 &
     cld=$!
     i=0
@@ -144,6 +158,77 @@ if [ "$tier" -ge 2 ]; then
     done
     cmp "$chaos/a/flight.cmp" "$chaos/b/flight.cmp"
     echo "   $lines WAL lines at SIGKILL; both recoveries drained clean, flight traces byte-identical"
+    # shards=1 identity gate: the same orphaned WAL recovered through a
+    # one-shard router must produce a flight trace byte-identical to the
+    # single-engine recovery above — the router tier at n=1 is the identity,
+    # not an approximation. Metric-snapshot lines are excluded as before
+    # (the router adds router_* instruments to the shared registry).
+    echo "== tier 2: shards=1 router identity (same WAL, byte-identical trace)"
+    mkdir -p "$chaos/c"
+    cp "$chaos/wal.1" "$chaos/c/wal.1"
+    [ -e "$chaos/wal.ckpt" ] && cp "$chaos/wal.ckpt" "$chaos/c/ckpt"
+    "$flighttmp/ecserve" $CHAOS_FLAGS -shards 1 -wal "$chaos/c/wal" -checkpoint "$chaos/c/ckpt" \
+        -recover -drain-now -flight "$chaos/c/flight.jsonl" \
+        -report "$chaos/c/report.json" >"$chaos/c/out.log" 2>&1 || {
+        echo "chaos: one-shard recovery drain failed (orphans or imbalance):" >&2
+        cat "$chaos/c/out.log" >&2
+        exit 1
+    }
+    grep -v '^{"m":' "$chaos/c/flight.jsonl" >"$chaos/c/flight.cmp"
+    cmp "$chaos/a/flight.cmp" "$chaos/c/flight.cmp"
+    echo "   one-shard router recovery is byte-identical to the single engine"
+    # Sharded recovery determinism gate: a three-shard durable server is
+    # SIGKILLed mid-burst, then its per-shard WALs are recovered and drained
+    # deterministically twice on separate copies. Every shard's flight trace
+    # must be byte-identical across the two replays — multi-shard recovery
+    # is a function of the durable state alone, with the cross-shard drain
+    # interleaving fixed by the shared virtual axis.
+    echo "== tier 2: 3-shard kill-9 recovery determinism"
+    sharded="$flighttmp/sharded"
+    mkdir -p "$sharded/a" "$sharded/b"
+    SHARD_FLAGS='-scale 2000 -budget 3 -shards 3'
+    "$flighttmp/ecserve" -addr 127.0.0.1:0 $SHARD_FLAGS \
+        -wal "$sharded/wal" -checkpoint-every 300ms >"$sharded/ecserve.log" 2>&1 &
+    csrv=$!
+    wait_addr "$sharded/ecserve.log" "$csrv"
+    "$flighttmp/ecload" -addr "$addr" -n 1500 -mult 2 -seed 5 -q >"$sharded/ecload.log" 2>&1 &
+    cld=$!
+    i=0
+    while :; do
+        lines="$(cat "$sharded"/wal.s*.1 2>/dev/null | wc -l || echo 0)"
+        [ "$lines" -ge 200 ] && break
+        i=$((i + 1))
+        [ "$i" -ge 150 ] || kill -0 "$cld" 2>/dev/null || {
+            echo "sharded: burst ended before the kill threshold" >&2
+            exit 1
+        }
+        [ "$i" -ge 150 ] && { echo "sharded: WALs never reached kill threshold" >&2; exit 1; }
+        sleep 0.1
+    done
+    kill -9 "$csrv" 2>/dev/null
+    wait "$csrv" 2>/dev/null || true
+    csrv=""
+    kill "$cld" 2>/dev/null || true
+    wait "$cld" 2>/dev/null || true
+    for side in a b; do
+        for s in 0 1 2; do
+            cp "$sharded/wal.s$s.1" "$sharded/$side/wal.s$s.1"
+            [ -e "$sharded/wal.ckpt.s$s" ] && cp "$sharded/wal.ckpt.s$s" "$sharded/$side/ckpt.s$s" || true
+        done
+        "$flighttmp/ecserve" $SHARD_FLAGS -wal "$sharded/$side/wal" -checkpoint "$sharded/$side/ckpt" \
+            -recover -drain-now -flight "$sharded/$side/flight.jsonl" \
+            -report "$sharded/$side/report.json" >"$sharded/$side/out.log" 2>&1 || {
+            echo "sharded: recovery drain $side failed (orphans or imbalance):" >&2
+            cat "$sharded/$side/out.log" >&2
+            exit 1
+        }
+    done
+    for s in 0 1 2; do
+        grep -v '^{"m":' "$sharded/a/flight.jsonl.s$s" >"$sharded/a/flight.s$s.cmp"
+        grep -v '^{"m":' "$sharded/b/flight.jsonl.s$s" >"$sharded/b/flight.s$s.cmp"
+        cmp "$sharded/a/flight.s$s.cmp" "$sharded/b/flight.s$s.cmp"
+    done
+    echo "   $lines WAL lines at SIGKILL; 3-shard recovery replayed twice, all per-shard traces byte-identical"
     # End-to-end soak: race-built ecserve under bursty 2x overload with
     # fault injection, then a SIGTERM drain that must orphan nothing,
     # followed by the kill-9 chaos stage (SIGKILL mid-burst, -recover,
