@@ -4,10 +4,29 @@
 # to it). Narrow the set with a pattern argument:
 #   ./bench.sh              # everything
 #   ./bench.sh 'Fig[0-9]+'  # figure benches only
+#
+# Profiling: BENCH_PROFILE=1 captures CPU and heap profiles next to the
+# baseline (<stem>.<pkg>.cpu.pprof / .mem.pprof). go test refuses profile
+# flags with multiple packages, so profiling runs each package separately;
+# timings land in the same raw file either way.
+#
+# Regression gate: BENCH_GATE is a regex naming benchmarks that must not
+# regress; any gated benchmark whose ns/op grows more than BENCH_THRESHOLD
+# percent (default 10) over the most recent committed baseline fails the
+# run loudly with exit 1:
+#   BENCH_GATE='Trial/LL_en_rob$|ServeAdmit' BENCH_THRESHOLD=15 ./bench.sh
 set -eu
 cd "$(dirname "$0")"
 
 pattern="${1:-.}"
+gate="${BENCH_GATE:-}"
+threshold="${BENCH_THRESHOLD:-10}"
+case "$threshold" in
+'' | *[!0-9.]*)
+    echo "bench: BENCH_THRESHOLD must be a number (percent), got '$threshold'" >&2
+    exit 2
+    ;;
+esac
 date="$(date +%Y-%m-%d)"
 # Never clobber an earlier run from the same day: suffix _1, _2, ... until
 # the name is free. The suffixed runs stay in chronological order for the
@@ -29,7 +48,23 @@ out="${stem}.json"
 
 # The root package holds the figure/table and hot-path benches;
 # internal/server adds the durability ones (WAL append/commit, recovery).
-go test -run '^$' -bench "$pattern" -benchmem . ./internal/server | tee "$raw"
+if [ -n "${BENCH_PROFILE:-}" ]; then
+    : > "$raw"
+    for pkg in . ./internal/server; do
+        tag="$(basename "$(cd "$pkg" && pwd)")"
+        [ "$pkg" = "." ] && tag="root"
+        go test -run '^$' -bench "$pattern" -benchmem \
+            -cpuprofile "${stem}.${tag}.cpu.pprof" \
+            -memprofile "${stem}.${tag}.mem.pprof" \
+            "$pkg" | tee -a "$raw"
+        # go test leaves the compiled test binary behind when profiling;
+        # pprof reads Go CPU/heap profiles without it, so drop it.
+        rm -f "$(basename "$(cd "$pkg" && pwd)").test" repro.test
+    done
+    echo "profiles: ${stem}.*.{cpu,mem}.pprof (inspect with 'go tool pprof')"
+else
+    go test -run '^$' -bench "$pattern" -benchmem . ./internal/server | tee "$raw"
+fi
 
 # Parse "BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op  [W unit]..."
 # into a JSON array; custom metrics (e.g. med_missed) ride along.
@@ -65,7 +100,7 @@ done
 if [ -n "$prev" ]; then
     echo
     echo "delta vs $prev:"
-    awk -v prevfile="$prev" '
+    awk -v prevfile="$prev" -v gate="$gate" -v thresh="$threshold" '
     function grab(line, key,   m) {
         if (match(line, "\"" key "\": [0-9.eE+-]+")) {
             m = substr(line, RSTART, RLENGTH)
@@ -79,13 +114,39 @@ if [ -n "$prev" ]; then
         ns = grab($0, "ns_per_op")
         al = grab($0, "allocs_per_op")
         if (FILENAME == prevfile) { pns[name] = ns; pal[name] = al; next }
+        if (gate != "" && name ~ gate) gated[name] = 1
         if (!(name in pns)) next
-        dns = "n/a"; dal = "n/a"
-        if (ns != "" && pns[name] + 0 > 0)
-            dns = sprintf("%+.1f%%", 100 * (ns - pns[name]) / pns[name])
+        dns = "n/a"; dal = "n/a"; pct = 0
+        if (ns != "" && pns[name] + 0 > 0) {
+            pct = 100 * (ns - pns[name]) / pns[name]
+            dns = sprintf("%+.1f%%", pct)
+        }
         if (al != "" && pal[name] != "")
             dal = sprintf("%+d", al - pal[name])
         printf "  %-44s %14s ns/op (%s)  %8s allocs/op (%s)\n", name, ns, dns, al, dal
+        if ((name in gated) && pct > thresh + 0) {
+            nbad++
+            bad[nbad] = sprintf("%s: %s -> %s ns/op (%+.1f%% > %s%% threshold)",
+                                name, pns[name], ns, pct, thresh)
+        }
+        delete gated[name]
     }
-    ' "$prev" "$out"
+    END {
+        # Gated benchmarks with no baseline entry cannot be compared; say so
+        # rather than silently passing a gate that never fired.
+        for (name in gated)
+            printf "  warning: gated benchmark %s missing from baseline — not compared\n", name
+        if (nbad) {
+            printf "\nBENCH GATE FAILED (%d regression(s) vs %s):\n", nbad, prevfile
+            for (i = 1; i <= nbad; i++) printf "  !! %s\n", bad[i]
+            exit 1
+        }
+    }
+    ' "$prev" "$out" || {
+        echo "bench: gated regression detected — see the report above" >&2
+        exit 1
+    }
+elif [ -n "$gate" ]; then
+    echo "bench: BENCH_GATE set but no prior baseline to compare against" >&2
+    exit 1
 fi

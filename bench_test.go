@@ -8,6 +8,7 @@ package repro
 // are visible in bench output.
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -238,25 +239,91 @@ func microModel(b *testing.B) *workload.Model {
 	return m
 }
 
-// BenchmarkConvolve measures the pmf convolution at scheduler-typical
-// operand sizes (a 64-impulse free-time distribution × a 24-impulse
-// execution pmf).
-func BenchmarkConvolve(b *testing.B) {
-	mk := func(n int, scale float64) pmf.PMF {
-		vals := make([]float64, n)
-		probs := make([]float64, n)
-		for i := range vals {
-			vals[i] = scale * float64(i+1)
-			probs[i] = float64(1 + i%7)
-		}
-		return pmf.MustNew(vals, probs)
+// mkBenchPMF builds an n-impulse pmf with impulses spaced scale apart.
+func mkBenchPMF(n int, scale float64) pmf.PMF {
+	vals := make([]float64, n)
+	probs := make([]float64, n)
+	for i := range vals {
+		vals[i] = scale * float64(i+1)
+		probs[i] = float64(1 + i%7)
 	}
-	free := mk(64, 13.7)
-	exec := mk(24, 31.1)
+	return pmf.MustNew(vals, probs)
+}
+
+// BenchmarkConvolve measures the sparse pmf convolution at
+// scheduler-typical operand sizes (a 64-impulse free-time distribution × a
+// 24-impulse execution pmf). The sort-merge-compact stage sorts paired
+// impulses with slices.SortFunc (one pdqsort over 16-byte elements instead
+// of an index permutation with two indirections per comparison), worth
+// ~1-2% at this shape and two fewer scratch slices in the pool.
+func BenchmarkConvolve(b *testing.B) {
+	free := mkBenchPMF(64, 13.7)
+	exec := mkBenchPMF(24, 31.1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = pmf.Convolve(free, exec)
+	}
+}
+
+// BenchmarkGridConvolve measures the fixed-grid kernels that replace the
+// sparse pipeline on the scheduler's hot path.
+//
+//   - lattice: Grid⊛Lattice axpy fold at tail-extension shape (dense
+//     accumulator × 24-impulse operand) — the OnEnqueue extend cost.
+//   - dispatch/sizeN: dense Grid⊛Grid products at increasing support;
+//     Convolve picks direct or FFT per the crossover rule, and the
+//     fft_frac metric reports which side of the boundary each size landed
+//     on — re-run after hardware changes to recalibrate fftCostFactor.
+func BenchmarkGridConvolve(b *testing.B) {
+	const step = 13.7
+	exec := pmf.ToLattice(mkBenchPMF(24, step), step)
+	b.Run("lattice", func(b *testing.B) {
+		w := pmf.IdentityGrid(step)
+		for k := 0; k < 3; k++ {
+			w = w.ConvolveLattice(exec)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = w.ConvolveLattice(exec)
+		}
+	})
+	for _, n := range []int{64, 256, 1024, 4096} {
+		n := n
+		b.Run(fmt.Sprintf("dispatch/size%d", n), func(b *testing.B) {
+			ga := pmf.ToGrid(mkBenchPMF(n, step), step)
+			gb := pmf.ToGrid(mkBenchPMF(n/2, step), step)
+			b.ReportAllocs()
+			before := pmf.ReadOpCounts()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ga.Convolve(gb)
+			}
+			b.StopTimer()
+			d := pmf.ReadOpCounts().Sub(before)
+			b.ReportMetric(float64(d.FFTConvolutions)/float64(d.GridConvolutions), "fft_frac")
+		})
+	}
+}
+
+// BenchmarkTripleConvCDF measures one grid-mode ρ evaluation: the
+// prefix-sum double loop over head × candidate impulses against the cached
+// waiting-tail grid, with nothing materialized. This is the kernel behind
+// every admission decision in grid mode.
+func BenchmarkTripleConvCDF(b *testing.B) {
+	const step = 13.7
+	h := pmf.ToLattice(mkBenchPMF(24, step), step)
+	e := pmf.ToLattice(mkBenchPMF(24, step), step)
+	w := pmf.IdentityGrid(step)
+	for k := 0; k < 3; k++ {
+		w = w.ConvolveLattice(h)
+	}
+	x := w.Mean() + h.Mean() + e.Mean()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pmf.TripleConvCDF(&h, &w, &e, x)
 	}
 }
 
@@ -320,13 +387,16 @@ func BenchmarkTrial(b *testing.B) {
 	cases := []struct {
 		name   string
 		mapper *sched.Mapper
+		sparse bool
 	}{
-		{"MECT_none", &sched.Mapper{Heuristic: sched.MinExpectedCompletionTime{}}},
-		{"LL_en_rob", &sched.Mapper{Heuristic: sched.LightestLoad{}, Filters: sched.EnergyAndRobustness.Filters()}},
+		{"MECT_none", &sched.Mapper{Heuristic: sched.MinExpectedCompletionTime{}}, false},
+		{"LL_en_rob", &sched.Mapper{Heuristic: sched.LightestLoad{}, Filters: sched.EnergyAndRobustness.Filters()}, false},
+		// The pre-grid sparse pipeline, kept runnable for the speedup ratio.
+		{"LL_en_rob_sparse", &sched.Mapper{Heuristic: sched.LightestLoad{}, Filters: sched.EnergyAndRobustness.Filters()}, true},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
-			cfg := sim.Config{Model: m, Mapper: c.mapper, EnergyBudget: math.Inf(1)}
+			cfg := sim.Config{Model: m, Mapper: c.mapper, EnergyBudget: math.Inf(1), SparsePMF: c.sparse}
 			b.ReportAllocs()
 			before := pmf.ReadOpCounts()
 			for i := 0; i < b.N; i++ {
@@ -336,6 +406,7 @@ func BenchmarkTrial(b *testing.B) {
 			}
 			d := pmf.ReadOpCounts().Sub(before)
 			b.ReportMetric(float64(d.Convolutions)/float64(b.N), "conv/trial")
+			b.ReportMetric(float64(d.GridConvolutions)/float64(b.N), "gridconv/trial")
 		})
 	}
 }

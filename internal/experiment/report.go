@@ -154,6 +154,10 @@ func (r *RunReport) Render() string {
 	}
 	fmt.Fprintf(&b, "  pmf: %d convolutions (%d bucketed), %d compactions dropping %d impulses\n",
 		r.PMF.Convolutions, r.PMF.BucketedConvolutions, r.PMF.Compactions, r.PMF.ImpulsesCompacted)
+	if r.PMF.GridConvolutions > 0 || r.PMF.GridRhoEvals > 0 {
+		fmt.Fprintf(&b, "  pmf grid: %d lattice convolutions (%d via FFT), %d ρ prefix-sum evaluations\n",
+			r.PMF.GridConvolutions, r.PMF.FFTConvolutions, r.PMF.GridRhoEvals)
+	}
 	fmt.Fprintf(&b, "  simulator: %d events processed, heap high-water %d, energy consumed %.4g\n",
 		d.EventsProcessed, d.HeapDepthHighWater, d.EnergyConsumed)
 	if c := r.Calibration; c != nil {

@@ -61,7 +61,7 @@ func TestReportAfterVariant(t *testing.T) {
 	if d.EventsProcessed == 0 {
 		t.Fatal("no simulator events in merged snapshot")
 	}
-	if r.PMF.Convolutions == 0 {
+	if r.PMF.Convolutions == 0 && r.PMF.GridConvolutions == 0 {
 		t.Fatal("no pmf convolutions attributed to the environment")
 	}
 

@@ -1,0 +1,119 @@
+package pmf
+
+import (
+	"math"
+	"sync"
+)
+
+// Real convolution via a single complex FFT: the two real operands are
+// packed into the real and imaginary lanes of one complex sequence, so a
+// full linear convolution costs one forward and one inverse transform of
+// the power-of-two-padded length. This is the large-support path behind
+// Grid.Convolve's crossover; the iterative radix-2 kernel below is
+// dependency-free and deterministic (fixed butterfly order, recurrence-free
+// twiddles from math.Cos/Sin per stage).
+
+// fftScratch holds the reusable complex buffers of one convolution.
+type fftScratch struct {
+	z, c []complex128
+}
+
+var fftPool = sync.Pool{New: func() any { return new(fftScratch) }}
+
+// fftSize returns the transform length for a linear convolution of outLen
+// points: the next power of two at or above outLen.
+func fftSize(outLen int) int {
+	n := 1
+	for n < outLen {
+		n <<= 1
+	}
+	return n
+}
+
+// fftConvolve returns the linear convolution of a and b (length
+// len(a)+len(b)-1). Rounding introduces ~1e-15 relative error per
+// coefficient; tiny negative results are clamped to zero so downstream
+// prefix sums stay monotone.
+func fftConvolve(a, b []float64) []float64 {
+	outLen := len(a) + len(b) - 1
+	n := fftSize(outLen)
+	s := fftPool.Get().(*fftScratch)
+	defer fftPool.Put(s)
+	if cap(s.z) < n {
+		s.z = make([]complex128, n)
+		s.c = make([]complex128, n)
+	}
+	z, c := s.z[:n], s.c[:n]
+	for i := range z {
+		var re, im float64
+		if i < len(a) {
+			re = a[i]
+		}
+		if i < len(b) {
+			im = b[i]
+		}
+		z[i] = complex(re, im)
+	}
+	fft(z, false)
+	// Unpack: with z = a + i·b, A_k = (Z_k + conj(Z_{n-k}))/2 and
+	// B_k = (Z_k − conj(Z_{n-k}))/(2i); the convolution spectrum is A_k·B_k.
+	for k := 0; k <= n/2; k++ {
+		mk := (n - k) & (n - 1)
+		zk, zmk := z[k], complex(real(z[mk]), -imag(z[mk]))
+		ak := (zk + zmk) * 0.5
+		bk := (zk - zmk) * complex(0, -0.5)
+		ck := ak * bk
+		c[k] = ck
+		// The product spectrum of two real sequences is conjugate-symmetric.
+		c[mk] = complex(real(ck), -imag(ck))
+	}
+	fft(c, true)
+	inv := 1 / float64(n)
+	out := make([]float64, outLen)
+	for i := range out {
+		v := real(c[i]) * inv
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// fft runs an in-place iterative radix-2 transform of z (len must be a
+// power of two); inverse selects the conjugate transform (unscaled — the
+// caller divides by n).
+func fft(z []complex128, inverse bool) {
+	n := len(z)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			z[i], z[j] = z[j], z[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		half := length >> 1
+		for start := 0; start < n; start += length {
+			for k := 0; k < half; k++ {
+				// Direct per-index twiddle: slower than a recurrence but
+				// free of accumulated rounding, keeping the transform
+				// deterministic to the last bit across chunk orders.
+				w := complex(math.Cos(ang*float64(k)), math.Sin(ang*float64(k)))
+				u := z[start+k]
+				v := z[start+k+half] * w
+				z[start+k] = u + v
+				z[start+k+half] = u - v
+			}
+		}
+	}
+}

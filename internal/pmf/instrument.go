@@ -12,6 +12,9 @@ var (
 	opBucketed          atomic.Int64
 	opCompactions       atomic.Int64
 	opImpulsesCompacted atomic.Int64
+	opGridConvolutions  atomic.Int64
+	opFFTConvolutions   atomic.Int64
+	opGridRhoEvals      atomic.Int64
 )
 
 // OpCounts is a sample of the package's operation counters.
@@ -27,6 +30,15 @@ type OpCounts struct {
 	// ImpulsesCompacted counts impulses eliminated by compaction (input
 	// minus output support sizes, summed over Compactions).
 	ImpulsesCompacted int64 `json:"impulsesCompacted"`
+	// GridConvolutions counts lattice convolutions (Grid.Convolve and
+	// Grid.ConvolveLattice) on the fixed-grid fast path.
+	GridConvolutions int64 `json:"gridConvolutions"`
+	// FFTConvolutions counts the subset of GridConvolutions dispatched to
+	// the FFT kernel above the support-length crossover.
+	FFTConvolutions int64 `json:"fftConvolutions"`
+	// GridRhoEvals counts ρ evaluations answered by TripleConvCDF — a
+	// prefix-sum double loop in place of a convolution plus CDF walk.
+	GridRhoEvals int64 `json:"gridRhoEvals"`
 }
 
 // ReadOpCounts samples the counters. Counters increase monotonically for
@@ -38,6 +50,9 @@ func ReadOpCounts() OpCounts {
 		BucketedConvolutions: opBucketed.Load(),
 		Compactions:          opCompactions.Load(),
 		ImpulsesCompacted:    opImpulsesCompacted.Load(),
+		GridConvolutions:     opGridConvolutions.Load(),
+		FFTConvolutions:      opFFTConvolutions.Load(),
+		GridRhoEvals:         opGridRhoEvals.Load(),
 	}
 }
 
@@ -48,5 +63,8 @@ func (c OpCounts) Sub(prev OpCounts) OpCounts {
 		BucketedConvolutions: c.BucketedConvolutions - prev.BucketedConvolutions,
 		Compactions:          c.Compactions - prev.Compactions,
 		ImpulsesCompacted:    c.ImpulsesCompacted - prev.ImpulsesCompacted,
+		GridConvolutions:     c.GridConvolutions - prev.GridConvolutions,
+		FFTConvolutions:      c.FFTConvolutions - prev.FFTConvolutions,
+		GridRhoEvals:         c.GridRhoEvals - prev.GridRhoEvals,
 	}
 }

@@ -40,10 +40,23 @@ type FreeTimeEngine struct {
 	calc  *Calculator
 	cores []coreChain
 
+	// grid routes every query through the fixed-grid pipeline (SetGrid):
+	// heads stay sparse-on-lattice, the waiting-tail product is cached
+	// densely, and ρ is answered by pmf.TripleConvCDF. Results are then
+	// bit-identical to the Calculator's Grid* reference methods.
+	grid bool
+
 	// Chain-cache instrumentation (nil-safe, attached via Instrument).
 	hits, misses, extends, rebuilds *metrics.Counter
 	compHits, compMisses, compSkips *metrics.Counter
+	gridRho, freeHits, freeMisses   *metrics.Counter
 }
+
+// FreeSource supplies a core's free-time distribution on demand — the hook
+// ProbOnTime uses on a completion-cache miss. It is an interface rather
+// than a closure so the scheduler's per-decision arena can hand the engine
+// a pointer-backed source without a per-candidate closure allocation.
+type FreeSource interface{ FreePMF() pmf.PMF }
 
 // compKey identifies a candidate completion distribution on one core: the
 // task type and P-state determine the execution PMF (the core's node is
@@ -95,6 +108,64 @@ type coreChain struct {
 	// never exceeds |types|·|P-states| entries.
 	comps map[compKey]compEntry
 
+	// Grid-mode state, populated only when the engine runs on the lattice.
+	// baseL is the running head's execution lattice shifted by its start
+	// (the grid analogue of comp); headL is baseL truncated at headLCut.
+	baseL    pmf.Lattice
+	baseLVer uint64
+	baseLOK  bool
+
+	headL     pmf.Lattice
+	headLMean float64
+	headLCut  int
+	headLVer  uint64
+	headLOK   bool
+
+	// tail is the dense product of the waiting tasks' execution lattices —
+	// the now-independent part of the chain that lattice associativity
+	// makes cacheable on its own. tailLen counts the lattices folded in.
+	tail    pmf.Grid
+	tailLen int
+	tailVer uint64
+	tailOK  bool
+
+	// hw is the dense tail ⊛ headL product, keyed like the sparse chain by
+	// (version, cut, len). It is the shared factor of every candidate's ρ
+	// on this core — ConvCDF answers each candidate against its prefix
+	// sums in O(|exec|) — and grid-mode FreeTime materializes its sparse
+	// form from it. Only cacheable heads (cut ≥ 0) are stored. The product
+	// is rebuilt into hwScratch, so the cut drifting with now (which
+	// invalidates it once per decision per busy core at steady state)
+	// recycles the same backing arrays instead of churning the heap; hw is
+	// therefore only valid until the next rebuild, which is exactly its
+	// cache lifetime.
+	hw        pmf.Grid
+	hwScratch pmf.GridScratch
+	hwCut     int
+	hwLen     int
+	hwVer     uint64
+	hwOK      bool
+
+	// rho memoizes the candidate-independent slice of a grid-mode ρ
+	// evaluation — the head lattice, its cut, and the chain's minimum
+	// completion bound — per (version, queue length, decision instant).
+	// Every P-state candidate on the core shares these within a decision.
+	rhoHead    pmf.Lattice
+	rhoCut     int
+	rhoFreeMin float64
+	rhoNow     float64
+	rhoLen     int
+	rhoVer     uint64
+	rhoOK      bool
+
+	// chainG is the materialized sparse form of tail ⊛ headL that grid-mode
+	// FreeTime returns, keyed like the sparse chain by (version, cut, len).
+	chainG    pmf.PMF
+	chainGCut int
+	chainGLen int
+	chainGVer uint64
+	chainGOK  bool
+
 	// seenQ/seenNow record the queue state most recently passed to FreeMean
 	// or FreeTime, letting RhoSeen re-derive it instead of every candidate
 	// carrying its own copy through the mapping hot path.
@@ -125,6 +196,34 @@ func (e *FreeTimeEngine) Instrument(hits, misses, extends, rebuilds, compHits, c
 	e.compHits, e.compMisses, e.compSkips = compHits, compMisses, compSkips
 }
 
+// InstrumentGrid attaches the grid-mode counters: gridRho counts ρ
+// evaluations answered by the lattice TripleConvCDF kernel, and
+// freeHits/freeMisses count whether the free-time state those evaluations
+// read (the waiting-tail product) was served from cache or had to be
+// folded — the grid analogue of the per-decision free-time memo traffic.
+// The Instrument counters keep their meanings against the grid chain
+// (hits/misses/rebuilds describe the materialized chain cache, extends the
+// incremental tail product, compSkips the infeasibility short-circuit);
+// compHits/compMisses stay zero because no completion PMF is ever built.
+// Any counter may be nil.
+func (e *FreeTimeEngine) InstrumentGrid(gridRho, freeHits, freeMisses *metrics.Counter) {
+	e.gridRho, e.freeHits, e.freeMisses = gridRho, freeHits, freeMisses
+}
+
+// SetGrid switches the engine onto the fixed-grid pipeline (building the
+// calculator's lattice table at the default step if absent). Set once
+// before use; the sparse and grid caches are disjoint, so flipping modes
+// mid-run wastes cache state but stays correct.
+func (e *FreeTimeEngine) SetGrid(on bool) {
+	if on && !e.calc.GridEnabled() {
+		e.calc.EnableGrid(0)
+	}
+	e.grid = on
+}
+
+// Grid reports whether the engine runs on the fixed-grid pipeline.
+func (e *FreeTimeEngine) Grid() bool { return e.grid }
+
 // Invalidate discards the core's cached state. Call it on every queue
 // mutation that is not a pure tail enqueue.
 func (e *FreeTimeEngine) Invalidate(coreIdx int) {
@@ -139,6 +238,25 @@ func (e *FreeTimeEngine) Invalidate(coreIdx int) {
 // a no-op and the next query rebuilds lazily.
 func (e *FreeTimeEngine) OnEnqueue(coreIdx, node, taskType int, ps cluster.PState, queueLen int) {
 	c := &e.cores[coreIdx]
+	if e.grid {
+		g := e.calc.grid
+		switch {
+		case queueLen == 1:
+			// The enqueued task is the head: the waiting tail is empty, and
+			// the identity product is valid no matter what was cached.
+			c.tail, c.tailLen, c.tailVer, c.tailOK = g.identity, 0, c.ver, true
+		case c.tailOK && c.tailVer == c.ver && c.tailLen == queueLen-2:
+			// Extending at the right end is exactly the next iteration of
+			// the left-to-right fold gridTail runs, so the extended product
+			// is bit-identical to a fresh rebuild.
+			c.tail = c.tail.ConvolveLattice(g.exec[taskType][node][ps].lat)
+			c.tailLen = queueLen - 1
+			e.extends.Inc()
+		default:
+			c.tailOK = false
+		}
+		return
+	}
 	if !c.chainOK || c.chainVer != c.ver || c.chainLen != queueLen-1 || c.chainLen < 1 {
 		return
 	}
@@ -157,6 +275,14 @@ func (e *FreeTimeEngine) FreeMean(coreIdx int, q CoreQueue, now float64) float64
 	c.seenQ, c.seenNow = q, now
 	if len(q.Tasks) == 0 {
 		return now
+	}
+	if e.grid {
+		_, mean, _ := e.gridHeadFor(c, q, now)
+		g := e.calc.grid
+		for _, t := range q.Tasks[1:] {
+			mean += g.exec[t.Type][q.Node][t.PState].mean
+		}
+		return mean
 	}
 	var mean float64
 	if t0 := q.Tasks[0]; t0.Started {
@@ -180,6 +306,31 @@ func (e *FreeTimeEngine) FreeTime(coreIdx int, q CoreQueue, now float64) pmf.PMF
 	c.seenQ, c.seenNow = q, now
 	if len(q.Tasks) == 0 {
 		return pmf.Point(now)
+	}
+	if e.grid {
+		e.calc.freeTimeEvals.Inc()
+		headL, _, cut := e.gridHeadFor(c, q, now)
+		if c.chainGOK && c.chainGVer == c.ver && c.chainGLen == len(q.Tasks) && cut >= 0 && c.chainGCut == cut {
+			e.hits.Inc()
+			return c.chainG
+		}
+		rebuild := c.chainGOK && c.chainGVer == c.ver && c.chainGLen == len(q.Tasks)
+		var free pmf.PMF
+		if cut >= 0 {
+			wh, _, _ := e.hwFor(c, q, &headL, cut)
+			free = wh.PMF()
+			c.chainG, c.chainGCut, c.chainGLen, c.chainGVer, c.chainGOK = free, cut, len(q.Tasks), c.ver, true
+		} else {
+			tail, _ := e.tailFor(c, q)
+			free = tail.ConvolveLattice(headL).PMF()
+			c.chainGOK = false
+		}
+		if rebuild {
+			e.rebuilds.Inc()
+		} else {
+			e.misses.Inc()
+		}
+		return free
 	}
 	var head pmf.PMF
 	cut := -1
@@ -222,12 +373,15 @@ func (e *FreeTimeEngine) FreeTime(coreIdx int, q CoreQueue, now float64) pmf.PMF
 //
 // In exact-ρ mode the evaluator never materializes a completion PMF, so
 // there is nothing to cache and the call devolves to the direct double sum.
-func (e *FreeTimeEngine) ProbOnTime(coreIdx int, q CoreQueue, now float64, taskType int, ps cluster.PState, deadline float64, free func() pmf.PMF) float64 {
-	if free == nil {
-		free = func() pmf.PMF { return e.FreeTime(coreIdx, q, now) }
-	}
+// In grid mode it is bit-identical to Calculator.GridProbOnTime instead: ρ
+// comes from prefix sums of the cached tail⊛head product (or the direct
+// double sum when the head is uncacheable), and free is never consulted.
+func (e *FreeTimeEngine) ProbOnTime(coreIdx int, q CoreQueue, now float64, taskType int, ps cluster.PState, deadline float64, free FreeSource) float64 {
 	if e.calc.exactRho {
-		return e.calc.ProbOnTime(free(), taskType, q.Node, ps, deadline)
+		return e.calc.ProbOnTime(e.freePMF(free, coreIdx, q, now), taskType, q.Node, ps, deadline)
+	}
+	if e.grid {
+		return e.probOnTimeGrid(coreIdx, q, now, taskType, ps, deadline)
 	}
 	c := &e.cores[coreIdx]
 	cut := -1
@@ -268,7 +422,7 @@ func (e *FreeTimeEngine) ProbOnTime(coreIdx int, q CoreQueue, now float64, taskT
 			return ent.comp.ProbByDeadline(deadline)
 		}
 	}
-	comp := e.calc.CompletionPMF(free(), taskType, q.Node, ps)
+	comp := e.calc.CompletionPMF(e.freePMF(free, coreIdx, q, now), taskType, q.Node, ps)
 	if cut >= 0 {
 		if c.comps == nil {
 			c.comps = make(map[compKey]compEntry)
@@ -285,9 +439,143 @@ func (e *FreeTimeEngine) ProbOnTime(coreIdx int, q CoreQueue, now float64, taskT
 // queues never mutate mid-decision, so the recorded state is exactly the
 // decision's state — without each candidate carrying a queue copy through
 // the mapping hot path.
-func (e *FreeTimeEngine) RhoSeen(coreIdx, taskType int, ps cluster.PState, deadline float64, free func() pmf.PMF) float64 {
+func (e *FreeTimeEngine) RhoSeen(coreIdx, taskType int, ps cluster.PState, deadline float64, free FreeSource) float64 {
 	c := &e.cores[coreIdx]
 	return e.ProbOnTime(coreIdx, c.seenQ, c.seenNow, taskType, ps, deadline, free)
+}
+
+// freePMF resolves the free-time distribution for the completion paths:
+// the caller's source when provided, the engine's own cache otherwise.
+func (e *FreeTimeEngine) freePMF(free FreeSource, coreIdx int, q CoreQueue, now float64) pmf.PMF {
+	if free != nil {
+		return free.FreePMF()
+	}
+	return e.FreeTime(coreIdx, q, now)
+}
+
+// probOnTimeGrid is the grid-mode ρ: bit-identical to
+// Calculator.GridProbOnTime on the same queue, with the head truncation and
+// the waiting-tail product served from the per-core caches and the same
+// infeasibility short-circuit the sparse path applies. The skip is exact
+// here too: TripleConvCDF sums w's prefix sums at floor-index offsets, and
+// a deadline below the summed support minima by a 1e-9 relative guard —
+// orders of magnitude wider than the ~1e-16 rounding between the bound's
+// float expression and the kernel's — lands every index strictly before
+// the first massive bin, so the kernel would return exactly 0.0.
+func (e *FreeTimeEngine) probOnTimeGrid(coreIdx int, q CoreQueue, now float64, taskType int, ps cluster.PState, deadline float64) float64 {
+	c := &e.cores[coreIdx]
+	g := e.calc.grid
+	exec := &g.exec[taskType][q.Node][ps]
+	if !(c.rhoOK && c.rhoVer == c.ver && c.rhoLen == len(q.Tasks) && c.rhoNow == now) {
+		if len(q.Tasks) == 0 {
+			c.rhoHead = pmf.PointLattice(now, g.step)
+			c.rhoCut = -1
+			c.rhoFreeMin = now
+		} else {
+			c.rhoHead, _, c.rhoCut = e.gridHeadFor(c, q, now)
+			freeMin := c.rhoHead.Min()
+			for _, t := range q.Tasks[1:] {
+				freeMin += g.exec[t.Type][q.Node][t.PState].min
+			}
+			c.rhoFreeMin = freeMin
+		}
+		c.rhoVer, c.rhoLen, c.rhoNow, c.rhoOK = c.ver, len(q.Tasks), now, true
+	}
+	if bound := c.rhoFreeMin + exec.min; bound > 0 && deadline < bound*(1-1e-9) {
+		e.compSkips.Inc()
+		return 0
+	}
+	e.gridRho.Inc()
+	e.calc.completionEvals.Inc()
+	if c.rhoCut >= 0 {
+		// Cacheable head: every candidate on this core shares the dense
+		// tail⊛head factor, so ρ is one O(|exec|) prefix-sum pass.
+		wh, hit, folded := e.hwFor(c, q, &c.rhoHead, c.rhoCut)
+		if hit || !folded {
+			e.freeHits.Inc()
+		} else {
+			e.freeMisses.Inc()
+		}
+		return wh.ConvCDF(&exec.lat, deadline)
+	}
+	tail, folded := e.tailFor(c, q)
+	if folded {
+		e.freeMisses.Inc()
+	} else {
+		e.freeHits.Inc()
+	}
+	return pmf.TripleConvCDF(&c.rhoHead, tail, &exec.lat, deadline)
+}
+
+// hwFor returns the core's dense tail ⊛ headL product for a cacheable head
+// (cut ≥ 0), plus whether it came straight from the cache and — when it
+// did not — whether the underlying tail had to be folded fresh. The
+// product is the same expression Calculator.GridProbOnTime materializes,
+// so cached and fresh answers are bit-identical.
+func (e *FreeTimeEngine) hwFor(c *coreChain, q CoreQueue, headL *pmf.Lattice, cut int) (*pmf.Grid, bool, bool) {
+	if c.hwOK && c.hwVer == c.ver && c.hwLen == len(q.Tasks) && c.hwCut == cut {
+		return &c.hw, true, false
+	}
+	tail, folded := e.tailFor(c, q)
+	c.hw = tail.ConvolveLatticeInto(*headL, &c.hwScratch)
+	c.hwCut, c.hwLen, c.hwVer, c.hwOK = cut, len(q.Tasks), c.ver, true
+	return &c.hw, false, folded
+}
+
+// gridHeadFor derives (and caches) the head stage in lattice form —
+// bit-identical to Calculator.gridHead plus the head's mean. The shifted
+// base lattice is cached per version and its truncation per cut, exactly
+// mirroring headFor; uncacheable heads (unstarted: pure shift by now;
+// fully overdue: degenerate point at now) are returned with cut == -1 and
+// never stored.
+func (e *FreeTimeEngine) gridHeadFor(c *coreChain, q CoreQueue, now float64) (pmf.Lattice, float64, int) {
+	g := e.calc.grid
+	t0 := q.Tasks[0]
+	if !t0.Started {
+		lat := g.exec[t0.Type][q.Node][t0.PState].lat.Shift(now)
+		return lat, lat.Mean(), -1
+	}
+	if !c.baseLOK || c.baseLVer != c.ver {
+		c.baseL = g.exec[t0.Type][q.Node][t0.PState].lat.Shift(t0.StartAt)
+		c.baseLVer = c.ver
+		c.baseLOK = true
+		c.headLOK = false
+	}
+	cut := c.baseL.SearchValue(now)
+	if c.headLOK && c.headLVer == c.ver && c.headLCut == cut {
+		return c.headL, c.headLMean, cut
+	}
+	trunc, kept := c.baseL.TruncateAt(cut)
+	if kept <= 0 {
+		// All remaining mass is overdue: the same degenerate point the
+		// naive pipeline produces. Depends on raw now, so never cached.
+		lat := pmf.PointLattice(now, g.step)
+		return lat, now, -1
+	}
+	c.headL = trunc
+	c.headLMean = trunc.Mean()
+	c.headLCut = cut
+	c.headLVer = c.ver
+	c.headLOK = true
+	return c.headL, c.headLMean, cut
+}
+
+// tailFor returns the core's waiting-tail product and whether it had to be
+// folded fresh (as opposed to served from cache or trivially the
+// identity). A rebuild is the same left-to-right fold gridTail runs, so
+// cached, extended, and fresh tails are all bit-identical.
+func (e *FreeTimeEngine) tailFor(c *coreChain, q CoreQueue) (*pmf.Grid, bool) {
+	if len(q.Tasks) <= 1 {
+		return &e.calc.grid.identity, false
+	}
+	if c.tailOK && c.tailVer == c.ver && c.tailLen == len(q.Tasks)-1 {
+		return &c.tail, false
+	}
+	c.tail = e.calc.gridTail(q)
+	c.tailLen = len(q.Tasks) - 1
+	c.tailVer = c.ver
+	c.tailOK = true
+	return &c.tail, true
 }
 
 // headFor derives (and caches) the started head stage for the core's

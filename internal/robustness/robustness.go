@@ -52,6 +52,11 @@ type Calculator struct {
 	// (see SetExactRho). Set once before use; not synchronized.
 	exactRho bool
 
+	// grid, when non-nil, holds the lattice execution table the Grid*
+	// evaluators and the engine's grid mode read. Built once by EnableGrid
+	// before the calculator is shared; not synchronized.
+	grid *gridTable
+
 	// Optional instrumentation, attached via Instrument. The counters are
 	// atomic, so attaching them preserves concurrent safety; nil counters
 	// make the increments no-ops.

@@ -16,9 +16,14 @@ type Counters struct {
 	Candidates *metrics.Counter
 	// FreeTimeHits / FreeTimeMisses track the per-decision free-time
 	// distribution cache: a miss materializes the §IV-B convolution chain
-	// for a core, a hit reuses it for another P-state of the same core.
+	// for a core, a hit reuses it for another P-state of the same core. In
+	// grid mode they track the same question per ρ evaluation against the
+	// engine's cached waiting-tail product (a miss folds the product).
 	FreeTimeHits   *metrics.Counter
 	FreeTimeMisses *metrics.Counter
+	// GridRho counts ρ evaluations answered by the fixed-grid
+	// TripleConvCDF kernel (zero when the sparse pipeline is active).
+	GridRho *metrics.Counter
 	// RhoEvals counts ρ(i,j,k,π,t_l,z) evaluations (candidate-level
 	// completion-probability convolutions).
 	RhoEvals *metrics.Counter
@@ -58,6 +63,7 @@ func NewCounters(r *metrics.Registry, filters []Filter) *Counters {
 		Candidates:     r.Counter("sched_candidates_total"),
 		FreeTimeHits:   r.Counter("robustness_freetime_cache_hits_total"),
 		FreeTimeMisses: r.Counter("robustness_freetime_cache_misses_total"),
+		GridRho:        r.Counter("robustness_grid_rho_total"),
 		RhoEvals:       r.Counter("sched_rho_evaluations_total"),
 		ChainHits:      r.Counter("robustness_chain_cache_hits_total"),
 		ChainMisses:    r.Counter("robustness_chain_cache_misses_total"),
@@ -82,6 +88,7 @@ func (c *Counters) InstrumentFreeTimes(e *robustness.FreeTimeEngine) {
 		return
 	}
 	e.Instrument(c.ChainHits, c.ChainMisses, c.ChainExtends, c.ChainRebuilds, c.CompHits, c.CompMisses, c.CompSkips)
+	e.InstrumentGrid(c.GridRho, c.FreeTimeHits, c.FreeTimeMisses)
 }
 
 func (c *Counters) addDecision() {

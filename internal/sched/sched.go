@@ -45,7 +45,7 @@ type Candidate struct {
 	EEC float64
 
 	freeMean float64
-	free     func() pmf.PMF
+	share    *coreShare
 	deadline float64
 	taskType int
 	calc     *robustness.Calculator
@@ -73,9 +73,9 @@ func (c *Candidate) ECT() float64 { return c.freeMean + c.EET }
 func (c *Candidate) Rho() float64 {
 	if c.rho < 0 {
 		if c.ft != nil {
-			c.rho = c.ft.RhoSeen(c.CoreIdx, c.taskType, c.PState, c.deadline, c.free)
+			c.rho = c.ft.RhoSeen(c.CoreIdx, c.taskType, c.PState, c.deadline, c.share)
 		} else {
-			c.rho = c.calc.ProbOnTime(c.free(), c.taskType, c.Core.Node, c.PState, c.deadline)
+			c.rho = c.calc.ProbOnTime(c.share.FreePMF(), c.taskType, c.Core.Node, c.PState, c.deadline)
 		}
 		c.counters.addRho()
 	}
@@ -99,7 +99,7 @@ type Prediction struct {
 // convolves against the queue snapshot captured at BuildCandidates time, so
 // it must be called before the chosen task is enqueued.
 func (c *Candidate) Predict() Prediction {
-	comp := c.calc.CompletionPMF(c.free(), c.taskType, c.Core.Node, c.PState)
+	comp := c.calc.CompletionPMF(c.share.FreePMF(), c.taskType, c.Core.Node, c.PState)
 	return Prediction{
 		Rho:  c.Rho(),
 		Mean: comp.Mean(),
@@ -156,6 +156,13 @@ type Context struct {
 	// min(schedule value, override) — the brownout controller's admission
 	// tightening.
 	ZetaMulOverride float64
+
+	// Arena, when non-nil, is the caller-owned scratch BuildCandidates and
+	// Map reuse across decisions, eliminating steady-state candidate
+	// allocations. With an arena the candidate slice and the candidates it
+	// points to are valid only until the next BuildCandidates call that
+	// uses the same arena, and Map compacts the slice in place.
+	Arena *Arena
 }
 
 // availability resolves the context's availability estimate for a core.
@@ -182,7 +189,14 @@ type SystemView interface {
 // materialized lazily for candidates that need ρ.
 func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
 	n := view.NumCores()
-	cands := make([]*Candidate, 0, n*cluster.NumPStates)
+	arena := ctx.Arena
+	var cands []*Candidate
+	if arena != nil {
+		arena.grow(n*cluster.NumPStates, n)
+		cands = arena.ptrs[:0]
+	} else {
+		cands = make([]*Candidate, 0, n*cluster.NumPStates)
+	}
 	ctx.Counters.addDecision()
 	for idx := 0; idx < n; idx++ {
 		if ctx.CoreUp != nil && !ctx.CoreUp(idx) {
@@ -192,61 +206,61 @@ func BuildCandidates(ctx *Context, view SystemView) []*Candidate {
 		q := view.Queue(idx)
 		node := ctx.Model.Cluster.Node(id)
 
-		// The per-decision free-time memo (cached/freeFn) shares one
-		// distribution across the core's P-state candidates; behind it sits
-		// either the cross-decision engine or a one-shot derivation whose
-		// head PMF is shared with the linearity shortcut below.
-		var freeMean float64
-		var cached pmf.PMF
-		var freeFn func() pmf.PMF
-		if ft := ctx.FreeTimes; ft != nil {
-			freeMean = ft.FreeMean(idx, q, ctx.Now)
-			freeFn = func() pmf.PMF {
-				hit := !cached.IsZero()
-				ctx.Counters.freeTime(hit)
-				if !hit {
-					cached = ft.FreeTime(idx, q, ctx.Now)
-				}
-				return cached
-			}
+		// The per-decision free-time memo (coreShare) shares one lazily
+		// materialized distribution across the core's P-state candidates;
+		// behind it sits either the cross-decision engine or a one-shot
+		// derivation whose head PMF is shared with the linearity shortcut.
+		var share *coreShare
+		if arena != nil {
+			share = &arena.shares[idx]
 		} else {
-			head := ctx.Calc.HeadPMF(q, ctx.Now)
-			freeMean = freeMeanByLinearity(ctx, q, head)
-			freeFn = func() pmf.PMF {
-				hit := !cached.IsZero()
-				ctx.Counters.freeTime(hit)
-				if !hit {
-					cached = ctx.Calc.FreeTimeFrom(head, q, ctx.Now)
-				}
-				return cached
-			}
+			share = new(coreShare)
+		}
+		*share = coreShare{ft: ctx.FreeTimes, calc: ctx.Calc, counters: ctx.Counters, idx: idx, q: q, now: ctx.Now}
+		var freeMean float64
+		if share.ft != nil {
+			freeMean = share.ft.FreeMean(idx, q, ctx.Now)
+		} else {
+			share.head = ctx.Calc.HeadPMF(q, ctx.Now)
+			freeMean = freeMeanByLinearity(ctx, q, share.head)
 		}
 		for _, ps := range cluster.AllPStates() {
 			if ps < ctx.PStateFloor {
 				continue
 			}
-			exec := ctx.Model.ExecPMF(ctx.Task.Type, id.Node, ps)
-			eet := exec.Mean()
-			cands = append(cands, &Candidate{
-				Assignment: Assignment{Core: id, CoreIdx: idx, PState: ps},
-				QueueLen:   len(q.Tasks),
-				EET:        eet,
-				EEC:        energy.ExpectedEnergy(node, ps, eet),
-				freeMean:   freeMean,
-				free:       freeFn,
-				deadline:   ctx.Task.Deadline,
-				taskType:   ctx.Task.Type,
-				calc:       ctx.Calc,
-				counters:   ctx.Counters,
-				// ρ routes through the engine's completion cache when one is
-				// attached: a repeat of the same (type, P-state) against an
-				// unchanged chain costs no convolution. The free-time access
-				// on a completion miss still goes through freeFn so the
-				// per-decision cache counters keep their meaning.
-				ft:  ctx.FreeTimes,
-				rho: -1,
-			})
+			eet := ctx.Model.ExecMean(ctx.Task.Type, id.Node, ps)
+			var c *Candidate
+			if arena != nil {
+				c = &arena.cands[len(cands)]
+			} else {
+				c = new(Candidate)
+			}
+			// Field-wise assignment instead of a struct literal: the
+			// literal's stack temporary plus 128-byte duffcopy is
+			// measurable at 300 candidates per decision, and with an arena
+			// every field must be overwritten anyway. ρ routes through the
+			// engine's completion cache when one is attached: a repeat of
+			// the same (type, P-state) against an unchanged chain costs no
+			// convolution. The free-time access on a completion miss still
+			// goes through the share so the per-decision cache counters
+			// keep their meaning.
+			c.Assignment = Assignment{Core: id, CoreIdx: idx, PState: ps}
+			c.QueueLen = len(q.Tasks)
+			c.EET = eet
+			c.EEC = energy.ExpectedEnergy(node, ps, eet)
+			c.freeMean = freeMean
+			c.share = share
+			c.deadline = ctx.Task.Deadline
+			c.taskType = ctx.Task.Type
+			c.calc = ctx.Calc
+			c.counters = ctx.Counters
+			c.ft = ctx.FreeTimes
+			c.rho = -1
+			cands = append(cands, c)
 		}
+	}
+	if arena != nil {
+		arena.ptrs = cands
 	}
 	ctx.Counters.addCandidates(len(cands))
 	return cands
@@ -265,16 +279,15 @@ func freeMeanByLinearity(ctx *Context, q robustness.CoreQueue, head pmf.PMF) flo
 	}
 	mean := 0.0
 	for i, t := range q.Tasks {
-		exec := ctx.Model.ExecPMF(t.Type, q.Node, t.PState)
 		if i == 0 {
 			if t.Started {
 				mean = head.Mean()
 			} else {
-				mean = ctx.Now + exec.Mean()
+				mean = ctx.Now + ctx.Model.ExecMean(t.Type, q.Node, t.PState)
 			}
 			continue
 		}
-		mean += exec.Mean()
+		mean += ctx.Model.ExecMean(t.Type, q.Node, t.PState)
 	}
 	return mean
 }
@@ -324,7 +337,13 @@ func (m *Mapper) Name() string {
 func (m *Mapper) Map(ctx *Context, cands []*Candidate) *Candidate {
 	feasible := cands
 	for i, f := range m.Filters {
+		// With an arena the pointer slice is decision-scoped scratch, so
+		// filtering compacts it in place; without one the original slice is
+		// left untouched for the caller.
 		kept := feasible[:0:0]
+		if ctx.Arena != nil {
+			kept = feasible[:0]
+		}
 		for _, c := range feasible {
 			if f.Keep(ctx, c) {
 				kept = append(kept, c)

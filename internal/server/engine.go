@@ -220,6 +220,11 @@ type Config struct {
 	// tighter and allocation-free on the serving hot path, but not
 	// bit-identical to the simulation default; off by default.
 	ExactRho bool
+	// SparsePMF forces the §IV-B chains through the original sparse
+	// impulse pipeline. By default the serving engine runs on the
+	// fixed-grid lattice fast path (see sim.Config.SparsePMF); ExactRho
+	// implies the sparse pipeline.
+	SparsePMF bool
 	// NoShedInfeasible disables deadline-aware admission shedding (tasks
 	// with hopeless deadlines then run the full filter chain instead).
 	NoShedInfeasible bool
@@ -347,6 +352,11 @@ type Engine struct {
 
 	cores  []cluster.CoreID
 	queues [][]queued
+	// Per-decision scratch: the scheduler arena and per-core queue-snapshot
+	// buffers Queue() reuses (snapshots are decision-scoped, and the event
+	// loop is single-goroutine).
+	arena  *sched.Arena
+	qbuf   [][]robustness.QueuedTask
 	runGen []int
 	down   []bool
 	alive  []bool // per node, false after a permanent failure
@@ -615,6 +625,11 @@ func Prepare(cfg Config) (*Engine, error) {
 	if cfg.ExactRho {
 		e.calc.SetExactRho(true)
 	}
+	if !cfg.SparsePMF && !cfg.ExactRho {
+		e.ftc.SetGrid(true)
+	}
+	e.arena = sched.NewArena()
+	e.qbuf = make([][]robustness.QueuedTask, len(e.cores))
 	e.runGen = make([]int, len(e.cores))
 	e.down = make([]bool, len(e.cores))
 	e.repairAt = make([]float64, len(e.cores))
@@ -1504,6 +1519,7 @@ func (e *Engine) mapTask(now float64, task workload.Task, maxEnergy *float64) *s
 		Rand:          e.rand,
 		Counters:      e.counters,
 		FreeTimes:     e.ftc,
+		Arena:         e.arena,
 		CoreUp:        e.coreUp(now),
 	}
 	if e.brk != nil {

@@ -21,14 +21,18 @@ func (e *Engine) NumCores() int { return len(e.cores) }
 // CoreID implements sched.SystemView.
 func (e *Engine) CoreID(idx int) cluster.CoreID { return e.cores[idx] }
 
-// Queue implements sched.SystemView.
+// Queue implements sched.SystemView: a snapshot of the core's occupancy,
+// built into a reusable per-core buffer (snapshots are decision-scoped).
 func (e *Engine) Queue(idx int) robustness.CoreQueue {
 	q := e.queues[idx]
 	out := robustness.CoreQueue{Node: e.cores[idx].Node}
 	if len(q) == 0 {
 		return out
 	}
-	out.Tasks = make([]robustness.QueuedTask, len(q))
+	if cap(e.qbuf[idx]) < len(q) {
+		e.qbuf[idx] = make([]robustness.QueuedTask, len(q))
+	}
+	out.Tasks = e.qbuf[idx][:len(q)]
 	for i, t := range q {
 		out.Tasks[i] = robustness.QueuedTask{
 			Type:     t.task.Type,

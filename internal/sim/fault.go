@@ -96,6 +96,7 @@ func (e *engine) faultWorkRemains() bool {
 // caps ζ_mul. All fields stay nil/zero when the features are off.
 func (e *engine) decorateCtx(ctx *sched.Context) {
 	ctx.FreeTimes = e.ftc
+	ctx.Arena = e.arena
 	if e.flt != nil {
 		ctx.CoreUp = e.coreUpFn
 		ctx.Availability = e.availFn

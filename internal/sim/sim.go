@@ -101,6 +101,14 @@ type Config struct {
 	// tighter and allocation-free, but not bit-identical to the paper
 	// pipeline; leave false to reproduce the paper.
 	ExactRho bool
+	// SparsePMF forces the §IV-B chains through the original sparse
+	// impulse pipeline (convolve + compact per stage). By default the
+	// engine runs on the fixed-grid lattice fast path, which convolves
+	// exactly on a shared grid (robustness.DefaultGridRes bins per mean
+	// execution time) instead of compacting — different rounding, same
+	// model; set SparsePMF to reproduce the paper pipeline bit-for-bit.
+	// ExactRho implies the sparse pipeline.
+	SparsePMF bool
 }
 
 // ParkPolicy configures the power-gating extension.
@@ -335,6 +343,13 @@ type engine struct {
 	events    eventHeap
 	seq       int
 
+	// Per-decision scratch: the scheduler arena and per-core queue-snapshot
+	// buffers Queue() reuses. Safe because snapshots are decision-scoped —
+	// every consumer (candidate shares, the free-time engine's seen-queue
+	// record) is overwritten before the next decision reads them.
+	arena *sched.Arena
+	qbuf  [][]robustness.QueuedTask
+
 	energyLeft    float64 // heuristic estimate ζ(t_l)
 	inSystem      int     // mapped, not yet completed
 	depthIntegral float64 // ∫ inSystem dt
@@ -380,14 +395,18 @@ func (e *engine) NumCores() int { return len(e.cores) }
 // CoreID implements sched.SystemView.
 func (e *engine) CoreID(idx int) cluster.CoreID { return e.cores[idx] }
 
-// Queue implements sched.SystemView: a snapshot of the core's occupancy.
+// Queue implements sched.SystemView: a snapshot of the core's occupancy,
+// built into a reusable per-core buffer (snapshots are decision-scoped).
 func (e *engine) Queue(idx int) robustness.CoreQueue {
 	q := e.queues[idx]
 	cq := robustness.CoreQueue{Node: e.cores[idx].Node}
 	if len(q) == 0 {
 		return cq
 	}
-	cq.Tasks = make([]robustness.QueuedTask, len(q))
+	if cap(e.qbuf[idx]) < len(q) {
+		e.qbuf[idx] = make([]robustness.QueuedTask, len(q))
+	}
+	cq.Tasks = e.qbuf[idx][:len(q)]
 	for i, t := range q {
 		cq.Tasks[i] = robustness.QueuedTask{
 			Type:     t.task.Type,
@@ -502,6 +521,11 @@ func RunContext(ctx context.Context, cfg Config, trial *workload.Trial, decision
 	if cfg.ExactRho {
 		e.calc.SetExactRho(true)
 	}
+	if !cfg.SparsePMF && !cfg.ExactRho {
+		e.ftc.SetGrid(true)
+	}
+	e.arena = sched.NewArena()
+	e.qbuf = make([][]robustness.QueuedTask, len(e.queues))
 	if eo, ok := cfg.Observer.(EnergyObserver); ok {
 		e.eobs = eo
 	}

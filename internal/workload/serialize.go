@@ -114,7 +114,7 @@ func ReadModelJSON(r io.Reader) (*Model, error) {
 	if !(fast > 0 && slow > 0) || math.IsInf(fast, 0) || math.IsInf(slow, 0) {
 		return nil, fmt.Errorf("workload: decode model: rates %v must be positive and finite", jm.Rates)
 	}
-	return &Model{
+	m := &Model{
 		Params:   p,
 		Cluster:  jm.Cluster,
 		table:    jm.Table,
@@ -123,5 +123,7 @@ func ReadModelJSON(r io.Reader) (*Model, error) {
 		fastRate: fast,
 		slowRate: slow,
 		classOf:  assignClasses(p.Classes, p.TaskTypes),
-	}, nil
+	}
+	m.buildMeans()
+	return m, nil
 }

@@ -147,6 +147,10 @@ type Model struct {
 
 	// table[type][node][pstate] is the execution-time pmf.
 	table [][][]pmf.PMF
+	// mean[type][node][pstate] is table[type][node][pstate].Mean(),
+	// precomputed because candidate enumeration reads the EET of every
+	// (type, core, P-state) combination on every mapping decision.
+	mean [][][]float64
 	// typeMean[type] is the mean execution time of the type over all nodes
 	// and all P-states (the deadline offset of §VI).
 	typeMean []float64
@@ -218,6 +222,7 @@ func BuildModel(s *randx.Stream, c *cluster.Cluster, p Params) (*Model, error) {
 		grand += m.typeMean[ti]
 	}
 	m.tAvg = grand / float64(p.TaskTypes)
+	m.buildMeans()
 	if p.CalibrateRates {
 		eq := m.EquilibriumRate()
 		m.fastRate = p.FastFactor * eq
@@ -253,6 +258,27 @@ func (m *Model) ArrivalPhases() []randx.RatePhase {
 // of the given node in the given P-state.
 func (m *Model) ExecPMF(taskType, node int, p cluster.PState) pmf.PMF {
 	return m.table[taskType][node][p]
+}
+
+// ExecMean returns ExecPMF(taskType, node, p).Mean() from the precomputed
+// table — the EET of a candidate assignment, sans the O(support) sum.
+func (m *Model) ExecMean(taskType, node int, p cluster.PState) float64 {
+	return m.mean[taskType][node][p]
+}
+
+// buildMeans fills the precomputed mean table from the pmf table.
+func (m *Model) buildMeans() {
+	m.mean = make([][][]float64, len(m.table))
+	for ti, byNode := range m.table {
+		m.mean[ti] = make([][]float64, len(byNode))
+		for ni, row := range byNode {
+			means := make([]float64, len(row))
+			for st, p := range row {
+				means[st] = p.Mean()
+			}
+			m.mean[ti][ni] = means
+		}
+	}
 }
 
 // TypeMeanExec returns the average execution time of the task type over all
@@ -305,6 +331,7 @@ func (m *Model) Slice(nodes []int) (*Model, error) {
 		}
 		sub.table[ti] = row
 	}
+	sub.buildMeans()
 	return sub, nil
 }
 

@@ -78,6 +78,13 @@ if [ "$tier" -ge 2 ]; then
     # incremental free-time engine, bit-compared to naive recomputation.
     echo "== tier 2: go test (free-time property, 10k steps)"
     FREETIME_PROP_STEPS=10000 go test -run FreeTimeEngineMatchesNaive -count=1 ./internal/robustness
+    # Grid quantization contract, race-enabled with a raised trial budget:
+    # random operand chains must keep the lattice CDF inside the exact
+    # chain's q·step/2 bracket, and the cached grid engine must stay
+    # bit-identical to naive grid recomputation under long mutation runs.
+    echo "== tier 2: go test -race (grid-vs-exact parity, 2k trials)"
+    GRID_PROP_STEPS=2000 go test -race -run GridConvolveMatchesExact -count=1 ./internal/pmf
+    FREETIME_PROP_STEPS=2000 go test -race -run 'FreeTimeEngineGrid|GridRhoParity' -count=1 ./internal/robustness
     # Resume equivalence: interrupted sweeps replayed from the journal must
     # be bit-identical to uninterrupted runs, on every pass.
     echo "== tier 2: go test -run Resume -count=2 (journal resume)"
